@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks for the protocol-level data structures: the
+//! operations every node performs per message or per timer tick. These
+//! bound the simulator's throughput and sanity-check that the hot paths
+//! stay allocation-light.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use envirotrack_core::aggregate::{AggregateFn, ReadingValue, ReadingWindow};
+use envirotrack_core::context::{ContextLabel, ContextTypeId};
+use envirotrack_core::transport::{LeaderLoc, LruTable};
+use envirotrack_core::wire::{Heartbeat, Message, Report};
+use envirotrack_net::routing::GeoRouter;
+use envirotrack_sim::queue::EventQueue;
+use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_world::field::{Deployment, NodeId};
+use envirotrack_world::geometry::Point;
+
+fn label() -> ContextLabel {
+    ContextLabel { type_id: ContextTypeId(0), creator: NodeId(7), seq: 3 }
+}
+
+fn heartbeat() -> Message {
+    Message::Heartbeat(Heartbeat {
+        label: label(),
+        leader: NodeId(7),
+        leader_pos: Point::new(3.5, 0.5),
+        weight: 41,
+        hb_seq: 1000,
+        ttl: 1,
+        state: None,
+    })
+}
+
+fn report() -> Message {
+    Message::Report(Report {
+        label: label(),
+        member: NodeId(9),
+        taken_at: Timestamp::from_secs(12),
+        values: vec![
+            (0, ReadingValue::Position(Point::new(3.0, 0.5))),
+            (1, ReadingValue::Scalar(199.5)),
+        ],
+    })
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let hb = heartbeat();
+    let rp = report();
+    g.bench_function("encode_heartbeat", |b| b.iter(|| black_box(&hb).encode()));
+    g.bench_function("encode_report", |b| b.iter(|| black_box(&rp).encode()));
+    let hb_bytes = hb.encode();
+    let rp_bytes = rp.encode();
+    g.bench_function("decode_heartbeat", |b| {
+        b.iter(|| Message::decode(black_box(&hb_bytes)).unwrap())
+    });
+    g.bench_function("decode_report", |b| {
+        b.iter(|| Message::decode(black_box(&rp_bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregate_window");
+    g.bench_function("insert_evaluate_8_members", |b| {
+        b.iter(|| {
+            let mut w = ReadingWindow::new();
+            for i in 0..8u32 {
+                w.insert(
+                    NodeId(i),
+                    Timestamp::from_millis(900 + u64::from(i)),
+                    ReadingValue::Position(Point::new(f64::from(i), 0.5)),
+                );
+            }
+            w.evaluate(
+                &AggregateFn::CenterOfGravity,
+                Timestamp::from_secs(1),
+                SimDuration::from_secs(1),
+                2,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mtp_lru");
+    g.bench_function("insert_get_cycle", |b| {
+        let mut lru: LruTable<ContextLabel, LeaderLoc> = LruTable::new(8);
+        let labels: Vec<ContextLabel> = (0..16u32)
+            .map(|i| ContextLabel { type_id: ContextTypeId(0), creator: NodeId(i), seq: 0 })
+            .collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            let l = labels[i % labels.len()];
+            lru.insert(l, LeaderLoc { node: l.creator, pos: Point::ORIGIN });
+            let got = lru.get(labels[(i / 2) % labels.len()]);
+            i += 1;
+            black_box(got.copied())
+        })
+    });
+    g.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(Timestamp::from_micros((i * 7919) % 5000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geo_routing");
+    let field = Deployment::grid(20, 20, 1.0);
+    let router = GeoRouter::new(&field, 1.5);
+    g.bench_function("route_corner_to_corner_20x20", |b| {
+        b.iter(|| router.route(black_box(NodeId(0)), Point::new(19.0, 19.0)).unwrap())
+    });
+    g.bench_function("next_hop", |b| {
+        b.iter(|| router.next_hop(black_box(NodeId(0)), Point::new(19.0, 19.0)))
+    });
+    g.finish();
+}
+
+fn bench_payload_sizes(c: &mut Criterion) {
+    // Not a speed benchmark: documents frame costs stay stable.
+    let mut g = c.benchmark_group("frame_airtime");
+    let cfg = envirotrack_net::medium::RadioConfig::default();
+    let frame = envirotrack_net::packet::Frame::broadcast(
+        NodeId(0),
+        heartbeat().kind(),
+        heartbeat().encode(),
+    );
+    g.bench_function("tx_time_heartbeat", |b| b.iter(|| cfg.tx_time(black_box(&frame))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_window,
+    bench_lru,
+    bench_queue,
+    bench_routing,
+    bench_payload_sizes
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion end-to-end benchmarks: one full simulated crossing per
+//! experiment family, sized so `cargo bench` completes in minutes. These
+//! measure simulator throughput (virtual seconds per wall second) for the
+//! exact configurations behind each paper figure.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use envirotrack_bench::harness::{run_tracking, TrackingRun};
+use envirotrack_sim::time::SimDuration;
+
+fn bench_fig3_crossing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracking");
+    g.sample_size(10);
+    let cfg = TrackingRun::default();
+    g.bench_function("fig3_testbed_crossing", |b| {
+        b.iter(|| black_box(run_tracking(&cfg)).handovers)
+    });
+    g.finish();
+}
+
+fn bench_fig4_handover_config(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracking");
+    g.sample_size(10);
+    let cfg = TrackingRun {
+        cols: 14,
+        rows: 3,
+        lane_y: 1.0,
+        comm_radius: 1.6,
+        base_loss: 0.15,
+        ..TrackingRun::default()
+    };
+    g.bench_function("fig4_short_radio_crossing", |b| {
+        b.iter(|| black_box(run_tracking(&cfg)).handover_success_ratio())
+    });
+    g.finish();
+}
+
+fn bench_fig5_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracking");
+    g.sample_size(10);
+    let cfg = TrackingRun {
+        cols: 24,
+        rows: 5,
+        lane_y: 2.0,
+        speed_hops_per_s: 1.0,
+        heartbeat_period: SimDuration::from_millis(250),
+        relinquish: false,
+        sense_period: Some(SimDuration::from_millis(250)),
+        ..TrackingRun::default()
+    };
+    g.bench_function("fig5_takeover_point", |b| {
+        b.iter(|| black_box(run_tracking(&cfg)).coherent())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3_crossing, bench_fig4_handover_config, bench_fig5_point);
+criterion_main!(benches);

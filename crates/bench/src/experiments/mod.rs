@@ -1,0 +1,9 @@
+//! One module per table/figure of the paper's evaluation, plus ablations.
+
+pub mod ablations;
+pub mod energy;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table1;

@@ -1,0 +1,335 @@
+//! Plotting and data export: regenerate the paper's figures as files.
+//!
+//! A dependency-free SVG line/scatter plotter plus a CSV writer, so
+//! `repro --out DIR` leaves behind artefacts a reader can diff against the
+//! paper's figures:
+//!
+//! ```
+//! use envirotrack_bench::plot::{Series, SvgPlot};
+//!
+//! let svg = SvgPlot::new("Figure 3", "x (grids)", "y (grids)")
+//!     .series(Series::new("reported", vec![(0.0, 0.5), (1.0, 0.6)]))
+//!     .series(Series::new("actual", vec![(0.0, 0.5), (1.0, 0.5)]))
+//!     .render();
+//! assert!(svg.contains("<svg"));
+//! assert!(svg.contains("reported"));
+//! ```
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One named line on a plot.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points in drawing order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a named series.
+    #[must_use]
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.into(), points }
+    }
+}
+
+/// A minimal SVG chart builder (lines + markers + legend + axes).
+#[derive(Debug, Clone)]
+pub struct SvgPlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    log_x: bool,
+    width: f64,
+    height: f64,
+}
+
+/// Colour cycle for series strokes.
+const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+
+impl SvgPlot {
+    /// Creates an empty plot.
+    #[must_use]
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        SvgPlot {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            log_x: false,
+            width: 640.0,
+            height: 420.0,
+        }
+    }
+
+    /// Adds a series; chainable.
+    #[must_use]
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Uses a log₂ x-axis (for heartbeat-period sweeps); chainable.
+    ///
+    /// # Panics
+    ///
+    /// Rendering panics if any x value is non-positive under a log axis.
+    #[must_use]
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    fn x_transform(&self, x: f64) -> f64 {
+        if self.log_x {
+            assert!(x > 0.0, "log axis needs positive x, got {x}");
+            x.log2()
+        } else {
+            x
+        }
+    }
+
+    /// Renders the SVG document.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let (ml, mr, mt, mb) = (64.0, 140.0, 40.0, 52.0);
+        let pw = self.width - ml - mr; // plot width
+        let ph = self.height - mt - mb; // plot height
+
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, y)| (self.x_transform(x), y)))
+            .collect();
+        let (mut x0, mut x1) = all.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), p| {
+            (a.min(p.0), b.max(p.0))
+        });
+        let (mut y0, mut y1) = all.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), p| {
+            (a.min(p.1), b.max(p.1))
+        });
+        if !x0.is_finite() {
+            (x0, x1) = (0.0, 1.0);
+        }
+        if !y0.is_finite() {
+            (y0, y1) = (0.0, 1.0);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        // A touch of headroom.
+        let ypad = (y1 - y0) * 0.08;
+        let (y0, y1) = ((y0 - ypad).min(0.0_f64.min(y0)), y1 + ypad);
+
+        let sx = |x: f64| ml + (x - x0) / (x1 - x0) * pw;
+        let sy = |y: f64| mt + ph - (y - y0) / (y1 - y0) * ph;
+
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#,
+            w = self.width,
+            h = self.height
+        );
+        let _ = write!(out, r#"<rect width="{}" height="{}" fill="white"/>"#, self.width, self.height);
+        // Title and axis labels.
+        let _ = write!(
+            out,
+            r#"<text x="{}" y="24" text-anchor="middle" font-size="15">{}</text>"#,
+            ml + pw / 2.0,
+            xml_escape(&self.title)
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            ml + pw / 2.0,
+            self.height - 12.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = write!(
+            out,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            mt + ph / 2.0,
+            mt + ph / 2.0,
+            xml_escape(&self.y_label)
+        );
+        // Frame + ticks.
+        let _ = write!(
+            out,
+            r##"<rect x="{ml}" y="{mt}" width="{pw}" height="{ph}" fill="none" stroke="#444"/>"##
+        );
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * f64::from(i) / 4.0;
+            let fy = y0 + (y1 - y0) * f64::from(i) / 4.0;
+            let label_x = if self.log_x { 2f64.powf(fx) } else { fx };
+            let _ = write!(
+                out,
+                r##"<text x="{}" y="{}" text-anchor="middle" fill="#444">{}</text>"##,
+                sx(fx),
+                mt + ph + 16.0,
+                fmt_tick(label_x)
+            );
+            let _ = write!(
+                out,
+                r##"<text x="{}" y="{}" text-anchor="end" fill="#444">{}</text>"##,
+                ml - 6.0,
+                sy(fy) + 4.0,
+                fmt_tick(fy)
+            );
+            let _ = write!(
+                out,
+                r##"<line x1="{ml}" y1="{y}" x2="{x2}" y2="{y}" stroke="#ddd"/>"##,
+                y = sy(fy),
+                x2 = ml + pw
+            );
+        }
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.2},{:.2}", sx(self.x_transform(x)), sy(y)))
+                .collect();
+            if pts.len() > 1 {
+                let _ = write!(
+                    out,
+                    r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                    pts.join(" ")
+                );
+            }
+            for p in &pts {
+                let (px, py) = p.split_once(',').expect("formatted above");
+                let _ = write!(out, r#"<circle cx="{px}" cy="{py}" r="2.6" fill="{color}"/>"#);
+            }
+            // Legend entry.
+            let ly = mt + 14.0 + i as f64 * 18.0;
+            let _ = write!(
+                out,
+                r#"<line x1="{x}" y1="{ly}" x2="{x2}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                x = ml + pw + 10.0,
+                x2 = ml + pw + 34.0
+            );
+            let _ = write!(
+                out,
+                r##"<text x="{}" y="{}" fill="#222">{}</text>"##,
+                ml + pw + 40.0,
+                ly + 4.0,
+                xml_escape(&s.name)
+            );
+        }
+        out.push_str("</svg>");
+        out
+    }
+
+    /// Renders and writes to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 100.0 || v == v.trunc() {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Writes a CSV file with a header row.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(
+    path: &Path,
+    headers: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_contains_axes_series_and_legend() {
+        let svg = SvgPlot::new("Test & Title", "x", "y")
+            .series(Series::new("alpha", vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]))
+            .series(Series::new("beta", vec![(0.0, 1.0), (2.0, 3.0)]))
+            .render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert!(svg.contains("alpha") && svg.contains("beta"));
+        assert!(svg.contains("Test &amp; Title"), "XML escaping");
+    }
+
+    #[test]
+    fn log_axis_transforms_and_labels_in_linear_units() {
+        let svg = SvgPlot::new("t", "period", "speed")
+            .log_x()
+            .series(Series::new("s", vec![(0.0625, 4.0), (0.125, 2.0), (2.0, 0.1)]))
+            .render();
+        // Tick labels are back-transformed to the data domain.
+        assert!(svg.contains(">2<") || svg.contains(">2.0<"), "{svg}");
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let _ = SvgPlot::new("empty", "x", "y").render();
+        let _ = SvgPlot::new("one point", "x", "y")
+            .series(Series::new("p", vec![(1.0, 1.0)]))
+            .render();
+        let _ = SvgPlot::new("flat", "x", "y")
+            .series(Series::new("f", vec![(0.0, 5.0), (1.0, 5.0)]))
+            .render();
+    }
+
+    #[test]
+    #[should_panic(expected = "log axis needs positive x")]
+    fn log_axis_rejects_nonpositive_x() {
+        let _ = SvgPlot::new("t", "x", "y")
+            .log_x()
+            .series(Series::new("s", vec![(0.0, 1.0)]))
+            .render();
+    }
+
+    #[test]
+    fn csv_round_trips_through_a_reader() {
+        let dir = std::env::temp_dir().join("envirotrack-plot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            vec![vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+    }
+}

@@ -1,0 +1,451 @@
+//! Approximate aggregate state (paper §3.1, §3.2.3).
+//!
+//! Group members report raw readings to the leader; the leader maintains a
+//! [`ReadingWindow`] per aggregate variable and evaluates the aggregation
+//! function over the readings that are *fresh* (within `Le`) and come from
+//! at least `Ne` distinct members (*critical mass*). A read either yields a
+//! value with those guarantees, or [`AggregateReadError`] — the paper's
+//! "null flag".
+//!
+//! Guarantees on a successful read (paper §3.2.3):
+//!
+//! 1. every contributor was a group member (enforced upstream: only member
+//!    reports reach the window);
+//! 2. every contributing reading is younger than the freshness horizon;
+//! 3. at least `Ne` distinct members contributed.
+//!
+//! ```
+//! use envirotrack_core::aggregate::{AggregateFn, ReadingValue, ReadingWindow};
+//! use envirotrack_sim::time::{SimDuration, Timestamp};
+//! use envirotrack_world::field::NodeId;
+//!
+//! let mut window = ReadingWindow::new();
+//! window.insert(NodeId(1), Timestamp::from_secs(10), ReadingValue::Scalar(1.0));
+//! window.insert(NodeId(2), Timestamp::from_secs(10), ReadingValue::Scalar(3.0));
+//! let value = window
+//!     .evaluate(&AggregateFn::Average, Timestamp::from_secs(10), SimDuration::from_secs(1), 2)
+//!     .expect("two fresh readings");
+//! assert_eq!(value.as_scalar(), Some(2.0));
+//! ```
+
+use std::sync::Arc;
+
+use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_world::field::NodeId;
+use envirotrack_world::geometry::Point;
+use envirotrack_world::target::Channel;
+use serde::{Deserialize, Serialize};
+
+/// What each member contributes to an aggregate variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregateInput {
+    /// The member's reading on a sensor channel.
+    Channel(Channel),
+    /// The member's own position (for location estimation).
+    Position,
+}
+
+/// One raw reading as reported by a member.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReadingValue {
+    /// A scalar channel measurement.
+    Scalar(f64),
+    /// A position measurement.
+    Position(Point),
+}
+
+impl ReadingValue {
+    /// The scalar, if this is one.
+    #[must_use]
+    pub fn as_scalar(self) -> Option<f64> {
+        match self {
+            ReadingValue::Scalar(v) => Some(v),
+            ReadingValue::Position(_) => None,
+        }
+    }
+
+    /// The position, if this is one.
+    #[must_use]
+    pub fn as_position(self) -> Option<Point> {
+        match self {
+            ReadingValue::Position(p) => Some(p),
+            ReadingValue::Scalar(_) => None,
+        }
+    }
+}
+
+/// The value of an aggregate variable after evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AggValue {
+    /// A scalar result (average temperature, count, …).
+    Scalar(f64),
+    /// A positional result (centre of gravity).
+    Point(Point),
+}
+
+impl AggValue {
+    /// The scalar, if this is one.
+    #[must_use]
+    pub fn as_scalar(self) -> Option<f64> {
+        match self {
+            AggValue::Scalar(v) => Some(v),
+            AggValue::Point(_) => None,
+        }
+    }
+
+    /// The point, if this is one.
+    #[must_use]
+    pub fn as_point(self) -> Option<Point> {
+        match self {
+            AggValue::Point(p) => Some(p),
+            AggValue::Scalar(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AggValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggValue::Scalar(v) => write!(f, "{v:.4}"),
+            AggValue::Point(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A contribution visible to custom aggregation functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Contribution {
+    /// The reporting member.
+    pub member: NodeId,
+    /// When the reading was taken.
+    pub taken_at: Timestamp,
+    /// The reading itself.
+    pub value: ReadingValue,
+}
+
+/// A user-supplied aggregation over fresh contributions.
+pub type CustomAggregateFn = Arc<dyn Fn(&[Contribution]) -> AggValue + Send + Sync>;
+
+/// The library of aggregation functions (paper: "several aggregation
+/// functions are provided, as well as mechanisms for programming custom
+/// aggregation functions").
+#[derive(Clone)]
+pub enum AggregateFn {
+    /// Arithmetic mean of scalar readings.
+    Average,
+    /// Sum of scalar readings.
+    Sum,
+    /// Minimum scalar reading.
+    Min,
+    /// Maximum scalar reading.
+    Max,
+    /// Number of fresh contributors (input values ignored).
+    Count,
+    /// Mean of position readings — the paper's `avg(position)`.
+    CenterOfGravity,
+    /// A user-supplied function over the fresh contributions.
+    Custom {
+        /// Diagnostic name.
+        name: String,
+        /// The function; receives only fresh contributions from distinct
+        /// members, already satisfying critical mass.
+        f: CustomAggregateFn,
+    },
+}
+
+impl std::fmt::Debug for AggregateFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AggregateFn::Average => "Average",
+            AggregateFn::Sum => "Sum",
+            AggregateFn::Min => "Min",
+            AggregateFn::Max => "Max",
+            AggregateFn::Count => "Count",
+            AggregateFn::CenterOfGravity => "CenterOfGravity",
+            AggregateFn::Custom { name, .. } => return write!(f, "Custom({name})"),
+        })
+    }
+}
+
+impl AggregateFn {
+    /// Applies the function to fresh contributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contributions` is empty — the window guarantees critical
+    /// mass (≥ 1) before applying the function.
+    #[must_use]
+    pub fn apply(&self, contributions: &[Contribution]) -> AggValue {
+        assert!(!contributions.is_empty(), "aggregation over an empty contribution set");
+        let scalars = || contributions.iter().filter_map(|c| c.value.as_scalar());
+        match self {
+            AggregateFn::Average => {
+                let (sum, n) = scalars().fold((0.0, 0u32), |(s, n), v| (s + v, n + 1));
+                AggValue::Scalar(if n == 0 { 0.0 } else { sum / f64::from(n) })
+            }
+            AggregateFn::Sum => AggValue::Scalar(scalars().sum()),
+            AggregateFn::Min => AggValue::Scalar(scalars().fold(f64::INFINITY, f64::min)),
+            AggregateFn::Max => AggValue::Scalar(scalars().fold(f64::NEG_INFINITY, f64::max)),
+            AggregateFn::Count => AggValue::Scalar(contributions.len() as f64),
+            AggregateFn::CenterOfGravity => {
+                let pts = contributions.iter().filter_map(|c| c.value.as_position());
+                match Point::centroid(pts) {
+                    Some(p) => AggValue::Point(p),
+                    None => AggValue::Point(Point::ORIGIN),
+                }
+            }
+            AggregateFn::Custom { f, .. } => f(contributions),
+        }
+    }
+}
+
+/// Error returned when an aggregate read cannot meet its QoS — the paper's
+/// null flag ("the siting of the phenomenon is not positively confirmed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregateReadError {
+    /// Fresh distinct contributors available.
+    pub have: u32,
+    /// Critical mass required.
+    pub need: u32,
+}
+
+impl std::fmt::Display for AggregateReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "critical mass not met: {} fresh contributors of {} required", self.have, self.need)
+    }
+}
+
+impl std::error::Error for AggregateReadError {}
+
+/// The leader-side sliding window of member readings for one aggregate
+/// variable. Keeps only the latest reading per member; staleness is decided
+/// at evaluation time against the freshness horizon.
+#[derive(Debug, Clone, Default)]
+pub struct ReadingWindow {
+    // Small groups (tens of members): a Vec beats a map.
+    readings: Vec<Contribution>,
+}
+
+impl ReadingWindow {
+    /// Creates an empty window.
+    #[must_use]
+    pub fn new() -> Self {
+        ReadingWindow::default()
+    }
+
+    /// Inserts (or refreshes) a member's reading. An older out-of-order
+    /// report never overwrites a newer one.
+    pub fn insert(&mut self, member: NodeId, taken_at: Timestamp, value: ReadingValue) {
+        match self.readings.iter_mut().find(|c| c.member == member) {
+            Some(existing) => {
+                if taken_at >= existing.taken_at {
+                    existing.taken_at = taken_at;
+                    existing.value = value;
+                }
+            }
+            None => self.readings.push(Contribution { member, taken_at, value }),
+        }
+    }
+
+    /// Number of distinct members with readings (fresh or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.readings.len()
+    }
+
+    /// Whether the window holds no readings at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.readings.is_empty()
+    }
+
+    /// The fresh contributions at `now` under `freshness`.
+    #[must_use]
+    pub fn fresh(&self, now: Timestamp, freshness: SimDuration) -> Vec<Contribution> {
+        self.readings
+            .iter()
+            .filter(|c| now.saturating_since(c.taken_at) <= freshness)
+            .copied()
+            .collect()
+    }
+
+    /// Members with any (possibly stale) reading, freshest first — used by
+    /// the leader to designate a relinquish successor.
+    #[must_use]
+    pub fn members_by_recency(&self) -> Vec<(NodeId, Timestamp)> {
+        let mut v: Vec<(NodeId, Timestamp)> =
+            self.readings.iter().map(|c| (c.member, c.taken_at)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Evaluates `function` under the QoS constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregateReadError`] when fewer than `critical_mass`
+    /// distinct members have readings younger than `freshness`.
+    pub fn evaluate(
+        &self,
+        function: &AggregateFn,
+        now: Timestamp,
+        freshness: SimDuration,
+        critical_mass: u32,
+    ) -> Result<AggValue, AggregateReadError> {
+        let fresh = self.fresh(now, freshness);
+        if (fresh.len() as u32) < critical_mass.max(1) {
+            return Err(AggregateReadError { have: fresh.len() as u32, need: critical_mass.max(1) });
+        }
+        Ok(function.apply(&fresh))
+    }
+
+    /// Drops readings older than `horizon` before `now`, bounding memory on
+    /// long-lived leaders.
+    pub fn prune(&mut self, now: Timestamp, horizon: SimDuration) {
+        self.readings.retain(|c| now.saturating_since(c.taken_at) <= horizon);
+    }
+
+    /// Discards everything (e.g. on leadership loss).
+    pub fn clear(&mut self) {
+        self.readings.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_window(entries: &[(u32, u64, f64)]) -> ReadingWindow {
+        let mut w = ReadingWindow::new();
+        for &(node, secs, v) in entries {
+            w.insert(NodeId(node), Timestamp::from_secs(secs), ReadingValue::Scalar(v));
+        }
+        w
+    }
+
+    #[test]
+    fn average_of_fresh_readings() {
+        let w = scalar_window(&[(1, 10, 2.0), (2, 10, 4.0), (3, 10, 6.0)]);
+        let v = w
+            .evaluate(&AggregateFn::Average, Timestamp::from_secs(10), SimDuration::from_secs(1), 3)
+            .unwrap();
+        assert_eq!(v, AggValue::Scalar(4.0));
+    }
+
+    #[test]
+    fn stale_readings_do_not_count_toward_critical_mass() {
+        let w = scalar_window(&[(1, 5, 2.0), (2, 10, 4.0)]);
+        let err = w
+            .evaluate(&AggregateFn::Average, Timestamp::from_secs(10), SimDuration::from_secs(1), 2)
+            .unwrap_err();
+        assert_eq!(err, AggregateReadError { have: 1, need: 2 });
+        // With a looser horizon both count.
+        let v = w
+            .evaluate(&AggregateFn::Average, Timestamp::from_secs(10), SimDuration::from_secs(10), 2)
+            .unwrap();
+        assert_eq!(v, AggValue::Scalar(3.0));
+    }
+
+    #[test]
+    fn duplicate_member_counts_once() {
+        let mut w = ReadingWindow::new();
+        w.insert(NodeId(1), Timestamp::from_secs(9), ReadingValue::Scalar(1.0));
+        w.insert(NodeId(1), Timestamp::from_secs(10), ReadingValue::Scalar(5.0));
+        assert_eq!(w.len(), 1);
+        let err = w
+            .evaluate(&AggregateFn::Average, Timestamp::from_secs(10), SimDuration::from_secs(5), 2)
+            .unwrap_err();
+        assert_eq!(err.have, 1);
+        // The newest value wins.
+        let v = w
+            .evaluate(&AggregateFn::Average, Timestamp::from_secs(10), SimDuration::from_secs(5), 1)
+            .unwrap();
+        assert_eq!(v, AggValue::Scalar(5.0));
+    }
+
+    #[test]
+    fn out_of_order_report_does_not_regress() {
+        let mut w = ReadingWindow::new();
+        w.insert(NodeId(1), Timestamp::from_secs(10), ReadingValue::Scalar(5.0));
+        w.insert(NodeId(1), Timestamp::from_secs(8), ReadingValue::Scalar(1.0));
+        let v = w
+            .evaluate(&AggregateFn::Max, Timestamp::from_secs(10), SimDuration::from_secs(5), 1)
+            .unwrap();
+        assert_eq!(v, AggValue::Scalar(5.0));
+    }
+
+    #[test]
+    fn min_max_sum_count_work() {
+        let w = scalar_window(&[(1, 10, 2.0), (2, 10, 8.0), (3, 10, 5.0)]);
+        let at = Timestamp::from_secs(10);
+        let fr = SimDuration::from_secs(1);
+        assert_eq!(w.evaluate(&AggregateFn::Min, at, fr, 1).unwrap(), AggValue::Scalar(2.0));
+        assert_eq!(w.evaluate(&AggregateFn::Max, at, fr, 1).unwrap(), AggValue::Scalar(8.0));
+        assert_eq!(w.evaluate(&AggregateFn::Sum, at, fr, 1).unwrap(), AggValue::Scalar(15.0));
+        assert_eq!(w.evaluate(&AggregateFn::Count, at, fr, 1).unwrap(), AggValue::Scalar(3.0));
+    }
+
+    #[test]
+    fn center_of_gravity_averages_positions() {
+        let mut w = ReadingWindow::new();
+        w.insert(NodeId(1), Timestamp::from_secs(1), ReadingValue::Position(Point::new(0.0, 0.0)));
+        w.insert(NodeId(2), Timestamp::from_secs(1), ReadingValue::Position(Point::new(2.0, 2.0)));
+        let v = w
+            .evaluate(
+                &AggregateFn::CenterOfGravity,
+                Timestamp::from_secs(1),
+                SimDuration::from_secs(1),
+                2,
+            )
+            .unwrap();
+        assert_eq!(v, AggValue::Point(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn custom_function_sees_fresh_contributions_only() {
+        let spread = AggregateFn::Custom {
+            name: "spread".into(),
+            f: Arc::new(|cs| {
+                let vals: Vec<f64> = cs.iter().filter_map(|c| c.value.as_scalar()).collect();
+                let max = vals.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+                let min = vals.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+                AggValue::Scalar(max - min)
+            }),
+        };
+        let w = scalar_window(&[(1, 10, 2.0), (2, 10, 9.0), (3, 1, 100.0)]);
+        let v = w.evaluate(&spread, Timestamp::from_secs(10), SimDuration::from_secs(2), 2).unwrap();
+        assert_eq!(v, AggValue::Scalar(7.0), "the stale 100.0 must be excluded");
+    }
+
+    #[test]
+    fn members_by_recency_orders_fresh_first() {
+        let w = scalar_window(&[(5, 3, 0.0), (1, 7, 0.0), (9, 7, 0.0)]);
+        let order = w.members_by_recency();
+        assert_eq!(
+            order,
+            vec![
+                (NodeId(1), Timestamp::from_secs(7)),
+                (NodeId(9), Timestamp::from_secs(7)),
+                (NodeId(5), Timestamp::from_secs(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn prune_bounds_memory() {
+        let mut w = scalar_window(&[(1, 1, 0.0), (2, 50, 0.0)]);
+        w.prune(Timestamp::from_secs(51), SimDuration::from_secs(5));
+        assert_eq!(w.len(), 1);
+        w.clear();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn zero_critical_mass_is_treated_as_one() {
+        let w = ReadingWindow::new();
+        let err = w
+            .evaluate(&AggregateFn::Count, Timestamp::ZERO, SimDuration::from_secs(1), 0)
+            .unwrap_err();
+        assert_eq!(err.need, 1);
+    }
+}

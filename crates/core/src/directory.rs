@@ -1,0 +1,171 @@
+//! Object naming and directory services (paper §5.3).
+//!
+//! A context *type name* hashes to an (x, y) coordinate in the field; the
+//! nodes around that coordinate (the *home node* under greedy geographic
+//! routing) maintain the list of live labels of that type and their last
+//! known locations. Leaders register on label creation and refresh
+//! periodically; entries expire when not refreshed, so dead labels vanish
+//! without tombstone traffic.
+//!
+//! ```
+//! use envirotrack_core::directory::hash_point;
+//! use envirotrack_world::geometry::{Aabb, Point};
+//!
+//! let bounds = Aabb::new(Point::ORIGIN, Point::new(9.0, 9.0));
+//! let home = hash_point("fire", bounds);
+//! assert!(bounds.contains(home));
+//! // Deterministic: every node computes the same home coordinate.
+//! assert_eq!(home, hash_point("fire", bounds));
+//! ```
+
+use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_world::geometry::{Aabb, Point};
+
+use crate::context::{ContextLabel, ContextTypeId};
+
+/// Hashes a context type name to a rendezvous coordinate inside `bounds`.
+///
+/// FNV-1a split into two 32-bit halves for x and y — stable across
+/// platforms, so every node agrees on the home coordinate.
+#[must_use]
+pub fn hash_point(type_name: &str, bounds: Aabb) -> Point {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in type_name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let hx = (h >> 32) as u32;
+    let hy = h as u32;
+    let fx = f64::from(hx) / f64::from(u32::MAX);
+    let fy = f64::from(hy) / f64::from(u32::MAX);
+    Point::new(
+        bounds.min.x + fx * bounds.width(),
+        bounds.min.y + fy * bounds.height(),
+    )
+}
+
+/// One directory entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    label: ContextLabel,
+    location: Point,
+    refreshed: Timestamp,
+}
+
+/// The registry a home node maintains for the types that hash to it.
+///
+/// Every node owns a (usually empty) store; only the home node of a type's
+/// coordinate ever receives registrations for it.
+#[derive(Debug, Clone, Default)]
+pub struct DirectoryStore {
+    entries: Vec<Entry>,
+}
+
+impl DirectoryStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        DirectoryStore::default()
+    }
+
+    /// Registers or refreshes a label's location.
+    pub fn register(&mut self, label: ContextLabel, location: Point, now: Timestamp) {
+        match self.entries.iter_mut().find(|e| e.label == label) {
+            Some(e) => {
+                e.location = location;
+                e.refreshed = now;
+            }
+            None => self.entries.push(Entry { label, location, refreshed: now }),
+        }
+    }
+
+    /// Live labels of a type: those refreshed within `ttl` of `now`.
+    #[must_use]
+    pub fn query(
+        &self,
+        type_id: ContextTypeId,
+        now: Timestamp,
+        ttl: SimDuration,
+    ) -> Vec<(ContextLabel, Point)> {
+        self.entries
+            .iter()
+            .filter(|e| e.label.type_id == type_id && now.saturating_since(e.refreshed) <= ttl)
+            .map(|e| (e.label, e.location))
+            .collect()
+    }
+
+    /// Drops entries not refreshed within `ttl` of `now`.
+    pub fn sweep(&mut self, now: Timestamp, ttl: SimDuration) {
+        self.entries.retain(|e| now.saturating_since(e.refreshed) <= ttl);
+    }
+
+    /// Number of stored entries (stale ones included until swept).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use envirotrack_world::field::NodeId;
+
+    fn label(t: u16, n: u32, s: u32) -> ContextLabel {
+        ContextLabel { type_id: ContextTypeId(t), creator: NodeId(n), seq: s }
+    }
+
+    #[test]
+    fn hash_point_is_deterministic_and_in_bounds() {
+        let bounds = Aabb::new(Point::ORIGIN, Point::new(11.0, 7.0));
+        for name in ["tracker", "fire", "car", "intruder", ""] {
+            let p = hash_point(name, bounds);
+            assert!(bounds.contains(p), "{name}: {p} out of bounds");
+            assert_eq!(p, hash_point(name, bounds));
+        }
+        assert_ne!(hash_point("tracker", bounds), hash_point("fire", bounds));
+    }
+
+    #[test]
+    fn register_refresh_and_query() {
+        let mut d = DirectoryStore::new();
+        let a = label(0, 1, 0);
+        let b = label(0, 2, 0);
+        let other_type = label(1, 3, 0);
+        d.register(a, Point::new(1.0, 1.0), Timestamp::from_secs(0));
+        d.register(b, Point::new(2.0, 2.0), Timestamp::from_secs(5));
+        d.register(other_type, Point::new(3.0, 3.0), Timestamp::from_secs(5));
+        // Refresh a with a new location.
+        d.register(a, Point::new(1.5, 1.0), Timestamp::from_secs(6));
+        assert_eq!(d.len(), 3);
+
+        let ttl = SimDuration::from_secs(10);
+        let results = d.query(ContextTypeId(0), Timestamp::from_secs(7), ttl);
+        assert_eq!(results.len(), 2);
+        assert!(results.contains(&(a, Point::new(1.5, 1.0))));
+        assert!(results.contains(&(b, Point::new(2.0, 2.0))));
+        // Type filter.
+        assert_eq!(d.query(ContextTypeId(1), Timestamp::from_secs(7), ttl).len(), 1);
+    }
+
+    #[test]
+    fn stale_entries_drop_out_of_queries_and_sweeps() {
+        let mut d = DirectoryStore::new();
+        d.register(label(0, 1, 0), Point::ORIGIN, Timestamp::from_secs(0));
+        d.register(label(0, 2, 0), Point::ORIGIN, Timestamp::from_secs(20));
+        let ttl = SimDuration::from_secs(10);
+        let live = d.query(ContextTypeId(0), Timestamp::from_secs(25), ttl);
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].0, label(0, 2, 0));
+        d.sweep(Timestamp::from_secs(25), ttl);
+        assert_eq!(d.len(), 1);
+        d.sweep(Timestamp::from_secs(100), ttl);
+        assert!(d.is_empty());
+    }
+}

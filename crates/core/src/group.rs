@@ -1,0 +1,1678 @@
+//! Group management: the protocol that keeps one coherent context label per
+//! physically tracked entity (paper §5.2).
+//!
+//! Each node runs one [`GroupMachine`] per declared context type. The
+//! machine is a *pure state machine*: every input (a sensing tick, a
+//! received message, a timer firing) returns a list of [`GroupAction`]s for
+//! the hosting layer ([`crate::network`]) to apply — broadcasts, timer
+//! armings, lifecycle events. No I/O happens here, which is what makes the
+//! protocol unit-testable message by message.
+//!
+//! ## Protocol summary
+//!
+//! * A node whose `sense_e()` holds **joins** the group it last heard a
+//!   leader heartbeat for (its *wait memory*), or — after a short formation
+//!   jitter with no leader heard — **mints a fresh label** and leads it.
+//! * The **leader heartbeats** every period; heartbeats carry the label,
+//!   the leader's *weight* (member messages received to date), a sequence
+//!   number, and a TTL `h` for flooding past the group perimeter.
+//! * **Members** re-arm a *receive timer* (2.1 × heartbeat period + jitter)
+//!   on every heartbeat; expiry triggers a leadership **takeover** carrying
+//!   the last-heard weight.
+//! * **Non-members** that hear a heartbeat remember it for a *wait timer*
+//!   (4.2 × heartbeat period); sensing within that window joins the
+//!   remembered label instead of minting a spurious one.
+//! * A leader that stops sensing **relinquishes**, designating its freshest
+//!   reporter as successor.
+//! * Duplicate leaders of the *same* label: the lighter one (ties by node
+//!   id) yields immediately. Leaders of *different* labels of the same
+//!   type: the lighter label is deleted and its leader joins the heavier
+//!   one — spurious labels die out.
+
+use bytes::Bytes;
+use envirotrack_node::timer::{TimerSlot, TimerToken};
+use envirotrack_sim::rng::SimRng;
+use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_world::field::NodeId;
+use envirotrack_world::geometry::Point;
+use envirotrack_world::sensing::SensorSample;
+
+use crate::aggregate::{AggValue, ReadingValue, ReadingWindow};
+use crate::config::MiddlewareConfig;
+use crate::context::{ContextLabel, ContextSpec, ContextTypeId, Invocation};
+use crate::events::{HandoverReason, SystemEvent};
+use crate::object::{
+    ContextAccess, IncomingMessage, ObjectApi, ObjectEffect, ObjectReadError,
+};
+use crate::transport::{LeaderLoc, Port};
+use crate::wire::{Heartbeat, Message, Relinquish, Report};
+
+/// Logical timers owned by one group machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupTimer {
+    /// Leader: periodic heartbeat.
+    Heartbeat,
+    /// Member: leader-failure timeout.
+    Receive,
+    /// Member: periodic sensor report.
+    Report,
+    /// Idle-but-sensing: formation jitter before minting a new label.
+    Formation,
+    /// Leader: periodic directory registration / subscription refresh.
+    Directory,
+    /// Leader: a time-triggered object method (flattened index).
+    Method(usize),
+}
+
+/// An effect requested by the state machine, applied by the hosting layer.
+#[derive(Debug)]
+pub enum GroupAction {
+    /// Broadcast a protocol message to radio range.
+    Broadcast(Message),
+    /// Arm a timer: schedule a call to
+    /// [`GroupMachine::on_timer`] with this key and token at `at`.
+    ArmTimer {
+        /// Which timer.
+        key: GroupTimer,
+        /// Absolute deadline.
+        at: Timestamp,
+        /// Validity token (stale firings are ignored by the machine).
+        token: TimerToken,
+    },
+    /// Record a lifecycle event.
+    Emit(SystemEvent),
+    /// Register / refresh this label with the directory service.
+    RegisterDirectory {
+        /// The label to register.
+        label: ContextLabel,
+    },
+    /// Query the directory for live labels of a type.
+    QueryDirectory {
+        /// The type to look up.
+        type_id: ContextTypeId,
+    },
+    /// Deliver an application payload to the base station.
+    SendToBase {
+        /// Originating label.
+        label: ContextLabel,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// Send an MTP message to a remote object.
+    MtpSend {
+        /// Destination label.
+        dst_label: ContextLabel,
+        /// Destination port.
+        dst_port: Port,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// This node just became leader of `label` (directory + transport
+    /// bookkeeping in the hosting layer).
+    BecameLeader {
+        /// The led label.
+        label: ContextLabel,
+    },
+    /// This node stopped leading `label`; if the new leader is known a
+    /// forwarding pointer should be left.
+    LostLeadership {
+        /// The label.
+        label: ContextLabel,
+        /// The new leader, when known.
+        new_leader: Option<LeaderLoc>,
+    },
+    /// Append a line to the application log.
+    AppLog(String),
+}
+
+/// Per-call context handed to the machine by the hosting layer.
+pub struct GroupCtx<'a> {
+    /// Current virtual time.
+    pub now: Timestamp,
+    /// Middleware configuration.
+    pub cfg: &'a MiddlewareConfig,
+    /// This context type's declaration.
+    pub spec: &'a ContextSpec,
+    /// Directory subscriptions of this context type.
+    pub subscriptions: &'a [ContextTypeId],
+    /// The node's current local sensor sample.
+    pub sample: &'a SensorSample,
+    /// The node's position.
+    pub position: Point,
+    /// The node's randomness stream.
+    pub rng: &'a mut SimRng,
+}
+
+/// Non-member memory of a nearby label (the paper's wait timer).
+#[derive(Debug, Clone, Copy)]
+struct WaitMemory {
+    label: ContextLabel,
+    leader: NodeId,
+    leader_pos: Point,
+    weight: u32,
+    until: Timestamp,
+}
+
+/// Member-role state.
+#[derive(Debug, Clone)]
+struct MemberState {
+    label: ContextLabel,
+    leader: NodeId,
+    leader_pos: Point,
+    leader_weight: u32,
+    last_state: Option<Bytes>,
+    receive: TimerSlot,
+    report: TimerSlot,
+}
+
+/// Leader-role state.
+struct LeaderState {
+    label: ContextLabel,
+    weight: u32,
+    hb_seq: u32,
+    windows: Vec<ReadingWindow>,
+    state_blob: Option<Bytes>,
+    directory_cache: Vec<(ContextTypeId, Vec<(ContextLabel, Point)>)>,
+    heartbeat: TimerSlot,
+    directory: TimerSlot,
+    method_timers: Vec<TimerSlot>,
+}
+
+impl std::fmt::Debug for LeaderState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaderState")
+            .field("label", &self.label)
+            .field("weight", &self.weight)
+            .field("hb_seq", &self.hb_seq)
+            .finish()
+    }
+}
+
+/// The node's role with respect to one context type.
+#[derive(Debug)]
+enum Role {
+    /// Not sensing (or sensing but still in formation jitter).
+    Idle,
+    /// A group member under a known leader.
+    Member(MemberState),
+    /// The leader of a label.
+    Leader(LeaderState),
+}
+
+/// A snapshot of the machine's role, for assertions and audits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoleKind {
+    /// Not in any group.
+    Idle,
+    /// Member of the given label.
+    Member(ContextLabel),
+    /// Leader of the given label.
+    Leader(ContextLabel),
+}
+
+/// The per-node, per-context-type group management state machine.
+/// See the [module docs](self).
+pub struct GroupMachine {
+    node: NodeId,
+    type_id: ContextTypeId,
+    role: Role,
+    wait: Option<WaitMemory>,
+    formation: TimerSlot,
+    /// Per-node label mint counter.
+    next_seq: u32,
+    /// Flood dedup: last rebroadcast (label, hb_seq).
+    last_flood: Option<(ContextLabel, u32)>,
+    /// Flattened time-triggered methods: (object idx, method idx, period).
+    timer_methods: Vec<(usize, usize, SimDuration)>,
+}
+
+impl std::fmt::Debug for GroupMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupMachine")
+            .field("node", &self.node)
+            .field("type_id", &self.type_id)
+            .field("role", &self.role_kind())
+            .finish()
+    }
+}
+
+impl GroupMachine {
+    /// Creates the machine for `node` and context type `type_id` of `spec`.
+    #[must_use]
+    pub fn new(node: NodeId, type_id: ContextTypeId, spec: &ContextSpec) -> Self {
+        let mut timer_methods = Vec::new();
+        for (oi, obj) in spec.objects.iter().enumerate() {
+            for (mi, m) in obj.methods.iter().enumerate() {
+                if let Invocation::Timer(p) = m.invocation {
+                    timer_methods.push((oi, mi, p));
+                }
+            }
+        }
+        GroupMachine {
+            node,
+            type_id,
+            role: Role::Idle,
+            wait: None,
+            formation: TimerSlot::new(),
+            next_seq: 0,
+            last_flood: None,
+            timer_methods,
+        }
+    }
+
+    /// The node this machine runs on.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The machine's current role.
+    #[must_use]
+    pub fn role_kind(&self) -> RoleKind {
+        match &self.role {
+            Role::Idle => RoleKind::Idle,
+            Role::Member(m) => RoleKind::Member(m.label),
+            Role::Leader(l) => RoleKind::Leader(l.label),
+        }
+    }
+
+    /// The label this node currently belongs to, in any role.
+    #[must_use]
+    pub fn current_label(&self) -> Option<ContextLabel> {
+        match &self.role {
+            Role::Idle => None,
+            Role::Member(m) => Some(m.label),
+            Role::Leader(l) => Some(l.label),
+        }
+    }
+
+    /// Whether this node is currently a leader.
+    #[must_use]
+    pub fn is_leader(&self) -> bool {
+        matches!(self.role, Role::Leader(_))
+    }
+
+    /// The leader's current weight (None when not leading).
+    #[must_use]
+    pub fn leader_weight(&self) -> Option<u32> {
+        match &self.role {
+            Role::Leader(l) => Some(l.weight),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Input: periodic sensing tick
+    // ------------------------------------------------------------------
+
+    /// Processes a sensing tick: evaluates the activation/deactivation
+    /// condition and drives join/leave/create transitions.
+    pub fn on_sense_tick(&mut self, ctx: &mut GroupCtx<'_>) -> Vec<GroupAction> {
+        let mut out = Vec::new();
+        // Pinned (static-object) types exist independent of sensing: their
+        // single leader never steps down and other nodes never activate.
+        if ctx.spec.pinned.is_some() {
+            return out;
+        }
+        let member_now = !matches!(self.role, Role::Idle);
+        let senses = ctx.spec.senses(ctx.sample, member_now);
+
+        match (self.role_kind(), senses) {
+            (RoleKind::Idle, true) => {
+                // Prefer joining a remembered nearby label.
+                let remembered = self.wait.filter(|w| w.until > ctx.now);
+                if let Some(w) = remembered {
+                    self.become_member(ctx, w.label, w.leader, w.leader_pos, w.weight, None, &mut out);
+                    return out;
+                }
+                // No memory: mint after a formation jitter, during which a
+                // heartbeat may still reach us.
+                if !self.formation.is_armed() {
+                    let jitter = SimDuration::from_micros(
+                        ctx.rng.below(ctx.cfg.heartbeat_period.as_micros().max(1)),
+                    );
+                    let at = ctx.now + jitter;
+                    let token = self.formation.arm(at);
+                    out.push(GroupAction::ArmTimer { key: GroupTimer::Formation, at, token });
+                }
+            }
+            (RoleKind::Idle, false) => {
+                self.formation.cancel();
+            }
+            (RoleKind::Member(_), false) => {
+                self.leave_membership(ctx, &mut out);
+            }
+            (RoleKind::Leader(_), false) => {
+                self.step_down(ctx, &mut out);
+            }
+            (RoleKind::Leader(_), true) => {
+                // The leader contributes its own readings to the windows.
+                let node = self.node;
+                if let Role::Leader(leader) = &mut self.role {
+                    Self::insert_own_readings(leader, ctx, node);
+                }
+            }
+            (RoleKind::Member(_), true) => {}
+        }
+        out
+    }
+
+    fn insert_own_readings(leader: &mut LeaderState, ctx: &GroupCtx<'_>, node: NodeId) {
+        for (idx, agg) in ctx.spec.aggregates.iter().enumerate() {
+            let value = match agg.input {
+                crate::aggregate::AggregateInput::Channel(ch) => {
+                    ReadingValue::Scalar(ctx.sample.get(ch))
+                }
+                crate::aggregate::AggregateInput::Position => ReadingValue::Position(ctx.position),
+            };
+            leader.windows[idx].insert(node, ctx.now, value);
+        }
+    }
+
+    /// Instantiates this node as the permanent leader of a pinned
+    /// (static-object) context type. Called once at startup, on the node
+    /// closest to the declared coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not declared pinned, or on double
+    /// instantiation.
+    pub fn instantiate_pinned(&mut self, ctx: &mut GroupCtx<'_>) -> Vec<GroupAction> {
+        assert!(ctx.spec.pinned.is_some(), "instantiate_pinned on a tracking type");
+        assert!(matches!(self.role, Role::Idle), "pinned instance already exists");
+        let mut out = Vec::new();
+        self.mint_label(ctx, &mut out);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Input: received protocol messages
+    // ------------------------------------------------------------------
+
+    /// Processes a heartbeat heard on the radio.
+    pub fn on_heartbeat(&mut self, ctx: &mut GroupCtx<'_>, hb: &Heartbeat) -> Vec<GroupAction> {
+        debug_assert_eq!(hb.label.type_id, self.type_id);
+        let mut out = Vec::new();
+        // A pinned instance is permanent: it neither yields, joins, nor
+        // remembers — and no second instance can legally exist.
+        if ctx.spec.pinned.is_some() {
+            return out;
+        }
+
+        // Phase 1: decide on a transition without holding the role borrow
+        // across `&mut self` calls.
+        enum Decision {
+            Nothing,
+            YieldWithinLabel,
+            SuppressOwnLabel,
+            JoinHeavierLabel,
+        }
+        // Cross-label interactions only apply to physically nearby leaders
+        // (see `MiddlewareConfig::proximity_radius`).
+        let nearby = ctx.position.distance_to(hb.leader_pos) <= ctx.cfg.proximity_radius;
+        let decision = match &mut self.role {
+            Role::Leader(l) if l.label == hb.label && hb.leader != self.node => {
+                // Duplicate leaders within one label: the lighter yields
+                // (ties broken by node id so exactly one side yields).
+                if (hb.weight, hb.leader.0) > (l.weight, self.node.0) {
+                    Decision::YieldWithinLabel
+                } else {
+                    Decision::Nothing
+                }
+            }
+            Role::Leader(l) if l.label != hb.label => {
+                // Different labels of the same type around the *same*
+                // stimulus: the lighter label is spurious and deletes
+                // itself (ties broken by label order). Distant leaders
+                // track different entities and are left alone.
+                if nearby && (hb.weight, hb.label) > (l.weight, l.label) {
+                    Decision::SuppressOwnLabel
+                } else {
+                    Decision::Nothing
+                }
+            }
+            Role::Member(m) if m.label == hb.label => {
+                // Refresh leadership knowledge and push the receive timer.
+                m.leader = hb.leader;
+                m.leader_pos = hb.leader_pos;
+                m.leader_weight = hb.weight;
+                if hb.state.is_some() {
+                    m.last_state = hb.state.clone();
+                }
+                Self::rearm_receive(m, ctx, &mut out);
+                Decision::Nothing
+            }
+            Role::Member(m) => {
+                // Heartbeat from a *different* nearby label of the same
+                // type: follow the heavier label.
+                if nearby && (hb.weight, hb.label) > (m.leader_weight, m.label) {
+                    Decision::JoinHeavierLabel
+                } else {
+                    Decision::Nothing
+                }
+            }
+            Role::Idle => {
+                // Only *nearby* events are worth remembering: joining a
+                // distant group would break physical continuity.
+                if nearby {
+                    self.wait = Some(WaitMemory {
+                        label: hb.label,
+                        leader: hb.leader,
+                        leader_pos: hb.leader_pos,
+                        weight: hb.weight,
+                        until: ctx.now + ctx.cfg.wait_timer(),
+                    });
+                    // A pending formation was about to mint a spurious label.
+                    self.formation.cancel();
+                }
+                Decision::Nothing
+            }
+            Role::Leader(_) => Decision::Nothing, // our own heartbeat echoed back
+        };
+
+        // Phase 2: apply the transition.
+        match decision {
+            Decision::Nothing => {}
+            Decision::YieldWithinLabel => {
+                let label = hb.label;
+                self.demote_to_member(ctx, hb, &mut out);
+                out.push(GroupAction::Emit(SystemEvent::LeaderHandover {
+                    label,
+                    from: self.node,
+                    to: hb.leader,
+                    reason: HandoverReason::DuplicateYield,
+                }));
+                out.push(GroupAction::LostLeadership {
+                    label,
+                    new_leader: Some(LeaderLoc { node: hb.leader, pos: hb.leader_pos }),
+                });
+            }
+            Decision::SuppressOwnLabel => {
+                let loser = self.current_label().expect("leader has a label");
+                out.push(GroupAction::Emit(SystemEvent::LabelSuppressed {
+                    loser,
+                    winner: hb.label,
+                    node: self.node,
+                }));
+                out.push(GroupAction::LostLeadership {
+                    label: loser,
+                    new_leader: Some(LeaderLoc { node: hb.leader, pos: hb.leader_pos }),
+                });
+                self.demote_to_member(ctx, hb, &mut out);
+            }
+            Decision::JoinHeavierLabel => {
+                self.become_member(
+                    ctx,
+                    hb.label,
+                    hb.leader,
+                    hb.leader_pos,
+                    hb.weight,
+                    hb.state.clone(),
+                    &mut out,
+                );
+            }
+        }
+
+        // Flood propagation past the perimeter: members rebroadcast with a
+        // decremented TTL, once per (label, seq).
+        if hb.ttl > 0 && hb.leader != self.node {
+            let is_member_of = matches!(&self.role, Role::Member(m) if m.label == hb.label);
+            let already = self.last_flood == Some((hb.label, hb.hb_seq));
+            if is_member_of && !already {
+                self.last_flood = Some((hb.label, hb.hb_seq));
+                let mut fwd = hb.clone();
+                fwd.ttl -= 1;
+                out.push(GroupAction::Broadcast(Message::Heartbeat(fwd)));
+            }
+        }
+        out
+    }
+
+    /// Processes a member's sensor report (meaningful only on leaders).
+    pub fn on_report(&mut self, ctx: &mut GroupCtx<'_>, report: &Report) -> Vec<GroupAction> {
+        let Role::Leader(l) = &mut self.role else { return Vec::new() };
+        if l.label != report.label || report.member == self.node {
+            return Vec::new();
+        }
+        for (idx, value) in &report.values {
+            if let Some(w) = l.windows.get_mut(usize::from(*idx)) {
+                w.insert(report.member, report.taken_at, *value);
+            }
+        }
+        // The weight counts member messages received to date (paper §5.2).
+        l.weight += 1;
+        let _ = ctx;
+        Vec::new()
+    }
+
+    /// Processes a relinquish announcement from a departing leader.
+    pub fn on_relinquish(&mut self, ctx: &mut GroupCtx<'_>, r: &Relinquish) -> Vec<GroupAction> {
+        let mut out = Vec::new();
+        let Role::Member(m) = &mut self.role else { return out };
+        if m.label != r.label {
+            return out;
+        }
+        let senses = ctx.spec.senses(ctx.sample, true);
+        if r.successor == Some(self.node) && senses {
+            let label = m.label;
+            let state = r.state.clone().or_else(|| m.last_state.clone());
+            self.promote_to_leader(ctx, label, r.weight, state, &mut out);
+            out.push(GroupAction::Emit(SystemEvent::LeaderHandover {
+                label,
+                from: r.from,
+                to: self.node,
+                reason: HandoverReason::Relinquish,
+            }));
+        } else {
+            // Someone else should take over; shorten our patience so the
+            // takeover backup kicks in quickly if they don't.
+            if let Some(s) = r.successor {
+                m.leader = s;
+            }
+            m.leader_weight = r.weight;
+            Self::rearm_receive(m, ctx, &mut out);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Input: timers
+    // ------------------------------------------------------------------
+
+    /// Processes a timer firing. Stale tokens (superseded armings) are
+    /// ignored.
+    pub fn on_timer(
+        &mut self,
+        ctx: &mut GroupCtx<'_>,
+        key: GroupTimer,
+        token: TimerToken,
+    ) -> Vec<GroupAction> {
+        let mut out = Vec::new();
+        match key {
+            GroupTimer::Formation => {
+                if !self.formation.fires(token) {
+                    return out;
+                }
+                // Still idle, still sensing, still no nearby label?
+                let senses = ctx.spec.senses(ctx.sample, false);
+                let has_memory = self.wait.is_some_and(|w| w.until > ctx.now);
+                if matches!(self.role, Role::Idle) && senses && !has_memory {
+                    self.mint_label(ctx, &mut out);
+                } else if matches!(self.role, Role::Idle) && senses {
+                    // Memory appeared while jittering: join it instead.
+                    if let Some(w) = self.wait {
+                        self.become_member(ctx, w.label, w.leader, w.leader_pos, w.weight, None, &mut out);
+                    }
+                }
+            }
+            GroupTimer::Heartbeat => {
+                let Role::Leader(l) = &mut self.role else { return out };
+                if !l.heartbeat.fires(token) {
+                    return out;
+                }
+                Self::send_heartbeat(l, self.node, ctx, &mut out);
+                let at = ctx.now + ctx.cfg.heartbeat_period;
+                let tok = l.heartbeat.arm(at);
+                out.push(GroupAction::ArmTimer { key: GroupTimer::Heartbeat, at, token: tok });
+                // Bound window memory while we're here.
+                let horizon = ctx.cfg.wait_timer().max(SimDuration::from_secs(10));
+                for w in &mut l.windows {
+                    w.prune(ctx.now, horizon);
+                }
+            }
+            GroupTimer::Receive => {
+                let Role::Member(m) = &mut self.role else { return out };
+                if !m.receive.fires(token) {
+                    return out;
+                }
+                // Leader presumed failed. If we still sense the entity we
+                // take over, carrying the last-heard weight.
+                let senses = ctx.spec.senses(ctx.sample, true);
+                if senses {
+                    let label = m.label;
+                    let weight = m.leader_weight;
+                    let from = m.leader;
+                    let state = m.last_state.clone();
+                    self.promote_to_leader(ctx, label, weight, state, &mut out);
+                    out.push(GroupAction::Emit(SystemEvent::LeaderHandover {
+                        label,
+                        from,
+                        to: self.node,
+                        reason: HandoverReason::ReceiveTimeout,
+                    }));
+                } else {
+                    self.leave_membership(ctx, &mut out);
+                }
+            }
+            GroupTimer::Report => {
+                let Role::Member(m) = &mut self.role else { return out };
+                if !m.report.fires(token) {
+                    return out;
+                }
+                let senses = ctx.spec.senses(ctx.sample, true);
+                if senses {
+                    let mut values = Vec::with_capacity(ctx.spec.aggregates.len());
+                    for (idx, agg) in ctx.spec.aggregates.iter().enumerate() {
+                        let v = match agg.input {
+                            crate::aggregate::AggregateInput::Channel(ch) => {
+                                ReadingValue::Scalar(ctx.sample.get(ch))
+                            }
+                            crate::aggregate::AggregateInput::Position => {
+                                ReadingValue::Position(ctx.position)
+                            }
+                        };
+                        values.push((idx as u8, v));
+                    }
+                    out.push(GroupAction::Broadcast(Message::Report(Report {
+                        label: m.label,
+                        member: self.node,
+                        taken_at: ctx.now,
+                        values,
+                    })));
+                }
+                if let Some(period) = Self::report_period(ctx) {
+                    let at = ctx.now + period;
+                    let tok = m.report.arm(at);
+                    out.push(GroupAction::ArmTimer { key: GroupTimer::Report, at, token: tok });
+                }
+            }
+            GroupTimer::Directory => {
+                let Role::Leader(l) = &mut self.role else { return out };
+                if !l.directory.fires(token) {
+                    return out;
+                }
+                if ctx.cfg.directory_enabled {
+                    out.push(GroupAction::RegisterDirectory { label: l.label });
+                    for &sub in ctx.subscriptions {
+                        out.push(GroupAction::QueryDirectory { type_id: sub });
+                    }
+                }
+                let at = ctx.now + ctx.cfg.directory_update_period;
+                let tok = l.directory.arm(at);
+                out.push(GroupAction::ArmTimer { key: GroupTimer::Directory, at, token: tok });
+            }
+            GroupTimer::Method(slot) => {
+                let is_current = match &mut self.role {
+                    Role::Leader(l) => {
+                        l.method_timers.get_mut(slot).is_some_and(|t| t.fires(token))
+                    }
+                    _ => false,
+                };
+                if !is_current {
+                    return out;
+                }
+                let (oi, mi, period) = self.timer_methods[slot];
+                self.invoke_method(ctx, oi, mi, None, &mut out);
+                if let Role::Leader(l) = &mut self.role {
+                    let at = ctx.now + period;
+                    let tok = l.method_timers[slot].arm(at);
+                    out.push(GroupAction::ArmTimer { key: GroupTimer::Method(slot), at, token: tok });
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Input: MTP delivery and directory responses (leader side)
+    // ------------------------------------------------------------------
+
+    /// Delivers an MTP payload to the object method bound to `port`.
+    /// Returns `None` if this node does not currently lead `label`.
+    pub fn deliver_mtp(
+        &mut self,
+        ctx: &mut GroupCtx<'_>,
+        label: ContextLabel,
+        port: Port,
+        incoming: IncomingMessage,
+        method: (usize, usize),
+    ) -> Option<Vec<GroupAction>> {
+        match &self.role {
+            Role::Leader(l) if l.label == label => {}
+            _ => return None,
+        }
+        let _ = port;
+        let mut out = Vec::new();
+        self.invoke_method(ctx, method.0, method.1, Some(incoming), &mut out);
+        Some(out)
+    }
+
+    /// Installs a directory response into the leader's subscription cache.
+    pub fn on_directory_entries(
+        &mut self,
+        type_id: ContextTypeId,
+        entries: Vec<(ContextLabel, Point)>,
+    ) {
+        if let Role::Leader(l) = &mut self.role {
+            match l.directory_cache.iter_mut().find(|(t, _)| *t == type_id) {
+                Some((_, v)) => *v = entries,
+                None => l.directory_cache.push((type_id, entries)),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transitions
+    // ------------------------------------------------------------------
+
+    fn mint_label(&mut self, ctx: &mut GroupCtx<'_>, out: &mut Vec<GroupAction>) {
+        let label = ContextLabel { type_id: self.type_id, creator: self.node, seq: self.next_seq };
+        self.next_seq += 1;
+        out.push(GroupAction::Emit(SystemEvent::LabelCreated {
+            label,
+            node: self.node,
+            at: ctx.position,
+        }));
+        // New labels start at weight zero (paper §5.2).
+        self.promote_to_leader(ctx, label, 0, None, out);
+    }
+
+    fn promote_to_leader(
+        &mut self,
+        ctx: &mut GroupCtx<'_>,
+        label: ContextLabel,
+        weight: u32,
+        state: Option<Bytes>,
+        out: &mut Vec<GroupAction>,
+    ) {
+        let mut leader = LeaderState {
+            label,
+            weight,
+            hb_seq: 0,
+            windows: vec![ReadingWindow::new(); ctx.spec.aggregates.len()],
+            state_blob: state,
+            directory_cache: Vec::new(),
+            heartbeat: TimerSlot::new(),
+            directory: TimerSlot::new(),
+            method_timers: self.timer_methods.iter().map(|_| TimerSlot::new()).collect(),
+        };
+        Self::insert_own_readings(&mut leader, ctx, self.node);
+        // Announce immediately, then periodically.
+        Self::send_heartbeat(&mut leader, self.node, ctx, out);
+        let at = ctx.now + ctx.cfg.heartbeat_period;
+        let tok = leader.heartbeat.arm(at);
+        out.push(GroupAction::ArmTimer { key: GroupTimer::Heartbeat, at, token: tok });
+        // Object method timers start one period after leadership begins.
+        for (slot, &(_, _, period)) in self.timer_methods.iter().enumerate() {
+            let at = ctx.now + period;
+            let tok = leader.method_timers[slot].arm(at);
+            out.push(GroupAction::ArmTimer { key: GroupTimer::Method(slot), at, token: tok });
+        }
+        if ctx.cfg.directory_enabled {
+            out.push(GroupAction::RegisterDirectory { label });
+            for &sub in ctx.subscriptions {
+                out.push(GroupAction::QueryDirectory { type_id: sub });
+            }
+            let at = ctx.now + ctx.cfg.directory_update_period;
+            let tok = leader.directory.arm(at);
+            out.push(GroupAction::ArmTimer { key: GroupTimer::Directory, at, token: tok });
+        }
+        self.role = Role::Leader(leader);
+        self.wait = None;
+        self.formation.cancel();
+        out.push(GroupAction::BecameLeader { label });
+    }
+
+    #[allow(clippy::too_many_arguments)] // all six values travel together from one heartbeat
+    fn become_member(
+        &mut self,
+        ctx: &mut GroupCtx<'_>,
+        label: ContextLabel,
+        leader: NodeId,
+        leader_pos: Point,
+        weight: u32,
+        last_state: Option<Bytes>,
+        out: &mut Vec<GroupAction>,
+    ) {
+        let mut member = MemberState {
+            label,
+            leader,
+            leader_pos,
+            leader_weight: weight,
+            last_state,
+            receive: TimerSlot::new(),
+            report: TimerSlot::new(),
+        };
+        Self::rearm_receive(&mut member, ctx, out);
+        if let Some(period) = Self::report_period(ctx) {
+            // First report goes out quickly (small jitter decorrelates
+            // members) so the new leader gathers critical mass fast.
+            let jitter = SimDuration::from_micros(
+                ctx.rng.below(period.as_micros().max(2) / 2),
+            );
+            let at = ctx.now + ctx.cfg.sense_period.min(period) + jitter;
+            let tok = member.report.arm(at);
+            out.push(GroupAction::ArmTimer { key: GroupTimer::Report, at, token: tok });
+        }
+        self.role = Role::Member(member);
+        self.wait = None;
+        self.formation.cancel();
+    }
+
+    fn demote_to_member(
+        &mut self,
+        ctx: &mut GroupCtx<'_>,
+        hb: &Heartbeat,
+        out: &mut Vec<GroupAction>,
+    ) {
+        self.become_member(
+            ctx,
+            hb.label,
+            hb.leader,
+            hb.leader_pos,
+            hb.weight,
+            hb.state.clone(),
+            out,
+        );
+    }
+
+    fn leave_membership(&mut self, ctx: &mut GroupCtx<'_>, out: &mut Vec<GroupAction>) {
+        if let Role::Member(m) = &self.role {
+            // Remember the label so a flap rejoins instead of minting.
+            self.wait = Some(WaitMemory {
+                label: m.label,
+                leader: m.leader,
+                leader_pos: m.leader_pos,
+                weight: m.leader_weight,
+                until: ctx.now + ctx.cfg.wait_timer(),
+            });
+        }
+        self.role = Role::Idle;
+        let _ = out;
+    }
+
+    fn step_down(&mut self, ctx: &mut GroupCtx<'_>, out: &mut Vec<GroupAction>) {
+        let Role::Leader(l) = &mut self.role else { return };
+        let label = l.label;
+        let weight = l.weight;
+        let state = l.state_blob.clone();
+        let successor = if ctx.cfg.relinquish_enabled {
+            // The freshest reporter is the best-placed successor.
+            l.windows
+                .first()
+                .map(|w| w.members_by_recency())
+                .unwrap_or_default()
+                .into_iter()
+                .map(|(n, _)| n)
+                .find(|n| *n != self.node)
+        } else {
+            None
+        };
+        if ctx.cfg.relinquish_enabled {
+            out.push(GroupAction::Broadcast(Message::Relinquish(Relinquish {
+                label,
+                from: self.node,
+                weight,
+                successor,
+                state: if ctx.cfg.state_replication_enabled { state } else { None },
+            })));
+        }
+        if successor.is_none() {
+            out.push(GroupAction::Emit(SystemEvent::LabelDissolved { label, node: self.node }));
+        }
+        out.push(GroupAction::LostLeadership { label, new_leader: None });
+        self.role = Role::Idle;
+        self.wait = Some(WaitMemory {
+            label,
+            leader: successor.unwrap_or(self.node),
+            leader_pos: ctx.position,
+            weight,
+            until: ctx.now + ctx.cfg.wait_timer(),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn rearm_receive(m: &mut MemberState, ctx: &mut GroupCtx<'_>, out: &mut Vec<GroupAction>) {
+        let jitter =
+            SimDuration::from_micros(ctx.rng.below(ctx.cfg.takeover_jitter_max.as_micros().max(1)));
+        let at = ctx.now + ctx.cfg.receive_timer() + jitter;
+        let token = m.receive.arm(at);
+        out.push(GroupAction::ArmTimer { key: GroupTimer::Receive, at, token });
+    }
+
+    fn send_heartbeat(
+        l: &mut LeaderState,
+        node: NodeId,
+        ctx: &mut GroupCtx<'_>,
+        out: &mut Vec<GroupAction>,
+    ) {
+        l.hb_seq += 1;
+        out.push(GroupAction::Broadcast(Message::Heartbeat(Heartbeat {
+            label: l.label,
+            leader: node,
+            leader_pos: ctx.position,
+            weight: l.weight,
+            hb_seq: l.hb_seq,
+            ttl: ctx.cfg.heartbeat_ttl,
+            state: if ctx.cfg.state_replication_enabled { l.state_blob.clone() } else { None },
+        })));
+    }
+
+    fn report_period(ctx: &GroupCtx<'_>) -> Option<SimDuration> {
+        ctx.spec
+            .aggregates
+            .iter()
+            .map(|a| ctx.cfg.report_period(a.freshness))
+            .min()
+    }
+
+    fn invoke_method(
+        &mut self,
+        ctx: &mut GroupCtx<'_>,
+        oi: usize,
+        mi: usize,
+        incoming: Option<IncomingMessage>,
+        out: &mut Vec<GroupAction>,
+    ) {
+        let Role::Leader(l) = &mut self.role else { return };
+        let label = l.label;
+        let spec_obj = &ctx.spec.objects[oi];
+        let method = &spec_obj.methods[mi];
+        let (effects, failure) = {
+            let access = LeaderAccess::new(l, ctx.spec, ctx.now);
+            let mut api =
+                ObjectApi::new(label, self.node, ctx.position, ctx.now, &access, incoming);
+            (method.body)(&mut api);
+            let failure = access.last_failure.take();
+            (api.into_effects(), failure)
+        };
+        out.push(GroupAction::Emit(SystemEvent::MethodInvoked {
+            label,
+            node: self.node,
+            method: format!("{}.{}", spec_obj.name, method.name),
+        }));
+        if let Some((variable, have, need)) = failure {
+            out.push(GroupAction::Emit(SystemEvent::AggregateReadFailed {
+                label,
+                variable,
+                have,
+                need,
+            }));
+        }
+        for effect in effects {
+            match effect {
+                ObjectEffect::SendToBase { payload } => {
+                    out.push(GroupAction::SendToBase { label, payload });
+                }
+                ObjectEffect::MtpSend { dst_label, dst_port, payload } => {
+                    out.push(GroupAction::MtpSend { dst_label, dst_port, payload });
+                }
+                ObjectEffect::SetState(s) => l.state_blob = Some(s),
+                ObjectEffect::ClearState => l.state_blob = None,
+                ObjectEffect::Log(line) => out.push(GroupAction::AppLog(line)),
+            }
+        }
+    }
+}
+
+/// Leader-side implementation of the read API objects see.
+struct LeaderAccess<'a> {
+    leader: &'a LeaderState,
+    spec: &'a ContextSpec,
+    now: Timestamp,
+    last_failure: std::cell::Cell<Option<(String, u32, u32)>>,
+}
+
+impl<'a> LeaderAccess<'a> {
+    fn new(leader: &'a LeaderState, spec: &'a ContextSpec, now: Timestamp) -> Self {
+        LeaderAccess { leader, spec, now, last_failure: std::cell::Cell::new(None) }
+    }
+}
+
+impl ContextAccess for LeaderAccess<'_> {
+    fn read_aggregate(&self, name: &str) -> Result<AggValue, ObjectReadError> {
+        let Some(idx) = self.spec.aggregate_index(name) else {
+            return Err(ObjectReadError::UnknownVariable { name: name.to_owned() });
+        };
+        let agg = &self.spec.aggregates[idx];
+        match self.leader.windows[idx].evaluate(
+            &agg.function,
+            self.now,
+            agg.freshness,
+            agg.critical_mass,
+        ) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.last_failure.set(Some((name.to_owned(), e.have, e.need)));
+                Err(ObjectReadError::NotConfirmed(e))
+            }
+        }
+    }
+
+    fn labels_of_type(&self, type_id: ContextTypeId) -> Vec<(ContextLabel, Point)> {
+        self.leader
+            .directory_cache
+            .iter()
+            .find(|(t, _)| *t == type_id)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    }
+
+    fn persistent_state(&self) -> Option<&Bytes> {
+        self.leader.state_blob.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{AggregateFn, AggregateInput};
+    use crate::context::{AggregateSpec, SensePredicate};
+    use envirotrack_world::target::Channel;
+    use std::sync::Arc;
+    use std::sync::Mutex;
+
+    fn spec_with_tracker() -> ContextSpec {
+        ContextSpec {
+            name: "tracker".into(),
+            activation: SensePredicate::threshold(Channel::Magnetic, 0.5),
+            deactivation: None,
+            aggregates: vec![AggregateSpec {
+                name: "location".into(),
+                function: AggregateFn::CenterOfGravity,
+                input: AggregateInput::Position,
+                freshness: SimDuration::from_secs(1),
+                critical_mass: 2,
+            }],
+            objects: vec![],
+            pinned: None,
+        }
+    }
+
+    struct Harness {
+        spec: ContextSpec,
+        cfg: MiddlewareConfig,
+        rng: SimRng,
+        sample: SensorSample,
+        now: Timestamp,
+        position: Point,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Harness {
+                spec: spec_with_tracker(),
+                cfg: MiddlewareConfig::default(),
+                rng: SimRng::seed_from(7),
+                sample: SensorSample::zero(),
+                now: Timestamp::from_secs(1),
+                position: Point::new(3.0, 0.5),
+            }
+        }
+
+        fn sensing(mut self) -> Self {
+            self.sample.set(Channel::Magnetic, 1.0);
+            self
+        }
+
+        fn ctx(&mut self) -> GroupCtx<'_> {
+            GroupCtx {
+                now: self.now,
+                cfg: &self.cfg,
+                spec: &self.spec,
+                subscriptions: &[],
+                sample: &self.sample,
+                position: self.position,
+                rng: &mut self.rng,
+            }
+        }
+    }
+
+    fn machine(node: u32, spec: &ContextSpec) -> GroupMachine {
+        GroupMachine::new(NodeId(node), ContextTypeId(0), spec)
+    }
+
+    fn label(creator: u32, seq: u32) -> ContextLabel {
+        ContextLabel { type_id: ContextTypeId(0), creator: NodeId(creator), seq }
+    }
+
+    /// A heartbeat from a leader physically near the harness node (within
+    /// the proximity radius), as for a group around the same stimulus.
+    fn hb(lbl: ContextLabel, leader: u32, weight: u32, seq: u32) -> Heartbeat {
+        Heartbeat {
+            label: lbl,
+            leader: NodeId(leader),
+            leader_pos: Point::new(3.5, 0.5),
+            weight,
+            hb_seq: seq,
+            ttl: 0,
+            state: None,
+        }
+    }
+
+    /// A heartbeat from a physically distant leader (another entity).
+    fn far_hb(lbl: ContextLabel, leader: u32, weight: u32, seq: u32) -> Heartbeat {
+        Heartbeat { leader_pos: Point::new(50.0, 50.0), ..hb(lbl, leader, weight, seq) }
+    }
+
+    fn find_timer(actions: &[GroupAction], key: GroupTimer) -> Option<(Timestamp, TimerToken)> {
+        actions.iter().find_map(|a| match a {
+            GroupAction::ArmTimer { key: k, at, token } if *k == key => Some((*at, *token)),
+            _ => None,
+        })
+    }
+
+    fn broadcasts(actions: &[GroupAction]) -> Vec<&Message> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                GroupAction::Broadcast(m) => Some(m),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drives a machine from idle to leadership: sense → formation timer →
+    /// mint. Returns the minted label and the heartbeat-timer arming.
+    fn make_leader(h: &mut Harness, m: &mut GroupMachine) -> ContextLabel {
+        let actions = m.on_sense_tick(&mut h.ctx());
+        let (at, token) = find_timer(&actions, GroupTimer::Formation).expect("formation armed");
+        h.now = at;
+        let actions = m.on_timer(&mut h.ctx(), GroupTimer::Formation, token);
+        assert!(m.is_leader(), "machine should lead after formation expiry");
+        assert!(
+            actions.iter().any(|a| matches!(a, GroupAction::Emit(SystemEvent::LabelCreated { .. }))),
+            "LabelCreated must be emitted"
+        );
+        m.current_label().unwrap()
+    }
+
+    #[test]
+    fn idle_node_that_senses_mints_after_formation_jitter() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let lbl = make_leader(&mut h, &mut m);
+        assert_eq!(lbl.creator, NodeId(1));
+        assert_eq!(m.leader_weight(), Some(0), "new labels start at weight zero");
+    }
+
+    #[test]
+    fn leader_announces_immediately_and_periodically() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let actions = m.on_sense_tick(&mut h.ctx());
+        let (at, token) = find_timer(&actions, GroupTimer::Formation).unwrap();
+        h.now = at;
+        let actions = m.on_timer(&mut h.ctx(), GroupTimer::Formation, token);
+        // Immediate announce.
+        let hbs: Vec<_> = broadcasts(&actions)
+            .into_iter()
+            .filter(|m| matches!(m, Message::Heartbeat(_)))
+            .collect();
+        assert_eq!(hbs.len(), 1);
+        // Periodic rearm.
+        let (next_at, next_tok) = find_timer(&actions, GroupTimer::Heartbeat).unwrap();
+        assert_eq!(next_at, h.now + h.cfg.heartbeat_period);
+        h.now = next_at;
+        let actions = m.on_timer(&mut h.ctx(), GroupTimer::Heartbeat, next_tok);
+        assert_eq!(broadcasts(&actions).len(), 1);
+        assert!(find_timer(&actions, GroupTimer::Heartbeat).is_some());
+    }
+
+    #[test]
+    fn formation_is_cancelled_when_a_heartbeat_arrives() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let actions = m.on_sense_tick(&mut h.ctx());
+        let (at, token) = find_timer(&actions, GroupTimer::Formation).unwrap();
+        // A heartbeat from an existing group arrives during the jitter.
+        let _ = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 0), 9, 5, 1));
+        h.now = at;
+        let actions = m.on_timer(&mut h.ctx(), GroupTimer::Formation, token);
+        assert!(actions.is_empty(), "stale formation token must be inert");
+        // The next sense tick joins the remembered label instead.
+        let _ = m.on_sense_tick(&mut h.ctx());
+        assert_eq!(m.role_kind(), RoleKind::Member(label(9, 0)));
+    }
+
+    #[test]
+    fn idle_heartbeat_sets_wait_memory_and_sensing_joins_it() {
+        let mut h = Harness::new();
+        let mut m = machine(1, &spec_with_tracker());
+        let _ = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 0), 9, 5, 1));
+        // Start sensing within the wait window.
+        h.sample.set(Channel::Magnetic, 1.0);
+        h.now = h.now + h.cfg.wait_timer() - SimDuration::from_millis(1);
+        let actions = m.on_sense_tick(&mut h.ctx());
+        assert_eq!(m.role_kind(), RoleKind::Member(label(9, 0)));
+        assert!(find_timer(&actions, GroupTimer::Receive).is_some());
+        assert!(find_timer(&actions, GroupTimer::Report).is_some());
+    }
+
+    #[test]
+    fn expired_wait_memory_leads_to_a_fresh_label() {
+        let mut h = Harness::new();
+        let mut m = machine(1, &spec_with_tracker());
+        let _ = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 0), 9, 5, 1));
+        h.sample.set(Channel::Magnetic, 1.0);
+        h.now = h.now + h.cfg.wait_timer() + SimDuration::from_millis(1);
+        let actions = m.on_sense_tick(&mut h.ctx());
+        assert!(find_timer(&actions, GroupTimer::Formation).is_some());
+        assert_eq!(m.role_kind(), RoleKind::Idle);
+    }
+
+    #[test]
+    fn member_reports_and_rearms_receive_timer_on_heartbeats() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let _ = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 0), 9, 5, 1));
+        let _ = m.on_sense_tick(&mut h.ctx());
+        assert!(matches!(m.role_kind(), RoleKind::Member(_)));
+        // Heartbeats keep refreshing the receive timer.
+        let actions = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 0), 9, 6, 2));
+        let (at, _) = find_timer(&actions, GroupTimer::Receive).unwrap();
+        assert!(at >= h.now + h.cfg.receive_timer());
+        assert!(at <= h.now + h.cfg.receive_timer() + h.cfg.takeover_jitter_max);
+    }
+
+    #[test]
+    fn member_report_timer_broadcasts_readings() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let _ = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 0), 9, 5, 1));
+        let actions = m.on_sense_tick(&mut h.ctx());
+        let (at, token) = find_timer(&actions, GroupTimer::Report).unwrap();
+        h.now = at;
+        let actions = m.on_timer(&mut h.ctx(), GroupTimer::Report, token);
+        let reports: Vec<_> = broadcasts(&actions)
+            .into_iter()
+            .filter_map(|msg| match msg {
+                Message::Report(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].member, NodeId(1));
+        assert_eq!(reports[0].values.len(), 1);
+        assert_eq!(
+            reports[0].values[0].1,
+            ReadingValue::Position(Point::new(3.0, 0.5))
+        );
+        // And the next report is scheduled.
+        assert!(find_timer(&actions, GroupTimer::Report).is_some());
+    }
+
+    #[test]
+    fn receive_timeout_promotes_member_carrying_weight() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let _ = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 0), 9, 41, 1));
+        let actions = m.on_sense_tick(&mut h.ctx());
+        let _ = actions;
+        let actions = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 0), 9, 42, 2));
+        let (at, token) = find_timer(&actions, GroupTimer::Receive).unwrap();
+        h.now = at;
+        let actions = m.on_timer(&mut h.ctx(), GroupTimer::Receive, token);
+        assert!(m.is_leader());
+        assert_eq!(m.current_label(), Some(label(9, 0)), "the label survives the takeover");
+        assert_eq!(m.leader_weight(), Some(42), "weight is inherited");
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            GroupAction::Emit(SystemEvent::LeaderHandover { reason: HandoverReason::ReceiveTimeout, .. })
+        )));
+    }
+
+    #[test]
+    fn receive_timeout_while_not_sensing_just_leaves() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let _ = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 0), 9, 5, 1));
+        let actions = m.on_sense_tick(&mut h.ctx());
+        let (at, token) = find_timer(&actions, GroupTimer::Receive).unwrap();
+        h.sample.set(Channel::Magnetic, 0.0); // target moved away
+        h.now = at;
+        let _ = m.on_timer(&mut h.ctx(), GroupTimer::Receive, token);
+        assert_eq!(m.role_kind(), RoleKind::Idle);
+    }
+
+    #[test]
+    fn relinquish_promotes_the_designated_successor() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let _ = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 0), 9, 10, 1));
+        let _ = m.on_sense_tick(&mut h.ctx());
+        let r = Relinquish {
+            label: label(9, 0),
+            from: NodeId(9),
+            weight: 10,
+            successor: Some(NodeId(1)),
+            state: None,
+        };
+        let actions = m.on_relinquish(&mut h.ctx(), &r);
+        assert!(m.is_leader());
+        assert_eq!(m.leader_weight(), Some(10));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            GroupAction::Emit(SystemEvent::LeaderHandover { reason: HandoverReason::Relinquish, .. })
+        )));
+    }
+
+    #[test]
+    fn relinquish_to_someone_else_updates_leader_expectation() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let _ = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 0), 9, 10, 1));
+        let _ = m.on_sense_tick(&mut h.ctx());
+        let r = Relinquish {
+            label: label(9, 0),
+            from: NodeId(9),
+            weight: 10,
+            successor: Some(NodeId(4)),
+            state: None,
+        };
+        let actions = m.on_relinquish(&mut h.ctx(), &r);
+        assert!(matches!(m.role_kind(), RoleKind::Member(_)));
+        assert!(find_timer(&actions, GroupTimer::Receive).is_some(), "backup takeover armed");
+    }
+
+    #[test]
+    fn leader_that_stops_sensing_relinquishes_to_freshest_reporter() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let lbl = make_leader(&mut h, &mut m);
+        // Two members report; node 5 most recently.
+        h.now += SimDuration::from_millis(100);
+        let now = h.now;
+        let _ = m.on_report(
+            &mut h.ctx(),
+            &Report {
+                label: lbl,
+                member: NodeId(4),
+                taken_at: now,
+                values: vec![(0, ReadingValue::Position(Point::new(4.0, 0.0)))],
+            },
+        );
+        h.now += SimDuration::from_millis(100);
+        let now = h.now;
+        let _ = m.on_report(
+            &mut h.ctx(),
+            &Report {
+                label: lbl,
+                member: NodeId(5),
+                taken_at: now,
+                values: vec![(0, ReadingValue::Position(Point::new(5.0, 0.0)))],
+            },
+        );
+        assert_eq!(m.leader_weight(), Some(2), "weight counts member messages");
+        // The target moves out of range.
+        h.sample.set(Channel::Magnetic, 0.0);
+        let actions = m.on_sense_tick(&mut h.ctx());
+        assert_eq!(m.role_kind(), RoleKind::Idle);
+        let relinquishes: Vec<_> = broadcasts(&actions)
+            .into_iter()
+            .filter_map(|msg| match msg {
+                Message::Relinquish(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(relinquishes.len(), 1);
+        assert_eq!(relinquishes[0].successor, Some(NodeId(5)), "freshest reporter chosen");
+        assert_eq!(relinquishes[0].weight, 2);
+    }
+
+    #[test]
+    fn relinquish_disabled_dissolves_silently() {
+        let mut h = Harness::new().sensing();
+        h.cfg.relinquish_enabled = false;
+        let mut m = machine(1, &spec_with_tracker());
+        let _ = make_leader(&mut h, &mut m);
+        h.sample.set(Channel::Magnetic, 0.0);
+        let actions = m.on_sense_tick(&mut h.ctx());
+        assert!(broadcasts(&actions).is_empty(), "no relinquish broadcast when disabled");
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, GroupAction::Emit(SystemEvent::LabelDissolved { .. }))));
+    }
+
+    #[test]
+    fn duplicate_leader_with_lower_weight_yields() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let lbl = make_leader(&mut h, &mut m); // weight 0
+        let actions = m.on_heartbeat(&mut h.ctx(), &hb(lbl, 7, 5, 1));
+        assert_eq!(m.role_kind(), RoleKind::Member(lbl));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            GroupAction::Emit(SystemEvent::LeaderHandover { reason: HandoverReason::DuplicateYield, .. })
+        )));
+        assert!(actions.iter().any(|a| matches!(a, GroupAction::LostLeadership { .. })));
+    }
+
+    #[test]
+    fn duplicate_leader_with_higher_weight_stands_firm() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let lbl = make_leader(&mut h, &mut m);
+        // Feed reports to gain weight.
+        let now = h.now;
+        for i in 0..3 {
+            let _ = m.on_report(
+                &mut h.ctx(),
+                &Report { label: lbl, member: NodeId(10 + i), taken_at: now, values: vec![] },
+            );
+        }
+        let actions = m.on_heartbeat(&mut h.ctx(), &hb(lbl, 7, 1, 1));
+        assert!(m.is_leader(), "heavier leader must not yield");
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn spurious_label_is_suppressed_by_heavier_same_type_leader() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let my_label = make_leader(&mut h, &mut m); // weight 0
+        let other = label(9, 3);
+        let actions = m.on_heartbeat(&mut h.ctx(), &hb(other, 9, 20, 1));
+        assert_eq!(m.role_kind(), RoleKind::Member(other), "joins the winner");
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            GroupAction::Emit(SystemEvent::LabelSuppressed { loser, winner, .. })
+                if *loser == my_label && *winner == other
+        )));
+    }
+
+    #[test]
+    fn lighter_same_type_leader_is_ignored() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let my_label = make_leader(&mut h, &mut m);
+        let now = h.now;
+        for i in 0..5 {
+            let _ = m.on_report(
+                &mut h.ctx(),
+                &Report { label: my_label, member: NodeId(20 + i), taken_at: now, values: vec![] },
+            );
+        }
+        let actions = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 3), 9, 2, 1));
+        assert!(m.is_leader());
+        assert_eq!(m.current_label(), Some(my_label));
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn member_follows_the_heavier_of_two_labels() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let _ = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 0), 9, 10, 1));
+        let _ = m.on_sense_tick(&mut h.ctx());
+        assert_eq!(m.role_kind(), RoleKind::Member(label(9, 0)));
+        // A lighter label of the same type: ignored.
+        let _ = m.on_heartbeat(&mut h.ctx(), &hb(label(4, 0), 4, 3, 1));
+        assert_eq!(m.role_kind(), RoleKind::Member(label(9, 0)));
+        // A heavier one: switch.
+        let _ = m.on_heartbeat(&mut h.ctx(), &hb(label(5, 0), 5, 30, 1));
+        assert_eq!(m.role_kind(), RoleKind::Member(label(5, 0)));
+    }
+
+    #[test]
+    fn members_flood_heartbeats_with_ttl_once_per_seq() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let _ = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 0), 9, 5, 1));
+        let _ = m.on_sense_tick(&mut h.ctx());
+        let mut beat = hb(label(9, 0), 9, 5, 2);
+        beat.ttl = 1;
+        let actions = m.on_heartbeat(&mut h.ctx(), &beat);
+        let rebroadcast: Vec<_> = broadcasts(&actions)
+            .into_iter()
+            .filter_map(|msg| match msg {
+                Message::Heartbeat(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rebroadcast.len(), 1);
+        assert_eq!(rebroadcast[0].ttl, 0, "TTL decremented");
+        // Same sequence again: deduplicated.
+        let actions = m.on_heartbeat(&mut h.ctx(), &beat);
+        assert!(broadcasts(&actions)
+            .into_iter()
+            .all(|msg| !matches!(msg, Message::Heartbeat(_))));
+    }
+
+    #[test]
+    fn non_members_do_not_flood() {
+        let mut h = Harness::new(); // not sensing
+        let mut m = machine(1, &spec_with_tracker());
+        let mut beat = hb(label(9, 0), 9, 5, 1);
+        beat.ttl = 2;
+        let actions = m.on_heartbeat(&mut h.ctx(), &beat);
+        assert!(broadcasts(&actions).is_empty(), "idle nodes only remember, never flood");
+    }
+
+    #[test]
+    fn timer_methods_run_on_the_leader_with_aggregate_access() {
+        let invocations: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = invocations.clone();
+        let mut spec = spec_with_tracker();
+        spec.objects.push(crate::context::ObjectSpec {
+            name: "reporter".into(),
+            methods: vec![crate::context::MethodSpec {
+                name: "report".into(),
+                invocation: Invocation::Timer(SimDuration::from_secs(5)),
+                body: Arc::new(move |ctx: &mut ObjectApi<'_>| {
+                    let read = ctx.read("location");
+                    log.lock().unwrap().push(read.is_ok());
+                    if let Ok(AggValue::Point(p)) = read {
+                        ctx.send_to_base(crate::object::payload::position(p));
+                    }
+                }),
+            }],
+        });
+        let mut h = Harness::new().sensing();
+        h.spec = spec;
+        let mut m = GroupMachine::new(NodeId(1), ContextTypeId(0), &h.spec);
+
+        // Drive to leadership, capturing the method-timer arming.
+        let actions = m.on_sense_tick(&mut h.ctx());
+        let (at, tok) = find_timer(&actions, GroupTimer::Formation).unwrap();
+        h.now = at;
+        let actions = m.on_timer(&mut h.ctx(), GroupTimer::Formation, tok);
+        let lbl = m.current_label().unwrap();
+        let (method_at, method_tok) =
+            find_timer(&actions, GroupTimer::Method(0)).expect("method timer armed on promotion");
+        assert_eq!(method_at, h.now + SimDuration::from_secs(5));
+
+        // At fire time: a fresh own reading plus one member report meet the
+        // critical mass of 2.
+        h.now = method_at;
+        let _ = m.on_sense_tick(&mut h.ctx());
+        let now = h.now;
+        let _ = m.on_report(
+            &mut h.ctx(),
+            &Report {
+                label: lbl,
+                member: NodeId(2),
+                taken_at: now,
+                values: vec![(0, ReadingValue::Position(Point::new(1.0, 0.5)))],
+            },
+        );
+        let actions = m.on_timer(&mut h.ctx(), GroupTimer::Method(0), method_tok);
+        assert_eq!(invocations.lock().unwrap().as_slice(), &[true]);
+        // The method's send became an action, it was logged as invoked, and
+        // the timer re-armed.
+        let base_sends: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                GroupAction::SendToBase { payload, .. } => {
+                    crate::object::payload::decode_position(payload)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(base_sends, vec![Point::new(2.0, 0.5)], "avg of (3,0.5) and (1,0.5)");
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, GroupAction::Emit(SystemEvent::MethodInvoked { .. }))));
+        let (next_at, next_tok) = find_timer(&actions, GroupTimer::Method(0)).unwrap();
+
+        // Second firing 5 s later: readings are stale, the read fails, and
+        // the failure is surfaced as an event.
+        h.now = next_at;
+        let actions = m.on_timer(&mut h.ctx(), GroupTimer::Method(0), next_tok);
+        assert_eq!(invocations.lock().unwrap().as_slice(), &[true, false]);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            GroupAction::Emit(SystemEvent::AggregateReadFailed { variable, .. }) if variable == "location"
+        )));
+        assert!(
+            !actions.iter().any(|a| matches!(a, GroupAction::SendToBase { .. })),
+            "an unconfirmed siting must not be reported"
+        );
+    }
+
+    #[test]
+    fn distant_same_type_leaders_do_not_interact() {
+        // Two tanks far apart must keep distinct labels even though their
+        // heartbeats are mutually audible (comm radius > separation).
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let my_label = make_leader(&mut h, &mut m);
+        // A much heavier leader far away: ignored.
+        let actions = m.on_heartbeat(&mut h.ctx(), &far_hb(label(9, 0), 9, 100, 1));
+        assert!(m.is_leader(), "distant heavy leader must not suppress this label");
+        assert_eq!(m.current_label(), Some(my_label));
+        assert!(actions.is_empty());
+
+        // Members likewise do not defect to distant labels.
+        let mut h2 = Harness::new().sensing();
+        let mut m2 = machine(2, &spec_with_tracker());
+        let _ = m2.on_heartbeat(&mut h2.ctx(), &hb(label(5, 0), 5, 1, 1));
+        let _ = m2.on_sense_tick(&mut h2.ctx());
+        assert_eq!(m2.role_kind(), RoleKind::Member(label(5, 0)));
+        let _ = m2.on_heartbeat(&mut h2.ctx(), &far_hb(label(9, 0), 9, 100, 1));
+        assert_eq!(m2.role_kind(), RoleKind::Member(label(5, 0)));
+
+        // Idle nodes do not remember distant events.
+        let mut h3 = Harness::new();
+        let mut m3 = machine(3, &spec_with_tracker());
+        let _ = m3.on_heartbeat(&mut h3.ctx(), &far_hb(label(9, 0), 9, 100, 1));
+        h3.sample.set(Channel::Magnetic, 1.0);
+        let actions = m3.on_sense_tick(&mut h3.ctx());
+        assert!(
+            find_timer(&actions, GroupTimer::Formation).is_some(),
+            "a fresh stimulus far from known groups must mint its own label"
+        );
+    }
+
+    #[test]
+    fn stale_timer_tokens_are_inert() {
+        let mut h = Harness::new().sensing();
+        let mut m = machine(1, &spec_with_tracker());
+        let actions = m.on_sense_tick(&mut h.ctx());
+        let (at, token) = find_timer(&actions, GroupTimer::Formation).unwrap();
+        h.now = at;
+        let actions = m.on_timer(&mut h.ctx(), GroupTimer::Formation, token);
+        let (_, hb_tok) = find_timer(&actions, GroupTimer::Heartbeat).unwrap();
+        // The leader yields before its heartbeat timer fires.
+        let lbl = m.current_label().unwrap();
+        let _ = m.on_heartbeat(&mut h.ctx(), &hb(lbl, 7, 5, 1));
+        assert!(!m.is_leader());
+        // The old heartbeat token must now be dead.
+        h.now += h.cfg.heartbeat_period;
+        let actions = m.on_timer(&mut h.ctx(), GroupTimer::Heartbeat, hb_tok);
+        assert!(actions.is_empty(), "stale heartbeat timer fired actions: {actions:?}");
+    }
+}

@@ -1,0 +1,1007 @@
+//! The assembled sensor network: middleware instances on every node, glued
+//! to the radio medium, the mote CPUs, geographic routing, the directory,
+//! and the transport layer — all driven by the discrete-event engine.
+//!
+//! [`SensorNetwork`] is the concrete world type for
+//! [`envirotrack_sim::engine::Engine`]. Build one with
+//! [`SensorNetwork::build_engine`] and run it:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use envirotrack_core::api::Program;
+//! use envirotrack_core::context::SensePredicate;
+//! use envirotrack_core::network::{NetworkConfig, SensorNetwork};
+//! use envirotrack_sim::time::Timestamp;
+//! use envirotrack_world::scenario::TankScenario;
+//! use envirotrack_world::target::Channel;
+//!
+//! let program = Arc::new(
+//!     Program::builder()
+//!         .context("tracker", |c| c.activation(SensePredicate::threshold(Channel::Magnetic, 0.5)))
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let world = TankScenario::default().build();
+//! let mut engine = SensorNetwork::build_engine(
+//!     program,
+//!     world.deployment,
+//!     world.environment,
+//!     NetworkConfig::default(),
+//!     42,
+//! );
+//! engine.run_until(Timestamp::from_secs(30));
+//! // The tank has entered the field: exactly one live tracker group leads it.
+//! let leaders = engine.world().leaders_of_type(envirotrack_core::context::ContextTypeId(0));
+//! assert!(leaders.len() <= 1 || !leaders.is_empty());
+//! ```
+//!
+//! ## Processing model
+//!
+//! Every logical task on a node passes through its [`MoteCpu`]: received
+//! frames are **dropped** when the CPU backlog bound is exceeded (receive
+//! overflow), timer handlers are **delayed** until the backlog drains, and
+//! sensing ticks are **skipped**. This reproduces the paper's finding that
+//! CPU processing — not channel bandwidth — is what limits tracking at very
+//! small heartbeat periods.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use envirotrack_net::medium::{DeliveryOutcome, Medium, NetStats, RadioConfig, TxId};
+use envirotrack_net::packet::Frame;
+use envirotrack_net::routing::GeoRouter;
+use envirotrack_node::cpu::{costs, CpuConfig, MoteCpu};
+use envirotrack_node::energy::EnergyMeter;
+use envirotrack_node::timer::TimerToken;
+use envirotrack_sim::engine::{Engine, Kernel};
+use envirotrack_sim::rng::SimRng;
+use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_world::field::{Deployment, NodeId};
+use envirotrack_world::geometry::Point;
+use envirotrack_world::sensing::Environment;
+use serde::{Deserialize, Serialize};
+
+use crate::api::Program;
+use crate::config::MiddlewareConfig;
+use crate::context::{ContextLabel, ContextTypeId};
+use crate::directory::{hash_point, DirectoryStore};
+use crate::events::{EventLog, SystemEvent};
+use crate::group::{GroupAction, GroupCtx, GroupMachine, GroupTimer, RoleKind};
+use crate::object::IncomingMessage;
+use crate::report::{BaseStationLog, ReportEntry};
+use crate::transport::{LeaderLoc, MtpState, Port};
+use crate::wire::{
+    BaseReport, DirQuery, DirRegister, DirResponse, GeoForward, Heartbeat, Message, MtpSegment,
+    Relinquish, Report,
+};
+
+/// Link-layer acknowledgement/retransmit parameters for *unicast* frames
+/// (geo-routing hops). Broadcast protocol traffic — heartbeats, member
+/// reports — stays unreliable, exactly as on the MICA MAC the paper used;
+/// multi-hop unicast needs per-hop retries or a single hidden-terminal
+/// collision silently kills an entire route.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkReliability {
+    /// Whether unicast frames are acknowledged and retransmitted.
+    pub enabled: bool,
+    /// How long the sender waits for an acknowledgement.
+    pub ack_timeout: SimDuration,
+    /// Total transmission attempts before giving up.
+    pub max_attempts: u8,
+    /// Upper bound on the random extra delay before a retransmission
+    /// (decorrelates retries from the periodic traffic that collided with
+    /// the original).
+    pub retry_jitter_max: SimDuration,
+}
+
+impl Default for LinkReliability {
+    fn default() -> Self {
+        LinkReliability {
+            enabled: true,
+            ack_timeout: SimDuration::from_millis(120),
+            max_attempts: 3,
+            retry_jitter_max: SimDuration::from_millis(40),
+        }
+    }
+}
+
+/// Everything configurable about one simulation.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Radio and MAC parameters.
+    pub radio: RadioConfig,
+    /// Middleware (group management, aggregation, directory, MTP).
+    pub middleware: MiddlewareConfig,
+    /// Mote CPU model.
+    pub cpu: CpuConfig,
+    /// Link-layer reliability for unicast frames.
+    pub link: LinkReliability,
+    /// The node acting as base station / pursuer interface, if any.
+    pub base_station: Option<NodeId>,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            radio: RadioConfig::default(),
+            middleware: MiddlewareConfig::default(),
+            cpu: CpuConfig::default(),
+            link: LinkReliability::default(),
+            base_station: Some(NodeId(0)),
+        }
+    }
+}
+
+/// A directory query in flight, correlating the response to its consumer.
+#[derive(Debug, Clone, Copy)]
+struct PendingQuery {
+    query_id: u32,
+    /// The type being queried.
+    target_type: ContextTypeId,
+    /// The local machine (context type) that asked, for subscription
+    /// queries; `None` for MTP resolution queries.
+    asker: Option<ContextTypeId>,
+}
+
+/// The per-node runtime: middleware machines plus node-local substrates.
+struct NodeRuntime {
+    id: NodeId,
+    pos: Point,
+    alive: bool,
+    cpu: MoteCpu,
+    rng: SimRng,
+    machines: Vec<GroupMachine>,
+    mtp: MtpState,
+    directory: DirectoryStore,
+    next_query_id: u32,
+    pending_queries: Vec<PendingQuery>,
+    next_link_seq: u32,
+    pending_acks: Vec<PendingAck>,
+    /// Recently seen unicast (src, seq) pairs, for retransmit dedup.
+    seen_unicast: Vec<(NodeId, u32)>,
+    /// Marginal radio energy (CPU energy derives from the CPU meter).
+    energy: EnergyMeter,
+}
+
+/// An unacknowledged unicast frame awaiting retransmission.
+struct PendingAck {
+    seq: u32,
+    frame: Frame,
+    attempts: u8,
+}
+
+/// The simulation world. See the [module docs](self).
+pub struct SensorNetwork {
+    program: Arc<Program>,
+    config: NetworkConfig,
+    deployment: Deployment,
+    environment: Environment,
+    medium: Medium,
+    router: GeoRouter,
+    nodes: Vec<NodeRuntime>,
+    events: EventLog,
+    base_log: BaseStationLog,
+    app_log: Vec<(Timestamp, NodeId, String)>,
+    /// Rendezvous coordinate per context type (directory homes).
+    hash_points: Vec<Point>,
+}
+
+impl std::fmt::Debug for SensorNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SensorNetwork")
+            .field("nodes", &self.nodes.len())
+            .field("types", &self.program.context_count())
+            .field("events", &self.events.len())
+            .finish()
+    }
+}
+
+impl SensorNetwork {
+    /// Assembles the world. Prefer [`SensorNetwork::build_engine`], which
+    /// also schedules the bootstrap.
+    #[must_use]
+    pub fn new(
+        program: Arc<Program>,
+        deployment: Deployment,
+        environment: Environment,
+        config: NetworkConfig,
+        seed: u64,
+    ) -> Self {
+        config.middleware.validate().expect("invalid middleware configuration");
+        let master = SimRng::seed_from(seed);
+        let medium = Medium::new(&deployment, config.radio.clone(), &master);
+        let router = GeoRouter::new(&deployment, config.radio.comm_radius);
+        let bounds = deployment.bounds();
+        let hash_points = program
+            .type_ids()
+            .map(|tid| hash_point(&program.spec(tid).name, bounds))
+            .collect();
+        let nodes = deployment
+            .iter()
+            .map(|(id, pos)| NodeRuntime {
+                id,
+                pos,
+                alive: true,
+                cpu: MoteCpu::new(config.cpu),
+                rng: master.fork_indexed("node", u64::from(id.0)),
+                machines: program
+                    .type_ids()
+                    .map(|tid| GroupMachine::new(id, tid, program.spec(tid)))
+                    .collect(),
+                mtp: MtpState::new(
+                    config.middleware.mtp_table_capacity,
+                    config.middleware.mtp_forward_ttl,
+                    config.middleware.mtp_max_chain_hops,
+                ),
+                directory: DirectoryStore::new(),
+                next_query_id: 0,
+                pending_queries: Vec::new(),
+                next_link_seq: 0,
+                pending_acks: Vec::new(),
+                seen_unicast: Vec::new(),
+                energy: EnergyMeter::new(),
+            })
+            .collect();
+        SensorNetwork {
+            program,
+            config,
+            deployment,
+            environment,
+            medium,
+            router,
+            nodes,
+            events: EventLog::new(),
+            base_log: BaseStationLog::new(),
+            app_log: Vec::new(),
+            hash_points,
+        }
+    }
+
+    /// Builds the world *and* an engine with the bootstrap scheduled: every
+    /// node's sensing loop starts with a per-node phase offset.
+    #[must_use]
+    pub fn build_engine(
+        program: Arc<Program>,
+        deployment: Deployment,
+        environment: Environment,
+        config: NetworkConfig,
+        seed: u64,
+    ) -> Engine<SensorNetwork> {
+        let world = SensorNetwork::new(program, deployment, environment, config, seed);
+        let mut engine = Engine::new(world, seed);
+        engine.kernel_mut().schedule_at(Timestamp::ZERO, |w: &mut SensorNetwork, k| {
+            w.bootstrap(k);
+        });
+        engine
+    }
+
+    fn bootstrap(&mut self, k: &mut Kernel<SensorNetwork>) {
+        let period = self.config.middleware.sense_period;
+        for id in self.deployment.ids() {
+            let phase = SimDuration::from_micros(
+                self.nodes[id.index()].rng.below(period.as_micros().max(1)),
+            );
+            k.schedule_at(k.now() + phase, move |w: &mut SensorNetwork, k| {
+                w.sense_tick(k, id);
+            });
+        }
+        // Instantiate static (pinned) objects on their host nodes.
+        for tid in self.program.type_ids() {
+            let Some(at) = self.program.spec(tid).pinned else { continue };
+            let host = self.router.closest_node(at);
+            let actions =
+                self.drive_machine(k.now(), host, tid, |machine, ctx| machine.instantiate_pinned(ctx));
+            self.apply_actions(k, host, tid, actions);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection API (examples, tests, experiment harness)
+    // ------------------------------------------------------------------
+
+    /// The protocol event log.
+    #[must_use]
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The base station's received reports.
+    #[must_use]
+    pub fn base_log(&self) -> &BaseStationLog {
+        &self.base_log
+    }
+
+    /// The application log lines emitted by object code.
+    #[must_use]
+    pub fn app_log(&self) -> &[(Timestamp, NodeId, String)] {
+        &self.app_log
+    }
+
+    /// Channel statistics.
+    #[must_use]
+    pub fn net_stats(&self) -> &NetStats {
+        self.medium.stats()
+    }
+
+    /// Resets channel statistics (e.g. after warm-up).
+    pub fn reset_net_stats(&mut self) {
+        self.medium.reset_stats();
+    }
+
+    /// The ground-truth environment.
+    #[must_use]
+    pub fn environment(&self) -> &Environment {
+        &self.environment
+    }
+
+    /// The node deployment.
+    #[must_use]
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The middleware configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Current leaders of a context type as `(node, label)` pairs.
+    #[must_use]
+    pub fn leaders_of_type(&self, type_id: ContextTypeId) -> Vec<(NodeId, ContextLabel)> {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .filter_map(|n| match n.machines[type_id.0 as usize].role_kind() {
+                RoleKind::Leader(label) => Some((n.id, label)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Current members (non-leader) of a label.
+    #[must_use]
+    pub fn members_of_label(&self, label: ContextLabel) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .filter(|n| {
+                matches!(
+                    n.machines[label.type_id.0 as usize].role_kind(),
+                    RoleKind::Member(l) if l == label
+                )
+            })
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Aggregate CPU statistics: `(admitted, dropped)` over all nodes.
+    #[must_use]
+    pub fn cpu_totals(&self) -> (u64, u64) {
+        self.nodes.iter().fold((0, 0), |(a, d), n| {
+            let s = n.cpu.stats();
+            (a + s.admitted, d + s.dropped)
+        })
+    }
+
+    /// Whether a node is alive.
+    #[must_use]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].alive
+    }
+
+    /// The directory rendezvous coordinate of a context type.
+    #[must_use]
+    pub fn directory_home(&self, type_id: ContextTypeId) -> Point {
+        self.hash_points[type_id.0 as usize]
+    }
+
+    /// Number of directory entries stored on a node (nonzero only on home
+    /// nodes).
+    #[must_use]
+    pub fn directory_entries_at(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].directory.len()
+    }
+
+    /// The marginal protocol energy spent by one node (radio + CPU).
+    #[must_use]
+    pub fn energy_at(&self, node: NodeId) -> EnergyMeter {
+        let rt = &self.nodes[node.index()];
+        let mut m = rt.energy;
+        m.charge_cpu(rt.cpu.stats().busy);
+        m
+    }
+
+    /// Fleet-wide marginal protocol energy.
+    #[must_use]
+    pub fn energy_totals(&self) -> EnergyMeter {
+        let mut total = EnergyMeter::new();
+        for id in self.deployment.ids() {
+            total.merge(&self.energy_at(id));
+        }
+        total
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection (stress tests, Fig. 5's leader-failure mode)
+    // ------------------------------------------------------------------
+
+    /// Kills a node: it stops sensing, processing, and transmitting.
+    pub fn kill_node(&mut self, node: NodeId) {
+        self.nodes[node.index()].alive = false;
+    }
+
+    /// Revives a previously killed node with cleared protocol state (a
+    /// rebooted mote remembers nothing). Its sensing loop must be restarted
+    /// by scheduling [`SensorNetwork::sense_tick`].
+    pub fn revive_node(&mut self, node: NodeId) {
+        let rt = &mut self.nodes[node.index()];
+        rt.alive = true;
+        rt.machines = self
+            .program
+            .type_ids()
+            .map(|tid| GroupMachine::new(node, tid, self.program.spec(tid)))
+            .collect();
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    /// One sensing tick on `node`: sample the environment, drive every
+    /// context-type machine, reschedule. Public so harnesses can restart a
+    /// revived node's loop.
+    pub fn sense_tick(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId) {
+        let period = self.config.middleware.sense_period;
+        // Reschedule first: the loop survives any processing below.
+        k.schedule_at(k.now() + period, move |w: &mut SensorNetwork, k| {
+            w.sense_tick(k, node);
+        });
+        if !self.nodes[node.index()].alive {
+            return;
+        }
+        // Overloaded CPU skips sensing ticks.
+        if self.nodes[node.index()].cpu.admit(k.now(), costs::SENSE).is_err() {
+            return;
+        }
+        for tid in self.program.type_ids() {
+            let actions = self.drive_machine(k.now(), node, tid, |machine, ctx| {
+                machine.on_sense_tick(ctx)
+            });
+            self.apply_actions(k, node, tid, actions);
+        }
+    }
+
+    /// A group-management timer firing.
+    fn group_timer(
+        &mut self,
+        k: &mut Kernel<SensorNetwork>,
+        node: NodeId,
+        tid: ContextTypeId,
+        key: GroupTimer,
+        token: TimerToken,
+    ) {
+        if !self.nodes[node.index()].alive {
+            return;
+        }
+        // Overload delays timer handling until the CPU drains.
+        match self.nodes[node.index()].cpu.admit(k.now(), costs::TIMER_HANDLE) {
+            Ok(_) => {}
+            Err(_) => {
+                let retry = self.nodes[node.index()].cpu.busy_until() + SimDuration::from_millis(1);
+                k.schedule_at(retry.max(k.now()), move |w: &mut SensorNetwork, k| {
+                    w.group_timer(k, node, tid, key, token);
+                });
+                return;
+            }
+        }
+        let actions =
+            self.drive_machine(k.now(), node, tid, |machine, ctx| machine.on_timer(ctx, key, token));
+        self.apply_actions(k, node, tid, actions);
+    }
+
+    /// A transmission finished serialising: resolve deliveries.
+    fn transmission_complete(&mut self, k: &mut Kernel<SensorNetwork>, id: TxId) {
+        let report = self.medium.deliveries(id);
+        for (receiver, outcome) in &report.outcomes {
+            if *outcome == DeliveryOutcome::Delivered {
+                self.receive_frame(k, *receiver, report.frame.clone());
+            }
+        }
+    }
+
+    /// A frame arrived intact at `node`.
+    fn receive_frame(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, frame: Frame) {
+        if !self.nodes[node.index()].alive || !frame.link_dst.accepts(node) {
+            return;
+        }
+        // The radio spent the frame's airtime decoding it regardless of
+        // what the CPU does with it afterwards.
+        let airtime = self.medium.config().tx_time(&frame);
+        self.nodes[node.index()].energy.charge_rx(airtime);
+        // Receive overflow: overloaded CPUs drop frames.
+        if self.nodes[node.index()].cpu.admit(k.now(), costs::RX_HANDLE).is_err() {
+            return;
+        }
+        // Link-layer acknowledgements terminate here.
+        if frame.kind == crate::wire::kinds::LINK_ACK {
+            if frame.payload.len() == 4 {
+                let seq = u32::from_be_bytes(frame.payload[..4].try_into().expect("4 bytes"));
+                self.nodes[node.index()].pending_acks.retain(|p| p.seq != seq);
+            }
+            return;
+        }
+        // Acknowledge reliable unicast frames, and deduplicate retransmits.
+        if self.config.link.enabled
+            && frame.link_dst == envirotrack_net::packet::LinkDest::Node(node)
+            && frame.link_seq != 0
+        {
+            let ack = Frame::unicast(
+                node,
+                frame.src,
+                crate::wire::kinds::LINK_ACK,
+                Bytes::copy_from_slice(&frame.link_seq.to_be_bytes()),
+            );
+            self.transmit_raw(k, node, ack);
+            let rt = &mut self.nodes[node.index()];
+            let key = (frame.src, frame.link_seq);
+            if rt.seen_unicast.contains(&key) {
+                return; // duplicate of an already-processed frame
+            }
+            if rt.seen_unicast.len() >= 32 {
+                rt.seen_unicast.remove(0);
+            }
+            rt.seen_unicast.push(key);
+        }
+        let Ok(msg) = Message::decode(&frame.payload) else {
+            // Corrupt payloads are silently dropped, as on a real radio.
+            return;
+        };
+        self.dispatch_message(k, node, msg);
+    }
+
+    fn dispatch_message(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, msg: Message) {
+        match msg {
+            Message::Heartbeat(hb) => self.handle_heartbeat(k, node, &hb),
+            Message::Report(report) => self.handle_report(k, node, &report),
+            Message::Relinquish(r) => self.handle_relinquish(k, node, &r),
+            Message::Geo(geo) => self.handle_geo(k, node, geo),
+            Message::Mtp(seg) => self.handle_mtp_segment(k, node, seg),
+            Message::DirRegister(reg) => {
+                let now = k.now();
+                let ttl = self.config.middleware.directory_entry_ttl;
+                let dir = &mut self.nodes[node.index()].directory;
+                dir.register(reg.label, reg.location, now);
+                dir.sweep(now, ttl);
+            }
+            Message::DirQuery(q) => self.handle_dir_query(k, node, &q),
+            Message::DirResponse(resp) => self.handle_dir_response(k, node, resp),
+            Message::Base(b) => {
+                if Some(node) == self.config.base_station {
+                    self.base_log.record(ReportEntry {
+                        received_at: k.now(),
+                        generated_at: b.generated_at,
+                        label: b.label,
+                        payload: b.payload,
+                    });
+                }
+            }
+        }
+    }
+
+    fn handle_heartbeat(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, hb: &Heartbeat) {
+        let tid = hb.label.type_id;
+        if tid.0 as usize >= self.program.context_count() {
+            return;
+        }
+        // The transport layer snoops leadership from heartbeats.
+        self.nodes[node.index()]
+            .mtp
+            .learn(hb.label, LeaderLoc { node: hb.leader, pos: hb.leader_pos });
+        let actions =
+            self.drive_machine(k.now(), node, tid, |machine, ctx| machine.on_heartbeat(ctx, hb));
+        self.apply_actions(k, node, tid, actions);
+    }
+
+    fn handle_report(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, report: &Report) {
+        let tid = report.label.type_id;
+        if tid.0 as usize >= self.program.context_count() {
+            return;
+        }
+        let actions =
+            self.drive_machine(k.now(), node, tid, |machine, ctx| machine.on_report(ctx, report));
+        self.apply_actions(k, node, tid, actions);
+    }
+
+    fn handle_relinquish(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, r: &Relinquish) {
+        let tid = r.label.type_id;
+        if tid.0 as usize >= self.program.context_count() {
+            return;
+        }
+        let actions =
+            self.drive_machine(k.now(), node, tid, |machine, ctx| machine.on_relinquish(ctx, r));
+        self.apply_actions(k, node, tid, actions);
+    }
+
+    fn handle_geo(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, geo: GeoForward) {
+        let deliver_here = geo.deliver_to == Some(node)
+            || self.router.next_hop(node, geo.dest).is_none();
+        if deliver_here {
+            self.dispatch_message(k, node, *geo.inner);
+        } else {
+            self.send_geo(k, node, geo.dest, geo.deliver_to, *geo.inner);
+        }
+    }
+
+    fn handle_dir_query(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, q: &DirQuery) {
+        let now = k.now();
+        let ttl = self.config.middleware.directory_entry_ttl;
+        let entries = self.nodes[node.index()].directory.query(q.type_id, now, ttl);
+        let resp = Message::DirResponse(DirResponse { query_id: q.query_id, entries });
+        self.send_geo(k, node, q.reply_pos, Some(q.reply_to), resp);
+    }
+
+    fn handle_dir_response(
+        &mut self,
+        k: &mut Kernel<SensorNetwork>,
+        node: NodeId,
+        resp: DirResponse,
+    ) {
+        let pending = {
+            let rt = &mut self.nodes[node.index()];
+            match rt.pending_queries.iter().position(|p| p.query_id == resp.query_id) {
+                Some(idx) => rt.pending_queries.remove(idx),
+                None => return,
+            }
+        };
+        // Subscription query: install the view into the asking machine.
+        if let Some(asker) = pending.asker {
+            self.nodes[node.index()].machines[asker.0 as usize]
+                .on_directory_entries(pending.target_type, resp.entries.clone());
+            return;
+        }
+        // MTP resolution query: release the parked sends.
+        let parked = self.nodes[node.index()].mtp.take_pending(resp.query_id);
+        for send in parked {
+            match resp.entries.iter().find(|(l, _)| *l == send.dst_label) {
+                Some((_, location)) => {
+                    let seg = MtpSegment {
+                        src_label: send.src_label,
+                        src_port: send.src_port,
+                        dst_label: send.dst_label,
+                        dst_port: send.dst_port,
+                        src_leader: node,
+                        src_leader_pos: self.nodes[node.index()].pos,
+                        chain_hops: 0,
+                        payload: send.payload,
+                    };
+                    self.send_geo(k, node, *location, None, Message::Mtp(seg));
+                }
+                None => {
+                    self.events.push(
+                        k.now(),
+                        SystemEvent::MtpDropped { label: send.dst_label, node },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_mtp_segment(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, seg: MtpSegment) {
+        // Update leadership knowledge from the header.
+        self.nodes[node.index()]
+            .mtp
+            .learn(seg.src_label, LeaderLoc { node: seg.src_leader, pos: seg.src_leader_pos });
+
+        let tid = seg.dst_label.type_id;
+        if tid.0 as usize >= self.program.context_count() {
+            return;
+        }
+        let leads_dst = matches!(
+            self.nodes[node.index()].machines[tid.0 as usize].role_kind(),
+            RoleKind::Leader(l) if l == seg.dst_label
+        );
+        if leads_dst {
+            let Some(method) = self.program.method_for_port(tid, seg.dst_port) else {
+                return;
+            };
+            let incoming = IncomingMessage {
+                src_label: seg.src_label,
+                src_port: seg.src_port,
+                payload: seg.payload.clone(),
+            };
+            let dst_label = seg.dst_label;
+            let dst_port = seg.dst_port;
+            let chain_hops = seg.chain_hops;
+            let actions = self.drive_machine(k.now(), node, tid, |machine, ctx| {
+                machine
+                    .deliver_mtp(ctx, dst_label, dst_port, incoming, method)
+                    .unwrap_or_default()
+            });
+            self.events.push(
+                k.now(),
+                SystemEvent::MtpDelivered { label: dst_label, node, chain_hops },
+            );
+            self.apply_actions(k, node, tid, actions);
+            return;
+        }
+        // Not the leader: chase the label along pointers / cached knowledge.
+        if seg.chain_hops >= self.nodes[node.index()].mtp.max_chain_hops {
+            self.events.push(k.now(), SystemEvent::MtpDropped { label: seg.dst_label, node });
+            return;
+        }
+        let now = k.now();
+        let next = {
+            let rt = &mut self.nodes[node.index()];
+            rt.mtp.forward_pointer(seg.dst_label, now).or_else(|| rt.mtp.lookup(seg.dst_label))
+        };
+        match next {
+            // A pointer to ourselves would loop; treat it as no route.
+            Some(loc) if loc.node != node => {
+                let mut chased = seg;
+                chased.chain_hops += 1;
+                self.send_geo(k, node, loc.pos, Some(loc.node), Message::Mtp(chased));
+            }
+            _ => {
+                self.events.push(k.now(), SystemEvent::MtpDropped { label: seg.dst_label, node });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Machine driving and action application
+    // ------------------------------------------------------------------
+
+    /// Runs one machine input with a freshly sampled [`GroupCtx`].
+    fn drive_machine(
+        &mut self,
+        now: Timestamp,
+        node: NodeId,
+        tid: ContextTypeId,
+        f: impl FnOnce(&mut GroupMachine, &mut GroupCtx<'_>) -> Vec<GroupAction>,
+    ) -> Vec<GroupAction> {
+        let rt = &mut self.nodes[node.index()];
+        let sample = self.environment.sample_noisy(rt.pos, now, &mut rt.rng);
+        let mut ctx = GroupCtx {
+            now,
+            cfg: &self.config.middleware,
+            spec: self.program.spec(tid),
+            subscriptions: self.program.subscriptions(tid),
+            sample: &sample,
+            position: rt.pos,
+            rng: &mut rt.rng,
+        };
+        f(&mut rt.machines[tid.0 as usize], &mut ctx)
+    }
+
+    fn apply_actions(
+        &mut self,
+        k: &mut Kernel<SensorNetwork>,
+        node: NodeId,
+        tid: ContextTypeId,
+        actions: Vec<GroupAction>,
+    ) {
+        for action in actions {
+            match action {
+                GroupAction::Broadcast(msg) => {
+                    let frame = Frame::broadcast(node, msg.kind(), msg.encode());
+                    self.send_frame(k, node, frame);
+                }
+                GroupAction::ArmTimer { key, at, token } => {
+                    k.schedule_at(at.max(k.now()), move |w: &mut SensorNetwork, k| {
+                        w.group_timer(k, node, tid, key, token);
+                    });
+                }
+                GroupAction::Emit(event) => self.events.push(k.now(), event),
+                GroupAction::RegisterDirectory { label } => {
+                    let dest = self.hash_points[tid.0 as usize];
+                    let msg = Message::DirRegister(DirRegister {
+                        label,
+                        location: self.nodes[node.index()].pos,
+                    });
+                    self.send_geo(k, node, dest, None, msg);
+                }
+                GroupAction::QueryDirectory { type_id } => {
+                    let rt = &mut self.nodes[node.index()];
+                    let query_id = rt.next_query_id;
+                    rt.next_query_id += 1;
+                    rt.pending_queries.push(PendingQuery {
+                        query_id,
+                        target_type: type_id,
+                        asker: Some(tid),
+                    });
+                    let reply_pos = rt.pos;
+                    let dest = self.hash_points[type_id.0 as usize];
+                    let msg = Message::DirQuery(DirQuery {
+                        type_id,
+                        reply_to: node,
+                        reply_pos,
+                        query_id,
+                    });
+                    self.send_geo(k, node, dest, None, msg);
+                }
+                GroupAction::SendToBase { label, payload } => {
+                    let Some(base) = self.config.base_station else { continue };
+                    let msg = Message::Base(BaseReport { label, generated_at: k.now(), payload });
+                    let dest = self.deployment.position(base);
+                    self.send_geo(k, node, dest, Some(base), msg);
+                }
+                GroupAction::MtpSend { dst_label, dst_port, payload } => {
+                    self.mtp_send(k, node, tid, dst_label, dst_port, payload);
+                }
+                GroupAction::BecameLeader { label } => {
+                    let rt = &mut self.nodes[node.index()];
+                    let pos = rt.pos;
+                    rt.mtp.learn(label, LeaderLoc { node, pos });
+                }
+                GroupAction::LostLeadership { label, new_leader } => {
+                    if let Some(loc) = new_leader {
+                        let now = k.now();
+                        let rt = &mut self.nodes[node.index()];
+                        rt.mtp.leave_forward_pointer(label, loc, now);
+                        rt.mtp.learn(label, loc);
+                    }
+                }
+                GroupAction::AppLog(line) => self.app_log.push((k.now(), node, line)),
+            }
+        }
+    }
+
+    fn mtp_send(
+        &mut self,
+        k: &mut Kernel<SensorNetwork>,
+        node: NodeId,
+        tid: ContextTypeId,
+        dst_label: ContextLabel,
+        dst_port: Port,
+        payload: Bytes,
+    ) {
+        let src_label = match self.nodes[node.index()].machines[tid.0 as usize].current_label() {
+            Some(l) => l,
+            None => return, // lost leadership between invocation and send
+        };
+        let src_pos = self.nodes[node.index()].pos;
+        let known = self.nodes[node.index()].mtp.lookup(dst_label);
+        match known {
+            Some(loc) => {
+                let seg = MtpSegment {
+                    src_label,
+                    src_port: Port(0),
+                    dst_label,
+                    dst_port,
+                    src_leader: node,
+                    src_leader_pos: src_pos,
+                    chain_hops: 0,
+                    payload,
+                };
+                self.send_geo(k, node, loc.pos, Some(loc.node), Message::Mtp(seg));
+            }
+            None if self.config.middleware.directory_enabled => {
+                // Park the send and resolve through the directory.
+                let rt = &mut self.nodes[node.index()];
+                let query_id = rt.next_query_id;
+                rt.next_query_id += 1;
+                rt.pending_queries.push(PendingQuery {
+                    query_id,
+                    target_type: dst_label.type_id,
+                    asker: None,
+                });
+                rt.mtp.park(src_label, Port(0), dst_label, dst_port, payload, k.now(), query_id);
+                let dest = self.hash_points[dst_label.type_id.0 as usize];
+                let msg = Message::DirQuery(DirQuery {
+                    type_id: dst_label.type_id,
+                    reply_to: node,
+                    reply_pos: src_pos,
+                    query_id,
+                });
+                self.send_geo(k, node, dest, None, msg);
+            }
+            None => {
+                self.events.push(k.now(), SystemEvent::MtpDropped { label: dst_label, node });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Radio primitives
+    // ------------------------------------------------------------------
+
+    /// Sends a message towards a field coordinate using greedy geographic
+    /// forwarding; delivers locally when this node is already the home (or
+    /// the explicit recipient).
+    fn send_geo(
+        &mut self,
+        k: &mut Kernel<SensorNetwork>,
+        from: NodeId,
+        dest: Point,
+        deliver_to: Option<NodeId>,
+        inner: Message,
+    ) {
+        if deliver_to == Some(from) {
+            self.dispatch_message(k, from, inner);
+            return;
+        }
+        match self.router.next_hop(from, dest) {
+            None => self.dispatch_message(k, from, inner),
+            Some(next) => {
+                let geo = Message::Geo(GeoForward { dest, deliver_to, inner: Box::new(inner) });
+                let frame = Frame::unicast(from, next, geo.kind(), geo.encode());
+                self.send_frame(k, from, frame);
+            }
+        }
+    }
+
+    fn send_frame(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, frame: Frame) {
+        let reliable = self.config.link.enabled
+            && matches!(frame.link_dst, envirotrack_net::packet::LinkDest::Node(_))
+            && frame.kind != crate::wire::kinds::LINK_ACK;
+        if !reliable {
+            self.transmit_raw(k, node, frame);
+            return;
+        }
+        let rt = &mut self.nodes[node.index()];
+        rt.next_link_seq += 1;
+        let seq = rt.next_link_seq;
+        let frame = frame.with_link_seq(seq);
+        rt.pending_acks.push(PendingAck { seq, frame: frame.clone(), attempts: 1 });
+        let timeout = self.config.link.ack_timeout;
+        k.schedule_at(k.now() + timeout, move |w: &mut SensorNetwork, k| {
+            w.link_retry(k, node, seq);
+        });
+        self.transmit_raw(k, node, frame);
+    }
+
+    /// Retransmits an unacknowledged unicast frame, or gives up after the
+    /// configured number of attempts.
+    fn link_retry(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, seq: u32) {
+        if !self.nodes[node.index()].alive {
+            return;
+        }
+        let max_attempts = self.config.link.max_attempts;
+        let frame = {
+            let rt = &mut self.nodes[node.index()];
+            let Some(idx) = rt.pending_acks.iter().position(|p| p.seq == seq) else {
+                return; // acknowledged in the meantime
+            };
+            if rt.pending_acks[idx].attempts >= max_attempts {
+                rt.pending_acks.remove(idx);
+                return;
+            }
+            rt.pending_acks[idx].attempts += 1;
+            rt.pending_acks[idx].frame.clone()
+        };
+        let jitter = {
+            let rt = &mut self.nodes[node.index()];
+            SimDuration::from_micros(
+                rt.rng.below(self.config.link.retry_jitter_max.as_micros().max(1)),
+            )
+        };
+        let timeout = self.config.link.ack_timeout;
+        k.schedule_at(k.now() + jitter + timeout, move |w: &mut SensorNetwork, k| {
+            w.link_retry(k, node, seq);
+        });
+        let retry_at = k.now() + jitter;
+        k.schedule_at(retry_at, move |w: &mut SensorNetwork, k| {
+            w.transmit_raw(k, node, frame);
+        });
+    }
+
+    fn transmit_raw(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, frame: Frame) {
+        // Preparing a transmission costs CPU; overloaded nodes drop sends.
+        if self.nodes[node.index()].cpu.admit(k.now(), costs::TX_PREPARE).is_err() {
+            return;
+        }
+        let airtime = self.medium.config().tx_time(&frame);
+        match self.medium.transmit(k.now(), frame) {
+            Ok(tx) => {
+                self.nodes[node.index()].energy.charge_tx(airtime);
+                k.schedule_at(tx.completes_at, move |w: &mut SensorNetwork, k| {
+                    w.transmission_complete(k, tx.id);
+                });
+            }
+            Err(_saturated) => {
+                // Channel overload: the frame is gone; stats already count it.
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The base station (the paper's "pursuer"): the sink that receives
+//! application reports from tracking objects.
+//!
+//! The paper's vehicle-tracking example sends `(self:label, location)` to a
+//! preselected mote interfaced to a pursuer laptop, which "monitors all
+//! vehicles at all times and records their tracks". [`BaseStationLog`] is
+//! that recording: a timestamped list of per-label payloads, with helpers
+//! to reconstruct each label's reported track (Fig. 3).
+
+use bytes::Bytes;
+use envirotrack_sim::time::Timestamp;
+use envirotrack_world::geometry::Point;
+
+use crate::context::{ContextLabel, ContextTypeId};
+use crate::object::payload;
+
+/// One report as received at the base station.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportEntry {
+    /// When the report arrived at the base station.
+    pub received_at: Timestamp,
+    /// When the leader generated it.
+    pub generated_at: Timestamp,
+    /// The reporting label.
+    pub label: ContextLabel,
+    /// The application payload.
+    pub payload: Bytes,
+}
+
+/// The base station's record of everything it heard.
+#[derive(Debug, Clone, Default)]
+pub struct BaseStationLog {
+    entries: Vec<ReportEntry>,
+}
+
+impl BaseStationLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        BaseStationLog::default()
+    }
+
+    /// Appends a received report.
+    pub fn record(&mut self, entry: ReportEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All reports in arrival order.
+    #[must_use]
+    pub fn entries(&self) -> &[ReportEntry] {
+        &self.entries
+    }
+
+    /// Number of reports received.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been received.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The distinct labels that ever reported, in first-heard order.
+    #[must_use]
+    pub fn labels(&self) -> Vec<ContextLabel> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            if !out.contains(&e.label) {
+                out.push(e.label);
+            }
+        }
+        out
+    }
+
+    /// The reported *track* of one label, decoding each payload as a
+    /// position: `(generation time, reported position)` pairs. Reports with
+    /// non-position payloads are skipped.
+    #[must_use]
+    pub fn track(&self, label: ContextLabel) -> Vec<(Timestamp, Point)> {
+        self.entries
+            .iter()
+            .filter(|e| e.label == label)
+            .filter_map(|e| payload::decode_position(&e.payload).map(|p| (e.generated_at, p)))
+            .collect()
+    }
+
+    /// The combined track of every label of a type — what the pursuer plots
+    /// when it identifies vehicles "by their respective context labels".
+    #[must_use]
+    pub fn tracks_of_type(
+        &self,
+        type_id: ContextTypeId,
+    ) -> Vec<(ContextLabel, Vec<(Timestamp, Point)>)> {
+        self.labels()
+            .into_iter()
+            .filter(|l| l.type_id == type_id)
+            .map(|l| (l, self.track(l)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use envirotrack_world::field::NodeId;
+
+    fn label(n: u32) -> ContextLabel {
+        ContextLabel { type_id: ContextTypeId(0), creator: NodeId(n), seq: 0 }
+    }
+
+    fn entry(n: u32, secs: u64, pos: Point) -> ReportEntry {
+        ReportEntry {
+            received_at: Timestamp::from_secs(secs + 1),
+            generated_at: Timestamp::from_secs(secs),
+            label: label(n),
+            payload: payload::position(pos),
+        }
+    }
+
+    #[test]
+    fn tracks_group_by_label_in_order() {
+        let mut log = BaseStationLog::new();
+        log.record(entry(1, 0, Point::new(0.0, 0.5)));
+        log.record(entry(2, 1, Point::new(9.0, 1.5)));
+        log.record(entry(1, 5, Point::new(1.0, 0.5)));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.labels(), vec![label(1), label(2)]);
+        let t = log.track(label(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0], (Timestamp::from_secs(0), Point::new(0.0, 0.5)));
+        assert_eq!(t[1], (Timestamp::from_secs(5), Point::new(1.0, 0.5)));
+        let all = log.tracks_of_type(ContextTypeId(0));
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn non_position_payloads_are_skipped_in_tracks() {
+        let mut log = BaseStationLog::new();
+        log.record(ReportEntry {
+            received_at: Timestamp::from_secs(1),
+            generated_at: Timestamp::ZERO,
+            label: label(1),
+            payload: Bytes::from_static(b"not a position"),
+        });
+        assert!(log.track(label(1)).is_empty());
+        assert_eq!(log.labels(), vec![label(1)]);
+    }
+}

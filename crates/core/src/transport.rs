@@ -1,0 +1,383 @@
+//! MTP — the inter-object transport layer (paper §5.4).
+//!
+//! Context labels are "akin to IP addresses"; a connection is the pair
+//! ⟨source label : port, destination label : port⟩, and the group leader of
+//! each side oversees its end. This module holds the per-node transport
+//! state:
+//!
+//! * a bounded, least-recently-used **last-known-leader table** mapping
+//!   context labels to the leader (node + position) most recently seen in
+//!   traffic — every received segment refreshes it ("the more traffic
+//!   exchanged between the endpoints, the more up-to-date the leader
+//!   information is");
+//! * **forwarding pointers** left behind by past leaders so that segments
+//!   addressed to an out-of-date leader are chased along the chain to the
+//!   current one;
+//! * **pending sends** parked while a destination label is resolved through
+//!   the directory service.
+//!
+//! The actual send/receive orchestration lives in
+//! [`crate::network`]; this module is pure state, unit-testable in
+//! isolation.
+
+use bytes::Bytes;
+use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_world::field::NodeId;
+use envirotrack_world::geometry::Point;
+use serde::{Deserialize, Serialize};
+
+use crate::context::ContextLabel;
+
+/// A transport port, associated with one method of one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Port(pub u16);
+
+impl std::fmt::Display for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, ":{}", self.0)
+    }
+}
+
+/// A leader endpoint: the node currently speaking for a label, and where it
+/// was when last heard.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeaderLoc {
+    /// The leader node.
+    pub node: NodeId,
+    /// Its last known position.
+    pub pos: Point,
+}
+
+/// A bounded map with least-recently-used replacement ("leadership
+/// information is retained for as long as possible, given limited table
+/// sizes; replacement is done on a least-recently-used basis").
+///
+/// Lookup order is linear — mote tables hold a handful of entries.
+#[derive(Debug, Clone)]
+pub struct LruTable<K, V> {
+    capacity: usize,
+    // Most recently used at the back.
+    entries: Vec<(K, V)>,
+}
+
+impl<K: PartialEq + Copy, V> LruTable<K, V> {
+    /// Creates a table holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an LRU table needs capacity for at least one entry");
+        LruTable { capacity, entries: Vec::with_capacity(capacity) }
+    }
+
+    /// Looks up `key`, marking it most recently used.
+    pub fn get(&mut self, key: K) -> Option<&V> {
+        let idx = self.entries.iter().position(|(k, _)| *k == key)?;
+        let entry = self.entries.remove(idx);
+        self.entries.push(entry);
+        Some(&self.entries[self.entries.len() - 1].1)
+    }
+
+    /// Looks up `key` without touching recency.
+    #[must_use]
+    pub fn peek(&self, key: K) -> Option<&V> {
+        self.entries.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Inserts or refreshes `key`, evicting the least recently used entry
+    /// when full. Returns the evicted pair, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(idx) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(idx);
+            self.entries.push((key, value));
+            return None;
+        }
+        let evicted =
+            if self.entries.len() == self.capacity { Some(self.entries.remove(0)) } else { None };
+        self.entries.push((key, value));
+        evicted
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        let idx = self.entries.iter().position(|(k, _)| *k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates entries from least to most recently used.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// An application send queued until the destination label's leader is known.
+#[derive(Debug, Clone)]
+pub struct PendingSend {
+    /// The destination label awaiting resolution.
+    pub dst_label: ContextLabel,
+    /// The destination port.
+    pub dst_port: Port,
+    /// Source label.
+    pub src_label: ContextLabel,
+    /// Source port.
+    pub src_port: Port,
+    /// Application payload.
+    pub payload: Bytes,
+    /// The directory query id that will resolve it.
+    pub query_id: u32,
+    /// When the send was parked (for expiry).
+    pub parked_at: Timestamp,
+}
+
+/// A forwarding pointer left behind by a past leader.
+#[derive(Debug, Clone, Copy)]
+struct ForwardPointer {
+    label: ContextLabel,
+    next: LeaderLoc,
+    expires: Timestamp,
+}
+
+/// Per-node transport state. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct MtpState {
+    last_known: LruTable<ContextLabel, LeaderLoc>,
+    forwarding: Vec<ForwardPointer>,
+    pending: Vec<PendingSend>,
+    forward_ttl: SimDuration,
+    /// Maximum forwarding-chain length before a segment is dropped.
+    pub max_chain_hops: u8,
+}
+
+impl MtpState {
+    /// Creates transport state with the given last-known-leader table
+    /// capacity and forwarding-pointer lifetime.
+    #[must_use]
+    pub fn new(table_capacity: usize, forward_ttl: SimDuration, max_chain_hops: u8) -> Self {
+        MtpState {
+            last_known: LruTable::new(table_capacity),
+            forwarding: Vec::new(),
+            pending: Vec::new(),
+            forward_ttl,
+            max_chain_hops,
+        }
+    }
+
+    /// The last-known leader of `label`, refreshing its recency.
+    pub fn lookup(&mut self, label: ContextLabel) -> Option<LeaderLoc> {
+        self.last_known.get(label).copied()
+    }
+
+    /// Records that `label` is currently led from `loc` (from any observed
+    /// traffic: MTP headers, heartbeats, directory responses).
+    pub fn learn(&mut self, label: ContextLabel, loc: LeaderLoc) {
+        self.last_known.insert(label, loc);
+    }
+
+    /// The number of cached leader entries.
+    #[must_use]
+    pub fn table_len(&self) -> usize {
+        self.last_known.len()
+    }
+
+    /// Leaves a forwarding pointer: this node used to lead `label`, whose
+    /// traffic should now chase `next`.
+    pub fn leave_forward_pointer(&mut self, label: ContextLabel, next: LeaderLoc, now: Timestamp) {
+        self.forwarding.retain(|p| p.label != label);
+        self.forwarding.push(ForwardPointer { label, next, expires: now + self.forward_ttl });
+    }
+
+    /// An unexpired forwarding pointer for `label`, if present.
+    #[must_use]
+    pub fn forward_pointer(&self, label: ContextLabel, now: Timestamp) -> Option<LeaderLoc> {
+        self.forwarding.iter().find(|p| p.label == label && p.expires > now).map(|p| p.next)
+    }
+
+    /// Drops expired forwarding pointers and stale pending sends; returns
+    /// the expired pending sends for error reporting.
+    pub fn sweep(&mut self, now: Timestamp, pending_ttl: SimDuration) -> Vec<PendingSend> {
+        self.forwarding.retain(|p| p.expires > now);
+        let (keep, expired): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending)
+            .into_iter()
+            .partition(|p| now.saturating_since(p.parked_at) <= pending_ttl);
+        self.pending = keep;
+        expired
+    }
+
+    /// Parks a send awaiting directory resolution, correlated by the
+    /// caller-allocated `query_id` embedded in the directory query.
+    #[allow(clippy::too_many_arguments)]
+    pub fn park(
+        &mut self,
+        src_label: ContextLabel,
+        src_port: Port,
+        dst_label: ContextLabel,
+        dst_port: Port,
+        payload: Bytes,
+        now: Timestamp,
+        query_id: u32,
+    ) {
+        self.pending.push(PendingSend {
+            dst_label,
+            dst_port,
+            src_label,
+            src_port,
+            payload,
+            query_id,
+            parked_at: now,
+        });
+    }
+
+    /// Takes the sends that were waiting on `query_id` (normally one).
+    pub fn take_pending(&mut self, query_id: u32) -> Vec<PendingSend> {
+        let (resolved, keep): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut self.pending).into_iter().partition(|p| p.query_id == query_id);
+        self.pending = keep;
+        resolved
+    }
+
+    /// Pending sends waiting on a destination label (used when a directory
+    /// response resolves a label rather than a query id).
+    pub fn take_pending_for(&mut self, dst_label: ContextLabel) -> Vec<PendingSend> {
+        let (resolved, keep): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut self.pending).into_iter().partition(|p| p.dst_label == dst_label);
+        self.pending = keep;
+        resolved
+    }
+
+    /// Number of parked sends.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextTypeId;
+
+    fn label(n: u32) -> ContextLabel {
+        ContextLabel { type_id: ContextTypeId(0), creator: NodeId(n), seq: 0 }
+    }
+
+    fn loc(n: u32) -> LeaderLoc {
+        LeaderLoc { node: NodeId(n), pos: Point::new(f64::from(n), 0.0) }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut t: LruTable<u32, &str> = LruTable::new(2);
+        assert!(t.insert(1, "a").is_none());
+        assert!(t.insert(2, "b").is_none());
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(t.get(1), Some(&"a"));
+        let evicted = t.insert(3, "c");
+        assert_eq!(evicted, Some((2, "b")));
+        assert_eq!(t.peek(2), None);
+        assert_eq!(t.peek(1), Some(&"a"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lru_reinsert_refreshes_without_eviction() {
+        let mut t: LruTable<u32, u32> = LruTable::new(2);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        assert!(t.insert(1, 11).is_none(), "refresh must not evict");
+        assert_eq!(t.peek(1), Some(&11));
+        // 2 is now LRU.
+        assert_eq!(t.insert(3, 30), Some((2, 20)));
+    }
+
+    #[test]
+    fn lru_remove_and_iter() {
+        let mut t: LruTable<u32, u32> = LruTable::new(3);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        assert_eq!(t.remove(1), Some(10));
+        assert_eq!(t.remove(1), None);
+        let keys: Vec<u32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![2]);
+        assert_eq!(t.capacity(), 3);
+    }
+
+    #[test]
+    fn learn_and_lookup_track_leaders() {
+        let mut mtp = MtpState::new(4, SimDuration::from_secs(10), 4);
+        assert_eq!(mtp.lookup(label(1)), None);
+        mtp.learn(label(1), loc(5));
+        assert_eq!(mtp.lookup(label(1)), Some(loc(5)));
+        mtp.learn(label(1), loc(6));
+        assert_eq!(mtp.lookup(label(1)), Some(loc(6)));
+        assert_eq!(mtp.table_len(), 1);
+    }
+
+    #[test]
+    fn forwarding_pointers_expire() {
+        let mut mtp = MtpState::new(4, SimDuration::from_secs(10), 4);
+        mtp.leave_forward_pointer(label(1), loc(9), Timestamp::from_secs(0));
+        assert_eq!(mtp.forward_pointer(label(1), Timestamp::from_secs(5)), Some(loc(9)));
+        assert_eq!(mtp.forward_pointer(label(1), Timestamp::from_secs(10)), None);
+        mtp.sweep(Timestamp::from_secs(11), SimDuration::from_secs(60));
+        assert_eq!(mtp.forward_pointer(label(1), Timestamp::from_secs(5)), None);
+    }
+
+    #[test]
+    fn newer_pointer_replaces_older() {
+        let mut mtp = MtpState::new(4, SimDuration::from_secs(10), 4);
+        mtp.leave_forward_pointer(label(1), loc(2), Timestamp::ZERO);
+        mtp.leave_forward_pointer(label(1), loc(3), Timestamp::from_secs(1));
+        assert_eq!(mtp.forward_pointer(label(1), Timestamp::from_secs(2)), Some(loc(3)));
+    }
+
+    #[test]
+    fn parked_sends_resolve_by_query_or_label() {
+        let mut mtp = MtpState::new(4, SimDuration::from_secs(10), 4);
+        mtp.park(label(0), Port(1), label(7), Port(2), Bytes::new(), Timestamp::ZERO, 1);
+        mtp.park(label(0), Port(1), label(8), Port(2), Bytes::new(), Timestamp::ZERO, 2);
+        assert_eq!(mtp.pending_len(), 2);
+        let got = mtp.take_pending(1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].dst_label, label(7));
+        let got = mtp.take_pending_for(label(8));
+        assert_eq!(got.len(), 1);
+        assert_eq!(mtp.pending_len(), 0);
+    }
+
+    #[test]
+    fn sweep_expires_stale_pending_sends() {
+        let mut mtp = MtpState::new(4, SimDuration::from_secs(10), 4);
+        mtp.park(label(0), Port(1), label(7), Port(2), Bytes::new(), Timestamp::ZERO, 1);
+        mtp.park(label(0), Port(1), label(8), Port(2), Bytes::new(), Timestamp::from_secs(50), 2);
+        let expired = mtp.sweep(Timestamp::from_secs(55), SimDuration::from_secs(10));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].dst_label, label(7));
+        assert_eq!(mtp.pending_len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_lru_is_rejected() {
+        let _: LruTable<u32, u32> = LruTable::new(0);
+    }
+}

@@ -1,0 +1,749 @@
+//! The middleware's wire protocol: typed messages and their binary codec.
+//!
+//! Every protocol exchange — heartbeats, member reports, directory traffic,
+//! MTP segments — is a [`Message`] serialised into the payload of a radio
+//! [`envirotrack_net::packet::Frame`]. Sizes are what the 50 kb/s channel
+//! actually carries, so the codec is a compact hand-rolled binary format
+//! (as on the real motes) rather than a textual one; Table 1's utilisation
+//! figures depend on it.
+//!
+//! ```
+//! use envirotrack_core::wire::{Heartbeat, Message};
+//! use envirotrack_core::context::{ContextLabel, ContextTypeId};
+//! use envirotrack_world::field::NodeId;
+//! use envirotrack_world::geometry::Point;
+//!
+//! let msg = Message::Heartbeat(Heartbeat {
+//!     label: ContextLabel { type_id: ContextTypeId(0), creator: NodeId(3), seq: 1 },
+//!     leader: NodeId(3),
+//!     leader_pos: Point::new(1.0, 2.0),
+//!     weight: 17,
+//!     hb_seq: 42,
+//!     ttl: 1,
+//!     state: None,
+//! });
+//! let bytes = msg.encode();
+//! assert_eq!(Message::decode(&bytes).unwrap(), msg);
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use envirotrack_net::packet::FrameKind;
+use envirotrack_sim::time::Timestamp;
+use envirotrack_world::field::NodeId;
+use envirotrack_world::geometry::Point;
+
+use crate::aggregate::ReadingValue;
+use crate::context::{ContextLabel, ContextTypeId};
+use crate::transport::Port;
+
+/// Frame kinds used by the middleware, for per-class channel statistics.
+pub mod kinds {
+    use envirotrack_net::packet::FrameKind;
+
+    /// Leader heartbeats (Table 1's "HB loss" class).
+    pub const HEARTBEAT: FrameKind = FrameKind(1);
+    /// Member sensor reports (Table 1's "Msg loss" class).
+    pub const REPORT: FrameKind = FrameKind(2);
+    /// Leadership relinquish announcements.
+    pub const RELINQUISH: FrameKind = FrameKind(3);
+    /// Directory registrations, queries, and responses.
+    pub const DIRECTORY: FrameKind = FrameKind(4);
+    /// Inter-object transport segments.
+    pub const MTP: FrameKind = FrameKind(5);
+    /// Geographically forwarded wrappers (multi-hop unicast legs).
+    pub const GEO_FORWARD: FrameKind = FrameKind(6);
+    /// Reports to the base station / pursuer.
+    pub const BASE_REPORT: FrameKind = FrameKind(7);
+    /// Link-layer acknowledgements for reliable unicast hops.
+    pub const LINK_ACK: FrameKind = FrameKind(8);
+}
+
+/// A leader's periodic announcement (paper §5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heartbeat {
+    /// The context label the leader speaks for.
+    pub label: ContextLabel,
+    /// The current leader.
+    pub leader: NodeId,
+    /// The leader's position (lets the transport chase moving groups).
+    pub leader_pos: Point,
+    /// The leader weight: member messages received to date.
+    pub weight: u32,
+    /// Monotone per-leader heartbeat sequence, for flood deduplication.
+    pub hb_seq: u32,
+    /// Remaining flood hops past the hearing node.
+    pub ttl: u8,
+    /// Optional persistent object state carried for successor leaders.
+    pub state: Option<Bytes>,
+}
+
+/// A leader stepping down because it no longer senses the entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relinquish {
+    /// The label being handed over.
+    pub label: ContextLabel,
+    /// The departing leader.
+    pub from: NodeId,
+    /// The weight the successor should inherit.
+    pub weight: u32,
+    /// The designated successor (freshest reporter), if any was known.
+    pub successor: Option<NodeId>,
+    /// Persistent object state to carry over.
+    pub state: Option<Bytes>,
+}
+
+/// A member's raw sensor report to its leader (the data-collection
+/// protocol of §3.2.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// The group's label.
+    pub label: ContextLabel,
+    /// The reporting member.
+    pub member: NodeId,
+    /// When the readings were taken.
+    pub taken_at: Timestamp,
+    /// `(aggregate-variable index, value)` pairs.
+    pub values: Vec<(u8, ReadingValue)>,
+}
+
+/// A new or refreshed directory entry (paper §5.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirRegister {
+    /// The registering label.
+    pub label: ContextLabel,
+    /// Where the label's leader currently is.
+    pub location: Point,
+}
+
+/// A "where are all the fires?" directory query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirQuery {
+    /// The context type being looked up.
+    pub type_id: ContextTypeId,
+    /// The querying node (response is geo-routed back to it).
+    pub reply_to: NodeId,
+    /// The querying node's position.
+    pub reply_pos: Point,
+    /// Correlates the response with the query.
+    pub query_id: u32,
+}
+
+/// The directory's answer to a [`DirQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirResponse {
+    /// Correlates with the query.
+    pub query_id: u32,
+    /// Known live labels of the requested type and their last locations.
+    pub entries: Vec<(ContextLabel, Point)>,
+}
+
+/// One inter-object transport segment (paper §5.4's MTP).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtpSegment {
+    /// Source connection endpoint.
+    pub src_label: ContextLabel,
+    /// Source port.
+    pub src_port: Port,
+    /// Destination connection endpoint.
+    pub dst_label: ContextLabel,
+    /// Destination port (selects the receiving object method).
+    pub dst_port: Port,
+    /// The sender's current leader — receivers update their tables from it.
+    pub src_leader: NodeId,
+    /// The sender leader's position.
+    pub src_leader_pos: Point,
+    /// Forwarding-chain hop count (bounds chasing through past leaders).
+    pub chain_hops: u8,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+/// An application report delivered to the base station / pursuer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseReport {
+    /// The reporting context label.
+    pub label: ContextLabel,
+    /// When the report was generated on the leader.
+    pub generated_at: Timestamp,
+    /// Application payload (e.g. an encoded position).
+    pub payload: Bytes,
+}
+
+/// A message wrapped for greedy geographic forwarding to a coordinate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeoForward {
+    /// The destination coordinate (delivery happens at its home node, or at
+    /// `deliver_to` if that node is reached first).
+    pub dest: Point,
+    /// If set, any hop through this node delivers immediately.
+    pub deliver_to: Option<NodeId>,
+    /// The wrapped message.
+    pub inner: Box<Message>,
+}
+
+/// Every protocol message the middleware exchanges.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Leader heartbeat.
+    Heartbeat(Heartbeat),
+    /// Leadership relinquish.
+    Relinquish(Relinquish),
+    /// Member sensor report.
+    Report(Report),
+    /// Directory registration.
+    DirRegister(DirRegister),
+    /// Directory query.
+    DirQuery(DirQuery),
+    /// Directory response.
+    DirResponse(DirResponse),
+    /// Inter-object transport segment.
+    Mtp(MtpSegment),
+    /// Base-station report.
+    Base(BaseReport),
+    /// Geographic forwarding wrapper.
+    Geo(GeoForward),
+}
+
+impl Message {
+    /// The frame kind used for channel statistics.
+    #[must_use]
+    pub fn kind(&self) -> FrameKind {
+        match self {
+            Message::Heartbeat(_) => kinds::HEARTBEAT,
+            Message::Relinquish(_) => kinds::RELINQUISH,
+            Message::Report(_) => kinds::REPORT,
+            Message::DirRegister(_) | Message::DirQuery(_) | Message::DirResponse(_) => {
+                kinds::DIRECTORY
+            }
+            Message::Mtp(_) => kinds::MTP,
+            Message::Base(_) => kinds::BASE_REPORT,
+            Message::Geo(_) => kinds::GEO_FORWARD,
+        }
+    }
+
+    /// Serialises to the compact wire format.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(48);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            Message::Heartbeat(h) => {
+                buf.put_u8(1);
+                put_label(buf, h.label);
+                buf.put_u32(h.leader.0);
+                put_point(buf, h.leader_pos);
+                buf.put_u32(h.weight);
+                buf.put_u32(h.hb_seq);
+                buf.put_u8(h.ttl);
+                put_opt_bytes(buf, &h.state);
+            }
+            Message::Relinquish(r) => {
+                buf.put_u8(2);
+                put_label(buf, r.label);
+                buf.put_u32(r.from.0);
+                buf.put_u32(r.weight);
+                match r.successor {
+                    Some(n) => {
+                        buf.put_u8(1);
+                        buf.put_u32(n.0);
+                    }
+                    None => buf.put_u8(0),
+                }
+                put_opt_bytes(buf, &r.state);
+            }
+            Message::Report(r) => {
+                buf.put_u8(3);
+                put_label(buf, r.label);
+                buf.put_u32(r.member.0);
+                buf.put_u64(r.taken_at.as_micros());
+                buf.put_u8(r.values.len() as u8);
+                for (idx, v) in &r.values {
+                    buf.put_u8(*idx);
+                    put_reading(buf, *v);
+                }
+            }
+            Message::DirRegister(d) => {
+                buf.put_u8(4);
+                put_label(buf, d.label);
+                put_point(buf, d.location);
+            }
+            Message::DirQuery(d) => {
+                buf.put_u8(5);
+                buf.put_u16(d.type_id.0);
+                buf.put_u32(d.reply_to.0);
+                put_point(buf, d.reply_pos);
+                buf.put_u32(d.query_id);
+            }
+            Message::DirResponse(d) => {
+                buf.put_u8(6);
+                buf.put_u32(d.query_id);
+                buf.put_u8(d.entries.len() as u8);
+                for (label, p) in &d.entries {
+                    put_label(buf, *label);
+                    put_point(buf, *p);
+                }
+            }
+            Message::Mtp(m) => {
+                buf.put_u8(7);
+                put_label(buf, m.src_label);
+                buf.put_u16(m.src_port.0);
+                put_label(buf, m.dst_label);
+                buf.put_u16(m.dst_port.0);
+                buf.put_u32(m.src_leader.0);
+                put_point(buf, m.src_leader_pos);
+                buf.put_u8(m.chain_hops);
+                buf.put_u16(m.payload.len() as u16);
+                buf.put_slice(&m.payload);
+            }
+            Message::Base(b) => {
+                buf.put_u8(8);
+                put_label(buf, b.label);
+                buf.put_u64(b.generated_at.as_micros());
+                buf.put_u16(b.payload.len() as u16);
+                buf.put_slice(&b.payload);
+            }
+            Message::Geo(g) => {
+                buf.put_u8(9);
+                put_point(buf, g.dest);
+                match g.deliver_to {
+                    Some(n) => {
+                        buf.put_u8(1);
+                        buf.put_u32(n.0);
+                    }
+                    None => buf.put_u8(0),
+                }
+                let mut inner = BytesMut::new();
+                g.inner.encode_into(&mut inner);
+                buf.put_u16(inner.len() as u16);
+                buf.put_slice(&inner);
+            }
+        }
+    }
+
+    /// Parses a message from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated input or an unknown tag.
+    pub fn decode(bytes: &[u8]) -> Result<Message, DecodeError> {
+        let mut buf = bytes;
+        let msg = Self::decode_from(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(DecodeError::TrailingBytes { count: buf.len() });
+        }
+        Ok(msg)
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Message, DecodeError> {
+        let tag = get_u8(buf)?;
+        Ok(match tag {
+            1 => Message::Heartbeat(Heartbeat {
+                label: get_label(buf)?,
+                leader: NodeId(get_u32(buf)?),
+                leader_pos: get_point(buf)?,
+                weight: get_u32(buf)?,
+                hb_seq: get_u32(buf)?,
+                ttl: get_u8(buf)?,
+                state: get_opt_bytes(buf)?,
+            }),
+            2 => Message::Relinquish(Relinquish {
+                label: get_label(buf)?,
+                from: NodeId(get_u32(buf)?),
+                weight: get_u32(buf)?,
+                successor: if get_u8(buf)? == 1 { Some(NodeId(get_u32(buf)?)) } else { None },
+                state: get_opt_bytes(buf)?,
+            }),
+            3 => {
+                let label = get_label(buf)?;
+                let member = NodeId(get_u32(buf)?);
+                let taken_at = Timestamp::from_micros(get_u64(buf)?);
+                let n = get_u8(buf)?;
+                let mut values = Vec::with_capacity(usize::from(n));
+                for _ in 0..n {
+                    let idx = get_u8(buf)?;
+                    values.push((idx, get_reading(buf)?));
+                }
+                Message::Report(Report { label, member, taken_at, values })
+            }
+            4 => Message::DirRegister(DirRegister { label: get_label(buf)?, location: get_point(buf)? }),
+            5 => Message::DirQuery(DirQuery {
+                type_id: ContextTypeId(get_u16(buf)?),
+                reply_to: NodeId(get_u32(buf)?),
+                reply_pos: get_point(buf)?,
+                query_id: get_u32(buf)?,
+            }),
+            6 => {
+                let query_id = get_u32(buf)?;
+                let n = get_u8(buf)?;
+                let mut entries = Vec::with_capacity(usize::from(n));
+                for _ in 0..n {
+                    entries.push((get_label(buf)?, get_point(buf)?));
+                }
+                Message::DirResponse(DirResponse { query_id, entries })
+            }
+            7 => Message::Mtp(MtpSegment {
+                src_label: get_label(buf)?,
+                src_port: Port(get_u16(buf)?),
+                dst_label: get_label(buf)?,
+                dst_port: Port(get_u16(buf)?),
+                src_leader: NodeId(get_u32(buf)?),
+                src_leader_pos: get_point(buf)?,
+                chain_hops: get_u8(buf)?,
+                payload: get_len_bytes(buf)?,
+            }),
+            8 => Message::Base(BaseReport {
+                label: get_label(buf)?,
+                generated_at: Timestamp::from_micros(get_u64(buf)?),
+                payload: get_len_bytes(buf)?,
+            }),
+            9 => {
+                let dest = get_point(buf)?;
+                let deliver_to = if get_u8(buf)? == 1 { Some(NodeId(get_u32(buf)?)) } else { None };
+                let len = usize::from(get_u16(buf)?);
+                if buf.remaining() < len {
+                    return Err(DecodeError::Truncated);
+                }
+                let (inner_bytes, rest) = buf.split_at(len);
+                *buf = rest;
+                let mut inner_slice = inner_bytes;
+                let inner = Message::decode_from(&mut inner_slice)?;
+                if !inner_slice.is_empty() {
+                    return Err(DecodeError::TrailingBytes { count: inner_slice.len() });
+                }
+                Message::Geo(GeoForward { dest, deliver_to, inner: Box::new(inner) })
+            }
+            other => return Err(DecodeError::UnknownTag { tag: other }),
+        })
+    }
+}
+
+/// Error returned when a wire message cannot be parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// The leading type tag is not a known message.
+    UnknownTag {
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// Bytes remained after a complete message.
+    TrailingBytes {
+        /// How many bytes were left over.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("message truncated"),
+            DecodeError::UnknownTag { tag } => write!(f, "unknown message tag {tag}"),
+            DecodeError::TrailingBytes { count } => write!(f, "{count} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_label(buf: &mut BytesMut, label: ContextLabel) {
+    buf.put_u16(label.type_id.0);
+    buf.put_u32(label.creator.0);
+    buf.put_u32(label.seq);
+}
+
+fn get_label(buf: &mut &[u8]) -> Result<ContextLabel, DecodeError> {
+    Ok(ContextLabel {
+        type_id: ContextTypeId(get_u16(buf)?),
+        creator: NodeId(get_u32(buf)?),
+        seq: get_u32(buf)?,
+    })
+}
+
+fn put_point(buf: &mut BytesMut, p: Point) {
+    buf.put_f64(p.x);
+    buf.put_f64(p.y);
+}
+
+fn get_point(buf: &mut &[u8]) -> Result<Point, DecodeError> {
+    let x = get_f64(buf)?;
+    let y = get_f64(buf)?;
+    Ok(Point::new(x, y))
+}
+
+fn put_reading(buf: &mut BytesMut, v: ReadingValue) {
+    match v {
+        ReadingValue::Scalar(s) => {
+            buf.put_u8(0);
+            buf.put_f64(s);
+        }
+        ReadingValue::Position(p) => {
+            buf.put_u8(1);
+            put_point(buf, p);
+        }
+    }
+}
+
+fn get_reading(buf: &mut &[u8]) -> Result<ReadingValue, DecodeError> {
+    match get_u8(buf)? {
+        0 => Ok(ReadingValue::Scalar(get_f64(buf)?)),
+        1 => Ok(ReadingValue::Position(get_point(buf)?)),
+        tag => Err(DecodeError::UnknownTag { tag }),
+    }
+}
+
+fn put_opt_bytes(buf: &mut BytesMut, b: &Option<Bytes>) {
+    match b {
+        Some(data) => {
+            buf.put_u8(1);
+            buf.put_u16(data.len() as u16);
+            buf.put_slice(data);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_opt_bytes(buf: &mut &[u8]) -> Result<Option<Bytes>, DecodeError> {
+    if get_u8(buf)? == 0 {
+        return Ok(None);
+    }
+    Ok(Some(get_len_bytes(buf)?))
+}
+
+fn get_len_bytes(buf: &mut &[u8]) -> Result<Bytes, DecodeError> {
+    let len = usize::from(get_u16(buf)?);
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let (data, rest) = buf.split_at(len);
+    let out = Bytes::copy_from_slice(data);
+    *buf = rest;
+    Ok(out)
+}
+
+macro_rules! getter {
+    ($name:ident, $ty:ty, $len:expr, $read:ident) => {
+        fn $name(buf: &mut &[u8]) -> Result<$ty, DecodeError> {
+            if buf.remaining() < $len {
+                return Err(DecodeError::Truncated);
+            }
+            Ok(buf.$read())
+        }
+    };
+}
+getter!(get_u8, u8, 1, get_u8);
+getter!(get_u16, u16, 2, get_u16);
+getter!(get_u32, u32, 4, get_u32);
+getter!(get_u64, u64, 8, get_u64);
+getter!(get_f64, f64, 8, get_f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label(t: u16, n: u32, s: u32) -> ContextLabel {
+        ContextLabel { type_id: ContextTypeId(t), creator: NodeId(n), seq: s }
+    }
+
+    fn round_trip(msg: Message) {
+        let bytes = msg.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn heartbeat_round_trips() {
+        round_trip(Message::Heartbeat(Heartbeat {
+            label: label(1, 2, 3),
+            leader: NodeId(2),
+            leader_pos: Point::new(-1.25, 7.5),
+            weight: 99,
+            hb_seq: 1000,
+            ttl: 2,
+            state: Some(Bytes::from_static(b"persist")),
+        }));
+        round_trip(Message::Heartbeat(Heartbeat {
+            label: label(0, 0, 0),
+            leader: NodeId(0),
+            leader_pos: Point::ORIGIN,
+            weight: 0,
+            hb_seq: 0,
+            ttl: 0,
+            state: None,
+        }));
+    }
+
+    #[test]
+    fn relinquish_round_trips() {
+        round_trip(Message::Relinquish(Relinquish {
+            label: label(1, 5, 7),
+            from: NodeId(5),
+            weight: 31,
+            successor: Some(NodeId(9)),
+            state: None,
+        }));
+        round_trip(Message::Relinquish(Relinquish {
+            label: label(1, 5, 7),
+            from: NodeId(5),
+            weight: 31,
+            successor: None,
+            state: Some(Bytes::from_static(&[1, 2, 3])),
+        }));
+    }
+
+    #[test]
+    fn report_round_trips_with_mixed_values() {
+        round_trip(Message::Report(Report {
+            label: label(2, 8, 1),
+            member: NodeId(8),
+            taken_at: Timestamp::from_millis(123_456),
+            values: vec![
+                (0, ReadingValue::Position(Point::new(3.0, 0.5))),
+                (1, ReadingValue::Scalar(42.5)),
+            ],
+        }));
+    }
+
+    #[test]
+    fn directory_messages_round_trip() {
+        round_trip(Message::DirRegister(DirRegister {
+            label: label(0, 1, 1),
+            location: Point::new(4.0, 4.0),
+        }));
+        round_trip(Message::DirQuery(DirQuery {
+            type_id: ContextTypeId(3),
+            reply_to: NodeId(17),
+            reply_pos: Point::new(0.0, 9.0),
+            query_id: 555,
+        }));
+        round_trip(Message::DirResponse(DirResponse {
+            query_id: 555,
+            entries: vec![
+                (label(3, 4, 1), Point::new(1.0, 1.0)),
+                (label(3, 9, 2), Point::new(5.0, 5.0)),
+            ],
+        }));
+        round_trip(Message::DirResponse(DirResponse { query_id: 1, entries: vec![] }));
+    }
+
+    #[test]
+    fn mtp_and_base_round_trip() {
+        round_trip(Message::Mtp(MtpSegment {
+            src_label: label(0, 1, 1),
+            src_port: Port(7),
+            dst_label: label(1, 2, 2),
+            dst_port: Port(9),
+            src_leader: NodeId(1),
+            src_leader_pos: Point::new(2.0, 2.0),
+            chain_hops: 3,
+            payload: Bytes::from_static(b"hello object"),
+        }));
+        round_trip(Message::Base(BaseReport {
+            label: label(0, 1, 1),
+            generated_at: Timestamp::from_secs(30),
+            payload: Bytes::from_static(&[9, 9]),
+        }));
+    }
+
+    #[test]
+    fn geo_forward_nests_any_message() {
+        round_trip(Message::Geo(GeoForward {
+            dest: Point::new(6.5, 2.5),
+            deliver_to: Some(NodeId(12)),
+            inner: Box::new(Message::Base(BaseReport {
+                label: label(0, 3, 4),
+                generated_at: Timestamp::from_secs(1),
+                payload: Bytes::from_static(b"pos"),
+            })),
+        }));
+        // Nested geo-forward (rare but legal).
+        round_trip(Message::Geo(GeoForward {
+            dest: Point::ORIGIN,
+            deliver_to: None,
+            inner: Box::new(Message::Geo(GeoForward {
+                dest: Point::new(1.0, 1.0),
+                deliver_to: None,
+                inner: Box::new(Message::DirQuery(DirQuery {
+                    type_id: ContextTypeId(0),
+                    reply_to: NodeId(0),
+                    reply_pos: Point::ORIGIN,
+                    query_id: 0,
+                })),
+            })),
+        }));
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicked() {
+        let bytes = Message::Heartbeat(Heartbeat {
+            label: label(1, 2, 3),
+            leader: NodeId(2),
+            leader_pos: Point::ORIGIN,
+            weight: 9,
+            hb_seq: 9,
+            ttl: 0,
+            state: None,
+        })
+        .encode();
+        for cut in 0..bytes.len() {
+            let err = Message::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Truncated | DecodeError::UnknownTag { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_error() {
+        assert_eq!(Message::decode(&[200]).unwrap_err(), DecodeError::UnknownTag { tag: 200 });
+        let mut bytes = Message::DirResponse(DirResponse { query_id: 1, entries: vec![] })
+            .encode()
+            .to_vec();
+        bytes.push(0xAB);
+        assert_eq!(Message::decode(&bytes).unwrap_err(), DecodeError::TrailingBytes { count: 1 });
+    }
+
+    #[test]
+    fn kinds_separate_heartbeats_from_reports() {
+        let hb = Message::Heartbeat(Heartbeat {
+            label: label(0, 0, 0),
+            leader: NodeId(0),
+            leader_pos: Point::ORIGIN,
+            weight: 0,
+            hb_seq: 0,
+            ttl: 0,
+            state: None,
+        });
+        let rpt = Message::Report(Report {
+            label: label(0, 0, 0),
+            member: NodeId(0),
+            taken_at: Timestamp::ZERO,
+            values: vec![],
+        });
+        assert_eq!(hb.kind(), kinds::HEARTBEAT);
+        assert_eq!(rpt.kind(), kinds::REPORT);
+        assert_ne!(hb.kind(), rpt.kind());
+    }
+
+    #[test]
+    fn heartbeat_is_compact_on_the_wire() {
+        // The mote radio carried ~36-byte packets; our heartbeat must be in
+        // that ballpark for the utilisation figures to be meaningful.
+        let hb = Message::Heartbeat(Heartbeat {
+            label: label(1, 2, 3),
+            leader: NodeId(2),
+            leader_pos: Point::new(1.0, 2.0),
+            weight: 17,
+            hb_seq: 42,
+            ttl: 1,
+            state: None,
+        });
+        let len = hb.encode().len();
+        assert!(len <= 48, "heartbeat is {len} bytes");
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests: pretty-print ∘ parse round trips for random ASTs.
+
+use envirotrack_lang::ast::{
+    AggrDecl, AttrValue, BoolExpr, CmpOp, ContextDecl, Expr, InvocationDecl, MethodDecl,
+    ObjectDecl, ProgramDecl, Stmt,
+};
+use envirotrack_lang::parser::parse;
+use envirotrack_lang::pretty::to_source;
+use proptest::prelude::*;
+
+/// Identifiers that cannot collide with keywords or tokens.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "begin" | "end" | "context" | "object" | "activation" | "deactivation"
+                | "invocation" | "subscribe" | "and" | "or" | "not" | "self" | "label"
+        )
+    })
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Gt),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Le),
+        Just(CmpOp::Eq),
+    ]
+}
+
+fn arb_bool_expr() -> impl Strategy<Value = BoolExpr> {
+    let leaf = prop_oneof![
+        (ident(), prop::collection::vec(0u32..10_000, 0..3)).prop_map(|(name, args)| {
+            BoolExpr::Call { name, args: args.into_iter().map(f64::from).collect() }
+        }),
+        (ident(), arb_cmp(), 0u32..100_000)
+            .prop_map(|(channel, op, v)| BoolExpr::Compare { channel, op, value: f64::from(v) }),
+        ident().prop_map(|channel| BoolExpr::Truthy { channel }),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| BoolExpr::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| BoolExpr::Or(Box::new(l), Box::new(r))),
+            inner.prop_map(|e| BoolExpr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(AttrValue::Int),
+        // Durations only in whole ms so the printer's unit choice re-lexes
+        // identically.
+        (1u64..100_000).prop_map(|ms| AttrValue::DurationMicros(ms * 1000)),
+        ident().prop_map(AttrValue::Ident),
+    ]
+}
+
+fn arb_aggr() -> impl Strategy<Value = AggrDecl> {
+    (ident(), ident(), ident(), prop::collection::vec((ident(), arb_attr_value()), 0..3)).prop_map(
+        |(name, function, input, attrs)| AggrDecl { name, function, input, attrs, line: 0 },
+    )
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::SelfLabel),
+        ident().prop_map(Expr::Var),
+        "[ -!#-\\[\\]-~]{0,12}".prop_map(Expr::Str), // printable, no quote/backslash
+        (0u32..1_000_000).prop_map(|n| Expr::Num(f64::from(n))),
+    ]
+}
+
+fn arb_method() -> impl Strategy<Value = MethodDecl> {
+    let invocation = prop_oneof![
+        (1u64..10_000).prop_map(|ms| InvocationDecl::TimerMicros(ms * 1000)),
+        any::<u16>().prop_map(InvocationDecl::MessagePort),
+    ];
+    (
+        ident(),
+        invocation,
+        prop::collection::vec(
+            (ident(), prop::collection::vec(arb_expr(), 0..4))
+                .prop_map(|(name, args)| Stmt { name, args, line: 0 }),
+            0..4,
+        ),
+    )
+        .prop_map(|(name, invocation, body)| MethodDecl { name, invocation, body, line: 0 })
+}
+
+fn arb_object() -> impl Strategy<Value = ObjectDecl> {
+    (ident(), prop::collection::vec(arb_method(), 1..3))
+        .prop_map(|(name, methods)| ObjectDecl { name, methods })
+}
+
+fn arb_context() -> impl Strategy<Value = ContextDecl> {
+    (
+        ident(),
+        arb_bool_expr(),
+        prop::option::of(arb_bool_expr()),
+        prop::collection::vec(ident(), 0..3),
+        prop::option::of((0u32..100, 0u32..100).prop_map(|(x, y)| (f64::from(x), f64::from(y)))),
+        prop::collection::vec(arb_aggr(), 0..3),
+        prop::collection::vec(arb_object(), 0..2),
+    )
+        .prop_map(
+            |(name, activation, deactivation, subscriptions, pinned, aggregates, objects)| {
+                ContextDecl {
+                    name,
+                    activation,
+                    deactivation,
+                    subscriptions,
+                    pinned,
+                    aggregates,
+                    objects,
+                    line: 0,
+                }
+            },
+        )
+}
+
+/// Strips source positions so structural equality ignores them.
+fn strip(mut p: ProgramDecl) -> ProgramDecl {
+    for c in &mut p.contexts {
+        c.line = 0;
+        for a in &mut c.aggregates {
+            a.line = 0;
+        }
+        for o in &mut c.objects {
+            for m in &mut o.methods {
+                m.line = 0;
+                for s in &mut m.body {
+                    s.line = 0;
+                }
+            }
+        }
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Printing any AST and re-parsing it yields the same AST.
+    #[test]
+    fn print_parse_round_trip(contexts in prop::collection::vec(arb_context(), 1..3)) {
+        let ast = ProgramDecl { contexts };
+        let src = to_source(&ast);
+        let reparsed = parse(&src).unwrap_or_else(|e| panic!("{e}\n--- source ---\n{src}"));
+        prop_assert_eq!(strip(reparsed), ast);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_is_total(src in "\\PC{0,200}") {
+        let _ = parse(&src);
+    }
+}

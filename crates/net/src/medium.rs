@@ -1,0 +1,627 @@
+//! The shared wireless channel.
+//!
+//! [`Medium`] models the MICA mote radio the paper ran on:
+//!
+//! * **Unit-disk connectivity** — nodes hear each other within a
+//!   configurable communication radius (in grid units).
+//! * **50 kb/s serialisation** — a frame occupies the channel for
+//!   `on_air_bits / bandwidth` of virtual time.
+//! * **CSMA deferral** — a transmitter that senses an in-range transmission
+//!   defers until the channel frees (plus a random backoff); frames deferred
+//!   beyond a bound are dropped, modelling queue overflow under overload.
+//! * **Collisions** — two overlapping transmissions audible at a common
+//!   receiver destroy each other there (hidden terminals), and a node
+//!   cannot receive while transmitting (half-duplex).
+//! * **Fading** — independent per-receiver Bernoulli loss, the residual
+//!   unreliability the paper observed even at low utilisation (MICA's MAC
+//!   has no reliability layer).
+//!
+//! The medium is passive: an event handler calls [`Medium::transmit`], then
+//! schedules one engine event at the returned completion instant and calls
+//! [`Medium::deliveries`] from it, dispatching the per-receiver outcomes to
+//! the node runtimes. All randomness comes from the medium's own forked RNG,
+//! keeping runs reproducible.
+
+use std::collections::BTreeMap;
+
+use envirotrack_sim::rng::SimRng;
+use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_world::field::{Deployment, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::packet::{Frame, FrameKind};
+
+/// Radio and MAC parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RadioConfig {
+    /// Communication radius in grid units.
+    pub comm_radius: f64,
+    /// Channel bandwidth in bits per second (MICA: 50 kb/s).
+    pub bandwidth_bps: u64,
+    /// Independent per-receiver fade probability.
+    pub base_loss: f64,
+    /// Whether transmitters carrier-sense and defer (CSMA).
+    pub csma: bool,
+    /// Longest a frame may wait for the channel before being dropped.
+    pub max_defer: SimDuration,
+    /// Upper bound on the random post-defer backoff.
+    pub backoff_max: SimDuration,
+    /// Fixed receive-path processing delay added after the last bit.
+    pub proc_delay: SimDuration,
+}
+
+impl Default for RadioConfig {
+    /// MICA-mote-like defaults: 50 kb/s, 5 % fade, CSMA with a 250 ms defer
+    /// cap, and a 2 ms receive-processing delay.
+    fn default() -> Self {
+        RadioConfig {
+            comm_radius: 6.0,
+            bandwidth_bps: 50_000,
+            base_loss: 0.05,
+            csma: true,
+            max_defer: SimDuration::from_millis(250),
+            backoff_max: SimDuration::from_millis(4),
+            proc_delay: SimDuration::from_millis(2),
+        }
+    }
+}
+
+impl RadioConfig {
+    /// Sets the communication radius; chainable.
+    #[must_use]
+    pub fn with_comm_radius(mut self, r: f64) -> Self {
+        assert!(r > 0.0, "communication radius must be positive");
+        self.comm_radius = r;
+        self
+    }
+
+    /// Sets the fade probability; chainable.
+    #[must_use]
+    pub fn with_base_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        self.base_loss = p;
+        self
+    }
+
+    /// On-air time of `frame` at this bandwidth.
+    #[must_use]
+    pub fn tx_time(&self, frame: &Frame) -> SimDuration {
+        let micros = frame.on_air_bits() * 1_000_000 / self.bandwidth_bps;
+        SimDuration::from_micros(micros.max(1))
+    }
+}
+
+/// Identifies one in-flight transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxId(u64);
+
+/// What happened to one (transmission, receiver) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// The frame arrived intact.
+    Delivered,
+    /// Destroyed by an overlapping transmission audible at the receiver.
+    Collided,
+    /// The receiver was itself transmitting (half-duplex radio).
+    HalfDuplex,
+    /// Independent fading loss.
+    Faded,
+}
+
+/// Returned by [`Medium::transmit`]: when to collect the deliveries.
+#[derive(Debug, Clone, Copy)]
+pub struct Transmission {
+    /// Handle to pass to [`Medium::deliveries`].
+    pub id: TxId,
+    /// Instant at which receivers finish decoding (schedule the delivery
+    /// event here).
+    pub completes_at: Timestamp,
+}
+
+/// Error returned when the MAC layer drops a frame before transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelSaturatedError {
+    /// How long the frame would have had to wait.
+    pub needed_defer: SimDuration,
+}
+
+impl std::fmt::Display for ChannelSaturatedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel busy beyond the defer bound (needed {})", self.needed_defer)
+    }
+}
+
+impl std::error::Error for ChannelSaturatedError {}
+
+/// The outcome set of one completed transmission.
+#[derive(Debug, Clone)]
+pub struct DeliveryReport {
+    /// The transmitted frame.
+    pub frame: Frame,
+    /// Per-receiver outcomes, in ascending node-id order.
+    pub outcomes: Vec<(NodeId, DeliveryOutcome)>,
+}
+
+impl DeliveryReport {
+    /// Receivers that got the frame intact.
+    pub fn delivered(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| *o == DeliveryOutcome::Delivered)
+            .map(|(n, _)| *n)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TxRecord {
+    id: TxId,
+    src: NodeId,
+    start: Timestamp,
+    end: Timestamp,
+    frame: Frame,
+    /// Set once `deliveries` has resolved this transmission; only resolved
+    /// records may be pruned.
+    resolved: bool,
+}
+
+/// Per-frame-kind delivery statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct KindStats {
+    /// Transmissions attempted (after MAC drops).
+    pub tx: u64,
+    /// (tx, receiver) pairs delivered intact.
+    pub rx: u64,
+    /// Transmissions heard intact by *no* receiver — the paper's message
+    /// loss metric ("sent but never received on any other mote").
+    pub tx_lost: u64,
+    /// (tx, receiver) pairs destroyed by collisions.
+    pub collided: u64,
+    /// (tx, receiver) pairs lost to fading.
+    pub faded: u64,
+    /// (tx, receiver) pairs missed because the receiver was transmitting.
+    pub half_duplex: u64,
+    /// Frames dropped by the MAC before transmission (channel saturated).
+    pub mac_dropped: u64,
+}
+
+impl KindStats {
+    /// Fraction of transmissions heard by nobody, in `[0, 1]`.
+    /// MAC-dropped frames count as lost transmissions too.
+    #[must_use]
+    pub fn tx_loss_ratio(&self) -> f64 {
+        let attempts = self.tx + self.mac_dropped;
+        if attempts == 0 {
+            0.0
+        } else {
+            (self.tx_lost + self.mac_dropped) as f64 / attempts as f64
+        }
+    }
+
+    /// Fraction of (transmission, in-range receiver) pairs that failed —
+    /// the per-receiver channel unreliability (fading + collisions +
+    /// half-duplex misses), in `[0, 1]`. This is the loss a protocol
+    /// running on one mote experiences, matching Table 1 of the paper.
+    #[must_use]
+    pub fn pair_loss_ratio(&self) -> f64 {
+        let lost = self.faded + self.collided + self.half_duplex;
+        let total = self.rx + lost;
+        if total == 0 {
+            0.0
+        } else {
+            lost as f64 / total as f64
+        }
+    }
+}
+
+/// A whole-run snapshot of channel statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Statistics per frame kind.
+    pub per_kind: BTreeMap<u8, KindStats>,
+    /// Total transmissions across kinds.
+    pub total_tx: u64,
+    /// Total bits serialised onto the channel (preamble included).
+    pub total_bits: u64,
+    /// Total channel-busy time summed over transmissions.
+    pub busy_time: SimDuration,
+}
+
+impl NetStats {
+    /// Stats for one kind (zeroed if never seen).
+    #[must_use]
+    pub fn kind(&self, kind: FrameKind) -> KindStats {
+        self.per_kind.get(&kind.0).copied().unwrap_or_default()
+    }
+
+    /// Worst-case broadcast-channel utilisation over `elapsed`: total bits
+    /// sent divided by what the link could carry, as in Table 1 of the
+    /// paper (assumes no spatial reuse).
+    #[must_use]
+    pub fn link_utilization(&self, elapsed: SimDuration, bandwidth_bps: u64) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_bits as f64 / (secs * bandwidth_bps as f64)
+    }
+}
+
+/// The shared broadcast radio channel. See the [module docs](self).
+pub struct Medium {
+    config: RadioConfig,
+    neighbors: Vec<Vec<NodeId>>,
+    active: Vec<TxRecord>,
+    next_tx: u64,
+    rng: SimRng,
+    stats: NetStats,
+    /// Records older than this horizon can no longer affect any delivery.
+    prune_horizon: SimDuration,
+}
+
+impl Medium {
+    /// Builds a medium over `deployment` with the given parameters, deriving
+    /// its randomness stream from `rng`.
+    #[must_use]
+    pub fn new(deployment: &Deployment, config: RadioConfig, rng: &SimRng) -> Self {
+        let n = deployment.len();
+        let r2 = config.comm_radius * config.comm_radius;
+        let mut neighbors = vec![Vec::new(); n];
+        for (a, pa) in deployment.iter() {
+            for (b, pb) in deployment.iter() {
+                if a != b && pa.distance_sq_to(pb) <= r2 {
+                    neighbors[a.index()].push(b);
+                }
+            }
+        }
+        let prune_horizon = config.max_defer + config.proc_delay + SimDuration::from_secs(1);
+        Medium {
+            config,
+            neighbors,
+            active: Vec::new(),
+            next_tx: 0,
+            rng: rng.fork("radio-medium"),
+            stats: NetStats::default(),
+            prune_horizon,
+        }
+    }
+
+    /// The radio configuration.
+    #[must_use]
+    pub fn config(&self) -> &RadioConfig {
+        &self.config
+    }
+
+    /// The neighbours of `node` (nodes within communication radius).
+    #[must_use]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.index()]
+    }
+
+    /// Whether `a` and `b` are within communication range.
+    #[must_use]
+    pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors[a.index()].contains(&b)
+    }
+
+    /// Starts transmitting `frame` at `now`.
+    ///
+    /// Returns the transmission handle and completion instant; the caller
+    /// must schedule an event there and call [`Medium::deliveries`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelSaturatedError`] when CSMA deferral would exceed the
+    /// configured bound; the frame is dropped and counted in the stats.
+    pub fn transmit(
+        &mut self,
+        now: Timestamp,
+        frame: Frame,
+    ) -> Result<Transmission, ChannelSaturatedError> {
+        self.prune(now);
+        let mut start = now;
+        if self.config.csma {
+            // Sense every in-progress or deferred transmission audible at
+            // the sender, and start after the latest of them.
+            let mut busy_until = now;
+            for rec in &self.active {
+                let audible = rec.src == frame.src || self.in_range(rec.src, frame.src);
+                if audible && rec.end > busy_until {
+                    busy_until = rec.end;
+                }
+            }
+            if busy_until > now {
+                let backoff =
+                    SimDuration::from_micros(self.rng.below(self.config.backoff_max.as_micros().max(1)));
+                start = busy_until + backoff;
+            }
+            let defer = start.saturating_since(now);
+            if defer > self.config.max_defer {
+                self.kind_stats_mut(frame.kind).mac_dropped += 1;
+                return Err(ChannelSaturatedError { needed_defer: defer });
+            }
+        }
+        let tx_time = self.config.tx_time(&frame);
+        let end = start + tx_time;
+        let id = TxId(self.next_tx);
+        self.next_tx += 1;
+
+        self.stats.total_tx += 1;
+        self.stats.total_bits += frame.on_air_bits();
+        self.stats.busy_time += tx_time;
+        self.kind_stats_mut(frame.kind).tx += 1;
+
+        self.active.push(TxRecord { id, src: frame.src, start, end, frame, resolved: false });
+        Ok(Transmission { id, completes_at: end + self.config.proc_delay })
+    }
+
+    /// Resolves the per-receiver outcomes of a completed transmission.
+    ///
+    /// Must be called exactly once per successful [`Medium::transmit`], at
+    /// (or after) the returned completion instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or already resolved.
+    pub fn deliveries(&mut self, id: TxId) -> DeliveryReport {
+        let idx = self
+            .active
+            .iter()
+            .position(|r| r.id == id)
+            .expect("unknown or already-resolved transmission id");
+        let (src, start, end, frame) = {
+            let r = &self.active[idx];
+            (r.src, r.start, r.end, r.frame.clone())
+        };
+
+        let receivers: Vec<NodeId> = self.neighbors[src.index()].clone();
+        let mut outcomes = Vec::with_capacity(receivers.len());
+        let mut any_delivered = false;
+        for v in receivers {
+            let outcome = self.receiver_outcome(src, v, start, end);
+            let outcome = match outcome {
+                DeliveryOutcome::Delivered if self.rng.chance(self.config.base_loss) => {
+                    DeliveryOutcome::Faded
+                }
+                o => o,
+            };
+            match outcome {
+                DeliveryOutcome::Delivered => {
+                    any_delivered = true;
+                    self.kind_stats_mut(frame.kind).rx += 1;
+                }
+                DeliveryOutcome::Collided => self.kind_stats_mut(frame.kind).collided += 1,
+                DeliveryOutcome::HalfDuplex => self.kind_stats_mut(frame.kind).half_duplex += 1,
+                DeliveryOutcome::Faded => self.kind_stats_mut(frame.kind).faded += 1,
+            }
+            outcomes.push((v, outcome));
+        }
+        if !any_delivered {
+            self.kind_stats_mut(frame.kind).tx_lost += 1;
+        }
+        self.active[idx].resolved = true;
+        DeliveryReport { frame, outcomes }
+    }
+
+    fn receiver_outcome(
+        &self,
+        src: NodeId,
+        v: NodeId,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> DeliveryOutcome {
+        for other in &self.active {
+            if other.src == src {
+                continue;
+            }
+            let overlaps = other.start < end && start < other.end;
+            if !overlaps {
+                continue;
+            }
+            if other.src == v {
+                return DeliveryOutcome::HalfDuplex;
+            }
+            if self.in_range(other.src, v) {
+                return DeliveryOutcome::Collided;
+            }
+        }
+        DeliveryOutcome::Delivered
+    }
+
+    /// A snapshot of the channel statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (e.g. after a warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::default();
+    }
+
+    fn kind_stats_mut(&mut self, kind: FrameKind) -> &mut KindStats {
+        self.stats.per_kind.entry(kind.0).or_default()
+    }
+
+    fn prune(&mut self, now: Timestamp) {
+        let horizon = self.prune_horizon;
+        // Unresolved transmissions must survive until their deliveries are
+        // collected, however late that happens.
+        self.active.retain(|r| !r.resolved || r.end + horizon > now);
+    }
+}
+
+impl std::fmt::Debug for Medium {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Medium")
+            .field("nodes", &self.neighbors.len())
+            .field("comm_radius", &self.config.comm_radius)
+            .field("in_flight", &self.active.len())
+            .field("total_tx", &self.stats.total_tx)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use envirotrack_world::geometry::Point;
+
+    fn line_deployment(n: u32, spacing: f64) -> Deployment {
+        Deployment::from_positions(
+            (0..n).map(|i| Point::new(f64::from(i) * spacing, 0.0)).collect(),
+        )
+    }
+
+    fn lossless(comm_radius: f64) -> RadioConfig {
+        RadioConfig::default().with_comm_radius(comm_radius).with_base_loss(0.0)
+    }
+
+    fn frame(src: u32) -> Frame {
+        Frame::broadcast(NodeId(src), FrameKind(1), Bytes::from_static(&[0u8; 20]))
+    }
+
+    #[test]
+    fn neighbor_lists_follow_the_disk() {
+        let d = line_deployment(5, 1.0);
+        let m = Medium::new(&d, lossless(1.5), &SimRng::seed_from(1));
+        assert_eq!(m.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(m.neighbors(NodeId(2)), &[NodeId(1), NodeId(3)]);
+        assert!(m.in_range(NodeId(0), NodeId(1)));
+        assert!(!m.in_range(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn clean_broadcast_reaches_all_neighbors() {
+        let d = line_deployment(3, 1.0);
+        let mut m = Medium::new(&d, lossless(5.0), &SimRng::seed_from(1));
+        let tx = m.transmit(Timestamp::ZERO, frame(1)).unwrap();
+        assert!(tx.completes_at > Timestamp::ZERO);
+        let report = m.deliveries(tx.id);
+        let delivered: Vec<NodeId> = report.delivered().collect();
+        assert_eq!(delivered, vec![NodeId(0), NodeId(2)]);
+        let ks = m.stats().kind(FrameKind(1));
+        assert_eq!(ks.tx, 1);
+        assert_eq!(ks.rx, 2);
+        assert_eq!(ks.tx_lost, 0);
+    }
+
+    #[test]
+    fn tx_time_matches_bandwidth() {
+        let cfg = RadioConfig::default();
+        let f = frame(0);
+        // (18 preamble + 7 header + 20 payload) * 8 bits / 50_000 bps = 7.2 ms
+        assert_eq!(cfg.tx_time(&f), SimDuration::from_micros(7200));
+    }
+
+    #[test]
+    fn hidden_terminal_collides_at_the_common_receiver() {
+        // 0 --- 1 --- 2 with radius 1.5: 0 and 2 cannot hear each other.
+        let d = line_deployment(3, 1.0);
+        let mut cfg = lossless(1.5);
+        cfg.csma = true; // CSMA cannot prevent hidden-terminal collisions
+        let mut m = Medium::new(&d, cfg, &SimRng::seed_from(1));
+        let t0 = m.transmit(Timestamp::ZERO, frame(0)).unwrap();
+        let t2 = m.transmit(Timestamp::ZERO, frame(2)).unwrap();
+        let r0 = m.deliveries(t0.id);
+        let r2 = m.deliveries(t2.id);
+        assert_eq!(r0.outcomes, vec![(NodeId(1), DeliveryOutcome::Collided)]);
+        assert_eq!(r2.outcomes, vec![(NodeId(1), DeliveryOutcome::Collided)]);
+        assert_eq!(m.stats().kind(FrameKind(1)).tx_lost, 2);
+    }
+
+    #[test]
+    fn csma_serialises_in_range_transmitters() {
+        let d = line_deployment(3, 1.0);
+        let mut m = Medium::new(&d, lossless(5.0), &SimRng::seed_from(1));
+        let t0 = m.transmit(Timestamp::ZERO, frame(0)).unwrap();
+        // Node 2 hears node 0, so its send defers past t0's end.
+        let t2 = m.transmit(Timestamp::ZERO, frame(2)).unwrap();
+        assert!(t2.completes_at > t0.completes_at);
+        let r0 = m.deliveries(t0.id);
+        assert_eq!(r0.delivered().count(), 2, "deferral must avoid the collision");
+        let r2 = m.deliveries(t2.id);
+        assert_eq!(r2.delivered().count(), 2);
+    }
+
+    #[test]
+    fn half_duplex_blocks_simultaneous_send_and_receive() {
+        // Disable CSMA so both nodes transmit simultaneously.
+        let d = line_deployment(2, 1.0);
+        let mut cfg = lossless(5.0);
+        cfg.csma = false;
+        let mut m = Medium::new(&d, cfg, &SimRng::seed_from(1));
+        let t0 = m.transmit(Timestamp::ZERO, frame(0)).unwrap();
+        let t1 = m.transmit(Timestamp::ZERO, frame(1)).unwrap();
+        let r0 = m.deliveries(t0.id);
+        let r1 = m.deliveries(t1.id);
+        assert_eq!(r0.outcomes, vec![(NodeId(1), DeliveryOutcome::HalfDuplex)]);
+        assert_eq!(r1.outcomes, vec![(NodeId(0), DeliveryOutcome::HalfDuplex)]);
+    }
+
+    #[test]
+    fn saturation_drops_frames_past_the_defer_bound() {
+        let d = line_deployment(2, 1.0);
+        let mut cfg = lossless(5.0);
+        cfg.max_defer = SimDuration::from_micros(10);
+        let mut m = Medium::new(&d, cfg, &SimRng::seed_from(1));
+        let _t0 = m.transmit(Timestamp::ZERO, frame(0)).unwrap();
+        let err = m.transmit(Timestamp::ZERO, frame(1)).unwrap_err();
+        assert!(err.needed_defer > SimDuration::from_micros(10));
+        let ks = m.stats().kind(FrameKind(1));
+        assert_eq!(ks.mac_dropped, 1);
+        assert!(ks.tx_loss_ratio() > 0.0);
+    }
+
+    #[test]
+    fn fading_loses_roughly_the_configured_fraction() {
+        let d = line_deployment(2, 1.0);
+        let cfg = RadioConfig::default().with_comm_radius(5.0).with_base_loss(0.2);
+        let mut m = Medium::new(&d, cfg, &SimRng::seed_from(7));
+        let mut now = Timestamp::ZERO;
+        let mut delivered = 0u32;
+        let trials = 2000;
+        for _ in 0..trials {
+            let tx = m.transmit(now, frame(0)).unwrap();
+            now = tx.completes_at + SimDuration::from_millis(1);
+            let r = m.deliveries(tx.id);
+            delivered += r.delivered().count() as u32;
+        }
+        let rate = 1.0 - f64::from(delivered) / f64::from(trials);
+        assert!((rate - 0.2).abs() < 0.04, "fade rate {rate}");
+    }
+
+    #[test]
+    fn isolated_transmitter_counts_as_lost() {
+        let d = line_deployment(2, 10.0); // out of range of each other
+        let mut m = Medium::new(&d, lossless(1.0), &SimRng::seed_from(1));
+        let tx = m.transmit(Timestamp::ZERO, frame(0)).unwrap();
+        let r = m.deliveries(tx.id);
+        assert!(r.outcomes.is_empty());
+        assert_eq!(m.stats().kind(FrameKind(1)).tx_lost, 1);
+    }
+
+    #[test]
+    fn utilization_accumulates_bits() {
+        let d = line_deployment(2, 1.0);
+        let mut m = Medium::new(&d, lossless(5.0), &SimRng::seed_from(1));
+        let tx = m.transmit(Timestamp::ZERO, frame(0)).unwrap();
+        let _ = m.deliveries(tx.id);
+        let bits = frame(0).on_air_bits();
+        assert_eq!(m.stats().total_bits, bits);
+        let util = m.stats().link_utilization(SimDuration::from_secs(1), 50_000);
+        assert!((util - bits as f64 / 50_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or already-resolved")]
+    fn double_delivery_is_a_bug() {
+        let d = line_deployment(2, 1.0);
+        let mut m = Medium::new(&d, lossless(5.0), &SimRng::seed_from(1));
+        let tx = m.transmit(Timestamp::ZERO, frame(0)).unwrap();
+        let _ = m.deliveries(tx.id);
+        // Push time far enough that pruning discards the record.
+        let _ = m.transmit(Timestamp::from_secs(100), frame(0)).unwrap();
+        let _ = m.deliveries(tx.id);
+    }
+}

@@ -1,0 +1,133 @@
+//! Radio frames: the unit of transmission on the simulated medium.
+//!
+//! Every frame is physically a broadcast (wireless is a shared channel); the
+//! [`LinkDest`] field is the link-layer *filter* — unicast frames are still
+//! heard by all neighbours, and protocol layers may snoop them, exactly as
+//! the paper's transport exploits overheard leader announcements.
+//!
+//! Frame sizes drive both the 50 kb/s serialisation delay and the link
+//! utilisation number in Table 1, so [`Frame::size_bytes`] models the MICA
+//! TinyOS packet: a fixed header plus the payload.
+
+use bytes::Bytes;
+use envirotrack_world::field::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Link-layer addressing: who the frame is *for* (everyone hears it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkDest {
+    /// Addressed to every node in radio range.
+    Broadcast,
+    /// Addressed to one neighbour (a routing hop).
+    Node(NodeId),
+}
+
+impl LinkDest {
+    /// Whether `node` should process a frame with this destination.
+    #[must_use]
+    pub fn accepts(self, node: NodeId) -> bool {
+        match self {
+            LinkDest::Broadcast => true,
+            LinkDest::Node(n) => n == node,
+        }
+    }
+}
+
+/// A small tag identifying the protocol message class inside a frame.
+///
+/// The net crate treats kinds opaquely; `envirotrack-core` defines the
+/// actual constants (heartbeats, sensor reports, …). Per-kind delivery
+/// statistics let the harness separate heartbeat loss from data loss, as
+/// Table 1 of the paper does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FrameKind(pub u8);
+
+impl std::fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kind{}", self.0)
+    }
+}
+
+/// One radio frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The transmitting node.
+    pub src: NodeId,
+    /// The link-layer destination filter.
+    pub link_dst: LinkDest,
+    /// Protocol message class (opaque to the radio).
+    pub kind: FrameKind,
+    /// Link-layer sequence number for unicast acknowledgement/retransmit
+    /// (0 for broadcast and unacknowledged frames).
+    pub link_seq: u32,
+    /// Serialised protocol payload.
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Link-layer header size in bytes: the TinyOS `TOS_Msg` header (dest,
+    /// AM type, group, length, CRC) used on MICA motes.
+    pub const HEADER_BYTES: usize = 7;
+
+    /// Physical-layer preamble + start symbol, charged per transmission.
+    pub const PREAMBLE_BYTES: usize = 18;
+
+    /// Creates a broadcast frame.
+    #[must_use]
+    pub fn broadcast(src: NodeId, kind: FrameKind, payload: Bytes) -> Self {
+        Frame { src, link_dst: LinkDest::Broadcast, kind, link_seq: 0, payload }
+    }
+
+    /// Creates a unicast (single-hop) frame.
+    #[must_use]
+    pub fn unicast(src: NodeId, to: NodeId, kind: FrameKind, payload: Bytes) -> Self {
+        Frame { src, link_dst: LinkDest::Node(to), kind, link_seq: 0, payload }
+    }
+
+    /// Sets the link-layer sequence number; chainable.
+    #[must_use]
+    pub fn with_link_seq(mut self, seq: u32) -> Self {
+        self.link_seq = seq;
+        self
+    }
+
+    /// Bytes occupying the channel, excluding the physical preamble.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        Self::HEADER_BYTES + self.payload.len()
+    }
+
+    /// Total on-air size in bits, including the preamble — what the 50 kb/s
+    /// radio actually serialises.
+    #[must_use]
+    pub fn on_air_bits(&self) -> u64 {
+        ((Self::PREAMBLE_BYTES + self.size_bytes()) * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_dest_filters_receivers() {
+        assert!(LinkDest::Broadcast.accepts(NodeId(3)));
+        assert!(LinkDest::Node(NodeId(3)).accepts(NodeId(3)));
+        assert!(!LinkDest::Node(NodeId(3)).accepts(NodeId(4)));
+    }
+
+    #[test]
+    fn sizes_include_header_and_preamble() {
+        let f = Frame::broadcast(NodeId(0), FrameKind(1), Bytes::from_static(&[0u8; 10]));
+        assert_eq!(f.size_bytes(), 17);
+        assert_eq!(f.on_air_bits(), (18 + 17) * 8);
+    }
+
+    #[test]
+    fn constructors_set_destinations() {
+        let b = Frame::broadcast(NodeId(1), FrameKind(0), Bytes::new());
+        assert_eq!(b.link_dst, LinkDest::Broadcast);
+        let u = Frame::unicast(NodeId(1), NodeId(2), FrameKind(0), Bytes::new());
+        assert_eq!(u.link_dst, LinkDest::Node(NodeId(2)));
+    }
+}

@@ -1,0 +1,339 @@
+//! Lightweight statistics used by the radio model and the experiment harness.
+//!
+//! Nothing here is tied to virtual time; these are plain accumulators:
+//!
+//! * [`Counter`] — a monotone event count with a ratio helper.
+//! * [`RunningStats`] — Welford mean/variance/min/max over `f64` samples.
+//! * [`Histogram`] — fixed-width bins with quantile queries.
+//!
+//! ```
+//! use envirotrack_sim::metrics::RunningStats;
+//!
+//! let mut s = RunningStats::new();
+//! for x in [1.0, 2.0, 3.0] {
+//!     s.push(x);
+//! }
+//! assert_eq!(s.mean(), 2.0);
+//! assert_eq!(s.len(), 3);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// A monotone event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// The current count.
+    #[must_use]
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+
+    /// `self / total` as a fraction in `[0, 1]`; zero when `total` is zero.
+    ///
+    /// Handy for loss rates: `lost.ratio_of(sent.count())`.
+    #[must_use]
+    pub fn ratio_of(self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total as f64
+        }
+    }
+}
+
+/// Streaming mean/variance/min/max using Welford's algorithm.
+///
+/// Numerically stable for long runs (no sum-of-squares cancellation).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// The population variance (0 when fewer than two samples).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// The population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample seen (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample seen (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = RunningStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A fixed-width-bin histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty: [{lo}, {hi})");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of samples recorded (including out-of-range ones).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// An approximate quantile (`q` in `[0,1]`) using bin midpoints.
+    /// Returns `None` when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(self.lo);
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &count) in self.bins.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(self.lo + w * (i as f64 + 0.5));
+            }
+        }
+        Some(self.hi)
+    }
+
+    /// Bin counts (not including underflow/overflow).
+    #[must_use]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_ratios() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(3);
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.ratio_of(8), 0.5);
+        assert_eq!(c.ratio_of(0), 0.0);
+    }
+
+    #[test]
+    fn running_stats_match_closed_form() {
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_stats_are_well_behaved() {
+        let s = RunningStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential_pushes() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        let mut whole = RunningStats::new();
+        for i in 0..100 {
+            let x = (i as f64).sin() * 10.0;
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            whole.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), whole.len());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_bins_and_quantiles() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.push(i as f64 / 10.0); // 0.0 .. 9.9 uniformly
+        }
+        assert_eq!(h.len(), 100);
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 5.0).abs() <= 1.0, "median {median}");
+        assert_eq!(h.quantile(0.0).unwrap(), 0.5); // midpoint of first bin
+    }
+
+    #[test]
+    fn histogram_tracks_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-1.0);
+        h.push(2.0);
+        h.push(0.5);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.bins().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the simulation kernel.
+
+use envirotrack_sim::metrics::RunningStats;
+use envirotrack_sim::queue::EventQueue;
+use envirotrack_sim::rng::SimRng;
+use envirotrack_sim::time::{SimDuration, Timestamp};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping the queue yields items sorted by time, and FIFO among equal
+    /// times (tracked via the insertion index).
+    #[test]
+    fn queue_pops_sorted_and_fifo(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Timestamp::from_micros(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated for equal times");
+            }
+        }
+    }
+
+    /// Welford statistics match the naive two-pass computation.
+    #[test]
+    fn running_stats_match_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let stats: RunningStats = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((stats.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((stats.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(stats.min(), Some(min));
+        prop_assert_eq!(stats.max(), Some(max));
+    }
+
+    /// Merging split halves equals processing the whole stream.
+    #[test]
+    fn running_stats_merge_is_associative(
+        xs in prop::collection::vec(-1e3f64..1e3, 0..100),
+        ys in prop::collection::vec(-1e3f64..1e3, 0..100),
+    ) {
+        let mut a: RunningStats = xs.iter().copied().collect();
+        let b: RunningStats = ys.iter().copied().collect();
+        a.merge(&b);
+        let whole: RunningStats = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(a.len(), whole.len());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-3);
+    }
+
+    /// Timestamp/duration arithmetic is consistent: (t + d) − t == d and
+    /// (t + d) − d == t for any in-range values.
+    #[test]
+    fn time_arithmetic_round_trips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = Timestamp::from_micros(t);
+        let d = SimDuration::from_micros(d);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert!(t.saturating_since(t + d).is_zero());
+    }
+
+    /// Forked RNG streams are stable: forking twice with the same label
+    /// gives the same stream, regardless of parent draws in between.
+    #[test]
+    fn rng_forks_are_stable(seed: u64, label in "[a-z]{1,12}", draws in 0usize..16) {
+        let mut parent = SimRng::seed_from(seed);
+        let early = parent.fork(&label);
+        for _ in 0..draws {
+            let _ = parent.next_u64();
+        }
+        let late = parent.fork(&label);
+        let mut a = early.clone();
+        let mut b = late.clone();
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// `below(n)` stays in range and `chance` respects its clamps.
+    #[test]
+    fn rng_bounds_hold(seed: u64, n in 1u64..10_000) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.below(n) < n);
+            let u = rng.uniform();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,646 @@
+//! Moving physical entities: the things EnviroTrack tracks.
+//!
+//! A [`Target`] couples a [`Trajectory`] (where it is at any virtual time)
+//! with an emission profile (what the sensors perceive — see
+//! [`crate::sensing`]). The paper's case study is a T-72 tank crossing a
+//! grid field in a straight line at constant speed; richer trajectories
+//! (waypoint tours, loops, pauses) are provided for the stress tests and
+//! examples.
+//!
+//! ```
+//! use envirotrack_sim::time::Timestamp;
+//! use envirotrack_world::geometry::Point;
+//! use envirotrack_world::target::Trajectory;
+//!
+//! // One grid hop every 10 seconds, the paper's emulated 33 km/h tank.
+//! let t = Trajectory::line(Point::new(0.0, 0.5), Point::new(10.0, 0.5), 0.1);
+//! assert_eq!(t.position_at(Timestamp::from_secs(50)), Point::new(5.0, 0.5));
+//! ```
+
+use envirotrack_sim::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::Point;
+
+/// Identifies one target within a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TargetId(pub u32);
+
+impl std::fmt::Display for TargetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A piecewise-linear path through the field at constant speed per segment.
+///
+/// Waypoints are visited in order starting at `start_time`; the target halts
+/// at the final waypoint (or loops, if [`Trajectory::looped`] was set).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    waypoints: Vec<Point>,
+    /// Speed in grid units per second, applied to every segment.
+    speed: f64,
+    start_time: Timestamp,
+    looped: bool,
+}
+
+impl Trajectory {
+    /// A stationary trajectory pinned at `p` (used for fires and other
+    /// non-moving phenomena).
+    #[must_use]
+    pub fn stationary(p: Point) -> Self {
+        Trajectory { waypoints: vec![p], speed: 0.0, start_time: Timestamp::ZERO, looped: false }
+    }
+
+    /// A straight line from `from` to `to` at `speed` grid units/second,
+    /// starting at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not positive.
+    #[must_use]
+    pub fn line(from: Point, to: Point, speed: f64) -> Self {
+        Trajectory::waypoints(vec![from, to], speed)
+    }
+
+    /// A waypoint tour at constant `speed` grid units/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, or `speed` is not positive while more
+    /// than one waypoint is given.
+    #[must_use]
+    pub fn waypoints(points: Vec<Point>, speed: f64) -> Self {
+        assert!(!points.is_empty(), "a trajectory needs at least one waypoint");
+        assert!(
+            points.len() == 1 || speed > 0.0,
+            "a moving trajectory needs a positive speed, got {speed}"
+        );
+        Trajectory { waypoints: points, speed, start_time: Timestamp::ZERO, looped: false }
+    }
+
+    /// Delays departure until `at` (the target sits at the first waypoint
+    /// before then). Returns `self` for chaining.
+    #[must_use]
+    pub fn starting_at(mut self, at: Timestamp) -> Self {
+        self.start_time = at;
+        self
+    }
+
+    /// Makes the tour cyclic: after the last waypoint the target heads back
+    /// to the first and repeats. Returns `self` for chaining.
+    #[must_use]
+    pub fn looped(mut self) -> Self {
+        self.looped = true;
+        self
+    }
+
+    /// The speed in grid units per second (zero for stationary).
+    #[must_use]
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// The waypoints, in visit order.
+    #[must_use]
+    pub fn waypoint_list(&self) -> &[Point] {
+        &self.waypoints
+    }
+
+    /// Total path length of one pass over the waypoints, in grid units.
+    #[must_use]
+    pub fn path_length(&self) -> f64 {
+        let segs = self.waypoints.windows(2).map(|w| w[0].distance_to(w[1])).sum::<f64>();
+        if self.looped && self.waypoints.len() > 1 {
+            segs + self.waypoints[self.waypoints.len() - 1].distance_to(self.waypoints[0])
+        } else {
+            segs
+        }
+    }
+
+    /// Virtual time needed to traverse the path once (`None` for stationary
+    /// or looped trajectories, which never finish).
+    #[must_use]
+    pub fn duration(&self) -> Option<envirotrack_sim::time::SimDuration> {
+        if self.speed <= 0.0 || self.looped {
+            return None;
+        }
+        Some(envirotrack_sim::time::SimDuration::from_secs_f64(self.path_length() / self.speed))
+    }
+
+    /// The target position at virtual time `t`.
+    #[must_use]
+    pub fn position_at(&self, t: Timestamp) -> Point {
+        if self.waypoints.len() == 1 || self.speed <= 0.0 {
+            return self.waypoints[0];
+        }
+        let elapsed = t.saturating_since(self.start_time).as_secs_f64();
+        let mut remaining = elapsed * self.speed;
+        let total = self.path_length();
+        if self.looped {
+            remaining %= total;
+        }
+        let mut segment_iter: Vec<(Point, Point)> =
+            self.waypoints.windows(2).map(|w| (w[0], w[1])).collect();
+        if self.looped {
+            segment_iter.push((self.waypoints[self.waypoints.len() - 1], self.waypoints[0]));
+        }
+        for (a, b) in segment_iter {
+            let seg = a.distance_to(b);
+            if remaining <= seg {
+                if seg < 1e-12 {
+                    return a;
+                }
+                return a.lerp(b, remaining / seg);
+            }
+            remaining -= seg;
+        }
+        self.waypoints[self.waypoints.len() - 1]
+    }
+
+    /// Whether the target has reached the end of a non-looped path by `t`.
+    #[must_use]
+    pub fn finished_at(&self, t: Timestamp) -> bool {
+        match self.duration() {
+            Some(d) => t >= self.start_time + d,
+            None => false,
+        }
+    }
+}
+
+/// The physical channels a sensor can measure.
+///
+/// The paper lists "temperature, pressure, motion, acceleration, humidity,
+/// light, smoke, sound and magnetic field"; we model the five used by its
+/// scenarios and examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Channel {
+    /// Magnetometer output (the tank scenario).
+    Magnetic,
+    /// Ambient temperature (the fire scenario).
+    Temperature,
+    /// Light intensity (the paper's testbed stand-in for magnetics).
+    Light,
+    /// Acoustic pressure.
+    Acoustic,
+    /// Binary-ish motion energy.
+    Motion,
+}
+
+impl Channel {
+    /// All channels, for iteration.
+    pub const ALL: [Channel; 5] =
+        [Channel::Magnetic, Channel::Temperature, Channel::Light, Channel::Acoustic, Channel::Motion];
+
+    /// Dense index for array-backed sample storage.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Channel::Magnetic => 0,
+            Channel::Temperature => 1,
+            Channel::Light => 2,
+            Channel::Acoustic => 3,
+            Channel::Motion => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Channel::Magnetic => "magnetic",
+            Channel::Temperature => "temperature",
+            Channel::Light => "light",
+            Channel::Acoustic => "acoustic",
+            Channel::Motion => "motion",
+        };
+        f.write_str(name)
+    }
+}
+
+impl std::str::FromStr for Channel {
+    type Err = ParseChannelError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "magnetic" => Ok(Channel::Magnetic),
+            "temperature" => Ok(Channel::Temperature),
+            "light" => Ok(Channel::Light),
+            "acoustic" => Ok(Channel::Acoustic),
+            "motion" => Ok(Channel::Motion),
+            _ => Err(ParseChannelError { input: s.to_owned() }),
+        }
+    }
+}
+
+/// Error returned when parsing an unknown channel name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseChannelError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown sensor channel {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseChannelError {}
+
+/// How a target's signal decays with distance `d` from the target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Falloff {
+    /// Constant `strength` inside `radius`, zero outside — a crisp sensing
+    /// disk (the testbed's shadowed-light model).
+    Disk {
+        /// The cutoff radius in grid units.
+        radius: f64,
+    },
+    /// `strength / max(d, floor)³` — magnetic dipole attenuation, the model
+    /// the paper uses for the T-72's ferrous signature.
+    InverseCube {
+        /// Minimum effective distance, avoiding a singularity at `d = 0`.
+        floor: f64,
+    },
+    /// `strength / max(d, floor)²` — acoustic/thermal radiation.
+    InverseSquare {
+        /// Minimum effective distance, avoiding a singularity at `d = 0`.
+        floor: f64,
+    },
+    /// Linear ramp from `strength` at the centre to zero at `radius`.
+    Linear {
+        /// The radius at which the signal reaches zero.
+        radius: f64,
+    },
+    /// A disk whose radius grows linearly while the target is active —
+    /// a spreading fire front.
+    GrowingDisk {
+        /// Radius when the target first activates.
+        initial_radius: f64,
+        /// Radius growth in grid units per second of active time.
+        growth_per_sec: f64,
+        /// Cap on the radius (fuel runs out).
+        max_radius: f64,
+    },
+}
+
+impl Falloff {
+    /// The received signal at distance `d` for a unit-strength source,
+    /// at the instant the source activates (elapsed time zero).
+    #[must_use]
+    pub fn gain(&self, d: f64) -> f64 {
+        self.gain_at(d, 0.0)
+    }
+
+    /// The received signal at distance `d` for a unit-strength source that
+    /// has been active for `elapsed_secs`. Only [`Falloff::GrowingDisk`]
+    /// is time-dependent.
+    #[must_use]
+    pub fn gain_at(&self, d: f64, elapsed_secs: f64) -> f64 {
+        if let Falloff::GrowingDisk { initial_radius, growth_per_sec, max_radius } = *self {
+            let r = (initial_radius + growth_per_sec * elapsed_secs.max(0.0)).min(max_radius);
+            return if d <= r { 1.0 } else { 0.0 };
+        }
+        self.gain_static(d)
+    }
+
+    fn gain_static(&self, d: f64) -> f64 {
+        match *self {
+            Falloff::Disk { radius } => {
+                if d <= radius {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Falloff::InverseCube { floor } => {
+                let d = d.max(floor.max(1e-6));
+                1.0 / (d * d * d)
+            }
+            Falloff::InverseSquare { floor } => {
+                let d = d.max(floor.max(1e-6));
+                1.0 / (d * d)
+            }
+            Falloff::Linear { radius } => {
+                if d >= radius || radius <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - d / radius
+                }
+            }
+            Falloff::GrowingDisk { .. } => self.gain_at(d, 0.0),
+        }
+    }
+
+    /// The distance at which a source of `strength` drops to `threshold` —
+    /// i.e. the effective sensing radius. `None` when the signal never
+    /// reaches the threshold (or always exceeds it, for `Disk`'s interior).
+    #[must_use]
+    pub fn detection_radius(&self, strength: f64, threshold: f64) -> Option<f64> {
+        if threshold <= 0.0 {
+            return None;
+        }
+        match *self {
+            Falloff::Disk { radius } => (strength >= threshold).then_some(radius),
+            Falloff::InverseCube { floor } => {
+                let r = (strength / threshold).cbrt();
+                (r >= floor).then_some(r).or(Some(floor))
+            }
+            Falloff::InverseSquare { floor } => {
+                let r = (strength / threshold).sqrt();
+                (r >= floor).then_some(r).or(Some(floor))
+            }
+            Falloff::Linear { radius } => {
+                (strength >= threshold).then(|| radius * (1.0 - threshold / strength))
+            }
+            Falloff::GrowingDisk { initial_radius, .. } => {
+                (strength >= threshold).then_some(initial_radius)
+            }
+        }
+    }
+
+    /// Like [`Falloff::detection_radius`], but for a source that has been
+    /// active for `elapsed_secs` (affects only [`Falloff::GrowingDisk`]).
+    #[must_use]
+    pub fn detection_radius_at(
+        &self,
+        strength: f64,
+        threshold: f64,
+        elapsed_secs: f64,
+    ) -> Option<f64> {
+        if let Falloff::GrowingDisk { initial_radius, growth_per_sec, max_radius } = *self {
+            if threshold <= 0.0 || strength < threshold {
+                return None;
+            }
+            let r = (initial_radius + growth_per_sec * elapsed_secs.max(0.0)).min(max_radius);
+            return Some(r);
+        }
+        self.detection_radius(strength, threshold)
+    }
+}
+
+/// One channel's emission from a target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Emission {
+    /// Which sensor channel this emission drives.
+    pub channel: Channel,
+    /// Source strength (units are per-channel conventions).
+    pub strength: f64,
+    /// How the signal decays with distance.
+    pub falloff: Falloff,
+}
+
+/// A physical entity moving through the field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Target {
+    id: TargetId,
+    trajectory: Trajectory,
+    emissions: Vec<Emission>,
+    /// Time the target physically appears (before this it emits nothing).
+    active_from: Timestamp,
+    /// Time the target disappears (`Timestamp::MAX` = never).
+    active_until: Timestamp,
+}
+
+impl Target {
+    /// Creates a target with the given trajectory and emissions, active for
+    /// the whole simulation.
+    #[must_use]
+    pub fn new(id: TargetId, trajectory: Trajectory, emissions: Vec<Emission>) -> Self {
+        Target { id, trajectory, emissions, active_from: Timestamp::ZERO, active_until: Timestamp::MAX }
+    }
+
+    /// Restricts the interval during which the target exists.
+    #[must_use]
+    pub fn active_between(mut self, from: Timestamp, until: Timestamp) -> Self {
+        self.active_from = from;
+        self.active_until = until;
+        self
+    }
+
+    /// The target's id.
+    #[must_use]
+    pub fn id(&self) -> TargetId {
+        self.id
+    }
+
+    /// The target's trajectory.
+    #[must_use]
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.trajectory
+    }
+
+    /// The target's emission profile.
+    #[must_use]
+    pub fn emissions(&self) -> &[Emission] {
+        &self.emissions
+    }
+
+    /// Whether the target physically exists at `t`.
+    #[must_use]
+    pub fn active_at(&self, t: Timestamp) -> bool {
+        t >= self.active_from && t < self.active_until
+    }
+
+    /// Position at `t` (meaningful only while active).
+    #[must_use]
+    pub fn position_at(&self, t: Timestamp) -> Point {
+        self.trajectory.position_at(t)
+    }
+
+    /// The contribution of this target to `channel` at a sensor located
+    /// `distance` away, at time `t`. Zero while inactive.
+    #[must_use]
+    pub fn signal(&self, channel: Channel, distance: f64, t: Timestamp) -> f64 {
+        if !self.active_at(t) {
+            return 0.0;
+        }
+        let elapsed = t.saturating_since(self.active_from).as_secs_f64();
+        self.emissions
+            .iter()
+            .filter(|e| e.channel == channel)
+            .map(|e| e.strength * e.falloff.gain_at(distance, elapsed))
+            .sum()
+    }
+
+    /// The effective sensing radius on `channel` for a given detection
+    /// threshold, if the target is detectable at all.
+    #[must_use]
+    pub fn detection_radius(&self, channel: Channel, threshold: f64) -> Option<f64> {
+        self.emissions
+            .iter()
+            .filter(|e| e.channel == channel)
+            .filter_map(|e| e.falloff.detection_radius(e.strength, threshold))
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+    }
+
+    /// Like [`Target::detection_radius`], at a specific instant — accounts
+    /// for growing emissions such as a spreading fire. `None` while the
+    /// target is inactive or undetectable.
+    #[must_use]
+    pub fn detection_radius_at(
+        &self,
+        channel: Channel,
+        threshold: f64,
+        t: Timestamp,
+    ) -> Option<f64> {
+        if !self.active_at(t) {
+            return None;
+        }
+        let elapsed = t.saturating_since(self.active_from).as_secs_f64();
+        self.emissions
+            .iter()
+            .filter(|e| e.channel == channel)
+            .filter_map(|e| e.falloff.detection_radius_at(e.strength, threshold, elapsed))
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use envirotrack_sim::time::SimDuration;
+
+    #[test]
+    fn line_trajectory_moves_at_constant_speed() {
+        let t = Trajectory::line(Point::new(0.0, 0.0), Point::new(10.0, 0.0), 2.0);
+        assert_eq!(t.position_at(Timestamp::ZERO), Point::new(0.0, 0.0));
+        assert_eq!(t.position_at(Timestamp::from_secs(1)), Point::new(2.0, 0.0));
+        assert_eq!(t.position_at(Timestamp::from_secs(5)), Point::new(10.0, 0.0));
+        // Halts at the end.
+        assert_eq!(t.position_at(Timestamp::from_secs(100)), Point::new(10.0, 0.0));
+        assert!(t.finished_at(Timestamp::from_secs(5)));
+        assert!(!t.finished_at(Timestamp::from_secs(4)));
+    }
+
+    #[test]
+    fn delayed_start_waits_at_first_waypoint() {
+        let t = Trajectory::line(Point::ORIGIN, Point::new(4.0, 0.0), 1.0)
+            .starting_at(Timestamp::from_secs(10));
+        assert_eq!(t.position_at(Timestamp::from_secs(5)), Point::ORIGIN);
+        assert_eq!(t.position_at(Timestamp::from_secs(12)), Point::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn waypoint_tour_turns_corners() {
+        let t = Trajectory::waypoints(
+            vec![Point::ORIGIN, Point::new(3.0, 0.0), Point::new(3.0, 4.0)],
+            1.0,
+        );
+        assert_eq!(t.path_length(), 7.0);
+        assert_eq!(t.duration(), Some(SimDuration::from_secs(7)));
+        assert_eq!(t.position_at(Timestamp::from_secs(3)), Point::new(3.0, 0.0));
+        assert_eq!(t.position_at(Timestamp::from_secs(5)), Point::new(3.0, 2.0));
+    }
+
+    #[test]
+    fn looped_tour_wraps_around() {
+        let square = vec![
+            Point::ORIGIN,
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ];
+        let t = Trajectory::waypoints(square, 1.0).looped();
+        assert_eq!(t.path_length(), 4.0);
+        assert_eq!(t.duration(), None);
+        let p = t.position_at(Timestamp::from_secs(5)); // one lap + 1s
+        assert!((p.x - 1.0).abs() < 1e-9 && p.y.abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn stationary_targets_never_move_or_finish() {
+        let t = Trajectory::stationary(Point::new(2.0, 2.0));
+        assert_eq!(t.position_at(Timestamp::from_secs(1_000_000)), Point::new(2.0, 2.0));
+        assert!(!t.finished_at(Timestamp::MAX));
+    }
+
+    #[test]
+    fn disk_falloff_is_a_crisp_disk() {
+        let f = Falloff::Disk { radius: 2.0 };
+        assert_eq!(f.gain(1.9), 1.0);
+        assert_eq!(f.gain(2.0), 1.0);
+        assert_eq!(f.gain(2.1), 0.0);
+        assert_eq!(f.detection_radius(5.0, 1.0), Some(2.0));
+        assert_eq!(f.detection_radius(0.5, 1.0), None);
+    }
+
+    #[test]
+    fn inverse_cube_matches_the_papers_tank_math() {
+        // The paper: a 30 m detection range for an average car scales by
+        // 40^(1/3) for a tank with 40× the ferrous mass → ~100 m.
+        let f = Falloff::InverseCube { floor: 0.1 };
+        let car_strength = 30.0_f64.powi(3); // detectable at exactly 30 units
+        let r_car = f.detection_radius(car_strength, 1.0).unwrap();
+        assert!((r_car - 30.0).abs() < 1e-9);
+        let r_tank = f.detection_radius(car_strength * 40.0, 1.0).unwrap();
+        assert!((r_tank - 30.0 * 40.0_f64.cbrt()).abs() < 1e-9);
+        assert!((r_tank - 102.6).abs() < 0.5, "tank radius {r_tank}");
+    }
+
+    #[test]
+    fn target_signal_sums_emissions_and_respects_activity_window() {
+        let tgt = Target::new(
+            TargetId(0),
+            Trajectory::stationary(Point::ORIGIN),
+            vec![
+                Emission { channel: Channel::Magnetic, strength: 8.0, falloff: Falloff::Disk { radius: 1.0 } },
+                Emission { channel: Channel::Magnetic, strength: 2.0, falloff: Falloff::Disk { radius: 5.0 } },
+                Emission { channel: Channel::Acoustic, strength: 1.0, falloff: Falloff::Disk { radius: 9.0 } },
+            ],
+        )
+        .active_between(Timestamp::from_secs(10), Timestamp::from_secs(20));
+
+        let mid = Timestamp::from_secs(15);
+        assert_eq!(tgt.signal(Channel::Magnetic, 0.5, mid), 10.0);
+        assert_eq!(tgt.signal(Channel::Magnetic, 3.0, mid), 2.0);
+        assert_eq!(tgt.signal(Channel::Acoustic, 3.0, mid), 1.0);
+        assert_eq!(tgt.signal(Channel::Magnetic, 0.5, Timestamp::from_secs(5)), 0.0);
+        assert_eq!(tgt.signal(Channel::Magnetic, 0.5, Timestamp::from_secs(20)), 0.0);
+        assert_eq!(tgt.detection_radius(Channel::Magnetic, 1.0), Some(5.0));
+        assert_eq!(tgt.detection_radius(Channel::Temperature, 1.0), None);
+    }
+
+    #[test]
+    fn growing_disk_spreads_and_caps() {
+        let fire = Target::new(
+            TargetId(3),
+            Trajectory::stationary(Point::ORIGIN),
+            vec![Emission {
+                channel: Channel::Temperature,
+                strength: 200.0,
+                falloff: Falloff::GrowingDisk {
+                    initial_radius: 1.0,
+                    growth_per_sec: 0.5,
+                    max_radius: 3.0,
+                },
+            }],
+        )
+        .active_between(Timestamp::from_secs(10), Timestamp::MAX);
+
+        // Before ignition: nothing.
+        assert_eq!(fire.signal(Channel::Temperature, 0.5, Timestamp::ZERO), 0.0);
+        // At ignition: 1-unit disk.
+        assert_eq!(fire.signal(Channel::Temperature, 0.5, Timestamp::from_secs(10)), 200.0);
+        assert_eq!(fire.signal(Channel::Temperature, 1.5, Timestamp::from_secs(10)), 0.0);
+        // 2 s later: radius 2.
+        assert_eq!(fire.signal(Channel::Temperature, 1.5, Timestamp::from_secs(12)), 200.0);
+        // Long after: capped at radius 3.
+        assert_eq!(fire.signal(Channel::Temperature, 2.9, Timestamp::from_secs(100)), 200.0);
+        assert_eq!(fire.signal(Channel::Temperature, 3.1, Timestamp::from_secs(100)), 0.0);
+        assert_eq!(
+            fire.detection_radius_at(Channel::Temperature, 180.0, Timestamp::from_secs(12)),
+            Some(2.0)
+        );
+        assert_eq!(fire.detection_radius_at(Channel::Temperature, 180.0, Timestamp::ZERO), None);
+    }
+
+    #[test]
+    fn channel_names_round_trip() {
+        for ch in Channel::ALL {
+            let parsed: Channel = ch.to_string().parse().unwrap();
+            assert_eq!(parsed, ch);
+        }
+        assert!("plutonium".parse::<Channel>().is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Border surveillance: the paper's motivating deployment, end to end.
+//!
+//! A sensor field guards a border strip. The application combines every
+//! EnviroTrack facility in one program:
+//!
+//! * an `intruder` tracking context (magnetic) with a located-position
+//!   aggregate, reporting to the base station *and* alerting a command
+//!   post over MTP;
+//! * a `fire` tracking context (temperature ∧ light) for a blaze that
+//!   ignites mid-run;
+//! * a pinned `command_post` static object that receives intruder alerts
+//!   and queries the directory for fires;
+//! * energy accounting for the whole fleet at the end.
+//!
+//! Run with: `cargo run --example border_surveillance`
+
+use std::sync::Arc;
+
+use envirotrack::core::aggregate::{AggValue, AggregateFn, AggregateInput};
+use envirotrack::core::context::ContextTypeId;
+use envirotrack::core::events::SystemEvent;
+use envirotrack::core::prelude::*;
+use envirotrack::sim::time::{SimDuration, Timestamp};
+use envirotrack::world::field::Deployment;
+use envirotrack::world::geometry::Point;
+use envirotrack::world::sensing::Environment;
+use envirotrack::world::target::{Channel, Emission, Falloff, Target, TargetId, Trajectory};
+
+const ALERT: Port = Port(30);
+
+const COMMAND_POST: ContextTypeId = ContextTypeId(0);
+const INTRUDER: ContextTypeId = ContextTypeId(1);
+const FIRE: ContextTypeId = ContextTypeId(2);
+
+fn program() -> Arc<Program> {
+    Arc::new(
+        Program::builder()
+            .context("command_post", |c| {
+                c.pinned(Point::new(1.0, 6.0)).subscribe("fire").object("post", |o| {
+                    o.on_message("alert", ALERT, |ctx| {
+                        let from = ctx.incoming().expect("message-triggered").src_label;
+                        ctx.log(format!("intruder alert from {from}"));
+                    })
+                    .on_timer("fire_watch", SimDuration::from_secs(10), |ctx| {
+                        let fires = ctx.labels_of_type(FIRE);
+                        if fires.is_empty() {
+                            ctx.log("no fires on the board".to_owned());
+                        }
+                        for (label, at) in fires {
+                            ctx.log(format!("fire {label} burning near {at}"));
+                        }
+                    })
+                })
+            })
+            .context("intruder", |c| {
+                c.activation(SensePredicate::threshold(Channel::Magnetic, 0.5))
+                    .subscribe("command_post")
+                    .aggregate(
+                        "location",
+                        AggregateFn::CenterOfGravity,
+                        AggregateInput::Position,
+                        SimDuration::from_secs(1),
+                        2,
+                    )
+                    .object("tracker", |o| {
+                        o.on_timer("report", SimDuration::from_secs(5), |ctx| {
+                            if let Ok(AggValue::Point(p)) = ctx.read("location") {
+                                ctx.send_to_base(payload::position(p));
+                                for (post, _) in ctx.labels_of_type(COMMAND_POST) {
+                                    ctx.send(post, ALERT, payload::position(p));
+                                }
+                            }
+                        })
+                    })
+            })
+            .context("fire", |c| {
+                c.activation(
+                    SensePredicate::threshold(Channel::Temperature, 180.0)
+                        .and(SensePredicate::threshold(Channel::Light, 0.5)),
+                )
+                .aggregate(
+                    "heat",
+                    AggregateFn::Max,
+                    AggregateInput::Channel(Channel::Temperature),
+                    SimDuration::from_secs(3),
+                    2,
+                )
+                .object("monitor", |o| {
+                    o.on_timer("report", SimDuration::from_secs(8), |ctx| {
+                        if let Ok(AggValue::Scalar(peak)) = ctx.read("heat") {
+                            ctx.log(format!("peak temperature {peak:.0}"));
+                        }
+                    })
+                })
+            })
+            .build()
+            .expect("valid surveillance program"),
+    )
+}
+
+fn main() {
+    // A 16×8 border strip. Two intruders cross at different times; a fire
+    // ignites at t = 60 s near the middle.
+    let deployment = Deployment::grid(16, 8, 1.0);
+    let mut environment = Environment::new().with_ambient(Channel::Temperature, 20.0);
+    environment.add_target(Target::new(
+        TargetId(0),
+        Trajectory::line(Point::new(-1.0, 2.0), Point::new(16.0, 2.0), 0.08),
+        vec![Emission {
+            channel: Channel::Magnetic,
+            strength: 1.0,
+            falloff: Falloff::Disk { radius: 1.2 },
+        }],
+    ));
+    environment.add_target(
+        Target::new(
+            TargetId(1),
+            Trajectory::line(Point::new(16.0, 4.5), Point::new(-1.0, 4.5), 0.1),
+            vec![Emission {
+                channel: Channel::Magnetic,
+                strength: 1.0,
+                falloff: Falloff::Disk { radius: 1.2 },
+            }],
+        )
+        .active_between(Timestamp::from_secs(40), Timestamp::MAX),
+    );
+    environment.add_target(
+        Target::new(
+            TargetId(2),
+            Trajectory::stationary(Point::new(11.0, 6.5)),
+            vec![
+                Emission {
+                    channel: Channel::Temperature,
+                    strength: 400.0,
+                    falloff: Falloff::GrowingDisk {
+                        initial_radius: 0.8,
+                        growth_per_sec: 0.03,
+                        max_radius: 2.5,
+                    },
+                },
+                Emission {
+                    channel: Channel::Light,
+                    strength: 1.0,
+                    falloff: Falloff::GrowingDisk {
+                        initial_radius: 0.8,
+                        growth_per_sec: 0.03,
+                        max_radius: 2.5,
+                    },
+                },
+            ],
+        )
+        .active_between(Timestamp::from_secs(60), Timestamp::MAX),
+    );
+
+    let mut config = NetworkConfig::default();
+    config.middleware = config.middleware.with_directory(true);
+    config.middleware.directory_update_period = SimDuration::from_secs(5);
+    config.middleware.proximity_radius = 6.0; // the fire grows to a 5-grid diameter
+
+    let mut engine =
+        SensorNetwork::build_engine(program(), deployment.clone(), environment, config, 2026);
+    let horizon = Timestamp::from_secs(240);
+    engine.run_until(horizon);
+    let net = engine.world();
+
+    println!("=== command post log ===");
+    for (t, node, line) in net.app_log() {
+        println!("  {t} {node}: {line}");
+    }
+
+    println!("\n=== situation summary ===");
+    for (tid, name) in [(INTRUDER, "intruder"), (FIRE, "fire")] {
+        let created = net.events().labels_created(tid).len();
+        let survived = created - net.events().suppressed(tid).len();
+        println!("  {name}: {created} label(s) created, {survived} surviving");
+    }
+    let alerts = net
+        .app_log()
+        .iter()
+        .filter(|(_, _, l)| l.contains("intruder alert"))
+        .count();
+    let fire_sightings = net
+        .app_log()
+        .iter()
+        .filter(|(_, _, l)| l.contains("burning near"))
+        .count();
+    println!("  command post received {alerts} intruder alerts, {fire_sightings} fire sightings");
+    println!("  base station holds {} intruder position reports", net.base_log().len());
+
+    let handovers = net
+        .events()
+        .count(|e| matches!(e, SystemEvent::LeaderHandover { .. }));
+    println!("  leadership handovers across all labels: {handovers}");
+
+    println!("\n=== fleet energy over {horizon} ===");
+    let e = net.energy_totals();
+    println!(
+        "  total {:.0} mJ (radio {:.0} mJ, cpu {:.0} mJ); hungriest node {:.0} mJ",
+        e.total_millijoules(),
+        e.tx_millijoules() + e.rx_millijoules(),
+        e.cpu_millijoules(),
+        deployment
+            .ids()
+            .map(|id| net.energy_at(id).total_millijoules())
+            .fold(0.0, f64::max)
+    );
+}

@@ -1,0 +1,65 @@
+//! # EnviroTrack
+//!
+//! A from-scratch Rust reproduction of *"EnviroTrack: Towards an
+//! Environmental Computing Paradigm for Distributed Sensor Networks"*
+//! (Abdelzaher et al., ICDCS 2004): an object-based middleware that tracks
+//! entities moving through a wireless sensor network by attaching *tracking
+//! objects* to *context labels* — logical addresses that follow physical
+//! entities while the sensor group underneath churns.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`sim`] — deterministic discrete-event engine (virtual time, RNG).
+//! * [`world`] — the physical environment: deployments, targets, sensing.
+//! * [`net`] — the radio: 50 kb/s broadcast channel, CSMA, collisions,
+//!   geographic routing.
+//! * [`node`] — the mote runtime: CPU admission, protocol timers.
+//! * [`core`] — the EnviroTrack middleware itself: context labels, group
+//!   management, aggregate state with freshness/critical-mass QoS, the
+//!   directory service, and the MTP transport.
+//! * [`lang`] — the EnviroTrack declaration language and preprocessor.
+//!
+//! ## A minimal tracking application
+//!
+//! ```
+//! use std::sync::Arc;
+//! use envirotrack::core::prelude::*;
+//! use envirotrack::core::aggregate::{AggregateFn, AggregateInput};
+//! use envirotrack::sim::time::{SimDuration, Timestamp};
+//! use envirotrack::world::scenario::TankScenario;
+//! use envirotrack::world::target::Channel;
+//!
+//! // Declare the paper's Figure-2 tracker.
+//! let program = Arc::new(
+//!     Program::builder()
+//!         .context("tracker", |c| {
+//!             c.activation(SensePredicate::threshold(Channel::Magnetic, 0.5))
+//!                 .aggregate("location", AggregateFn::CenterOfGravity,
+//!                            AggregateInput::Position, SimDuration::from_secs(1), 2)
+//!                 .object("reporter", |o| {
+//!                     o.on_timer("report", SimDuration::from_secs(5), |ctx| {
+//!                         if let Ok(AggValue::Point(p)) = ctx.read("location") {
+//!                             ctx.send_to_base(payload::position(p));
+//!                         }
+//!                     })
+//!                 })
+//!         })
+//!         .build()
+//!         .unwrap(),
+//! );
+//!
+//! // Drop it onto the paper's testbed scenario and run.
+//! let world = TankScenario::default().build();
+//! let mut engine = SensorNetwork::build_engine(
+//!     program, world.deployment, world.environment, NetworkConfig::default(), 7,
+//! );
+//! engine.run_until(Timestamp::from_secs(60));
+//! assert!(!engine.world().base_log().is_empty(), "the pursuer heard about the tank");
+//! ```
+
+pub use envirotrack_core as core;
+pub use envirotrack_lang as lang;
+pub use envirotrack_net as net;
+pub use envirotrack_node as node;
+pub use envirotrack_sim as sim;
+pub use envirotrack_world as world;

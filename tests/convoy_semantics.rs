@@ -1,0 +1,122 @@
+//! Edge-case semantics: what happens when two tracked entities of the same
+//! type physically converge?
+//!
+//! The paper's coherence invariant is scoped: groups "remain distinct and
+//! do not merge **as long as the tracked entities are physically
+//! separated**". When two tanks close within one sensing footprint, their
+//! sensor groups overlap and the weight rule legitimately merges the labels
+//! (EnviroTrack offers no entity-disambiguation once stimuli fuse — a known
+//! limitation of the paradigm). These tests pin down both sides of that
+//! boundary.
+
+use std::sync::Arc;
+
+use envirotrack::core::context::ContextTypeId;
+use envirotrack::core::prelude::*;
+use envirotrack::sim::time::Timestamp;
+use envirotrack::world::field::Deployment;
+use envirotrack::world::geometry::Point;
+use envirotrack::world::sensing::Environment;
+use envirotrack::world::target::{Channel, Emission, Falloff, Target, TargetId, Trajectory};
+
+const TRACKER: ContextTypeId = ContextTypeId(0);
+
+fn tracker_program() -> Arc<Program> {
+    Arc::new(
+        Program::builder()
+            .context("tracker", |c| {
+                c.activation(SensePredicate::threshold(Channel::Magnetic, 0.5))
+            })
+            .build()
+            .unwrap(),
+    )
+}
+
+fn tank(id: u32, from: Point, to: Point, speed: f64) -> Target {
+    Target::new(
+        TargetId(id),
+        Trajectory::line(from, to, speed),
+        vec![Emission {
+            channel: Channel::Magnetic,
+            strength: 1.0,
+            falloff: Falloff::Disk { radius: 1.0 },
+        }],
+    )
+}
+
+#[test]
+fn converging_tanks_merge_into_one_label() {
+    // Two tanks drive towards each other along the same lane and stop
+    // nose-to-nose at the middle.
+    let deployment = Deployment::grid(13, 3, 1.0);
+    let mut environment = Environment::new();
+    environment.add_target(tank(0, Point::new(0.0, 1.0), Point::new(5.6, 1.0), 0.06));
+    environment.add_target(tank(1, Point::new(12.0, 1.0), Point::new(6.4, 1.0), 0.06));
+
+    let mut engine = SensorNetwork::build_engine(
+        tracker_program(),
+        deployment,
+        environment,
+        NetworkConfig::default(),
+        19,
+    );
+    // Early on: far apart, two labels.
+    engine.run_until(Timestamp::from_secs(25));
+    assert_eq!(
+        engine.world().leaders_of_type(TRACKER).len(),
+        2,
+        "separated tanks must have separate labels"
+    );
+    // They meet around t ≈ 95 s (each covers ~5.6 grids at 0.06 hops/s)
+    // and sit 0.8 grids apart: one fused stimulus.
+    engine.run_until(Timestamp::from_secs(140));
+    let world = engine.world();
+    let leaders = world.leaders_of_type(TRACKER);
+    assert_eq!(
+        leaders.len(),
+        1,
+        "fused stimuli must merge to one label (the weight rule), got {leaders:?}"
+    );
+    // The losing label exits either by weight-rule suppression or — when
+    // its last holder stopped sensing first — by dissolving; both are
+    // legitimate merge mechanisms and must be visible in the event log.
+    let suppressed = world.events().suppressed(TRACKER).len();
+    let dissolved = world.events().count(|e| {
+        matches!(e, envirotrack::core::events::SystemEvent::LabelDissolved { .. })
+    });
+    assert!(
+        suppressed + dissolved >= 1,
+        "the merge must be visible in the event log ({suppressed} suppressed, {dissolved} dissolved)"
+    );
+}
+
+#[test]
+fn passing_tanks_on_distant_lanes_never_merge() {
+    // Same timing, but lanes 6 grids apart (outside the proximity radius):
+    // labels must stay distinct the whole time.
+    let deployment = Deployment::grid(13, 8, 1.0);
+    let mut environment = Environment::new();
+    environment.add_target(tank(0, Point::new(0.0, 1.0), Point::new(12.0, 1.0), 0.06));
+    environment.add_target(tank(1, Point::new(12.0, 7.0), Point::new(0.0, 7.0), 0.06));
+
+    let mut engine = SensorNetwork::build_engine(
+        tracker_program(),
+        deployment,
+        environment,
+        NetworkConfig::default(),
+        20,
+    );
+    for check_at in [40u64, 90, 140, 190] {
+        engine.run_until(Timestamp::from_secs(check_at));
+        let leaders = engine.world().leaders_of_type(TRACKER);
+        assert_eq!(
+            leaders.len(),
+            2,
+            "distant lanes must keep two labels at t={check_at}: {leaders:?}"
+        );
+    }
+    assert!(
+        engine.world().events().suppressed(TRACKER).is_empty(),
+        "no cross-lane suppression may occur"
+    );
+}

@@ -1,0 +1,153 @@
+//! Integration tests: EnviroTrack *source code* all the way to a running
+//! simulation — the full preprocessor pipeline of the paper's Section 5.1.
+
+use std::sync::Arc;
+
+use envirotrack::core::context::ContextTypeId;
+use envirotrack::core::network::{NetworkConfig, SensorNetwork};
+use envirotrack::core::object::payload;
+use envirotrack::lang::compile_source;
+use envirotrack::sim::time::Timestamp;
+use envirotrack::world::scenario::{FireScenario, TankScenario};
+
+#[test]
+fn figure_two_source_tracks_the_tank() {
+    let program = Arc::new(
+        compile_source(
+            r#"
+            begin context tracker
+              activation: magnetic_sensor_reading()
+              location : avg(position) confidence=2, freshness=1s
+              begin object reporter
+                invocation: TIMER(5s)
+                report_function() {
+                  MySend(pursuer, self:label, location);
+                }
+              end
+            end context
+            "#,
+        )
+        .expect("Figure 2 compiles"),
+    );
+    let world = TankScenario::default().with_speed_hops_per_s(0.1).build();
+    let tank = world.environment.target(world.primary_target).unwrap().clone();
+    let mut engine = SensorNetwork::build_engine(
+        program,
+        world.deployment,
+        world.environment,
+        NetworkConfig::default(),
+        17,
+    );
+    engine.run_until(Timestamp::from_secs(140));
+    let net = engine.world();
+
+    let tracks = net.base_log().tracks_of_type(ContextTypeId(0));
+    assert_eq!(tracks.len(), 1, "one tank, one labelled track");
+    let (_, track) = &tracks[0];
+    assert!(track.len() >= 8, "expected a stream of reports, got {}", track.len());
+    let mean_err: f64 = track
+        .iter()
+        .map(|(t, p)| p.distance_to(tank.position_at(*t)))
+        .sum::<f64>()
+        / track.len() as f64;
+    assert!(mean_err < 1.0, "language-built tracker has error {mean_err}");
+}
+
+#[test]
+fn fire_source_with_conjunction_and_logging_runs() {
+    let program = Arc::new(
+        compile_source(
+            r#"
+            begin context fire
+              activation: temperature > 180 and light
+              heat : avg(temperature) confidence=3, freshness=3s
+              begin object monitor
+                invocation: TIMER(4s)
+                report() {
+                  log("heat", heat);
+                  send_base(heat);
+                }
+              end
+            end context
+            "#,
+        )
+        .expect("fire program compiles"),
+    );
+    let cfg = FireScenario::default();
+    let world = cfg.build();
+    let mut config = NetworkConfig::default();
+    config.middleware.proximity_radius = 2.0 * cfg.max_radius + 2.0;
+    let mut engine = SensorNetwork::build_engine(
+        program,
+        world.deployment,
+        world.environment,
+        config,
+        23,
+    );
+    engine.run_until(Timestamp::from_secs(120));
+    let net = engine.world();
+
+    // The log statement produced formatted aggregate reads.
+    let heat_lines = net
+        .app_log()
+        .iter()
+        .filter(|(_, _, l)| l.contains("heat=") && !l.contains('<'))
+        .count();
+    assert!(heat_lines >= 3, "expected confirmed heat logs, got {heat_lines}");
+    // And the scalar reports reached the base station.
+    let scalars: Vec<f64> = net
+        .base_log()
+        .entries()
+        .iter()
+        .filter_map(|e| payload::decode_scalar(&e.payload))
+        .collect();
+    assert!(!scalars.is_empty(), "send_base(heat) must deliver scalars");
+    for s in &scalars {
+        assert!(
+            (300.0..500.0).contains(s),
+            "average temperature {s} out of the fire's range"
+        );
+    }
+}
+
+#[test]
+fn null_flag_suppresses_unconfirmed_reports() {
+    // Demand an absurd critical mass: reads always fail, so no report is
+    // ever sent — the paper's "no action" handling of unconfirmed sitings.
+    let program = Arc::new(
+        compile_source(
+            r#"
+            begin context tracker
+              activation: magnetic_sensor_reading()
+              location : avg(position) confidence=50, freshness=1s
+              begin object reporter
+                invocation: TIMER(5s)
+                report() {
+                  MySend(pursuer, self:label, location);
+                }
+              end
+            end context
+            "#,
+        )
+        .unwrap(),
+    );
+    let world = TankScenario::default().build();
+    let mut engine = SensorNetwork::build_engine(
+        program,
+        world.deployment,
+        world.environment,
+        NetworkConfig::default(),
+        29,
+    );
+    engine.run_until(Timestamp::from_secs(120));
+    let net = engine.world();
+    assert!(
+        net.base_log().is_empty(),
+        "critical mass 50 can never be met on a 20-node field"
+    );
+    // The failures were surfaced as events.
+    let failures = net.events().count(|e| {
+        matches!(e, envirotrack::core::events::SystemEvent::AggregateReadFailed { .. })
+    });
+    assert!(failures > 0, "unconfirmed reads must be observable");
+}

@@ -1,0 +1,192 @@
+//! Integration tests for the naming (directory) and transport (MTP)
+//! services, end to end through the radio.
+
+use std::sync::Arc;
+
+use envirotrack::core::context::ContextTypeId;
+use envirotrack::core::events::SystemEvent;
+use envirotrack::core::prelude::*;
+use envirotrack::sim::time::{SimDuration, Timestamp};
+use envirotrack::world::field::Deployment;
+use envirotrack::world::geometry::Point;
+use envirotrack::world::sensing::Environment;
+use envirotrack::world::target::{Channel, Emission, Falloff, Target, TargetId, Trajectory};
+
+const PING: Port = Port(10);
+const PONG: Port = Port(11);
+
+/// Two stationary phenomena ("alpha" watches, "beacon" answers), far apart
+/// on a grid, with the directory enabled.
+fn two_party_world() -> (Arc<Program>, Deployment, Environment, NetworkConfig) {
+    let program = Arc::new(
+        Program::builder()
+            .context("watcher", |c| {
+                c.activation(SensePredicate::threshold(Channel::Light, 0.5))
+                    .subscribe("beacon")
+                    .object("prober", |o| {
+                        o.on_timer("probe", SimDuration::from_secs(6), |ctx| {
+                            for (label, _) in ctx.labels_of_type(ContextTypeId(1)) {
+                                ctx.send(label, PING, &b"ping"[..]);
+                            }
+                        })
+                        .on_message("answer", PONG, |ctx| {
+                            ctx.log("pong received".to_owned());
+                        })
+                    })
+            })
+            .context("beacon", |c| {
+                c.activation(SensePredicate::threshold(Channel::Acoustic, 0.5)).object(
+                    "responder",
+                    |o| {
+                        o.on_message("ping", PING, |ctx| {
+                            let from = ctx.incoming().expect("message-triggered").src_label;
+                            ctx.send(from, PONG, &b"pong"[..]);
+                        })
+                    },
+                )
+            })
+            .build()
+            .expect("valid program"),
+    );
+
+    let deployment = Deployment::grid(9, 9, 1.0);
+    let mut environment = Environment::new();
+    environment.add_target(Target::new(
+        TargetId(0),
+        Trajectory::stationary(Point::new(1.0, 1.0)),
+        vec![Emission { channel: Channel::Light, strength: 1.0, falloff: Falloff::Disk { radius: 1.2 } }],
+    ));
+    environment.add_target(Target::new(
+        TargetId(1),
+        Trajectory::stationary(Point::new(7.0, 7.0)),
+        vec![Emission {
+            channel: Channel::Acoustic,
+            strength: 1.0,
+            falloff: Falloff::Disk { radius: 1.2 },
+        }],
+    ));
+
+    let mut config = NetworkConfig::default();
+    config.middleware = config.middleware.with_directory(true);
+    config.middleware.directory_update_period = SimDuration::from_secs(4);
+    (program, deployment, environment, config)
+}
+
+#[test]
+fn directory_resolves_and_mtp_round_trips() {
+    let (program, deployment, environment, config) = two_party_world();
+    let mut engine = SensorNetwork::build_engine(program, deployment, environment, config, 99);
+    engine.run_until(Timestamp::from_secs(90));
+    let world = engine.world();
+
+    let delivered = world.events().count(|e| matches!(e, SystemEvent::MtpDelivered { .. }));
+    assert!(delivered >= 2, "expected pings and pongs to be delivered, got {delivered}");
+    let pongs = world.app_log().iter().filter(|(_, _, l)| l.contains("pong received")).count();
+    assert!(pongs >= 3, "expected repeated ping/pong round trips, got {pongs}");
+}
+
+#[test]
+fn directory_entries_live_on_the_home_node() {
+    let (program, deployment, environment, config) = two_party_world();
+    let mut engine =
+        SensorNetwork::build_engine(program, deployment.clone(), environment, config, 7);
+    engine.run_until(Timestamp::from_secs(30));
+    let world = engine.world();
+
+    // Registrations concentrate near the hash coordinates of the two types.
+    for tid in [ContextTypeId(0), ContextTypeId(1)] {
+        let home_pt = world.directory_home(tid);
+        let holders: Vec<_> = deployment
+            .ids()
+            .filter(|id| world.directory_entries_at(*id) > 0)
+            .collect();
+        assert!(!holders.is_empty(), "someone must hold directory entries");
+        let nearest_holder = holders
+            .iter()
+            .map(|id| deployment.position(*id).distance_to(home_pt))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            nearest_holder <= 1.5,
+            "no entry holder near the {tid} home point {home_pt} (closest {nearest_holder})"
+        );
+    }
+}
+
+#[test]
+fn mtp_chases_a_moving_label_through_forwarding() {
+    // The watcher pings a *moving* target; segments addressed to a stale
+    // leader must be chased via forwarding pointers / cached knowledge.
+    let program = Arc::new(
+        Program::builder()
+            .context("watcher", |c| {
+                c.activation(SensePredicate::threshold(Channel::Light, 0.5))
+                    .subscribe("runner")
+                    .object("prober", |o| {
+                        o.on_timer("probe", SimDuration::from_secs(4), |ctx| {
+                            for (label, _) in ctx.labels_of_type(ContextTypeId(1)) {
+                                ctx.send(label, PING, &b"ping"[..]);
+                            }
+                        })
+                    })
+            })
+            .context("runner", |c| {
+                c.activation(SensePredicate::threshold(Channel::Magnetic, 0.5)).object(
+                    "ear",
+                    |o| {
+                        o.on_message("ping", PING, |ctx| {
+                            ctx.log(format!("ping heard at {}", ctx.node()));
+                        })
+                    },
+                )
+            })
+            .build()
+            .unwrap(),
+    );
+    let deployment = Deployment::grid(12, 6, 1.0);
+    let mut environment = Environment::new();
+    environment.add_target(Target::new(
+        TargetId(0),
+        Trajectory::stationary(Point::new(10.0, 5.0)),
+        vec![Emission { channel: Channel::Light, strength: 1.0, falloff: Falloff::Disk { radius: 1.2 } }],
+    ));
+    environment.add_target(Target::new(
+        TargetId(1),
+        Trajectory::line(Point::new(0.0, 1.0), Point::new(11.0, 1.0), 0.08),
+        vec![Emission {
+            channel: Channel::Magnetic,
+            strength: 1.0,
+            falloff: Falloff::Disk { radius: 1.2 },
+        }],
+    ));
+    let mut config = NetworkConfig::default();
+    config.middleware = config.middleware.with_directory(true);
+    config.middleware.directory_update_period = SimDuration::from_secs(4);
+
+    let mut engine = SensorNetwork::build_engine(program, deployment, environment, config, 31);
+    engine.run_until(Timestamp::from_secs(130));
+    let world = engine.world();
+
+    let pings: Vec<&(Timestamp, envirotrack::world::field::NodeId, String)> =
+        world.app_log().iter().filter(|(_, _, l)| l.contains("ping heard")).collect();
+    assert!(pings.len() >= 4, "moving label must keep receiving pings, got {}", pings.len());
+    // The receiving node changes as the group migrates.
+    let distinct_receivers: std::collections::BTreeSet<_> =
+        pings.iter().map(|(_, n, _)| *n).collect();
+    assert!(
+        distinct_receivers.len() >= 2,
+        "pings should land on different leaders over time: {distinct_receivers:?}"
+    );
+}
+
+#[test]
+fn mtp_without_directory_drops_unknown_labels() {
+    let (program, deployment, environment, mut config) = two_party_world();
+    config.middleware.directory_enabled = false;
+    let mut engine = SensorNetwork::build_engine(program, deployment, environment, config, 5);
+    engine.run_until(Timestamp::from_secs(40));
+    let world = engine.world();
+    // With no directory there is no way to learn the beacon's label, so no
+    // MTP deliveries can occur (and nothing crashes).
+    let delivered = world.events().count(|e| matches!(e, SystemEvent::MtpDelivered { .. }));
+    assert_eq!(delivered, 0);
+}

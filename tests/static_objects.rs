@@ -1,0 +1,154 @@
+//! Integration tests for static (pinned) objects — the paper's
+//! "conventional static objects" that coexist with tracking objects.
+
+use std::sync::Arc;
+
+use envirotrack::core::context::ContextTypeId;
+use envirotrack::core::events::SystemEvent;
+use envirotrack::core::prelude::*;
+use envirotrack::sim::time::{SimDuration, Timestamp};
+use envirotrack::world::field::Deployment;
+use envirotrack::world::geometry::Point;
+use envirotrack::world::sensing::Environment;
+use envirotrack::world::target::{Channel, Emission, Falloff, Target, TargetId, Trajectory};
+
+const ALERT: Port = Port(21);
+
+#[test]
+fn pinned_object_exists_from_startup_and_never_moves() {
+    let program = Arc::new(
+        Program::builder()
+            .context("sink", |c| {
+                c.pinned(Point::new(3.0, 3.0)).object("heart", |o| {
+                    o.on_timer("beat", SimDuration::from_secs(5), |ctx| {
+                        ctx.log(format!("alive at {}", ctx.node()));
+                    })
+                })
+            })
+            .build()
+            .unwrap(),
+    );
+    let deployment = Deployment::grid(7, 7, 1.0);
+    let mut engine = SensorNetwork::build_engine(
+        program,
+        deployment.clone(),
+        Environment::new(),
+        NetworkConfig::default(),
+        3,
+    );
+    engine.run_until(Timestamp::from_secs(60));
+    let world = engine.world();
+
+    let leaders = world.leaders_of_type(ContextTypeId(0));
+    assert_eq!(leaders.len(), 1, "exactly one pinned instance: {leaders:?}");
+    let (host, _) = leaders[0];
+    assert_eq!(deployment.position(host), Point::new(3.0, 3.0), "hosted at the pinned point");
+    // It ticked for the whole run, always on the same node.
+    let beats: Vec<_> =
+        world.app_log().iter().filter(|(_, _, l)| l.contains("alive at")).collect();
+    assert!(beats.len() >= 10, "expected ~12 beats, got {}", beats.len());
+    assert!(beats.iter().all(|(_, n, _)| *n == host), "a static object must not migrate");
+    // Exactly one label was ever created for it.
+    assert_eq!(world.events().labels_created(ContextTypeId(0)).len(), 1);
+}
+
+#[test]
+fn tracking_objects_can_message_a_static_object() {
+    // A moving tracker reports each confirmed sighting to a pinned alarm
+    // panel via MTP, resolved through the directory.
+    let program = Arc::new(
+        Program::builder()
+            .context("alarm_panel", |c| {
+                c.pinned(Point::new(0.0, 4.0)).object("panel", |o| {
+                    o.on_message("alert", ALERT, |ctx| {
+                        let from = ctx.incoming().expect("message-triggered").src_label;
+                        ctx.log(format!("ALERT from {from}"));
+                    })
+                })
+            })
+            .context("intruder", |c| {
+                c.activation(SensePredicate::threshold(Channel::Magnetic, 0.5))
+                    .subscribe("alarm_panel")
+                    .object("siren", |o| {
+                        o.on_timer("notify", SimDuration::from_secs(6), |ctx| {
+                            for (label, _) in ctx.labels_of_type(ContextTypeId(0)) {
+                                ctx.send(label, ALERT, &b"intruder!"[..]);
+                            }
+                        })
+                    })
+            })
+            .build()
+            .unwrap(),
+    );
+    let deployment = Deployment::grid(10, 5, 1.0);
+    let mut environment = Environment::new();
+    environment.add_target(Target::new(
+        TargetId(0),
+        Trajectory::line(Point::new(0.0, 1.0), Point::new(9.0, 1.0), 0.08),
+        vec![Emission {
+            channel: Channel::Magnetic,
+            strength: 1.0,
+            falloff: Falloff::Disk { radius: 1.2 },
+        }],
+    ));
+    let mut config = NetworkConfig::default();
+    config.middleware = config.middleware.with_directory(true);
+    config.middleware.directory_update_period = SimDuration::from_secs(4);
+
+    let mut engine = SensorNetwork::build_engine(program, deployment, environment, config, 41);
+    engine.run_until(Timestamp::from_secs(120));
+    let world = engine.world();
+
+    let alerts = world.app_log().iter().filter(|(_, _, l)| l.contains("ALERT from")).count();
+    assert!(alerts >= 5, "the panel should keep receiving alerts, got {alerts}");
+    let dropped = world.events().count(|e| matches!(e, SystemEvent::MtpDropped { .. }));
+    let delivered = world.events().count(|e| matches!(e, SystemEvent::MtpDelivered { .. }));
+    assert!(
+        delivered > dropped,
+        "most alerts must reach the static endpoint ({delivered} delivered / {dropped} dropped)"
+    );
+}
+
+#[test]
+fn pinned_instance_survives_nearby_tracking_chaos() {
+    // A tank drives right past the pinned node; the static label must not
+    // be suppressed, yielded, or otherwise perturbed by tracker traffic.
+    let program = Arc::new(
+        Program::builder()
+            .context("sink", |c| c.pinned(Point::new(5.0, 1.0)))
+            .context("tracker", |c| {
+                c.activation(SensePredicate::threshold(Channel::Magnetic, 0.5))
+            })
+            .build()
+            .unwrap(),
+    );
+    let deployment = Deployment::grid(11, 3, 1.0);
+    let mut environment = Environment::new();
+    environment.add_target(Target::new(
+        TargetId(0),
+        Trajectory::line(Point::new(-1.0, 1.0), Point::new(11.0, 1.0), 0.1),
+        vec![Emission {
+            channel: Channel::Magnetic,
+            strength: 1.0,
+            falloff: Falloff::Disk { radius: 1.0 },
+        }],
+    ));
+    let mut engine = SensorNetwork::build_engine(
+        program,
+        deployment,
+        environment,
+        NetworkConfig::default(),
+        8,
+    );
+    engine.run_until(Timestamp::from_secs(150));
+    let world = engine.world();
+    let sinks = world.leaders_of_type(ContextTypeId(0));
+    assert_eq!(sinks.len(), 1, "the static object must still exist: {sinks:?}");
+    assert_eq!(
+        world.events().labels_created(ContextTypeId(0)).len(),
+        1,
+        "no churn on the static label"
+    );
+    // And the tracker worked alongside it.
+    assert!(!world.events().labels_created(ContextTypeId(1)).is_empty());
+}
