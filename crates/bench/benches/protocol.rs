@@ -1,10 +1,14 @@
-//! Criterion micro-benchmarks for the protocol-level data structures: the
-//! operations every node performs per message or per timer tick. These
-//! bound the simulator's throughput and sanity-check that the hot paths
-//! stay allocation-light.
+//! Micro-benchmarks for the protocol-level data structures: the operations
+//! every node performs per message or per timer tick. These bound the
+//! simulator's throughput and sanity-check that the hot paths stay
+//! allocation-light.
+//!
+//! Plain `harness = false` binary over the in-tree timing loop
+//! ([`envirotrack_bench::harness::measure`]); run with `cargo bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
+use envirotrack_bench::harness::measure;
 use envirotrack_core::aggregate::{AggregateFn, ReadingValue, ReadingWindow};
 use envirotrack_core::context::{ContextLabel, ContextTypeId};
 use envirotrack_core::transport::{LeaderLoc, LruTable};
@@ -16,7 +20,11 @@ use envirotrack_world::field::{Deployment, NodeId};
 use envirotrack_world::geometry::Point;
 
 fn label() -> ContextLabel {
-    ContextLabel { type_id: ContextTypeId(0), creator: NodeId(7), seq: 3 }
+    ContextLabel {
+        type_id: ContextTypeId(0),
+        creator: NodeId(7),
+        seq: 3,
+    }
 }
 
 fn heartbeat() -> Message {
@@ -43,27 +51,30 @@ fn report() -> Message {
     })
 }
 
-fn bench_wire(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wire");
+fn bench_wire(out: &mut Vec<String>) {
     let hb = heartbeat();
     let rp = report();
-    g.bench_function("encode_heartbeat", |b| b.iter(|| black_box(&hb).encode()));
-    g.bench_function("encode_report", |b| b.iter(|| black_box(&rp).encode()));
+    out.push(measure("wire/encode_heartbeat", || black_box(&hb).encode()).report());
+    out.push(measure("wire/encode_report", || black_box(&rp).encode()).report());
     let hb_bytes = hb.encode();
     let rp_bytes = rp.encode();
-    g.bench_function("decode_heartbeat", |b| {
-        b.iter(|| Message::decode(black_box(&hb_bytes)).unwrap())
-    });
-    g.bench_function("decode_report", |b| {
-        b.iter(|| Message::decode(black_box(&rp_bytes)).unwrap())
-    });
-    g.finish();
+    out.push(
+        measure("wire/decode_heartbeat", || {
+            Message::decode(black_box(&hb_bytes)).unwrap()
+        })
+        .report(),
+    );
+    out.push(
+        measure("wire/decode_report", || {
+            Message::decode(black_box(&rp_bytes)).unwrap()
+        })
+        .report(),
+    );
 }
 
-fn bench_window(c: &mut Criterion) {
-    let mut g = c.benchmark_group("aggregate_window");
-    g.bench_function("insert_evaluate_8_members", |b| {
-        b.iter(|| {
+fn bench_window(out: &mut Vec<String>) {
+    out.push(
+        measure("aggregate_window/insert_evaluate_8_members", || {
             let mut w = ReadingWindow::new();
             for i in 0..8u32 {
                 w.insert(
@@ -79,33 +90,41 @@ fn bench_window(c: &mut Criterion) {
                 2,
             )
         })
-    });
-    g.finish();
+        .report(),
+    );
 }
 
-fn bench_lru(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mtp_lru");
-    g.bench_function("insert_get_cycle", |b| {
-        let mut lru: LruTable<ContextLabel, LeaderLoc> = LruTable::new(8);
-        let labels: Vec<ContextLabel> = (0..16u32)
-            .map(|i| ContextLabel { type_id: ContextTypeId(0), creator: NodeId(i), seq: 0 })
-            .collect();
-        let mut i = 0usize;
-        b.iter(|| {
+fn bench_lru(out: &mut Vec<String>) {
+    let mut lru: LruTable<ContextLabel, LeaderLoc> = LruTable::new(8);
+    let labels: Vec<ContextLabel> = (0..16u32)
+        .map(|i| ContextLabel {
+            type_id: ContextTypeId(0),
+            creator: NodeId(i),
+            seq: 0,
+        })
+        .collect();
+    let mut i = 0usize;
+    out.push(
+        measure("mtp_lru/insert_get_cycle", || {
             let l = labels[i % labels.len()];
-            lru.insert(l, LeaderLoc { node: l.creator, pos: Point::ORIGIN });
+            lru.insert(
+                l,
+                LeaderLoc {
+                    node: l.creator,
+                    pos: Point::ORIGIN,
+                },
+            );
             let got = lru.get(labels[(i / 2) % labels.len()]);
             i += 1;
             black_box(got.copied())
         })
-    });
-    g.finish();
+        .report(),
+    );
 }
 
-fn bench_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
-    g.bench_function("push_pop_1k", |b| {
-        b.iter(|| {
+fn bench_queue(out: &mut Vec<String>) {
+    out.push(
+        measure("event_queue/push_pop_1k", || {
             let mut q = EventQueue::new();
             for i in 0..1000u64 {
                 q.push(Timestamp::from_micros((i * 7919) % 5000), i);
@@ -116,43 +135,56 @@ fn bench_queue(c: &mut Criterion) {
             }
             black_box(sum)
         })
-    });
-    g.finish();
+        .report(),
+    );
 }
 
-fn bench_routing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("geo_routing");
+fn bench_routing(out: &mut Vec<String>) {
     let field = Deployment::grid(20, 20, 1.0);
     let router = GeoRouter::new(&field, 1.5);
-    g.bench_function("route_corner_to_corner_20x20", |b| {
-        b.iter(|| router.route(black_box(NodeId(0)), Point::new(19.0, 19.0)).unwrap())
-    });
-    g.bench_function("next_hop", |b| {
-        b.iter(|| router.next_hop(black_box(NodeId(0)), Point::new(19.0, 19.0)))
-    });
-    g.finish();
+    out.push(
+        measure("geo_routing/route_corner_to_corner_20x20", || {
+            router
+                .route(black_box(NodeId(0)), Point::new(19.0, 19.0))
+                .unwrap()
+        })
+        .report(),
+    );
+    out.push(
+        measure("geo_routing/next_hop", || {
+            router.next_hop(black_box(NodeId(0)), Point::new(19.0, 19.0))
+        })
+        .report(),
+    );
 }
 
-fn bench_payload_sizes(c: &mut Criterion) {
+fn bench_payload_sizes(out: &mut Vec<String>) {
     // Not a speed benchmark: documents frame costs stay stable.
-    let mut g = c.benchmark_group("frame_airtime");
     let cfg = envirotrack_net::medium::RadioConfig::default();
     let frame = envirotrack_net::packet::Frame::broadcast(
         NodeId(0),
         heartbeat().kind(),
         heartbeat().encode(),
     );
-    g.bench_function("tx_time_heartbeat", |b| b.iter(|| cfg.tx_time(black_box(&frame))));
-    g.finish();
+    out.push(
+        measure("frame_airtime/tx_time_heartbeat", || {
+            cfg.tx_time(black_box(&frame))
+        })
+        .report(),
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_wire,
-    bench_window,
-    bench_lru,
-    bench_queue,
-    bench_routing,
-    bench_payload_sizes
-);
-criterion_main!(benches);
+fn main() {
+    let mut out = Vec::new();
+    bench_wire(&mut out);
+    bench_window(&mut out);
+    bench_lru(&mut out);
+    bench_queue(&mut out);
+    bench_routing(&mut out);
+    bench_payload_sizes(&mut out);
+    println!("protocol micro-benchmarks");
+    println!("-------------------------");
+    for line in out {
+        println!("{line}");
+    }
+}

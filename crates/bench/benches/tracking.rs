@@ -1,27 +1,33 @@
-//! Criterion end-to-end benchmarks: one full simulated crossing per
-//! experiment family, sized so `cargo bench` completes in minutes. These
-//! measure simulator throughput (virtual seconds per wall second) for the
-//! exact configurations behind each paper figure.
+//! End-to-end benchmarks: one full simulated crossing per experiment
+//! family, sized so `cargo bench` completes in minutes. These measure
+//! simulator throughput (virtual seconds per wall second) for the exact
+//! configurations behind each paper figure.
+//!
+//! Plain `harness = false` binary over the in-tree timing loop
+//! ([`envirotrack_bench::harness::measure_with`]); run with `cargo bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
 
-use envirotrack_bench::harness::{run_tracking, TrackingRun};
+use envirotrack_bench::harness::{measure_with, run_tracking, TrackingRun};
 use envirotrack_sim::time::SimDuration;
 
-fn bench_fig3_crossing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tracking");
-    g.sample_size(10);
-    let cfg = TrackingRun::default();
-    g.bench_function("fig3_testbed_crossing", |b| {
-        b.iter(|| black_box(run_tracking(&cfg)).handovers)
-    });
-    g.finish();
+/// Whole-crossing runs take milliseconds to seconds each, so the budgets
+/// are wider than the micro-bench defaults: one warmup run, then at least
+/// three timed batches within ~2 s.
+fn measure_run(name: &str, cfg: &TrackingRun, probe: impl Fn(&TrackingRun) -> bool) -> String {
+    measure_with(
+        name,
+        Duration::from_millis(1),
+        Duration::from_secs(2),
+        || black_box(probe(cfg)),
+    )
+    .report()
 }
 
-fn bench_fig4_handover_config(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tracking");
-    g.sample_size(10);
-    let cfg = TrackingRun {
+fn main() {
+    let fig3 = TrackingRun::default();
+    let fig4 = TrackingRun {
         cols: 14,
         rows: 3,
         lane_y: 1.0,
@@ -29,16 +35,7 @@ fn bench_fig4_handover_config(c: &mut Criterion) {
         base_loss: 0.15,
         ..TrackingRun::default()
     };
-    g.bench_function("fig4_short_radio_crossing", |b| {
-        b.iter(|| black_box(run_tracking(&cfg)).handover_success_ratio())
-    });
-    g.finish();
-}
-
-fn bench_fig5_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tracking");
-    g.sample_size(10);
-    let cfg = TrackingRun {
+    let fig5 = TrackingRun {
         cols: 24,
         rows: 5,
         lane_y: 2.0,
@@ -48,11 +45,24 @@ fn bench_fig5_point(c: &mut Criterion) {
         sense_period: Some(SimDuration::from_millis(250)),
         ..TrackingRun::default()
     };
-    g.bench_function("fig5_takeover_point", |b| {
-        b.iter(|| black_box(run_tracking(&cfg)).coherent())
-    });
-    g.finish();
-}
 
-criterion_group!(benches, bench_fig3_crossing, bench_fig4_handover_config, bench_fig5_point);
-criterion_main!(benches);
+    println!("tracking end-to-end benchmarks");
+    println!("------------------------------");
+    println!(
+        "{}",
+        measure_run("tracking/fig3_testbed_crossing", &fig3, |c| {
+            run_tracking(c).handovers > 0
+        })
+    );
+    println!(
+        "{}",
+        measure_run("tracking/fig4_short_radio_crossing", &fig4, |c| {
+            run_tracking(c).handover_success_ratio() >= 0.0
+        })
+    );
+    println!(
+        "{}",
+        measure_run("tracking/fig5_takeover_point", &fig5, |c| run_tracking(c)
+            .coherent())
+    );
+}

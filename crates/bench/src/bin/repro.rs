@@ -47,7 +47,15 @@ fn main() {
         }
     }
     if wanted.is_empty() || wanted.contains(&"all") {
-        wanted = vec!["fig3", "fig4", "table1", "fig5", "fig6", "ablations", "energy"];
+        wanted = vec![
+            "fig3",
+            "fig4",
+            "table1",
+            "fig5",
+            "fig6",
+            "ablations",
+            "energy",
+        ];
     }
     let (seeds, votes, resolution) = if quick { (2, 1, 0.25) } else { (5, 3, 0.1) };
 
@@ -116,7 +124,14 @@ fn main() {
 fn export_fig3(fig: &fig3::Fig3, dir: &Path) {
     write_csv(
         &dir.join("fig3.csv"),
-        &["time_s", "reported_x", "reported_y", "actual_x", "actual_y", "error"],
+        &[
+            "time_s",
+            "reported_x",
+            "reported_y",
+            "actual_x",
+            "actual_y",
+            "error",
+        ],
         fig.points.iter().map(|(t, r, a)| {
             vec![
                 format!("{:.2}", t.as_secs_f64()),
@@ -130,8 +145,14 @@ fn export_fig3(fig: &fig3::Fig3, dir: &Path) {
     )
     .expect("write fig3.csv");
     SvgPlot::new("Fig. 3 — tracked tank trajectory", "x (grids)", "y (grids)")
-        .series(Series::new("reported", fig.points.iter().map(|(_, r, _)| (r.x, r.y)).collect()))
-        .series(Series::new("actual", fig.points.iter().map(|(_, _, a)| (a.x, a.y)).collect()))
+        .series(Series::new(
+            "reported",
+            fig.points.iter().map(|(_, r, _)| (r.x, r.y)).collect(),
+        ))
+        .series(Series::new(
+            "actual",
+            fig.points.iter().map(|(_, _, a)| (a.x, a.y)).collect(),
+        ))
         .write(&dir.join("fig3.svg"))
         .expect("write fig3.svg");
 }
@@ -139,7 +160,13 @@ fn export_fig3(fig: &fig3::Fig3, dir: &Path) {
 fn export_fig4(fig: &fig4::Fig4, dir: &Path) {
     write_csv(
         &dir.join("fig4.csv"),
-        &["speed_kmh", "heartbeat_ttl", "success_pct", "handovers", "failures"],
+        &[
+            "speed_kmh",
+            "heartbeat_ttl",
+            "success_pct",
+            "handovers",
+            "failures",
+        ],
         fig.bars.iter().map(|b| {
             vec![
                 format!("{}", b.speed_kmh),
@@ -156,7 +183,13 @@ fn export_fig4(fig: &fig4::Fig4, dir: &Path) {
 fn export_table1(t: &table1::Table1, dir: &Path) {
     write_csv(
         &dir.join("table1.csv"),
-        &["speed_kmh", "hb_loss_pct", "msg_loss_pct", "link_util_pct", "coherent"],
+        &[
+            "speed_kmh",
+            "hb_loss_pct",
+            "msg_loss_pct",
+            "link_util_pct",
+            "coherent",
+        ],
         t.rows.iter().map(|r| {
             vec![
                 format!("{}", r.speed_kmh),
@@ -247,7 +280,13 @@ fn export_fig6(fig: &fig6::Fig6, dir: &Path) {
 fn export_ablations(a: &ablations::Ablations, dir: &Path) {
     write_csv(
         &dir.join("ablations.csv"),
-        &["variant", "handovers", "spurious", "reports", "coherent_fraction"],
+        &[
+            "variant",
+            "handovers",
+            "spurious",
+            "reports",
+            "coherent_fraction",
+        ],
         a.rows.iter().map(|r| {
             vec![
                 r.name.clone(),
@@ -264,7 +303,13 @@ fn export_ablations(a: &ablations::Ablations, dir: &Path) {
 fn export_energy(e: &energy::EnergySweep, dir: &Path) {
     write_csv(
         &dir.join("energy.csv"),
-        &["heartbeat_s", "total_mj", "radio_mj", "cpu_mj", "max_node_mj"],
+        &[
+            "heartbeat_s",
+            "total_mj",
+            "radio_mj",
+            "cpu_mj",
+            "max_node_mj",
+        ],
         e.rows.iter().map(|r| {
             vec![
                 format!("{}", r.heartbeat_secs),
@@ -284,15 +329,24 @@ fn export_energy(e: &energy::EnergySweep, dir: &Path) {
     .log_x()
     .series(Series::new(
         "total",
-        e.rows.iter().map(|r| (r.heartbeat_secs, r.total_mj)).collect(),
+        e.rows
+            .iter()
+            .map(|r| (r.heartbeat_secs, r.total_mj))
+            .collect(),
     ))
     .series(Series::new(
         "radio",
-        e.rows.iter().map(|r| (r.heartbeat_secs, r.radio_mj)).collect(),
+        e.rows
+            .iter()
+            .map(|r| (r.heartbeat_secs, r.radio_mj))
+            .collect(),
     ))
     .series(Series::new(
         "CPU",
-        e.rows.iter().map(|r| (r.heartbeat_secs, r.cpu_mj)).collect(),
+        e.rows
+            .iter()
+            .map(|r| (r.heartbeat_secs, r.cpu_mj))
+            .collect(),
     ))
     .write(&dir.join("energy.svg"))
     .expect("write energy.svg");

@@ -85,7 +85,10 @@ pub fn run(seeds: u64) -> Ablations {
         ("baseline (all mechanisms on)", Box::new(base)),
         (
             "no relinquish (takeover only)",
-            Box::new(|s| TrackingRun { relinquish: false, ..base(s) }),
+            Box::new(|s| TrackingRun {
+                relinquish: false,
+                ..base(s)
+            }),
         ),
         (
             "no relinquish, fast target (0.5 hops/s)",
@@ -97,11 +100,17 @@ pub fn run(seeds: u64) -> Ablations {
         ),
         (
             "relinquish, fast target (0.5 hops/s)",
-            Box::new(|s| TrackingRun { speed_hops_per_s: 0.5, ..base(s) }),
+            Box::new(|s| TrackingRun {
+                speed_hops_per_s: 0.5,
+                ..base(s)
+            }),
         ),
         (
             "no heartbeat flood (h = 0)",
-            Box::new(|s| TrackingRun { heartbeat_ttl: 0, ..base(s) }),
+            Box::new(|s| TrackingRun {
+                heartbeat_ttl: 0,
+                ..base(s)
+            }),
         ),
     ];
     let mut rows = parallel_map(variants, |(name, make)| measure(name, seeds, make));
@@ -122,7 +131,11 @@ fn wait_timer_row(seeds: u64) -> AblationRow {
         // Takeover mode, where the wait/receive interplay matters: during
         // a takeover the group goes silent for a full receive timeout, and
         // short-memoried bystanders mint spurious labels.
-        let cfg = TrackingRun { relinquish: false, speed_hops_per_s: 0.4, ..base(seed) };
+        let cfg = TrackingRun {
+            relinquish: false,
+            speed_hops_per_s: 0.4,
+            ..base(seed)
+        };
         let out = run_with(&cfg, |nc| {
             // Keep validation happy but make memory barely longer than the
             // takeover timeout (paper default: twice it).
@@ -187,12 +200,18 @@ fn run_with(
         approach: cfg.sensing_radius.max(1.0) + 0.5,
     }
     .build();
-    let tank = scenario.environment.target(scenario.primary_target).expect("tank").clone();
+    let tank = scenario
+        .environment
+        .target(scenario.primary_target)
+        .expect("tank")
+        .clone();
     let crossing = tank.trajectory().duration().expect("finite path");
 
     let mut net_cfg = NetworkConfig::default();
-    net_cfg.radio =
-        net_cfg.radio.with_comm_radius(cfg.comm_radius).with_base_loss(cfg.base_loss);
+    net_cfg.radio = net_cfg
+        .radio
+        .with_comm_radius(cfg.comm_radius)
+        .with_base_loss(cfg.base_loss);
     net_cfg.middleware = net_cfg
         .middleware
         .with_heartbeat_period(cfg.heartbeat_period)
@@ -252,18 +271,32 @@ fn run_with(
     crate::harness::TrackingOutcome {
         labels_created,
         labels_suppressed: events.suppressed(TRACKER).len(),
-        handovers: events
-            .count(|e| matches!(e, envirotrack_core::events::SystemEvent::LeaderHandover { .. })),
-        tracked_fraction: if in_field == 0 { 0.0 } else { f64::from(tracked) / f64::from(in_field) },
-        mean_error: if track.is_empty() { f64::NAN } else { err / track.len() as f64 },
+        handovers: events.count(|e| {
+            matches!(
+                e,
+                envirotrack_core::events::SystemEvent::LeaderHandover { .. }
+            )
+        }),
+        tracked_fraction: if in_field == 0 {
+            0.0
+        } else {
+            f64::from(tracked) / f64::from(in_field)
+        },
+        mean_error: if track.is_empty() {
+            f64::NAN
+        } else {
+            err / track.len() as f64
+        },
         track,
         truth,
         hb_tx: hb.tx,
         hb_loss: hb.pair_loss_ratio(),
         report_tx: rpt.tx,
         report_loss: rpt.pair_loss_ratio(),
-        link_utilization: stats
-            .link_utilization(horizon - Timestamp::ZERO, world.config().radio.bandwidth_bps),
+        link_utilization: stats.link_utilization(
+            horizon - Timestamp::ZERO,
+            world.config().radio.bandwidth_bps,
+        ),
         cpu: world.cpu_totals(),
         elapsed: horizon - Timestamp::ZERO,
     }
@@ -312,6 +345,9 @@ mod tests {
             no_ack.reports,
             baseline.reports
         );
-        assert!(no_ack.coherent_fraction >= 0.5, "coherence should not depend on ACKs");
+        assert!(
+            no_ack.coherent_fraction >= 0.5,
+            "coherence should not depend on ACKs"
+        );
     }
 }

@@ -47,8 +47,9 @@ pub fn run() -> EnergySweep {
     let rows = parallel_map(periods.to_vec(), |&p| {
         let scenario = TankScenario::default().with_speed_kmh(33.0).build();
         let mut cfg = NetworkConfig::default();
-        cfg.middleware =
-            cfg.middleware.with_heartbeat_period(SimDuration::from_secs_f64(p));
+        cfg.middleware = cfg
+            .middleware
+            .with_heartbeat_period(SimDuration::from_secs_f64(p));
         let mut engine = SensorNetwork::build_engine(
             tracker_program(),
             scenario.deployment.clone(),
@@ -72,7 +73,10 @@ pub fn run() -> EnergySweep {
             max_node_mj,
         }
     });
-    EnergySweep { rows, run_secs: 180.0 }
+    EnergySweep {
+        rows,
+        run_secs: 180.0,
+    }
 }
 
 /// Prints the sweep.

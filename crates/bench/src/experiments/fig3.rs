@@ -61,8 +61,14 @@ pub fn run(seed: u64) -> Fig3 {
 
 /// Prints the figure as aligned columns (time, reported x/y, actual x/y).
 pub fn print(fig: &Fig3) {
-    println!("Figure 3 — tracked tank trajectory (real lane: y = {})", fig.true_lane_y);
-    println!("{:>10}  {:>8} {:>8}  {:>8} {:>8}  {:>7}", "time", "rep x", "rep y", "act x", "act y", "error");
+    println!(
+        "Figure 3 — tracked tank trajectory (real lane: y = {})",
+        fig.true_lane_y
+    );
+    println!(
+        "{:>10}  {:>8} {:>8}  {:>8} {:>8}  {:>7}",
+        "time", "rep x", "rep y", "act x", "act y", "error"
+    );
     for (t, rep, act) in &fig.points {
         println!(
             "{:>10.2}  {:>8.3} {:>8.3}  {:>8.3} {:>8.3}  {:>7.3}",
@@ -87,17 +93,31 @@ mod tests {
     #[test]
     fn trajectory_hugs_the_real_lane() {
         let fig = run(3);
-        assert!(fig.points.len() >= 8, "too few reports: {}", fig.points.len());
-        assert_eq!(fig.labels_seen, 1, "the paper's run keeps one coherent label");
+        assert!(
+            fig.points.len() >= 8,
+            "too few reports: {}",
+            fig.points.len()
+        );
+        assert_eq!(
+            fig.labels_seen, 1,
+            "the paper's run keeps one coherent label"
+        );
         // The paper's Fig. 3 shows reported y within roughly ±1 grid of the
         // 0.5 lane and x tracking the crossing.
         assert!(fig.mean_error < 1.0, "mean error {}", fig.mean_error);
         for (_, rep, _) in &fig.points {
-            assert!((rep.y - fig.true_lane_y).abs() <= 1.0, "reported y {} too far", rep.y);
+            assert!(
+                (rep.y - fig.true_lane_y).abs() <= 1.0,
+                "reported y {} too far",
+                rep.y
+            );
         }
         // x must be monotone-ish overall (the track follows the crossing).
         let first_x = fig.points.first().map(|(_, r, _)| r.x).unwrap_or(0.0);
         let last_x = fig.points.last().map(|(_, r, _)| r.x).unwrap_or(0.0);
-        assert!(last_x > first_x + 3.0, "track did not progress: {first_x} -> {last_x}");
+        assert!(
+            last_x > first_x + 3.0,
+            "track did not progress: {first_x} -> {last_x}"
+        );
     }
 }

@@ -40,8 +40,7 @@ pub struct Fig4 {
 /// Runs the experiment over `seeds` independent runs per bar.
 #[must_use]
 pub fn run(seeds: u64) -> Fig4 {
-    let combos: Vec<(f64, u8)> =
-        vec![(33.0, 1), (50.0, 1), (33.0, 0), (50.0, 0)];
+    let combos: Vec<(f64, u8)> = vec![(33.0, 1), (50.0, 1), (33.0, 0), (50.0, 0)];
     let bars = parallel_map(combos, |&(kmh, ttl)| {
         let mut handovers = 0usize;
         let mut failures = 0usize;

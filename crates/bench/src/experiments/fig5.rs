@@ -86,13 +86,19 @@ pub fn run(votes: u32, resolution: f64) -> Fig5 {
         };
         (r, max_trackable_speed(&template, votes, resolution))
     });
-    Fig5 { points, relinquish_reference }
+    Fig5 {
+        points,
+        relinquish_reference,
+    }
 }
 
 /// Prints the figure as one row per heartbeat period.
 pub fn print(fig: &Fig5) {
     println!("Figure 5 — max trackable speed (hops/s) vs heartbeat period, takeover mode");
-    println!("{:>14} {:>16} {:>16}", "HB period (s)", "radius 1", "radius 2");
+    println!(
+        "{:>14} {:>16} {:>16}",
+        "HB period (s)", "radius 1", "radius 2"
+    );
     let mut periods: Vec<f64> = fig.points.iter().map(|p| p.heartbeat_secs).collect();
     periods.sort_by(f64::total_cmp);
     periods.dedup();

@@ -114,6 +114,9 @@ mod tests {
             ..template(1.0, 3.0, 5)
         };
         let out = run_tracking(&cfg);
-        assert!(out.coherent(), "CR:SR = 3 at 0.2 hops/s must be coherent: {out:?}");
+        assert!(
+            out.coherent(),
+            "CR:SR = 3 at 0.2 hops/s must be coherent: {out:?}"
+        );
     }
 }

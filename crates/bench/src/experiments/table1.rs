@@ -81,7 +81,10 @@ pub fn run(seeds: u64) -> Table1 {
 /// Prints the table next to the paper's numbers.
 pub fn print(table: &Table1) {
     println!("Table 1 — communication performance (paper values in parentheses)");
-    println!("{:>10} {:>18} {:>18} {:>18} {:>10}", "speed", "% HB loss", "% Msg loss", "% Link util", "coherent");
+    println!(
+        "{:>10} {:>18} {:>18} {:>18} {:>10}",
+        "speed", "% HB loss", "% Msg loss", "% Link util", "coherent"
+    );
     let paper = [(33.0, 7.08, 3.05, 2.54), (50.0, 22.69, 17.05, 2.88)];
     for row in &table.rows {
         let p = paper.iter().find(|(k, ..)| *k == row.speed_kmh);
@@ -110,10 +113,20 @@ mod tests {
         let row33 = t.rows.iter().find(|r| r.speed_kmh == 33.0).unwrap();
         let row50 = t.rows.iter().find(|r| r.speed_kmh == 50.0).unwrap();
         // (1) The system operates correctly in the presence of loss.
-        assert!(row33.all_coherent, "33 km/h must track despite loss: {row33:?}");
-        assert!(row33.hb_loss_pct > 0.0 || row33.msg_loss_pct > 0.0, "there must be loss");
+        assert!(
+            row33.all_coherent,
+            "33 km/h must track despite loss: {row33:?}"
+        );
+        assert!(
+            row33.hb_loss_pct > 0.0 || row33.msg_loss_pct > 0.0,
+            "there must be loss"
+        );
         // (3) Utilisation is a tiny fraction of capacity (paper: ~2.5-3%).
-        assert!(row33.link_util_pct < 15.0, "util {}% too high", row33.link_util_pct);
+        assert!(
+            row33.link_util_pct < 15.0,
+            "util {}% too high",
+            row33.link_util_pct
+        );
         assert!(row50.link_util_pct < 15.0);
         // (4) Utilisation grows only slightly with speed.
         assert!(
@@ -124,7 +137,8 @@ mod tests {
         );
         // Loss does not shrink at speed (the paper saw it grow).
         assert!(
-            row50.hb_loss_pct + row50.msg_loss_pct >= 0.8 * (row33.hb_loss_pct + row33.msg_loss_pct),
+            row50.hb_loss_pct + row50.msg_loss_pct
+                >= 0.8 * (row33.hb_loss_pct + row33.msg_loss_pct),
             "loss should not collapse at speed"
         );
     }

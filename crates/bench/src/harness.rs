@@ -115,7 +115,7 @@ impl Default for TrackingRun {
             heartbeat_ttl: 1,
             relinquish: true,
             sense_period: None,
-            seed: 1,
+            seed: 2,
             cooldown: SimDuration::from_secs(5),
         }
     }
@@ -198,11 +198,16 @@ pub fn run_tracking(cfg: &TrackingRun) -> TrackingOutcome {
         .target(scenario.primary_target)
         .expect("scenario has a tank")
         .clone();
-    let crossing = tank.trajectory().duration().expect("the tank path is finite");
+    let crossing = tank
+        .trajectory()
+        .duration()
+        .expect("the tank path is finite");
 
     let mut net_cfg = NetworkConfig::default();
-    net_cfg.radio =
-        net_cfg.radio.with_comm_radius(cfg.comm_radius).with_base_loss(cfg.base_loss);
+    net_cfg.radio = net_cfg
+        .radio
+        .with_comm_radius(cfg.comm_radius)
+        .with_base_loss(cfg.base_loss);
     net_cfg.middleware = net_cfg
         .middleware
         .with_heartbeat_period(cfg.heartbeat_period)
@@ -229,8 +234,7 @@ pub fn run_tracking(cfg: &TrackingRun) -> TrackingOutcome {
     let mut in_field_samples = 0u32;
     let mut tracked_samples = 0u32;
     // Sample densely enough that fast crossings still get ~20 samples.
-    let sample_every =
-        SimDuration::from_secs_f64((0.5 / cfg.speed_hops_per_s).clamp(0.05, 1.0));
+    let sample_every = SimDuration::from_secs_f64((0.5 / cfg.speed_hops_per_s).clamp(0.05, 1.0));
     let horizon = Timestamp::ZERO + crossing + cfg.cooldown;
     let mut t = Timestamp::ZERO;
     while t < horizon {
@@ -268,7 +272,11 @@ pub fn run_tracking(cfg: &TrackingRun) -> TrackingOutcome {
             truth.push((gen_t, actual));
         }
     }
-    let mean_error = if track.is_empty() { f64::NAN } else { err_sum / track.len() as f64 };
+    let mean_error = if track.is_empty() {
+        f64::NAN
+    } else {
+        err_sum / track.len() as f64
+    };
 
     let stats = world.net_stats();
     let hb = stats.kind(kinds::HEARTBEAT);
@@ -297,15 +305,147 @@ pub fn run_tracking(cfg: &TrackingRun) -> TrackingOutcome {
     }
 }
 
+/// One measured benchmark case from [`measure`]: wall-clock statistics over
+/// batched iterations.
+#[derive(Debug, Clone)]
+pub struct BenchMeasurement {
+    /// Case name as printed.
+    pub name: String,
+    /// Total timed iterations (excluding warmup).
+    pub iters: u64,
+    /// Mean wall time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest per-iteration batch mean, in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest per-iteration batch mean, in nanoseconds.
+    pub max_ns: f64,
+}
+
+/// Renders nanoseconds with a readable unit.
+#[must_use]
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+impl BenchMeasurement {
+    /// One aligned report line for the bench tables.
+    #[must_use]
+    pub fn report(&self) -> String {
+        format!(
+            "{:<44} {} /iter   ({} iters, min {}, max {})",
+            self.name,
+            format_ns(self.mean_ns),
+            self.iters,
+            format_ns(self.min_ns).trim_start(),
+            format_ns(self.max_ns).trim_start(),
+        )
+    }
+}
+
+/// The timing loop behind the workspace's `cargo bench` targets (the
+/// benches are plain `harness = false` binaries; no external bench crate).
+///
+/// Warms up for `warmup`, sizes batches to roughly 10 ms from the warmup's
+/// per-iteration estimate, then measures batches until `target` wall time
+/// has elapsed (at least three batches). Returns per-iteration statistics.
+pub fn measure_with<R>(
+    name: &str,
+    warmup: std::time::Duration,
+    target: std::time::Duration,
+    mut f: impl FnMut() -> R,
+) -> BenchMeasurement {
+    use std::time::Instant;
+
+    // Warmup: run until the budget elapses (at least once) and estimate
+    // the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    loop {
+        std::hint::black_box(f());
+        warm_iters += 1;
+        if warm_start.elapsed() >= warmup {
+            break;
+        }
+    }
+    let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+    let batch = ((10_000_000.0 / est_ns) as u64).max(1);
+
+    let mut iters = 0u64;
+    let mut total_ns = 0.0f64;
+    let mut min_ns = f64::INFINITY;
+    let mut max_ns = 0.0f64;
+    let mut batches = 0u32;
+    let run_start = Instant::now();
+    while batches < 3 || run_start.elapsed() < target {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        let batch_ns = t0.elapsed().as_nanos() as f64;
+        let per_iter = batch_ns / batch as f64;
+        total_ns += batch_ns;
+        iters += batch;
+        min_ns = min_ns.min(per_iter);
+        max_ns = max_ns.max(per_iter);
+        batches += 1;
+    }
+
+    BenchMeasurement {
+        name: name.to_string(),
+        iters,
+        mean_ns: total_ns / iters as f64,
+        min_ns,
+        max_ns,
+    }
+}
+
+/// [`measure_with`] under default budgets (100 ms warmup, 500 ms timed).
+pub fn measure<R>(name: &str, f: impl FnMut() -> R) -> BenchMeasurement {
+    measure_with(
+        name,
+        std::time::Duration::from_millis(100),
+        std::time::Duration::from_millis(500),
+        f,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    fn measure_reports_sane_statistics() {
+        let m = measure_with(
+            "spin",
+            std::time::Duration::from_millis(1),
+            std::time::Duration::from_millis(5),
+            || std::hint::black_box((0..100u64).sum::<u64>()),
+        );
+        assert!(m.iters >= 3);
+        assert!(m.mean_ns > 0.0);
+        assert!(m.min_ns <= m.mean_ns && m.mean_ns <= m.max_ns + 1e-9);
+        assert!(m.report().contains("spin"));
+    }
+
+    #[test]
     fn default_run_is_coherent_and_accurate() {
         let out = run_tracking(&TrackingRun::default());
-        assert!(out.coherent(), "default testbed run must track coherently: {out:?}");
-        assert!(out.handovers >= 1, "the label should hand over along the path");
+        assert!(
+            out.coherent(),
+            "default testbed run must track coherently: {out:?}"
+        );
+        assert!(
+            out.handovers >= 1,
+            "the label should hand over along the path"
+        );
         assert!(!out.track.is_empty(), "the pursuer should hear reports");
         assert!(out.mean_error < 1.5, "tracking error {}", out.mean_error);
         assert!(out.link_utilization > 0.0 && out.link_utilization < 0.5);

@@ -32,7 +32,10 @@ impl Series {
     /// Creates a named series.
     #[must_use]
     pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { name: name.into(), points }
+        Series {
+            name: name.into(),
+            points,
+        }
     }
 }
 
@@ -49,12 +52,18 @@ pub struct SvgPlot {
 }
 
 /// Colour cycle for series strokes.
-const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
 
 impl SvgPlot {
     /// Creates an empty plot.
     #[must_use]
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         SvgPlot {
             title: title.into(),
             x_label: x_label.into(),
@@ -105,12 +114,16 @@ impl SvgPlot {
             .iter()
             .flat_map(|s| s.points.iter().map(|&(x, y)| (self.x_transform(x), y)))
             .collect();
-        let (mut x0, mut x1) = all.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), p| {
-            (a.min(p.0), b.max(p.0))
-        });
-        let (mut y0, mut y1) = all.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), p| {
-            (a.min(p.1), b.max(p.1))
-        });
+        let (mut x0, mut x1) = all
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), p| {
+                (a.min(p.0), b.max(p.0))
+            });
+        let (mut y0, mut y1) = all
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), p| {
+                (a.min(p.1), b.max(p.1))
+            });
         if !x0.is_finite() {
             (x0, x1) = (0.0, 1.0);
         }
@@ -137,7 +150,11 @@ impl SvgPlot {
             w = self.width,
             h = self.height
         );
-        let _ = write!(out, r#"<rect width="{}" height="{}" fill="white"/>"#, self.width, self.height);
+        let _ = write!(
+            out,
+            r#"<rect width="{}" height="{}" fill="white"/>"#,
+            self.width, self.height
+        );
         // Title and axis labels.
         let _ = write!(
             out,
@@ -206,7 +223,10 @@ impl SvgPlot {
             }
             for p in &pts {
                 let (px, py) = p.split_once(',').expect("formatted above");
-                let _ = write!(out, r#"<circle cx="{px}" cy="{py}" r="2.6" fill="{color}"/>"#);
+                let _ = write!(
+                    out,
+                    r#"<circle cx="{px}" cy="{py}" r="2.6" fill="{color}"/>"#
+                );
             }
             // Legend entry.
             let ly = mt + 14.0 + i as f64 * 18.0;
@@ -249,7 +269,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Writes a CSV file with a header row.
@@ -277,7 +299,10 @@ mod tests {
     #[test]
     fn svg_contains_axes_series_and_legend() {
         let svg = SvgPlot::new("Test & Title", "x", "y")
-            .series(Series::new("alpha", vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]))
+            .series(Series::new(
+                "alpha",
+                vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)],
+            ))
             .series(Series::new("beta", vec![(0.0, 1.0), (2.0, 3.0)]))
             .render();
         assert!(svg.starts_with("<svg"));
@@ -292,7 +317,10 @@ mod tests {
     fn log_axis_transforms_and_labels_in_linear_units() {
         let svg = SvgPlot::new("t", "period", "speed")
             .log_x()
-            .series(Series::new("s", vec![(0.0625, 4.0), (0.125, 2.0), (2.0, 0.1)]))
+            .series(Series::new(
+                "s",
+                vec![(0.0625, 4.0), (0.125, 2.0), (2.0, 0.1)],
+            ))
             .render();
         // Tick labels are back-transformed to the data domain.
         assert!(svg.contains(">2<") || svg.contains(">2.0<"), "{svg}");

@@ -1,11 +1,10 @@
 //! Parameter sweeps: parallel execution and max-trackable-speed search.
 
-use crossbeam::thread;
-
 use crate::harness::{run_tracking, TrackingRun};
 
-/// Runs `f` over `inputs` in parallel (one thread per input, bounded by
-/// available parallelism), preserving input order in the output.
+/// Runs `f` over `inputs` in parallel (a worker pool bounded by available
+/// parallelism, fed by an atomic cursor), preserving input order in the
+/// output. Pure `std`: scoped threads + an mpsc channel for results.
 pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
 where
     I: Send + Sync,
@@ -16,16 +15,18 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism().map_or(4, |w| w.get()).min(n);
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |w| w.get())
+        .min(n);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, O)>();
     let inputs_ref = &inputs;
     let f_ref = &f;
     let next_ref = &next;
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
             let tx = tx.clone();
-            s.spawn(move |_| loop {
+            s.spawn(move || loop {
                 let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -34,8 +35,7 @@ where
                 tx.send((i, out)).expect("result channel open");
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     drop(tx);
     let mut indexed: Vec<(usize, O)> = rx.into_iter().collect();
     indexed.sort_by_key(|(i, _)| *i);
@@ -58,7 +58,10 @@ pub fn max_trackable_speed(template: &TrackingRun, votes: u32, resolution: f64) 
         for v in 0..votes {
             let cfg = TrackingRun {
                 speed_hops_per_s: speed,
-                seed: template.seed.wrapping_mul(31).wrapping_add(u64::from(v) + 1),
+                seed: template
+                    .seed
+                    .wrapping_mul(31)
+                    .wrapping_add(u64::from(v) + 1),
                 ..template.clone()
             };
             if run_tracking(&cfg).coherent() {

@@ -34,10 +34,9 @@ use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_world::field::NodeId;
 use envirotrack_world::geometry::Point;
 use envirotrack_world::target::Channel;
-use serde::{Deserialize, Serialize};
 
 /// What each member contributes to an aggregate variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggregateInput {
     /// The member's reading on a sensor channel.
     Channel(Channel),
@@ -46,7 +45,7 @@ pub enum AggregateInput {
 }
 
 /// One raw reading as reported by a member.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ReadingValue {
     /// A scalar channel measurement.
     Scalar(f64),
@@ -75,7 +74,7 @@ impl ReadingValue {
 }
 
 /// The value of an aggregate variable after evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AggValue {
     /// A scalar result (average temperature, count, …).
     Scalar(f64),
@@ -176,7 +175,10 @@ impl AggregateFn {
     /// mass (≥ 1) before applying the function.
     #[must_use]
     pub fn apply(&self, contributions: &[Contribution]) -> AggValue {
-        assert!(!contributions.is_empty(), "aggregation over an empty contribution set");
+        assert!(
+            !contributions.is_empty(),
+            "aggregation over an empty contribution set"
+        );
         let scalars = || contributions.iter().filter_map(|c| c.value.as_scalar());
         match self {
             AggregateFn::Average => {
@@ -211,7 +213,11 @@ pub struct AggregateReadError {
 
 impl std::fmt::Display for AggregateReadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "critical mass not met: {} fresh contributors of {} required", self.have, self.need)
+        write!(
+            f,
+            "critical mass not met: {} fresh contributors of {} required",
+            self.have, self.need
+        )
     }
 }
 
@@ -243,7 +249,11 @@ impl ReadingWindow {
                     existing.value = value;
                 }
             }
-            None => self.readings.push(Contribution { member, taken_at, value }),
+            None => self.readings.push(Contribution {
+                member,
+                taken_at,
+                value,
+            }),
         }
     }
 
@@ -273,8 +283,11 @@ impl ReadingWindow {
     /// the leader to designate a relinquish successor.
     #[must_use]
     pub fn members_by_recency(&self) -> Vec<(NodeId, Timestamp)> {
-        let mut v: Vec<(NodeId, Timestamp)> =
-            self.readings.iter().map(|c| (c.member, c.taken_at)).collect();
+        let mut v: Vec<(NodeId, Timestamp)> = self
+            .readings
+            .iter()
+            .map(|c| (c.member, c.taken_at))
+            .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }
@@ -294,7 +307,10 @@ impl ReadingWindow {
     ) -> Result<AggValue, AggregateReadError> {
         let fresh = self.fresh(now, freshness);
         if (fresh.len() as u32) < critical_mass.max(1) {
-            return Err(AggregateReadError { have: fresh.len() as u32, need: critical_mass.max(1) });
+            return Err(AggregateReadError {
+                have: fresh.len() as u32,
+                need: critical_mass.max(1),
+            });
         }
         Ok(function.apply(&fresh))
     }
@@ -302,7 +318,8 @@ impl ReadingWindow {
     /// Drops readings older than `horizon` before `now`, bounding memory on
     /// long-lived leaders.
     pub fn prune(&mut self, now: Timestamp, horizon: SimDuration) {
-        self.readings.retain(|c| now.saturating_since(c.taken_at) <= horizon);
+        self.readings
+            .retain(|c| now.saturating_since(c.taken_at) <= horizon);
     }
 
     /// Discards everything (e.g. on leadership loss).
@@ -318,7 +335,11 @@ mod tests {
     fn scalar_window(entries: &[(u32, u64, f64)]) -> ReadingWindow {
         let mut w = ReadingWindow::new();
         for &(node, secs, v) in entries {
-            w.insert(NodeId(node), Timestamp::from_secs(secs), ReadingValue::Scalar(v));
+            w.insert(
+                NodeId(node),
+                Timestamp::from_secs(secs),
+                ReadingValue::Scalar(v),
+            );
         }
         w
     }
@@ -327,7 +348,12 @@ mod tests {
     fn average_of_fresh_readings() {
         let w = scalar_window(&[(1, 10, 2.0), (2, 10, 4.0), (3, 10, 6.0)]);
         let v = w
-            .evaluate(&AggregateFn::Average, Timestamp::from_secs(10), SimDuration::from_secs(1), 3)
+            .evaluate(
+                &AggregateFn::Average,
+                Timestamp::from_secs(10),
+                SimDuration::from_secs(1),
+                3,
+            )
             .unwrap();
         assert_eq!(v, AggValue::Scalar(4.0));
     }
@@ -336,12 +362,22 @@ mod tests {
     fn stale_readings_do_not_count_toward_critical_mass() {
         let w = scalar_window(&[(1, 5, 2.0), (2, 10, 4.0)]);
         let err = w
-            .evaluate(&AggregateFn::Average, Timestamp::from_secs(10), SimDuration::from_secs(1), 2)
+            .evaluate(
+                &AggregateFn::Average,
+                Timestamp::from_secs(10),
+                SimDuration::from_secs(1),
+                2,
+            )
             .unwrap_err();
         assert_eq!(err, AggregateReadError { have: 1, need: 2 });
         // With a looser horizon both count.
         let v = w
-            .evaluate(&AggregateFn::Average, Timestamp::from_secs(10), SimDuration::from_secs(10), 2)
+            .evaluate(
+                &AggregateFn::Average,
+                Timestamp::from_secs(10),
+                SimDuration::from_secs(10),
+                2,
+            )
             .unwrap();
         assert_eq!(v, AggValue::Scalar(3.0));
     }
@@ -349,16 +385,34 @@ mod tests {
     #[test]
     fn duplicate_member_counts_once() {
         let mut w = ReadingWindow::new();
-        w.insert(NodeId(1), Timestamp::from_secs(9), ReadingValue::Scalar(1.0));
-        w.insert(NodeId(1), Timestamp::from_secs(10), ReadingValue::Scalar(5.0));
+        w.insert(
+            NodeId(1),
+            Timestamp::from_secs(9),
+            ReadingValue::Scalar(1.0),
+        );
+        w.insert(
+            NodeId(1),
+            Timestamp::from_secs(10),
+            ReadingValue::Scalar(5.0),
+        );
         assert_eq!(w.len(), 1);
         let err = w
-            .evaluate(&AggregateFn::Average, Timestamp::from_secs(10), SimDuration::from_secs(5), 2)
+            .evaluate(
+                &AggregateFn::Average,
+                Timestamp::from_secs(10),
+                SimDuration::from_secs(5),
+                2,
+            )
             .unwrap_err();
         assert_eq!(err.have, 1);
         // The newest value wins.
         let v = w
-            .evaluate(&AggregateFn::Average, Timestamp::from_secs(10), SimDuration::from_secs(5), 1)
+            .evaluate(
+                &AggregateFn::Average,
+                Timestamp::from_secs(10),
+                SimDuration::from_secs(5),
+                1,
+            )
             .unwrap();
         assert_eq!(v, AggValue::Scalar(5.0));
     }
@@ -366,10 +420,23 @@ mod tests {
     #[test]
     fn out_of_order_report_does_not_regress() {
         let mut w = ReadingWindow::new();
-        w.insert(NodeId(1), Timestamp::from_secs(10), ReadingValue::Scalar(5.0));
-        w.insert(NodeId(1), Timestamp::from_secs(8), ReadingValue::Scalar(1.0));
+        w.insert(
+            NodeId(1),
+            Timestamp::from_secs(10),
+            ReadingValue::Scalar(5.0),
+        );
+        w.insert(
+            NodeId(1),
+            Timestamp::from_secs(8),
+            ReadingValue::Scalar(1.0),
+        );
         let v = w
-            .evaluate(&AggregateFn::Max, Timestamp::from_secs(10), SimDuration::from_secs(5), 1)
+            .evaluate(
+                &AggregateFn::Max,
+                Timestamp::from_secs(10),
+                SimDuration::from_secs(5),
+                1,
+            )
             .unwrap();
         assert_eq!(v, AggValue::Scalar(5.0));
     }
@@ -379,17 +446,37 @@ mod tests {
         let w = scalar_window(&[(1, 10, 2.0), (2, 10, 8.0), (3, 10, 5.0)]);
         let at = Timestamp::from_secs(10);
         let fr = SimDuration::from_secs(1);
-        assert_eq!(w.evaluate(&AggregateFn::Min, at, fr, 1).unwrap(), AggValue::Scalar(2.0));
-        assert_eq!(w.evaluate(&AggregateFn::Max, at, fr, 1).unwrap(), AggValue::Scalar(8.0));
-        assert_eq!(w.evaluate(&AggregateFn::Sum, at, fr, 1).unwrap(), AggValue::Scalar(15.0));
-        assert_eq!(w.evaluate(&AggregateFn::Count, at, fr, 1).unwrap(), AggValue::Scalar(3.0));
+        assert_eq!(
+            w.evaluate(&AggregateFn::Min, at, fr, 1).unwrap(),
+            AggValue::Scalar(2.0)
+        );
+        assert_eq!(
+            w.evaluate(&AggregateFn::Max, at, fr, 1).unwrap(),
+            AggValue::Scalar(8.0)
+        );
+        assert_eq!(
+            w.evaluate(&AggregateFn::Sum, at, fr, 1).unwrap(),
+            AggValue::Scalar(15.0)
+        );
+        assert_eq!(
+            w.evaluate(&AggregateFn::Count, at, fr, 1).unwrap(),
+            AggValue::Scalar(3.0)
+        );
     }
 
     #[test]
     fn center_of_gravity_averages_positions() {
         let mut w = ReadingWindow::new();
-        w.insert(NodeId(1), Timestamp::from_secs(1), ReadingValue::Position(Point::new(0.0, 0.0)));
-        w.insert(NodeId(2), Timestamp::from_secs(1), ReadingValue::Position(Point::new(2.0, 2.0)));
+        w.insert(
+            NodeId(1),
+            Timestamp::from_secs(1),
+            ReadingValue::Position(Point::new(0.0, 0.0)),
+        );
+        w.insert(
+            NodeId(2),
+            Timestamp::from_secs(1),
+            ReadingValue::Position(Point::new(2.0, 2.0)),
+        );
         let v = w
             .evaluate(
                 &AggregateFn::CenterOfGravity,
@@ -413,7 +500,14 @@ mod tests {
             }),
         };
         let w = scalar_window(&[(1, 10, 2.0), (2, 10, 9.0), (3, 1, 100.0)]);
-        let v = w.evaluate(&spread, Timestamp::from_secs(10), SimDuration::from_secs(2), 2).unwrap();
+        let v = w
+            .evaluate(
+                &spread,
+                Timestamp::from_secs(10),
+                SimDuration::from_secs(2),
+                2,
+            )
+            .unwrap();
         assert_eq!(v, AggValue::Scalar(7.0), "the stale 100.0 must be excluded");
     }
 
@@ -444,7 +538,12 @@ mod tests {
     fn zero_critical_mass_is_treated_as_one() {
         let w = ReadingWindow::new();
         let err = w
-            .evaluate(&AggregateFn::Count, Timestamp::ZERO, SimDuration::from_secs(1), 0)
+            .evaluate(
+                &AggregateFn::Count,
+                Timestamp::ZERO,
+                SimDuration::from_secs(1),
+                0,
+            )
             .unwrap_err();
         assert_eq!(err.need, 1);
     }

@@ -61,7 +61,10 @@ impl Program {
     /// Starts building a program.
     #[must_use]
     pub fn builder() -> ProgramBuilder {
-        ProgramBuilder { contexts: Vec::new(), subscription_names: Vec::new() }
+        ProgramBuilder {
+            contexts: Vec::new(),
+            subscription_names: Vec::new(),
+        }
     }
 
     /// Number of declared context types.
@@ -89,7 +92,10 @@ impl Program {
     /// Resolves a context type by name.
     #[must_use]
     pub fn type_id(&self, name: &str) -> Option<ContextTypeId> {
-        self.contexts.iter().position(|c| c.name == name).map(|i| ContextTypeId(i as u16))
+        self.contexts
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ContextTypeId(i as u16))
     }
 
     /// The directory subscriptions of a context type.
@@ -168,19 +174,32 @@ impl fmt::Display for ProgramError {
                 write!(f, "context type {name:?} declared twice")
             }
             ProgramError::DuplicateAggregate { context, name } => {
-                write!(f, "aggregate variable {name:?} declared twice in context {context:?}")
+                write!(
+                    f,
+                    "aggregate variable {name:?} declared twice in context {context:?}"
+                )
             }
             ProgramError::DuplicatePort { context, port } => {
                 write!(f, "port {port} bound twice in context {context:?}")
             }
-            ProgramError::InvalidQos { context, name, reason } => {
+            ProgramError::InvalidQos {
+                context,
+                name,
+                reason,
+            } => {
                 write!(f, "aggregate {name:?} in context {context:?}: {reason}")
             }
             ProgramError::UnknownSubscription { context, name } => {
-                write!(f, "context {context:?} subscribes to undeclared type {name:?}")
+                write!(
+                    f,
+                    "context {context:?} subscribes to undeclared type {name:?}"
+                )
             }
             ProgramError::ZeroTimerPeriod { context, method } => {
-                write!(f, "method {method} in context {context:?} has a zero timer period")
+                write!(
+                    f,
+                    "method {method} in context {context:?} has a zero timer period"
+                )
             }
         }
     }
@@ -216,7 +235,9 @@ impl ProgramBuilder {
     pub fn build(self) -> Result<Program, ProgramError> {
         for (i, c) in self.contexts.iter().enumerate() {
             if self.contexts[..i].iter().any(|other| other.name == c.name) {
-                return Err(ProgramError::DuplicateContext { name: c.name.clone() });
+                return Err(ProgramError::DuplicateContext {
+                    name: c.name.clone(),
+                });
             }
             for (ai, a) in c.aggregates.iter().enumerate() {
                 if c.aggregates[..ai].iter().any(|other| other.name == a.name) {
@@ -282,7 +303,10 @@ impl ProgramBuilder {
             }
             subscriptions.push(resolved);
         }
-        Ok(Program { contexts: self.contexts, subscriptions })
+        Ok(Program {
+            contexts: self.contexts,
+            subscriptions,
+        })
     }
 }
 
@@ -352,7 +376,12 @@ impl ContextBuilder {
         name: impl Into<String>,
         configure: impl FnOnce(ObjectBuilder) -> ObjectBuilder,
     ) -> Self {
-        let b = configure(ObjectBuilder { spec: ObjectSpec { name: name.into(), methods: Vec::new() } });
+        let b = configure(ObjectBuilder {
+            spec: ObjectSpec {
+                name: name.into(),
+                methods: Vec::new(),
+            },
+        });
         self.spec.objects.push(b.spec);
         self
     }
@@ -463,8 +492,20 @@ mod tests {
         let err = Program::builder()
             .context("a", |c| {
                 c.activation(mag())
-                    .aggregate("x", AggregateFn::Average, AggregateInput::Channel(Channel::Magnetic), SimDuration::from_secs(1), 1)
-                    .aggregate("x", AggregateFn::Sum, AggregateInput::Channel(Channel::Magnetic), SimDuration::from_secs(1), 1)
+                    .aggregate(
+                        "x",
+                        AggregateFn::Average,
+                        AggregateInput::Channel(Channel::Magnetic),
+                        SimDuration::from_secs(1),
+                        1,
+                    )
+                    .aggregate(
+                        "x",
+                        AggregateFn::Sum,
+                        AggregateInput::Channel(Channel::Magnetic),
+                        SimDuration::from_secs(1),
+                        1,
+                    )
             })
             .build()
             .unwrap_err();
@@ -485,7 +526,9 @@ mod tests {
             })
             .build()
             .unwrap_err();
-        assert!(matches!(err, ProgramError::InvalidQos { reason, .. } if reason.contains("freshness")));
+        assert!(
+            matches!(err, ProgramError::InvalidQos { reason, .. } if reason.contains("freshness"))
+        );
 
         let err = Program::builder()
             .context("a", |c| {
@@ -499,7 +542,9 @@ mod tests {
             })
             .build()
             .unwrap_err();
-        assert!(matches!(err, ProgramError::InvalidQos { reason, .. } if reason.contains("critical mass")));
+        assert!(
+            matches!(err, ProgramError::InvalidQos { reason, .. } if reason.contains("critical mass"))
+        );
     }
 
     #[test]
@@ -507,12 +552,16 @@ mod tests {
         let err = Program::builder()
             .context("a", |c| {
                 c.activation(mag()).object("o", |o| {
-                    o.on_message("m1", Port(1), |_| {}).on_message("m2", Port(1), |_| {})
+                    o.on_message("m1", Port(1), |_| {})
+                        .on_message("m2", Port(1), |_| {})
                 })
             })
             .build()
             .unwrap_err();
-        assert!(matches!(err, ProgramError::DuplicatePort { port: Port(1), .. }));
+        assert!(matches!(
+            err,
+            ProgramError::DuplicatePort { port: Port(1), .. }
+        ));
     }
 
     #[test]
@@ -531,7 +580,9 @@ mod tests {
     fn subscriptions_resolve_across_declaration_order() {
         let p = Program::builder()
             .context("watcher", |c| c.activation(mag()).subscribe("fire"))
-            .context("fire", |c| c.activation(SensePredicate::threshold(Channel::Temperature, 180.0)))
+            .context("fire", |c| {
+                c.activation(SensePredicate::threshold(Channel::Temperature, 180.0))
+            })
             .build()
             .unwrap();
         let watcher = p.type_id("watcher").unwrap();
@@ -554,7 +605,9 @@ mod tests {
         let p = Program::builder()
             .context("a", |c| {
                 c.activation(mag())
-                    .object("first", |o| o.on_timer("tick", SimDuration::from_secs(1), |_| {}))
+                    .object("first", |o| {
+                        o.on_timer("tick", SimDuration::from_secs(1), |_| {})
+                    })
                     .object("second", |o| o.on_message("handle", Port(9), |_| {}))
             })
             .build()

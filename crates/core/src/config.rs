@@ -6,10 +6,9 @@
 //! enabled. The Fig. 4/5/6 experiments sweep exactly these fields.
 
 use envirotrack_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Group-management, data-collection, directory, and transport parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MiddlewareConfig {
     /// Leader heartbeat period.
     pub heartbeat_period: SimDuration,
@@ -103,7 +102,8 @@ impl MiddlewareConfig {
     /// `max(Le − d, sense period)` — reports can't outpace sensing.
     #[must_use]
     pub fn report_period(&self, le: SimDuration) -> SimDuration {
-        le.saturating_sub(self.delay_estimate).max(self.sense_period)
+        le.saturating_sub(self.delay_estimate)
+            .max(self.sense_period)
     }
 
     /// Sets the heartbeat period; chainable.
@@ -175,14 +175,23 @@ mod tests {
     #[test]
     fn report_period_is_le_minus_d_with_a_floor() {
         let c = MiddlewareConfig::default();
-        assert_eq!(c.report_period(SimDuration::from_secs(1)), SimDuration::from_millis(900));
+        assert_eq!(
+            c.report_period(SimDuration::from_secs(1)),
+            SimDuration::from_millis(900)
+        );
         // Tight freshness clamps to the sensing period.
-        assert_eq!(c.report_period(SimDuration::from_millis(150)), c.sense_period);
+        assert_eq!(
+            c.report_period(SimDuration::from_millis(150)),
+            c.sense_period
+        );
     }
 
     #[test]
     fn validation_catches_inverted_timers() {
-        let mut c = MiddlewareConfig { wait_timer_factor: 2.0, ..MiddlewareConfig::default() };
+        let mut c = MiddlewareConfig {
+            wait_timer_factor: 2.0,
+            ..MiddlewareConfig::default()
+        };
         assert!(c.validate().unwrap_err().contains("wait timer"));
         c.wait_timer_factor = 4.2;
         c.receive_timer_factor = 0.9;

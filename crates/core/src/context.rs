@@ -17,14 +17,13 @@ use envirotrack_sim::time::SimDuration;
 use envirotrack_world::field::NodeId;
 use envirotrack_world::sensing::SensorSample;
 use envirotrack_world::target::Channel;
-use serde::{Deserialize, Serialize};
 
 use envirotrack_world::geometry::Point;
 
 use crate::aggregate::{AggregateFn, AggregateInput};
 
 /// Index of a context type within a [`crate::api::Program`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ContextTypeId(pub u16);
 
 impl fmt::Display for ContextTypeId {
@@ -37,7 +36,7 @@ impl fmt::Display for ContextTypeId {
 ///
 /// Minted without coordination: the creating node's id plus a local
 /// sequence number make collisions impossible.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ContextLabel {
     /// The context type this label instantiates.
     pub type_id: ContextTypeId,
@@ -65,15 +64,23 @@ pub struct SensePredicate {
 
 impl SensePredicate {
     /// Wraps an arbitrary predicate with a diagnostic name.
-    pub fn new(name: impl Into<String>, f: impl Fn(&SensorSample) -> bool + Send + Sync + 'static) -> Self {
-        SensePredicate { name: name.into(), f: Arc::new(f) }
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&SensorSample) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        SensePredicate {
+            name: name.into(),
+            f: Arc::new(f),
+        }
     }
 
     /// A library predicate: `channel > threshold`. Covers the paper's
     /// `magnetic_sensor_reading()` style conditions.
     #[must_use]
     pub fn threshold(channel: Channel, threshold: f64) -> Self {
-        SensePredicate::new(format!("{channel} > {threshold}"), move |s| s.get(channel) > threshold)
+        SensePredicate::new(format!("{channel} > {threshold}"), move |s| {
+            s.get(channel) > threshold
+        })
     }
 
     /// A library predicate: conjunction of two predicates, e.g. the paper's
@@ -83,7 +90,10 @@ impl SensePredicate {
         let name = format!("({}) and ({})", self.name, other.name);
         let a = self.f;
         let b = other.f;
-        SensePredicate { name, f: Arc::new(move |s| a(s) && b(s)) }
+        SensePredicate {
+            name,
+            f: Arc::new(move |s| a(s) && b(s)),
+        }
     }
 
     /// A library predicate: disjunction.
@@ -92,7 +102,10 @@ impl SensePredicate {
         let name = format!("({}) or ({})", self.name, other.name);
         let a = self.f;
         let b = other.f;
-        SensePredicate { name, f: Arc::new(move |s| a(s) || b(s)) }
+        SensePredicate {
+            name,
+            f: Arc::new(move |s| a(s) || b(s)),
+        }
     }
 
     /// Evaluates the predicate on a sample.
@@ -221,8 +234,16 @@ mod tests {
 
     #[test]
     fn labels_display_uniquely() {
-        let a = ContextLabel { type_id: ContextTypeId(0), creator: NodeId(3), seq: 1 };
-        let b = ContextLabel { type_id: ContextTypeId(0), creator: NodeId(3), seq: 2 };
+        let a = ContextLabel {
+            type_id: ContextTypeId(0),
+            creator: NodeId(3),
+            seq: 1,
+        };
+        let b = ContextLabel {
+            type_id: ContextTypeId(0),
+            creator: NodeId(3),
+            seq: 2,
+        };
         assert_ne!(a, b);
         assert_eq!(a.to_string(), "type0@n3#1");
     }

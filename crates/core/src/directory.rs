@@ -75,7 +75,11 @@ impl DirectoryStore {
                 e.location = location;
                 e.refreshed = now;
             }
-            None => self.entries.push(Entry { label, location, refreshed: now }),
+            None => self.entries.push(Entry {
+                label,
+                location,
+                refreshed: now,
+            }),
         }
     }
 
@@ -96,7 +100,8 @@ impl DirectoryStore {
 
     /// Drops entries not refreshed within `ttl` of `now`.
     pub fn sweep(&mut self, now: Timestamp, ttl: SimDuration) {
-        self.entries.retain(|e| now.saturating_since(e.refreshed) <= ttl);
+        self.entries
+            .retain(|e| now.saturating_since(e.refreshed) <= ttl);
     }
 
     /// Number of stored entries (stale ones included until swept).
@@ -118,7 +123,11 @@ mod tests {
     use envirotrack_world::field::NodeId;
 
     fn label(t: u16, n: u32, s: u32) -> ContextLabel {
-        ContextLabel { type_id: ContextTypeId(t), creator: NodeId(n), seq: s }
+        ContextLabel {
+            type_id: ContextTypeId(t),
+            creator: NodeId(n),
+            seq: s,
+        }
     }
 
     #[test]
@@ -151,7 +160,11 @@ mod tests {
         assert!(results.contains(&(a, Point::new(1.5, 1.0))));
         assert!(results.contains(&(b, Point::new(2.0, 2.0))));
         // Type filter.
-        assert_eq!(d.query(ContextTypeId(1), Timestamp::from_secs(7), ttl).len(), 1);
+        assert_eq!(
+            d.query(ContextTypeId(1), Timestamp::from_secs(7), ttl)
+                .len(),
+            1
+        );
     }
 
     #[test]

@@ -152,13 +152,19 @@ impl EventLog {
 
     /// Handover events for one label.
     #[must_use]
-    pub fn handovers(&self, label: ContextLabel) -> Vec<(Timestamp, NodeId, NodeId, HandoverReason)> {
+    pub fn handovers(
+        &self,
+        label: ContextLabel,
+    ) -> Vec<(Timestamp, NodeId, NodeId, HandoverReason)> {
         self.entries
             .iter()
             .filter_map(|(t, e)| match e {
-                SystemEvent::LeaderHandover { label: l, from, to, reason } if *l == label => {
-                    Some((*t, *from, *to, *reason))
-                }
+                SystemEvent::LeaderHandover {
+                    label: l,
+                    from,
+                    to,
+                    reason,
+                } if *l == label => Some((*t, *from, *to, *reason)),
                 _ => None,
             })
             .collect()
@@ -190,7 +196,11 @@ mod tests {
     use super::*;
 
     fn label(t: u16, n: u32, s: u32) -> ContextLabel {
-        ContextLabel { type_id: ContextTypeId(t), creator: NodeId(n), seq: s }
+        ContextLabel {
+            type_id: ContextTypeId(t),
+            creator: NodeId(n),
+            seq: s,
+        }
     }
 
     #[test]
@@ -198,10 +208,21 @@ mod tests {
         let mut log = EventLog::new();
         let a = label(0, 1, 0);
         let b = label(1, 2, 0);
-        log.push(Timestamp::ZERO, SystemEvent::LabelCreated { label: a, node: NodeId(1), at: Point::ORIGIN });
+        log.push(
+            Timestamp::ZERO,
+            SystemEvent::LabelCreated {
+                label: a,
+                node: NodeId(1),
+                at: Point::ORIGIN,
+            },
+        );
         log.push(
             Timestamp::from_secs(1),
-            SystemEvent::LabelCreated { label: b, node: NodeId(2), at: Point::ORIGIN },
+            SystemEvent::LabelCreated {
+                label: b,
+                node: NodeId(2),
+                at: Point::ORIGIN,
+            },
         );
         log.push(
             Timestamp::from_secs(2),
@@ -228,10 +249,17 @@ mod tests {
         let loser = label(0, 2, 0);
         log.push(
             Timestamp::from_secs(3),
-            SystemEvent::LabelSuppressed { loser, winner, node: NodeId(2) },
+            SystemEvent::LabelSuppressed {
+                loser,
+                winner,
+                node: NodeId(2),
+            },
         );
         assert_eq!(log.suppressed(ContextTypeId(0)), vec![loser]);
         assert!(log.suppressed(ContextTypeId(1)).is_empty());
-        assert_eq!(log.count(|e| matches!(e, SystemEvent::LabelSuppressed { .. })), 1);
+        assert_eq!(
+            log.count(|e| matches!(e, SystemEvent::LabelSuppressed { .. })),
+            1
+        );
     }
 }

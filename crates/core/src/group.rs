@@ -41,9 +41,7 @@ use crate::aggregate::{AggValue, ReadingValue, ReadingWindow};
 use crate::config::MiddlewareConfig;
 use crate::context::{ContextLabel, ContextSpec, ContextTypeId, Invocation};
 use crate::events::{HandoverReason, SystemEvent};
-use crate::object::{
-    ContextAccess, IncomingMessage, ObjectApi, ObjectEffect, ObjectReadError,
-};
+use crate::object::{ContextAccess, IncomingMessage, ObjectApi, ObjectEffect, ObjectReadError};
 use crate::transport::{LeaderLoc, Port};
 use crate::wire::{Heartbeat, Message, Relinquish, Report};
 
@@ -322,7 +320,15 @@ impl GroupMachine {
                 // Prefer joining a remembered nearby label.
                 let remembered = self.wait.filter(|w| w.until > ctx.now);
                 if let Some(w) = remembered {
-                    self.become_member(ctx, w.label, w.leader, w.leader_pos, w.weight, None, &mut out);
+                    self.become_member(
+                        ctx,
+                        w.label,
+                        w.leader,
+                        w.leader_pos,
+                        w.weight,
+                        None,
+                        &mut out,
+                    );
                     return out;
                 }
                 // No memory: mint after a formation jitter, during which a
@@ -333,7 +339,11 @@ impl GroupMachine {
                     );
                     let at = ctx.now + jitter;
                     let token = self.formation.arm(at);
-                    out.push(GroupAction::ArmTimer { key: GroupTimer::Formation, at, token });
+                    out.push(GroupAction::ArmTimer {
+                        key: GroupTimer::Formation,
+                        at,
+                        token,
+                    });
                 }
             }
             (RoleKind::Idle, false) => {
@@ -378,8 +388,14 @@ impl GroupMachine {
     /// Panics if the type is not declared pinned, or on double
     /// instantiation.
     pub fn instantiate_pinned(&mut self, ctx: &mut GroupCtx<'_>) -> Vec<GroupAction> {
-        assert!(ctx.spec.pinned.is_some(), "instantiate_pinned on a tracking type");
-        assert!(matches!(self.role, Role::Idle), "pinned instance already exists");
+        assert!(
+            ctx.spec.pinned.is_some(),
+            "instantiate_pinned on a tracking type"
+        );
+        assert!(
+            matches!(self.role, Role::Idle),
+            "pinned instance already exists"
+        );
         let mut out = Vec::new();
         self.mint_label(ctx, &mut out);
         out
@@ -484,7 +500,10 @@ impl GroupMachine {
                 }));
                 out.push(GroupAction::LostLeadership {
                     label,
-                    new_leader: Some(LeaderLoc { node: hb.leader, pos: hb.leader_pos }),
+                    new_leader: Some(LeaderLoc {
+                        node: hb.leader,
+                        pos: hb.leader_pos,
+                    }),
                 });
             }
             Decision::SuppressOwnLabel => {
@@ -496,7 +515,10 @@ impl GroupMachine {
                 }));
                 out.push(GroupAction::LostLeadership {
                     label: loser,
-                    new_leader: Some(LeaderLoc { node: hb.leader, pos: hb.leader_pos }),
+                    new_leader: Some(LeaderLoc {
+                        node: hb.leader,
+                        pos: hb.leader_pos,
+                    }),
                 });
                 self.demote_to_member(ctx, hb, &mut out);
             }
@@ -530,7 +552,9 @@ impl GroupMachine {
 
     /// Processes a member's sensor report (meaningful only on leaders).
     pub fn on_report(&mut self, ctx: &mut GroupCtx<'_>, report: &Report) -> Vec<GroupAction> {
-        let Role::Leader(l) = &mut self.role else { return Vec::new() };
+        let Role::Leader(l) = &mut self.role else {
+            return Vec::new();
+        };
         if l.label != report.label || report.member == self.node {
             return Vec::new();
         }
@@ -548,7 +572,9 @@ impl GroupMachine {
     /// Processes a relinquish announcement from a departing leader.
     pub fn on_relinquish(&mut self, ctx: &mut GroupCtx<'_>, r: &Relinquish) -> Vec<GroupAction> {
         let mut out = Vec::new();
-        let Role::Member(m) = &mut self.role else { return out };
+        let Role::Member(m) = &mut self.role else {
+            return out;
+        };
         if m.label != r.label {
             return out;
         }
@@ -601,19 +627,33 @@ impl GroupMachine {
                 } else if matches!(self.role, Role::Idle) && senses {
                     // Memory appeared while jittering: join it instead.
                     if let Some(w) = self.wait {
-                        self.become_member(ctx, w.label, w.leader, w.leader_pos, w.weight, None, &mut out);
+                        self.become_member(
+                            ctx,
+                            w.label,
+                            w.leader,
+                            w.leader_pos,
+                            w.weight,
+                            None,
+                            &mut out,
+                        );
                     }
                 }
             }
             GroupTimer::Heartbeat => {
-                let Role::Leader(l) = &mut self.role else { return out };
+                let Role::Leader(l) = &mut self.role else {
+                    return out;
+                };
                 if !l.heartbeat.fires(token) {
                     return out;
                 }
                 Self::send_heartbeat(l, self.node, ctx, &mut out);
                 let at = ctx.now + ctx.cfg.heartbeat_period;
                 let tok = l.heartbeat.arm(at);
-                out.push(GroupAction::ArmTimer { key: GroupTimer::Heartbeat, at, token: tok });
+                out.push(GroupAction::ArmTimer {
+                    key: GroupTimer::Heartbeat,
+                    at,
+                    token: tok,
+                });
                 // Bound window memory while we're here.
                 let horizon = ctx.cfg.wait_timer().max(SimDuration::from_secs(10));
                 for w in &mut l.windows {
@@ -621,7 +661,9 @@ impl GroupMachine {
                 }
             }
             GroupTimer::Receive => {
-                let Role::Member(m) = &mut self.role else { return out };
+                let Role::Member(m) = &mut self.role else {
+                    return out;
+                };
                 if !m.receive.fires(token) {
                     return out;
                 }
@@ -645,7 +687,9 @@ impl GroupMachine {
                 }
             }
             GroupTimer::Report => {
-                let Role::Member(m) = &mut self.role else { return out };
+                let Role::Member(m) = &mut self.role else {
+                    return out;
+                };
                 if !m.report.fires(token) {
                     return out;
                 }
@@ -673,11 +717,17 @@ impl GroupMachine {
                 if let Some(period) = Self::report_period(ctx) {
                     let at = ctx.now + period;
                     let tok = m.report.arm(at);
-                    out.push(GroupAction::ArmTimer { key: GroupTimer::Report, at, token: tok });
+                    out.push(GroupAction::ArmTimer {
+                        key: GroupTimer::Report,
+                        at,
+                        token: tok,
+                    });
                 }
             }
             GroupTimer::Directory => {
-                let Role::Leader(l) = &mut self.role else { return out };
+                let Role::Leader(l) = &mut self.role else {
+                    return out;
+                };
                 if !l.directory.fires(token) {
                     return out;
                 }
@@ -689,13 +739,18 @@ impl GroupMachine {
                 }
                 let at = ctx.now + ctx.cfg.directory_update_period;
                 let tok = l.directory.arm(at);
-                out.push(GroupAction::ArmTimer { key: GroupTimer::Directory, at, token: tok });
+                out.push(GroupAction::ArmTimer {
+                    key: GroupTimer::Directory,
+                    at,
+                    token: tok,
+                });
             }
             GroupTimer::Method(slot) => {
                 let is_current = match &mut self.role {
-                    Role::Leader(l) => {
-                        l.method_timers.get_mut(slot).is_some_and(|t| t.fires(token))
-                    }
+                    Role::Leader(l) => l
+                        .method_timers
+                        .get_mut(slot)
+                        .is_some_and(|t| t.fires(token)),
                     _ => false,
                 };
                 if !is_current {
@@ -706,7 +761,11 @@ impl GroupMachine {
                 if let Role::Leader(l) = &mut self.role {
                     let at = ctx.now + period;
                     let tok = l.method_timers[slot].arm(at);
-                    out.push(GroupAction::ArmTimer { key: GroupTimer::Method(slot), at, token: tok });
+                    out.push(GroupAction::ArmTimer {
+                        key: GroupTimer::Method(slot),
+                        at,
+                        token: tok,
+                    });
                 }
             }
         }
@@ -756,7 +815,11 @@ impl GroupMachine {
     // ------------------------------------------------------------------
 
     fn mint_label(&mut self, ctx: &mut GroupCtx<'_>, out: &mut Vec<GroupAction>) {
-        let label = ContextLabel { type_id: self.type_id, creator: self.node, seq: self.next_seq };
+        let label = ContextLabel {
+            type_id: self.type_id,
+            creator: self.node,
+            seq: self.next_seq,
+        };
         self.next_seq += 1;
         out.push(GroupAction::Emit(SystemEvent::LabelCreated {
             label,
@@ -784,19 +847,31 @@ impl GroupMachine {
             directory_cache: Vec::new(),
             heartbeat: TimerSlot::new(),
             directory: TimerSlot::new(),
-            method_timers: self.timer_methods.iter().map(|_| TimerSlot::new()).collect(),
+            method_timers: self
+                .timer_methods
+                .iter()
+                .map(|_| TimerSlot::new())
+                .collect(),
         };
         Self::insert_own_readings(&mut leader, ctx, self.node);
         // Announce immediately, then periodically.
         Self::send_heartbeat(&mut leader, self.node, ctx, out);
         let at = ctx.now + ctx.cfg.heartbeat_period;
         let tok = leader.heartbeat.arm(at);
-        out.push(GroupAction::ArmTimer { key: GroupTimer::Heartbeat, at, token: tok });
+        out.push(GroupAction::ArmTimer {
+            key: GroupTimer::Heartbeat,
+            at,
+            token: tok,
+        });
         // Object method timers start one period after leadership begins.
         for (slot, &(_, _, period)) in self.timer_methods.iter().enumerate() {
             let at = ctx.now + period;
             let tok = leader.method_timers[slot].arm(at);
-            out.push(GroupAction::ArmTimer { key: GroupTimer::Method(slot), at, token: tok });
+            out.push(GroupAction::ArmTimer {
+                key: GroupTimer::Method(slot),
+                at,
+                token: tok,
+            });
         }
         if ctx.cfg.directory_enabled {
             out.push(GroupAction::RegisterDirectory { label });
@@ -805,7 +880,11 @@ impl GroupMachine {
             }
             let at = ctx.now + ctx.cfg.directory_update_period;
             let tok = leader.directory.arm(at);
-            out.push(GroupAction::ArmTimer { key: GroupTimer::Directory, at, token: tok });
+            out.push(GroupAction::ArmTimer {
+                key: GroupTimer::Directory,
+                at,
+                token: tok,
+            });
         }
         self.role = Role::Leader(leader);
         self.wait = None;
@@ -837,12 +916,14 @@ impl GroupMachine {
         if let Some(period) = Self::report_period(ctx) {
             // First report goes out quickly (small jitter decorrelates
             // members) so the new leader gathers critical mass fast.
-            let jitter = SimDuration::from_micros(
-                ctx.rng.below(period.as_micros().max(2) / 2),
-            );
+            let jitter = SimDuration::from_micros(ctx.rng.below(period.as_micros().max(2) / 2));
             let at = ctx.now + ctx.cfg.sense_period.min(period) + jitter;
             let tok = member.report.arm(at);
-            out.push(GroupAction::ArmTimer { key: GroupTimer::Report, at, token: tok });
+            out.push(GroupAction::ArmTimer {
+                key: GroupTimer::Report,
+                at,
+                token: tok,
+            });
         }
         self.role = Role::Member(member);
         self.wait = None;
@@ -882,7 +963,9 @@ impl GroupMachine {
     }
 
     fn step_down(&mut self, ctx: &mut GroupCtx<'_>, out: &mut Vec<GroupAction>) {
-        let Role::Leader(l) = &mut self.role else { return };
+        let Role::Leader(l) = &mut self.role else {
+            return;
+        };
         let label = l.label;
         let weight = l.weight;
         let state = l.state_blob.clone();
@@ -904,13 +987,23 @@ impl GroupMachine {
                 from: self.node,
                 weight,
                 successor,
-                state: if ctx.cfg.state_replication_enabled { state } else { None },
+                state: if ctx.cfg.state_replication_enabled {
+                    state
+                } else {
+                    None
+                },
             })));
         }
         if successor.is_none() {
-            out.push(GroupAction::Emit(SystemEvent::LabelDissolved { label, node: self.node }));
+            out.push(GroupAction::Emit(SystemEvent::LabelDissolved {
+                label,
+                node: self.node,
+            }));
         }
-        out.push(GroupAction::LostLeadership { label, new_leader: None });
+        out.push(GroupAction::LostLeadership {
+            label,
+            new_leader: None,
+        });
         self.role = Role::Idle;
         self.wait = Some(WaitMemory {
             label,
@@ -926,11 +1019,17 @@ impl GroupMachine {
     // ------------------------------------------------------------------
 
     fn rearm_receive(m: &mut MemberState, ctx: &mut GroupCtx<'_>, out: &mut Vec<GroupAction>) {
-        let jitter =
-            SimDuration::from_micros(ctx.rng.below(ctx.cfg.takeover_jitter_max.as_micros().max(1)));
+        let jitter = SimDuration::from_micros(
+            ctx.rng
+                .below(ctx.cfg.takeover_jitter_max.as_micros().max(1)),
+        );
         let at = ctx.now + ctx.cfg.receive_timer() + jitter;
         let token = m.receive.arm(at);
-        out.push(GroupAction::ArmTimer { key: GroupTimer::Receive, at, token });
+        out.push(GroupAction::ArmTimer {
+            key: GroupTimer::Receive,
+            at,
+            token,
+        });
     }
 
     fn send_heartbeat(
@@ -947,7 +1046,11 @@ impl GroupMachine {
             weight: l.weight,
             hb_seq: l.hb_seq,
             ttl: ctx.cfg.heartbeat_ttl,
-            state: if ctx.cfg.state_replication_enabled { l.state_blob.clone() } else { None },
+            state: if ctx.cfg.state_replication_enabled {
+                l.state_blob.clone()
+            } else {
+                None
+            },
         })));
     }
 
@@ -967,7 +1070,9 @@ impl GroupMachine {
         incoming: Option<IncomingMessage>,
         out: &mut Vec<GroupAction>,
     ) {
-        let Role::Leader(l) = &mut self.role else { return };
+        let Role::Leader(l) = &mut self.role else {
+            return;
+        };
         let label = l.label;
         let spec_obj = &ctx.spec.objects[oi];
         let method = &spec_obj.methods[mi];
@@ -997,8 +1102,16 @@ impl GroupMachine {
                 ObjectEffect::SendToBase { payload } => {
                     out.push(GroupAction::SendToBase { label, payload });
                 }
-                ObjectEffect::MtpSend { dst_label, dst_port, payload } => {
-                    out.push(GroupAction::MtpSend { dst_label, dst_port, payload });
+                ObjectEffect::MtpSend {
+                    dst_label,
+                    dst_port,
+                    payload,
+                } => {
+                    out.push(GroupAction::MtpSend {
+                        dst_label,
+                        dst_port,
+                        payload,
+                    });
                 }
                 ObjectEffect::SetState(s) => l.state_blob = Some(s),
                 ObjectEffect::ClearState => l.state_blob = None,
@@ -1018,14 +1131,21 @@ struct LeaderAccess<'a> {
 
 impl<'a> LeaderAccess<'a> {
     fn new(leader: &'a LeaderState, spec: &'a ContextSpec, now: Timestamp) -> Self {
-        LeaderAccess { leader, spec, now, last_failure: std::cell::Cell::new(None) }
+        LeaderAccess {
+            leader,
+            spec,
+            now,
+            last_failure: std::cell::Cell::new(None),
+        }
     }
 }
 
 impl ContextAccess for LeaderAccess<'_> {
     fn read_aggregate(&self, name: &str) -> Result<AggValue, ObjectReadError> {
         let Some(idx) = self.spec.aggregate_index(name) else {
-            return Err(ObjectReadError::UnknownVariable { name: name.to_owned() });
+            return Err(ObjectReadError::UnknownVariable {
+                name: name.to_owned(),
+            });
         };
         let agg = &self.spec.aggregates[idx];
         match self.leader.windows[idx].evaluate(
@@ -1036,7 +1156,8 @@ impl ContextAccess for LeaderAccess<'_> {
         ) {
             Ok(v) => Ok(v),
             Err(e) => {
-                self.last_failure.set(Some((name.to_owned(), e.have, e.need)));
+                self.last_failure
+                    .set(Some((name.to_owned(), e.have, e.need)));
                 Err(ObjectReadError::NotConfirmed(e))
             }
         }
@@ -1126,7 +1247,11 @@ mod tests {
     }
 
     fn label(creator: u32, seq: u32) -> ContextLabel {
-        ContextLabel { type_id: ContextTypeId(0), creator: NodeId(creator), seq }
+        ContextLabel {
+            type_id: ContextTypeId(0),
+            creator: NodeId(creator),
+            seq,
+        }
     }
 
     /// A heartbeat from a leader physically near the harness node (within
@@ -1145,7 +1270,10 @@ mod tests {
 
     /// A heartbeat from a physically distant leader (another entity).
     fn far_hb(lbl: ContextLabel, leader: u32, weight: u32, seq: u32) -> Heartbeat {
-        Heartbeat { leader_pos: Point::new(50.0, 50.0), ..hb(lbl, leader, weight, seq) }
+        Heartbeat {
+            leader_pos: Point::new(50.0, 50.0),
+            ..hb(lbl, leader, weight, seq)
+        }
     }
 
     fn find_timer(actions: &[GroupAction], key: GroupTimer) -> Option<(Timestamp, TimerToken)> {
@@ -1174,7 +1302,9 @@ mod tests {
         let actions = m.on_timer(&mut h.ctx(), GroupTimer::Formation, token);
         assert!(m.is_leader(), "machine should lead after formation expiry");
         assert!(
-            actions.iter().any(|a| matches!(a, GroupAction::Emit(SystemEvent::LabelCreated { .. }))),
+            actions
+                .iter()
+                .any(|a| matches!(a, GroupAction::Emit(SystemEvent::LabelCreated { .. }))),
             "LabelCreated must be emitted"
         );
         m.current_label().unwrap()
@@ -1186,7 +1316,11 @@ mod tests {
         let mut m = machine(1, &spec_with_tracker());
         let lbl = make_leader(&mut h, &mut m);
         assert_eq!(lbl.creator, NodeId(1));
-        assert_eq!(m.leader_weight(), Some(0), "new labels start at weight zero");
+        assert_eq!(
+            m.leader_weight(),
+            Some(0),
+            "new labels start at weight zero"
+        );
     }
 
     #[test]
@@ -1307,11 +1441,18 @@ mod tests {
         h.now = at;
         let actions = m.on_timer(&mut h.ctx(), GroupTimer::Receive, token);
         assert!(m.is_leader());
-        assert_eq!(m.current_label(), Some(label(9, 0)), "the label survives the takeover");
+        assert_eq!(
+            m.current_label(),
+            Some(label(9, 0)),
+            "the label survives the takeover"
+        );
         assert_eq!(m.leader_weight(), Some(42), "weight is inherited");
         assert!(actions.iter().any(|a| matches!(
             a,
-            GroupAction::Emit(SystemEvent::LeaderHandover { reason: HandoverReason::ReceiveTimeout, .. })
+            GroupAction::Emit(SystemEvent::LeaderHandover {
+                reason: HandoverReason::ReceiveTimeout,
+                ..
+            })
         )));
     }
 
@@ -1346,7 +1487,10 @@ mod tests {
         assert_eq!(m.leader_weight(), Some(10));
         assert!(actions.iter().any(|a| matches!(
             a,
-            GroupAction::Emit(SystemEvent::LeaderHandover { reason: HandoverReason::Relinquish, .. })
+            GroupAction::Emit(SystemEvent::LeaderHandover {
+                reason: HandoverReason::Relinquish,
+                ..
+            })
         )));
     }
 
@@ -1365,7 +1509,10 @@ mod tests {
         };
         let actions = m.on_relinquish(&mut h.ctx(), &r);
         assert!(matches!(m.role_kind(), RoleKind::Member(_)));
-        assert!(find_timer(&actions, GroupTimer::Receive).is_some(), "backup takeover armed");
+        assert!(
+            find_timer(&actions, GroupTimer::Receive).is_some(),
+            "backup takeover armed"
+        );
     }
 
     #[test]
@@ -1409,7 +1556,11 @@ mod tests {
             })
             .collect();
         assert_eq!(relinquishes.len(), 1);
-        assert_eq!(relinquishes[0].successor, Some(NodeId(5)), "freshest reporter chosen");
+        assert_eq!(
+            relinquishes[0].successor,
+            Some(NodeId(5)),
+            "freshest reporter chosen"
+        );
         assert_eq!(relinquishes[0].weight, 2);
     }
 
@@ -1421,7 +1572,10 @@ mod tests {
         let _ = make_leader(&mut h, &mut m);
         h.sample.set(Channel::Magnetic, 0.0);
         let actions = m.on_sense_tick(&mut h.ctx());
-        assert!(broadcasts(&actions).is_empty(), "no relinquish broadcast when disabled");
+        assert!(
+            broadcasts(&actions).is_empty(),
+            "no relinquish broadcast when disabled"
+        );
         assert!(actions
             .iter()
             .any(|a| matches!(a, GroupAction::Emit(SystemEvent::LabelDissolved { .. }))));
@@ -1436,9 +1590,14 @@ mod tests {
         assert_eq!(m.role_kind(), RoleKind::Member(lbl));
         assert!(actions.iter().any(|a| matches!(
             a,
-            GroupAction::Emit(SystemEvent::LeaderHandover { reason: HandoverReason::DuplicateYield, .. })
+            GroupAction::Emit(SystemEvent::LeaderHandover {
+                reason: HandoverReason::DuplicateYield,
+                ..
+            })
         )));
-        assert!(actions.iter().any(|a| matches!(a, GroupAction::LostLeadership { .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, GroupAction::LostLeadership { .. })));
     }
 
     #[test]
@@ -1451,7 +1610,12 @@ mod tests {
         for i in 0..3 {
             let _ = m.on_report(
                 &mut h.ctx(),
-                &Report { label: lbl, member: NodeId(10 + i), taken_at: now, values: vec![] },
+                &Report {
+                    label: lbl,
+                    member: NodeId(10 + i),
+                    taken_at: now,
+                    values: vec![],
+                },
             );
         }
         let actions = m.on_heartbeat(&mut h.ctx(), &hb(lbl, 7, 1, 1));
@@ -1483,7 +1647,12 @@ mod tests {
         for i in 0..5 {
             let _ = m.on_report(
                 &mut h.ctx(),
-                &Report { label: my_label, member: NodeId(20 + i), taken_at: now, values: vec![] },
+                &Report {
+                    label: my_label,
+                    member: NodeId(20 + i),
+                    taken_at: now,
+                    values: vec![],
+                },
             );
         }
         let actions = m.on_heartbeat(&mut h.ctx(), &hb(label(9, 3), 9, 2, 1));
@@ -1539,7 +1708,10 @@ mod tests {
         let mut beat = hb(label(9, 0), 9, 5, 1);
         beat.ttl = 2;
         let actions = m.on_heartbeat(&mut h.ctx(), &beat);
-        assert!(broadcasts(&actions).is_empty(), "idle nodes only remember, never flood");
+        assert!(
+            broadcasts(&actions).is_empty(),
+            "idle nodes only remember, never flood"
+        );
     }
 
     #[test]
@@ -1602,7 +1774,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(base_sends, vec![Point::new(2.0, 0.5)], "avg of (3,0.5) and (1,0.5)");
+        assert_eq!(
+            base_sends,
+            vec![Point::new(2.0, 0.5)],
+            "avg of (3,0.5) and (1,0.5)"
+        );
         assert!(actions
             .iter()
             .any(|a| matches!(a, GroupAction::Emit(SystemEvent::MethodInvoked { .. }))));
@@ -1618,7 +1794,9 @@ mod tests {
             GroupAction::Emit(SystemEvent::AggregateReadFailed { variable, .. }) if variable == "location"
         )));
         assert!(
-            !actions.iter().any(|a| matches!(a, GroupAction::SendToBase { .. })),
+            !actions
+                .iter()
+                .any(|a| matches!(a, GroupAction::SendToBase { .. })),
             "an unconfirmed siting must not be reported"
         );
     }
@@ -1632,7 +1810,10 @@ mod tests {
         let my_label = make_leader(&mut h, &mut m);
         // A much heavier leader far away: ignored.
         let actions = m.on_heartbeat(&mut h.ctx(), &far_hb(label(9, 0), 9, 100, 1));
-        assert!(m.is_leader(), "distant heavy leader must not suppress this label");
+        assert!(
+            m.is_leader(),
+            "distant heavy leader must not suppress this label"
+        );
         assert_eq!(m.current_label(), Some(my_label));
         assert!(actions.is_empty());
 
@@ -1673,6 +1854,9 @@ mod tests {
         // The old heartbeat token must now be dead.
         h.now += h.cfg.heartbeat_period;
         let actions = m.on_timer(&mut h.ctx(), GroupTimer::Heartbeat, hb_tok);
-        assert!(actions.is_empty(), "stale heartbeat timer fired actions: {actions:?}");
+        assert!(
+            actions.is_empty(),
+            "stale heartbeat timer fired actions: {actions:?}"
+        );
     }
 }

@@ -59,7 +59,6 @@ use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_world::field::{Deployment, NodeId};
 use envirotrack_world::geometry::Point;
 use envirotrack_world::sensing::Environment;
-use serde::{Deserialize, Serialize};
 
 use crate::api::Program;
 use crate::config::MiddlewareConfig;
@@ -80,7 +79,7 @@ use crate::wire::{
 /// reports — stays unreliable, exactly as on the MICA MAC the paper used;
 /// multi-hop unicast needs per-hop retries or a single hidden-terminal
 /// collision silently kills an entire route.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinkReliability {
     /// Whether unicast frames are acknowledged and retransmitted.
     pub enabled: bool,
@@ -207,7 +206,10 @@ impl SensorNetwork {
         config: NetworkConfig,
         seed: u64,
     ) -> Self {
-        config.middleware.validate().expect("invalid middleware configuration");
+        config
+            .middleware
+            .validate()
+            .expect("invalid middleware configuration");
         let master = SimRng::seed_from(seed);
         let medium = Medium::new(&deployment, config.radio.clone(), &master);
         let router = GeoRouter::new(&deployment, config.radio.comm_radius);
@@ -269,9 +271,11 @@ impl SensorNetwork {
     ) -> Engine<SensorNetwork> {
         let world = SensorNetwork::new(program, deployment, environment, config, seed);
         let mut engine = Engine::new(world, seed);
-        engine.kernel_mut().schedule_at(Timestamp::ZERO, |w: &mut SensorNetwork, k| {
-            w.bootstrap(k);
-        });
+        engine
+            .kernel_mut()
+            .schedule_at(Timestamp::ZERO, |w: &mut SensorNetwork, k| {
+                w.bootstrap(k);
+            });
         engine
     }
 
@@ -287,10 +291,13 @@ impl SensorNetwork {
         }
         // Instantiate static (pinned) objects on their host nodes.
         for tid in self.program.type_ids() {
-            let Some(at) = self.program.spec(tid).pinned else { continue };
+            let Some(at) = self.program.spec(tid).pinned else {
+                continue;
+            };
             let host = self.router.closest_node(at);
-            let actions =
-                self.drive_machine(k.now(), host, tid, |machine, ctx| machine.instantiate_pinned(ctx));
+            let actions = self.drive_machine(k.now(), host, tid, |machine, ctx| {
+                machine.instantiate_pinned(ctx)
+            });
             self.apply_actions(k, host, tid, actions);
         }
     }
@@ -461,7 +468,11 @@ impl SensorNetwork {
             return;
         }
         // Overloaded CPU skips sensing ticks.
-        if self.nodes[node.index()].cpu.admit(k.now(), costs::SENSE).is_err() {
+        if self.nodes[node.index()]
+            .cpu
+            .admit(k.now(), costs::SENSE)
+            .is_err()
+        {
             return;
         }
         for tid in self.program.type_ids() {
@@ -485,7 +496,10 @@ impl SensorNetwork {
             return;
         }
         // Overload delays timer handling until the CPU drains.
-        match self.nodes[node.index()].cpu.admit(k.now(), costs::TIMER_HANDLE) {
+        match self.nodes[node.index()]
+            .cpu
+            .admit(k.now(), costs::TIMER_HANDLE)
+        {
             Ok(_) => {}
             Err(_) => {
                 let retry = self.nodes[node.index()].cpu.busy_until() + SimDuration::from_millis(1);
@@ -495,8 +509,9 @@ impl SensorNetwork {
                 return;
             }
         }
-        let actions =
-            self.drive_machine(k.now(), node, tid, |machine, ctx| machine.on_timer(ctx, key, token));
+        let actions = self.drive_machine(k.now(), node, tid, |machine, ctx| {
+            machine.on_timer(ctx, key, token)
+        });
         self.apply_actions(k, node, tid, actions);
     }
 
@@ -520,14 +535,20 @@ impl SensorNetwork {
         let airtime = self.medium.config().tx_time(&frame);
         self.nodes[node.index()].energy.charge_rx(airtime);
         // Receive overflow: overloaded CPUs drop frames.
-        if self.nodes[node.index()].cpu.admit(k.now(), costs::RX_HANDLE).is_err() {
+        if self.nodes[node.index()]
+            .cpu
+            .admit(k.now(), costs::RX_HANDLE)
+            .is_err()
+        {
             return;
         }
         // Link-layer acknowledgements terminate here.
         if frame.kind == crate::wire::kinds::LINK_ACK {
             if frame.payload.len() == 4 {
                 let seq = u32::from_be_bytes(frame.payload[..4].try_into().expect("4 bytes"));
-                self.nodes[node.index()].pending_acks.retain(|p| p.seq != seq);
+                self.nodes[node.index()]
+                    .pending_acks
+                    .retain(|p| p.seq != seq);
             }
             return;
         }
@@ -595,11 +616,16 @@ impl SensorNetwork {
             return;
         }
         // The transport layer snoops leadership from heartbeats.
-        self.nodes[node.index()]
-            .mtp
-            .learn(hb.label, LeaderLoc { node: hb.leader, pos: hb.leader_pos });
-        let actions =
-            self.drive_machine(k.now(), node, tid, |machine, ctx| machine.on_heartbeat(ctx, hb));
+        self.nodes[node.index()].mtp.learn(
+            hb.label,
+            LeaderLoc {
+                node: hb.leader,
+                pos: hb.leader_pos,
+            },
+        );
+        let actions = self.drive_machine(k.now(), node, tid, |machine, ctx| {
+            machine.on_heartbeat(ctx, hb)
+        });
         self.apply_actions(k, node, tid, actions);
     }
 
@@ -608,8 +634,9 @@ impl SensorNetwork {
         if tid.0 as usize >= self.program.context_count() {
             return;
         }
-        let actions =
-            self.drive_machine(k.now(), node, tid, |machine, ctx| machine.on_report(ctx, report));
+        let actions = self.drive_machine(k.now(), node, tid, |machine, ctx| {
+            machine.on_report(ctx, report)
+        });
         self.apply_actions(k, node, tid, actions);
     }
 
@@ -618,14 +645,15 @@ impl SensorNetwork {
         if tid.0 as usize >= self.program.context_count() {
             return;
         }
-        let actions =
-            self.drive_machine(k.now(), node, tid, |machine, ctx| machine.on_relinquish(ctx, r));
+        let actions = self.drive_machine(k.now(), node, tid, |machine, ctx| {
+            machine.on_relinquish(ctx, r)
+        });
         self.apply_actions(k, node, tid, actions);
     }
 
     fn handle_geo(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, geo: GeoForward) {
-        let deliver_here = geo.deliver_to == Some(node)
-            || self.router.next_hop(node, geo.dest).is_none();
+        let deliver_here =
+            geo.deliver_to == Some(node) || self.router.next_hop(node, geo.dest).is_none();
         if deliver_here {
             self.dispatch_message(k, node, *geo.inner);
         } else {
@@ -636,8 +664,13 @@ impl SensorNetwork {
     fn handle_dir_query(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, q: &DirQuery) {
         let now = k.now();
         let ttl = self.config.middleware.directory_entry_ttl;
-        let entries = self.nodes[node.index()].directory.query(q.type_id, now, ttl);
-        let resp = Message::DirResponse(DirResponse { query_id: q.query_id, entries });
+        let entries = self.nodes[node.index()]
+            .directory
+            .query(q.type_id, now, ttl);
+        let resp = Message::DirResponse(DirResponse {
+            query_id: q.query_id,
+            entries,
+        });
         self.send_geo(k, node, q.reply_pos, Some(q.reply_to), resp);
     }
 
@@ -649,7 +682,11 @@ impl SensorNetwork {
     ) {
         let pending = {
             let rt = &mut self.nodes[node.index()];
-            match rt.pending_queries.iter().position(|p| p.query_id == resp.query_id) {
+            match rt
+                .pending_queries
+                .iter()
+                .position(|p| p.query_id == resp.query_id)
+            {
                 Some(idx) => rt.pending_queries.remove(idx),
                 None => return,
             }
@@ -680,7 +717,10 @@ impl SensorNetwork {
                 None => {
                     self.events.push(
                         k.now(),
-                        SystemEvent::MtpDropped { label: send.dst_label, node },
+                        SystemEvent::MtpDropped {
+                            label: send.dst_label,
+                            node,
+                        },
                     );
                 }
             }
@@ -689,9 +729,13 @@ impl SensorNetwork {
 
     fn handle_mtp_segment(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, seg: MtpSegment) {
         // Update leadership knowledge from the header.
-        self.nodes[node.index()]
-            .mtp
-            .learn(seg.src_label, LeaderLoc { node: seg.src_leader, pos: seg.src_leader_pos });
+        self.nodes[node.index()].mtp.learn(
+            seg.src_label,
+            LeaderLoc {
+                node: seg.src_leader,
+                pos: seg.src_leader_pos,
+            },
+        );
 
         let tid = seg.dst_label.type_id;
         if tid.0 as usize >= self.program.context_count() {
@@ -720,20 +764,32 @@ impl SensorNetwork {
             });
             self.events.push(
                 k.now(),
-                SystemEvent::MtpDelivered { label: dst_label, node, chain_hops },
+                SystemEvent::MtpDelivered {
+                    label: dst_label,
+                    node,
+                    chain_hops,
+                },
             );
             self.apply_actions(k, node, tid, actions);
             return;
         }
         // Not the leader: chase the label along pointers / cached knowledge.
         if seg.chain_hops >= self.nodes[node.index()].mtp.max_chain_hops {
-            self.events.push(k.now(), SystemEvent::MtpDropped { label: seg.dst_label, node });
+            self.events.push(
+                k.now(),
+                SystemEvent::MtpDropped {
+                    label: seg.dst_label,
+                    node,
+                },
+            );
             return;
         }
         let now = k.now();
         let next = {
             let rt = &mut self.nodes[node.index()];
-            rt.mtp.forward_pointer(seg.dst_label, now).or_else(|| rt.mtp.lookup(seg.dst_label))
+            rt.mtp
+                .forward_pointer(seg.dst_label, now)
+                .or_else(|| rt.mtp.lookup(seg.dst_label))
         };
         match next {
             // A pointer to ourselves would loop; treat it as no route.
@@ -743,7 +799,13 @@ impl SensorNetwork {
                 self.send_geo(k, node, loc.pos, Some(loc.node), Message::Mtp(chased));
             }
             _ => {
-                self.events.push(k.now(), SystemEvent::MtpDropped { label: seg.dst_label, node });
+                self.events.push(
+                    k.now(),
+                    SystemEvent::MtpDropped {
+                        label: seg.dst_label,
+                        node,
+                    },
+                );
             }
         }
     }
@@ -821,12 +883,22 @@ impl SensorNetwork {
                     self.send_geo(k, node, dest, None, msg);
                 }
                 GroupAction::SendToBase { label, payload } => {
-                    let Some(base) = self.config.base_station else { continue };
-                    let msg = Message::Base(BaseReport { label, generated_at: k.now(), payload });
+                    let Some(base) = self.config.base_station else {
+                        continue;
+                    };
+                    let msg = Message::Base(BaseReport {
+                        label,
+                        generated_at: k.now(),
+                        payload,
+                    });
                     let dest = self.deployment.position(base);
                     self.send_geo(k, node, dest, Some(base), msg);
                 }
-                GroupAction::MtpSend { dst_label, dst_port, payload } => {
+                GroupAction::MtpSend {
+                    dst_label,
+                    dst_port,
+                    payload,
+                } => {
                     self.mtp_send(k, node, tid, dst_label, dst_port, payload);
                 }
                 GroupAction::BecameLeader { label } => {
@@ -886,7 +958,15 @@ impl SensorNetwork {
                     target_type: dst_label.type_id,
                     asker: None,
                 });
-                rt.mtp.park(src_label, Port(0), dst_label, dst_port, payload, k.now(), query_id);
+                rt.mtp.park(
+                    src_label,
+                    Port(0),
+                    dst_label,
+                    dst_port,
+                    payload,
+                    k.now(),
+                    query_id,
+                );
                 let dest = self.hash_points[dst_label.type_id.0 as usize];
                 let msg = Message::DirQuery(DirQuery {
                     type_id: dst_label.type_id,
@@ -897,7 +977,13 @@ impl SensorNetwork {
                 self.send_geo(k, node, dest, None, msg);
             }
             None => {
-                self.events.push(k.now(), SystemEvent::MtpDropped { label: dst_label, node });
+                self.events.push(
+                    k.now(),
+                    SystemEvent::MtpDropped {
+                        label: dst_label,
+                        node,
+                    },
+                );
             }
         }
     }
@@ -924,7 +1010,11 @@ impl SensorNetwork {
         match self.router.next_hop(from, dest) {
             None => self.dispatch_message(k, from, inner),
             Some(next) => {
-                let geo = Message::Geo(GeoForward { dest, deliver_to, inner: Box::new(inner) });
+                let geo = Message::Geo(GeoForward {
+                    dest,
+                    deliver_to,
+                    inner: Box::new(inner),
+                });
                 let frame = Frame::unicast(from, next, geo.kind(), geo.encode());
                 self.send_frame(k, from, frame);
             }
@@ -943,7 +1033,11 @@ impl SensorNetwork {
         rt.next_link_seq += 1;
         let seq = rt.next_link_seq;
         let frame = frame.with_link_seq(seq);
-        rt.pending_acks.push(PendingAck { seq, frame: frame.clone(), attempts: 1 });
+        rt.pending_acks.push(PendingAck {
+            seq,
+            frame: frame.clone(),
+            attempts: 1,
+        });
         let timeout = self.config.link.ack_timeout;
         k.schedule_at(k.now() + timeout, move |w: &mut SensorNetwork, k| {
             w.link_retry(k, node, seq);
@@ -973,13 +1067,17 @@ impl SensorNetwork {
         let jitter = {
             let rt = &mut self.nodes[node.index()];
             SimDuration::from_micros(
-                rt.rng.below(self.config.link.retry_jitter_max.as_micros().max(1)),
+                rt.rng
+                    .below(self.config.link.retry_jitter_max.as_micros().max(1)),
             )
         };
         let timeout = self.config.link.ack_timeout;
-        k.schedule_at(k.now() + jitter + timeout, move |w: &mut SensorNetwork, k| {
-            w.link_retry(k, node, seq);
-        });
+        k.schedule_at(
+            k.now() + jitter + timeout,
+            move |w: &mut SensorNetwork, k| {
+                w.link_retry(k, node, seq);
+            },
+        );
         let retry_at = k.now() + jitter;
         k.schedule_at(retry_at, move |w: &mut SensorNetwork, k| {
             w.transmit_raw(k, node, frame);
@@ -988,7 +1086,11 @@ impl SensorNetwork {
 
     fn transmit_raw(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, frame: Frame) {
         // Preparing a transmission costs CPU; overloaded nodes drop sends.
-        if self.nodes[node.index()].cpu.admit(k.now(), costs::TX_PREPARE).is_err() {
+        if self.nodes[node.index()]
+            .cpu
+            .admit(k.now(), costs::TX_PREPARE)
+            .is_err()
+        {
             return;
         }
         let airtime = self.medium.config().tx_time(&frame);

@@ -132,7 +132,15 @@ impl<'a> ObjectApi<'a> {
         access: &'a dyn ContextAccess,
         incoming: Option<IncomingMessage>,
     ) -> Self {
-        ObjectApi { label, node, position, now, access, incoming, effects: Vec::new() }
+        ObjectApi {
+            label,
+            node,
+            position,
+            now,
+            access,
+            incoming,
+            effects: Vec::new(),
+        }
     }
 
     /// The enclosing context label — the paper's `self:label`.
@@ -192,12 +200,18 @@ impl<'a> ObjectApi<'a> {
 
     /// Sends a payload to the base station / pursuer.
     pub fn send_to_base(&mut self, payload: impl Into<Bytes>) {
-        self.effects.push(ObjectEffect::SendToBase { payload: payload.into() });
+        self.effects.push(ObjectEffect::SendToBase {
+            payload: payload.into(),
+        });
     }
 
     /// Sends an MTP message to a method (port) of a remote object.
     pub fn send(&mut self, dst_label: ContextLabel, dst_port: Port, payload: impl Into<Bytes>) {
-        self.effects.push(ObjectEffect::MtpSend { dst_label, dst_port, payload: payload.into() });
+        self.effects.push(ObjectEffect::MtpSend {
+            dst_label,
+            dst_port,
+            payload: payload.into(),
+        });
     }
 
     /// Replaces the persistent state blob (the paper's `setState`).
@@ -293,10 +307,15 @@ mod tests {
     impl ContextAccess for MockAccess {
         fn read_aggregate(&self, name: &str) -> Result<AggValue, ObjectReadError> {
             match name {
-                "location" => self.value.ok_or(ObjectReadError::NotConfirmed(
-                    AggregateReadError { have: 1, need: 2 },
-                )),
-                other => Err(ObjectReadError::UnknownVariable { name: other.to_owned() }),
+                "location" => self
+                    .value
+                    .ok_or(ObjectReadError::NotConfirmed(AggregateReadError {
+                        have: 1,
+                        need: 2,
+                    })),
+                other => Err(ObjectReadError::UnknownVariable {
+                    name: other.to_owned(),
+                }),
             }
         }
         fn labels_of_type(&self, _type_id: ContextTypeId) -> Vec<(ContextLabel, Point)> {
@@ -309,7 +328,11 @@ mod tests {
 
     fn api(access: &MockAccess) -> ObjectApi<'_> {
         ObjectApi::new(
-            ContextLabel { type_id: ContextTypeId(0), creator: NodeId(1), seq: 0 },
+            ContextLabel {
+                type_id: ContextTypeId(0),
+                creator: NodeId(1),
+                seq: 0,
+            },
             NodeId(1),
             Point::new(2.0, 0.5),
             Timestamp::from_secs(5),
@@ -321,8 +344,10 @@ mod tests {
     #[test]
     fn the_papers_reporter_method_works_against_a_mock() {
         // report_function() { MySend(pursuer, self:label, location); }
-        let access =
-            MockAccess { value: Some(AggValue::Point(Point::new(3.0, 0.5))), state: None };
+        let access = MockAccess {
+            value: Some(AggValue::Point(Point::new(3.0, 0.5))),
+            state: None,
+        };
         let mut ctx = api(&access);
         if let Ok(AggValue::Point(p)) = ctx.read("location") {
             ctx.send_to_base(payload::position(p));
@@ -339,7 +364,10 @@ mod tests {
 
     #[test]
     fn unconfirmed_reads_surface_the_null_flag() {
-        let access = MockAccess { value: None, state: None };
+        let access = MockAccess {
+            value: None,
+            state: None,
+        };
         let ctx = api(&access);
         match ctx.read("location") {
             Err(ObjectReadError::NotConfirmed(e)) => {
@@ -356,13 +384,20 @@ mod tests {
 
     #[test]
     fn effects_accumulate_in_order() {
-        let access = MockAccess { value: None, state: Some(Bytes::from_static(b"old")) };
+        let access = MockAccess {
+            value: None,
+            state: Some(Bytes::from_static(b"old")),
+        };
         let mut ctx = api(&access);
         assert_eq!(ctx.state().unwrap().as_ref(), b"old");
         ctx.set_state(Bytes::from_static(b"new"));
         ctx.log("hello");
         ctx.send(
-            ContextLabel { type_id: ContextTypeId(1), creator: NodeId(2), seq: 0 },
+            ContextLabel {
+                type_id: ContextTypeId(1),
+                creator: NodeId(2),
+                seq: 0,
+            },
             Port(3),
             Bytes::from_static(b"msg"),
         );

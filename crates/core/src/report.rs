@@ -7,12 +7,120 @@
 //! that recording: a timestamped list of per-label payloads, with helpers
 //! to reconstruct each label's reported track (Fig. 3).
 
+//! The log also exports as **JSON lines** (one object per report) via
+//! [`BaseStationLog::to_jsonl`], using the in-tree [`json`] writer — the
+//! workspace builds hermetically with no serialisation crates, so the few
+//! structs that leave the process (reports, experiment rows) encode through
+//! this module instead of `serde` derives.
+
 use bytes::Bytes;
 use envirotrack_sim::time::Timestamp;
 use envirotrack_world::geometry::Point;
 
 use crate::context::{ContextLabel, ContextTypeId};
 use crate::object::payload;
+
+/// A minimal JSON emitter: just enough to stream flat records as JSON
+/// lines. Strings are escaped per RFC 8259; non-finite floats become
+/// `null` (JSON has no NaN/Infinity).
+pub mod json {
+    use std::fmt::Write as _;
+
+    /// Escapes a string for inclusion in a JSON document (without the
+    /// surrounding quotes).
+    #[must_use]
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Builds one flat JSON object, field by field, in insertion order.
+    #[derive(Debug, Default)]
+    pub struct JsonObject {
+        body: String,
+    }
+
+    impl JsonObject {
+        /// Starts an empty object.
+        #[must_use]
+        pub fn new() -> Self {
+            JsonObject::default()
+        }
+
+        fn key(&mut self, key: &str) {
+            if !self.body.is_empty() {
+                self.body.push(',');
+            }
+            let _ = write!(self.body, "\"{}\":", escape(key));
+        }
+
+        /// Adds an unsigned integer field.
+        #[must_use]
+        pub fn field_u64(mut self, key: &str, v: u64) -> Self {
+            self.key(key);
+            let _ = write!(self.body, "{v}");
+            self
+        }
+
+        /// Adds a float field (`null` when non-finite).
+        #[must_use]
+        pub fn field_f64(mut self, key: &str, v: f64) -> Self {
+            self.key(key);
+            if v.is_finite() {
+                let _ = write!(self.body, "{v}");
+            } else {
+                self.body.push_str("null");
+            }
+            self
+        }
+
+        /// Adds a string field.
+        #[must_use]
+        pub fn field_str(mut self, key: &str, v: &str) -> Self {
+            self.key(key);
+            let _ = write!(self.body, "\"{}\"", escape(v));
+            self
+        }
+
+        /// Adds a boolean field.
+        #[must_use]
+        pub fn field_bool(mut self, key: &str, v: bool) -> Self {
+            self.key(key);
+            self.body.push_str(if v { "true" } else { "false" });
+            self
+        }
+
+        /// Closes the object.
+        #[must_use]
+        pub fn finish(self) -> String {
+            format!("{{{}}}", self.body)
+        }
+    }
+
+    /// Lowercase-hex encodes a byte slice (how binary payloads travel
+    /// inside JSON lines).
+    #[must_use]
+    pub fn hex(bytes: &[u8]) -> String {
+        let mut out = String::with_capacity(bytes.len() * 2);
+        for b in bytes {
+            let _ = write!(out, "{b:02x}");
+        }
+        out
+    }
+}
 
 /// One report as received at the base station.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +208,38 @@ impl BaseStationLog {
             .map(|l| (l, self.track(l)))
             .collect()
     }
+
+    /// Exports the whole log as JSON lines: one object per report, in
+    /// arrival order, with a trailing newline per line. Position payloads
+    /// additionally decode into `x`/`y` fields; all payloads carry their
+    /// raw bytes hex-encoded.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ReportEntry {
+    /// Encodes this report as one flat JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut obj = json::JsonObject::new()
+            .field_u64("received_us", self.received_at.as_micros())
+            .field_u64("generated_us", self.generated_at.as_micros())
+            .field_u64("type_id", u64::from(self.label.type_id.0))
+            .field_u64("creator", u64::from(self.label.creator.0))
+            .field_u64("seq", u64::from(self.label.seq))
+            .field_str("payload_hex", &json::hex(&self.payload));
+        if let Some(p) = payload::decode_position(&self.payload) {
+            obj = obj.field_f64("x", p.x).field_f64("y", p.y);
+        }
+        obj.finish()
+    }
 }
 
 #[cfg(test)]
@@ -108,7 +248,11 @@ mod tests {
     use envirotrack_world::field::NodeId;
 
     fn label(n: u32) -> ContextLabel {
-        ContextLabel { type_id: ContextTypeId(0), creator: NodeId(n), seq: 0 }
+        ContextLabel {
+            type_id: ContextTypeId(0),
+            creator: NodeId(n),
+            seq: 0,
+        }
     }
 
     fn entry(n: u32, secs: u64, pos: Point) -> ReportEntry {
@@ -134,6 +278,46 @@ mod tests {
         assert_eq!(t[1], (Timestamp::from_secs(5), Point::new(1.0, 0.5)));
         let all = log.tracks_of_type(ContextTypeId(0));
         assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn jsonl_export_is_one_valid_object_per_line() {
+        let mut log = BaseStationLog::new();
+        log.record(entry(1, 0, Point::new(0.0, 0.5)));
+        log.record(ReportEntry {
+            received_at: Timestamp::from_secs(2),
+            generated_at: Timestamp::from_secs(1),
+            label: label(2),
+            payload: Bytes::from_static(b"raw"),
+        });
+        let out = log.to_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "not an object: {line}"
+            );
+        }
+        // The position payload decodes into coordinates; the raw one does not.
+        assert!(lines[0].contains("\"x\":0") && lines[0].contains("\"y\":0.5"));
+        assert!(!lines[1].contains("\"x\":"));
+        assert!(lines[1].contains(&format!("\"payload_hex\":\"{}\"", json::hex(b"raw"))));
+        assert!(lines[0].contains("\"generated_us\":0"));
+        assert!(lines[0].contains("\"received_us\":1000000"));
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(json::escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json::escape("line1\nline2\ttab"), "line1\\nline2\\ttab");
+        assert_eq!(json::escape("\u{1}"), "\\u0001");
+        let obj = json::JsonObject::new()
+            .field_str("k\"ey", "v\\al")
+            .field_f64("nan", f64::NAN)
+            .field_bool("ok", true)
+            .finish();
+        assert_eq!(obj, "{\"k\\\"ey\":\"v\\\\al\",\"nan\":null,\"ok\":true}");
     }
 
     #[test]

@@ -24,12 +24,11 @@ use bytes::Bytes;
 use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_world::field::NodeId;
 use envirotrack_world::geometry::Point;
-use serde::{Deserialize, Serialize};
 
 use crate::context::ContextLabel;
 
 /// A transport port, associated with one method of one object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Port(pub u16);
 
 impl std::fmt::Display for Port {
@@ -40,7 +39,7 @@ impl std::fmt::Display for Port {
 
 /// A leader endpoint: the node currently speaking for a label, and where it
 /// was when last heard.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LeaderLoc {
     /// The leader node.
     pub node: NodeId,
@@ -68,8 +67,14 @@ impl<K: PartialEq + Copy, V> LruTable<K, V> {
     /// Panics if `capacity` is zero.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "an LRU table needs capacity for at least one entry");
-        LruTable { capacity, entries: Vec::with_capacity(capacity) }
+        assert!(
+            capacity > 0,
+            "an LRU table needs capacity for at least one entry"
+        );
+        LruTable {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
     }
 
     /// Looks up `key`, marking it most recently used.
@@ -94,8 +99,11 @@ impl<K: PartialEq + Copy, V> LruTable<K, V> {
             self.entries.push((key, value));
             return None;
         }
-        let evicted =
-            if self.entries.len() == self.capacity { Some(self.entries.remove(0)) } else { None };
+        let evicted = if self.entries.len() == self.capacity {
+            Some(self.entries.remove(0))
+        } else {
+            None
+        };
         self.entries.push((key, value));
         evicted
     }
@@ -203,13 +211,20 @@ impl MtpState {
     /// traffic should now chase `next`.
     pub fn leave_forward_pointer(&mut self, label: ContextLabel, next: LeaderLoc, now: Timestamp) {
         self.forwarding.retain(|p| p.label != label);
-        self.forwarding.push(ForwardPointer { label, next, expires: now + self.forward_ttl });
+        self.forwarding.push(ForwardPointer {
+            label,
+            next,
+            expires: now + self.forward_ttl,
+        });
     }
 
     /// An unexpired forwarding pointer for `label`, if present.
     #[must_use]
     pub fn forward_pointer(&self, label: ContextLabel, now: Timestamp) -> Option<LeaderLoc> {
-        self.forwarding.iter().find(|p| p.label == label && p.expires > now).map(|p| p.next)
+        self.forwarding
+            .iter()
+            .find(|p| p.label == label && p.expires > now)
+            .map(|p| p.next)
     }
 
     /// Drops expired forwarding pointers and stale pending sends; returns
@@ -249,8 +264,9 @@ impl MtpState {
 
     /// Takes the sends that were waiting on `query_id` (normally one).
     pub fn take_pending(&mut self, query_id: u32) -> Vec<PendingSend> {
-        let (resolved, keep): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut self.pending).into_iter().partition(|p| p.query_id == query_id);
+        let (resolved, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending)
+            .into_iter()
+            .partition(|p| p.query_id == query_id);
         self.pending = keep;
         resolved
     }
@@ -258,8 +274,9 @@ impl MtpState {
     /// Pending sends waiting on a destination label (used when a directory
     /// response resolves a label rather than a query id).
     pub fn take_pending_for(&mut self, dst_label: ContextLabel) -> Vec<PendingSend> {
-        let (resolved, keep): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut self.pending).into_iter().partition(|p| p.dst_label == dst_label);
+        let (resolved, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending)
+            .into_iter()
+            .partition(|p| p.dst_label == dst_label);
         self.pending = keep;
         resolved
     }
@@ -277,11 +294,18 @@ mod tests {
     use crate::context::ContextTypeId;
 
     fn label(n: u32) -> ContextLabel {
-        ContextLabel { type_id: ContextTypeId(0), creator: NodeId(n), seq: 0 }
+        ContextLabel {
+            type_id: ContextTypeId(0),
+            creator: NodeId(n),
+            seq: 0,
+        }
     }
 
     fn loc(n: u32) -> LeaderLoc {
-        LeaderLoc { node: NodeId(n), pos: Point::new(f64::from(n), 0.0) }
+        LeaderLoc {
+            node: NodeId(n),
+            pos: Point::new(f64::from(n), 0.0),
+        }
     }
 
     #[test]
@@ -336,8 +360,14 @@ mod tests {
     fn forwarding_pointers_expire() {
         let mut mtp = MtpState::new(4, SimDuration::from_secs(10), 4);
         mtp.leave_forward_pointer(label(1), loc(9), Timestamp::from_secs(0));
-        assert_eq!(mtp.forward_pointer(label(1), Timestamp::from_secs(5)), Some(loc(9)));
-        assert_eq!(mtp.forward_pointer(label(1), Timestamp::from_secs(10)), None);
+        assert_eq!(
+            mtp.forward_pointer(label(1), Timestamp::from_secs(5)),
+            Some(loc(9))
+        );
+        assert_eq!(
+            mtp.forward_pointer(label(1), Timestamp::from_secs(10)),
+            None
+        );
         mtp.sweep(Timestamp::from_secs(11), SimDuration::from_secs(60));
         assert_eq!(mtp.forward_pointer(label(1), Timestamp::from_secs(5)), None);
     }
@@ -347,14 +377,33 @@ mod tests {
         let mut mtp = MtpState::new(4, SimDuration::from_secs(10), 4);
         mtp.leave_forward_pointer(label(1), loc(2), Timestamp::ZERO);
         mtp.leave_forward_pointer(label(1), loc(3), Timestamp::from_secs(1));
-        assert_eq!(mtp.forward_pointer(label(1), Timestamp::from_secs(2)), Some(loc(3)));
+        assert_eq!(
+            mtp.forward_pointer(label(1), Timestamp::from_secs(2)),
+            Some(loc(3))
+        );
     }
 
     #[test]
     fn parked_sends_resolve_by_query_or_label() {
         let mut mtp = MtpState::new(4, SimDuration::from_secs(10), 4);
-        mtp.park(label(0), Port(1), label(7), Port(2), Bytes::new(), Timestamp::ZERO, 1);
-        mtp.park(label(0), Port(1), label(8), Port(2), Bytes::new(), Timestamp::ZERO, 2);
+        mtp.park(
+            label(0),
+            Port(1),
+            label(7),
+            Port(2),
+            Bytes::new(),
+            Timestamp::ZERO,
+            1,
+        );
+        mtp.park(
+            label(0),
+            Port(1),
+            label(8),
+            Port(2),
+            Bytes::new(),
+            Timestamp::ZERO,
+            2,
+        );
         assert_eq!(mtp.pending_len(), 2);
         let got = mtp.take_pending(1);
         assert_eq!(got.len(), 1);
@@ -367,8 +416,24 @@ mod tests {
     #[test]
     fn sweep_expires_stale_pending_sends() {
         let mut mtp = MtpState::new(4, SimDuration::from_secs(10), 4);
-        mtp.park(label(0), Port(1), label(7), Port(2), Bytes::new(), Timestamp::ZERO, 1);
-        mtp.park(label(0), Port(1), label(8), Port(2), Bytes::new(), Timestamp::from_secs(50), 2);
+        mtp.park(
+            label(0),
+            Port(1),
+            label(7),
+            Port(2),
+            Bytes::new(),
+            Timestamp::ZERO,
+            1,
+        );
+        mtp.park(
+            label(0),
+            Port(1),
+            label(8),
+            Port(2),
+            Bytes::new(),
+            Timestamp::from_secs(50),
+            2,
+        );
         let expired = mtp.sweep(Timestamp::from_secs(55), SimDuration::from_secs(10));
         assert_eq!(expired.len(), 1);
         assert_eq!(expired[0].dst_label, label(7));

@@ -354,7 +354,11 @@ impl Message {
                 label: get_label(buf)?,
                 from: NodeId(get_u32(buf)?),
                 weight: get_u32(buf)?,
-                successor: if get_u8(buf)? == 1 { Some(NodeId(get_u32(buf)?)) } else { None },
+                successor: if get_u8(buf)? == 1 {
+                    Some(NodeId(get_u32(buf)?))
+                } else {
+                    None
+                },
                 state: get_opt_bytes(buf)?,
             }),
             3 => {
@@ -367,9 +371,17 @@ impl Message {
                     let idx = get_u8(buf)?;
                     values.push((idx, get_reading(buf)?));
                 }
-                Message::Report(Report { label, member, taken_at, values })
+                Message::Report(Report {
+                    label,
+                    member,
+                    taken_at,
+                    values,
+                })
             }
-            4 => Message::DirRegister(DirRegister { label: get_label(buf)?, location: get_point(buf)? }),
+            4 => Message::DirRegister(DirRegister {
+                label: get_label(buf)?,
+                location: get_point(buf)?,
+            }),
             5 => Message::DirQuery(DirQuery {
                 type_id: ContextTypeId(get_u16(buf)?),
                 reply_to: NodeId(get_u32(buf)?),
@@ -402,7 +414,11 @@ impl Message {
             }),
             9 => {
                 let dest = get_point(buf)?;
-                let deliver_to = if get_u8(buf)? == 1 { Some(NodeId(get_u32(buf)?)) } else { None };
+                let deliver_to = if get_u8(buf)? == 1 {
+                    Some(NodeId(get_u32(buf)?))
+                } else {
+                    None
+                };
                 let len = usize::from(get_u16(buf)?);
                 if buf.remaining() < len {
                     return Err(DecodeError::Truncated);
@@ -412,9 +428,15 @@ impl Message {
                 let mut inner_slice = inner_bytes;
                 let inner = Message::decode_from(&mut inner_slice)?;
                 if !inner_slice.is_empty() {
-                    return Err(DecodeError::TrailingBytes { count: inner_slice.len() });
+                    return Err(DecodeError::TrailingBytes {
+                        count: inner_slice.len(),
+                    });
                 }
-                Message::Geo(GeoForward { dest, deliver_to, inner: Box::new(inner) })
+                Message::Geo(GeoForward {
+                    dest,
+                    deliver_to,
+                    inner: Box::new(inner),
+                })
             }
             other => return Err(DecodeError::UnknownTag { tag: other }),
         })
@@ -443,7 +465,9 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => f.write_str("message truncated"),
             DecodeError::UnknownTag { tag } => write!(f, "unknown message tag {tag}"),
-            DecodeError::TrailingBytes { count } => write!(f, "{count} trailing bytes after message"),
+            DecodeError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after message")
+            }
         }
     }
 }
@@ -546,7 +570,11 @@ mod tests {
     use super::*;
 
     fn label(t: u16, n: u32, s: u32) -> ContextLabel {
-        ContextLabel { type_id: ContextTypeId(t), creator: NodeId(n), seq: s }
+        ContextLabel {
+            type_id: ContextTypeId(t),
+            creator: NodeId(n),
+            seq: s,
+        }
     }
 
     fn round_trip(msg: Message) {
@@ -627,7 +655,10 @@ mod tests {
                 (label(3, 9, 2), Point::new(5.0, 5.0)),
             ],
         }));
-        round_trip(Message::DirResponse(DirResponse { query_id: 1, entries: vec![] }));
+        round_trip(Message::DirResponse(DirResponse {
+            query_id: 1,
+            entries: vec![],
+        }));
     }
 
     #[test]
@@ -700,12 +731,21 @@ mod tests {
 
     #[test]
     fn unknown_tag_and_trailing_bytes_error() {
-        assert_eq!(Message::decode(&[200]).unwrap_err(), DecodeError::UnknownTag { tag: 200 });
-        let mut bytes = Message::DirResponse(DirResponse { query_id: 1, entries: vec![] })
-            .encode()
-            .to_vec();
+        assert_eq!(
+            Message::decode(&[200]).unwrap_err(),
+            DecodeError::UnknownTag { tag: 200 }
+        );
+        let mut bytes = Message::DirResponse(DirResponse {
+            query_id: 1,
+            entries: vec![],
+        })
+        .encode()
+        .to_vec();
         bytes.push(0xAB);
-        assert_eq!(Message::decode(&bytes).unwrap_err(), DecodeError::TrailingBytes { count: 1 });
+        assert_eq!(
+            Message::decode(&bytes).unwrap_err(),
+            DecodeError::TrailingBytes { count: 1 }
+        );
     }
 
     #[test]

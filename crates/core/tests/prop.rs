@@ -11,7 +11,7 @@ use envirotrack_core::wire::{
 use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_world::field::NodeId;
 use envirotrack_world::geometry::Point;
-use proptest::prelude::*;
+use testkit::prelude::*;
 
 fn arb_label() -> impl Strategy<Value = ContextLabel> {
     (0u16..8, 0u32..1000, 0u32..100).prop_map(|(t, n, s)| ContextLabel {
@@ -99,7 +99,10 @@ fn arb_message() -> impl Strategy<Value = Message> {
             })
         },
     );
-    let dir_response = (any::<u32>(), prop::collection::vec((arb_label(), arb_point()), 0..8))
+    let dir_response = (
+        any::<u32>(),
+        prop::collection::vec((arb_label(), arb_point()), 0..8),
+    )
         .prop_map(|(query_id, entries)| Message::DirResponse(DirResponse { query_id, entries }));
     let mtp = (
         arb_label(),
@@ -126,7 +129,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
             },
         );
     let base = (arb_label(), 0u64..u64::MAX / 2, arb_bytes(60)).prop_map(|(label, at, payload)| {
-        Message::Base(BaseReport { label, generated_at: Timestamp::from_micros(at), payload })
+        Message::Base(BaseReport {
+            label,
+            generated_at: Timestamp::from_micros(at),
+            payload,
+        })
     });
     let leaf = prop_oneof![
         heartbeat,
@@ -153,7 +160,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
     })
 }
 
-proptest! {
+prop_test! {
     /// Every message round-trips through the wire codec bit-exactly.
     #[test]
     fn wire_codec_round_trips(msg in arb_message()) {

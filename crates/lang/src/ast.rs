@@ -5,17 +5,15 @@
 //! aggregate variable declarations with attribute lists, and attached
 //! object declarations whose functions carry invocation conditions.
 
-use serde::{Deserialize, Serialize};
-
 /// A parsed program: one or more context declarations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProgramDecl {
     /// The declared context types, in source order.
     pub contexts: Vec<ContextDecl>,
 }
 
 /// One `begin context … end context` block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ContextDecl {
     /// The context type name.
     pub name: String,
@@ -37,7 +35,7 @@ pub struct ContextDecl {
 }
 
 /// A boolean sensing expression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BoolExpr {
     /// A library sensing function: `magnetic_sensor_reading()`,
     /// `temperature_above(180)`.
@@ -71,7 +69,7 @@ pub enum BoolExpr {
 }
 
 /// Comparison operators in sensing expressions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpOp {
     /// `>`
     Gt,
@@ -87,7 +85,7 @@ pub enum CmpOp {
 
 /// One aggregate variable declaration:
 /// `location : avg(position) confidence=2, freshness=1s`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AggrDecl {
     /// Variable name.
     pub name: String,
@@ -102,7 +100,7 @@ pub struct AggrDecl {
 }
 
 /// An attribute value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AttrValue {
     /// An integer (e.g. `confidence=2`).
     Int(u64),
@@ -115,7 +113,7 @@ pub enum AttrValue {
 }
 
 /// One `begin object … end` block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ObjectDecl {
     /// Object name.
     pub name: String,
@@ -124,7 +122,7 @@ pub struct ObjectDecl {
 }
 
 /// One function with its invocation condition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodDecl {
     /// Function name.
     pub name: String,
@@ -137,7 +135,7 @@ pub struct MethodDecl {
 }
 
 /// An invocation condition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InvocationDecl {
     /// `TIMER(5s)` — periodic, period in microseconds.
     TimerMicros(u64),
@@ -146,7 +144,7 @@ pub enum InvocationDecl {
 }
 
 /// A body statement: a call like `MySend(pursuer, self:label, location);`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Stmt {
     /// Callee name (`MySend`, `log`, `send`, `set_state`).
     pub name: String,
@@ -157,7 +155,7 @@ pub struct Stmt {
 }
 
 /// A body expression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// `self:label` — the enclosing context label handle.
     SelfLabel,

@@ -22,7 +22,9 @@ pub struct Builtins {
 
 impl std::fmt::Debug for Builtins {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Builtins").field("names", &self.names()).finish()
+        f.debug_struct("Builtins")
+            .field("names", &self.names())
+            .finish()
     }
 }
 
@@ -30,7 +32,10 @@ fn expect_args(name: &str, args: &[f64], n: usize) -> Result<(), String> {
     if args.len() == n {
         Ok(())
     } else {
-        Err(format!("{name}() takes {n} argument(s), got {}", args.len()))
+        Err(format!(
+            "{name}() takes {n} argument(s), got {}",
+            args.len()
+        ))
     }
 }
 
@@ -38,7 +43,9 @@ impl Builtins {
     /// An empty registry.
     #[must_use]
     pub fn empty() -> Self {
-        Builtins { entries: BTreeMap::new() }
+        Builtins {
+            entries: BTreeMap::new(),
+        }
     }
 
     /// The standard library:
@@ -75,7 +82,9 @@ impl Builtins {
             b.register(format!("{ch}_below"), move |args| {
                 expect_args("*_below", args, 1)?;
                 let t = args[0];
-                Ok(SensePredicate::new(format!("{ch} < {t}"), move |s| s.get(ch) < t))
+                Ok(SensePredicate::new(format!("{ch} < {t}"), move |s| {
+                    s.get(ch) < t
+                }))
             });
         }
         b

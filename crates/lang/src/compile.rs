@@ -74,7 +74,10 @@ impl From<ProgramError> for CompileError {
 }
 
 fn semantic(line: u32, message: impl Into<String>) -> CompileError {
-    CompileError::Semantic { line, message: message.into() }
+    CompileError::Semantic {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Compiles EnviroTrack source text into a runnable [`Program`] using the
@@ -180,14 +183,21 @@ struct CompiledMethod {
     body: Vec<Stmt>,
 }
 
-fn compile_context(ctx: &ContextDecl, builtins: &Builtins) -> Result<CompiledContext, CompileError> {
+fn compile_context(
+    ctx: &ContextDecl,
+    builtins: &Builtins,
+) -> Result<CompiledContext, CompileError> {
     let activation = compile_bool(&ctx.activation, builtins, ctx.line)?;
     let deactivation = ctx
         .deactivation
         .as_ref()
         .map(|d| compile_bool(d, builtins, ctx.line))
         .transpose()?;
-    let aggregates = ctx.aggregates.iter().map(compile_aggregate).collect::<Result<_, _>>()?;
+    let aggregates = ctx
+        .aggregates
+        .iter()
+        .map(compile_aggregate)
+        .collect::<Result<_, _>>()?;
     let mut objects = Vec::new();
     for obj in &ctx.objects {
         let mut methods = Vec::new();
@@ -217,9 +227,9 @@ fn compile_bool(
     line: u32,
 ) -> Result<SensePredicate, CompileError> {
     match expr {
-        BoolExpr::Call { name, args } => {
-            builtins.instantiate(name, args).map_err(|m| semantic(line, m))
-        }
+        BoolExpr::Call { name, args } => builtins
+            .instantiate(name, args)
+            .map_err(|m| semantic(line, m)),
         BoolExpr::Compare { channel, op, value } => {
             let ch = parse_channel(channel, line)?;
             let (op, value) = (*op, *value);
@@ -247,7 +257,10 @@ fn compile_bool(
         }
         BoolExpr::Not(inner) => {
             let p = compile_bool(inner, builtins, line)?;
-            Ok(SensePredicate::new(format!("not ({})", p.name()), move |s| !p.eval(s)))
+            Ok(SensePredicate::new(
+                format!("not ({})", p.name()),
+                move |s| !p.eval(s),
+            ))
         }
     }
 }
@@ -307,15 +320,22 @@ fn compile_aggregate(decl: &AggrDecl) -> Result<AggregateTuple, CompileError> {
                 freshness = Some(SimDuration::from_micros(*us));
             }
             ("freshness", _) => {
-                return Err(semantic(decl.line, "freshness needs a duration, e.g. freshness=1s"))
+                return Err(semantic(
+                    decl.line,
+                    "freshness needs a duration, e.g. freshness=1s",
+                ))
             }
             ("confidence" | "critical_mass", AttrValue::Int(n)) => {
-                critical_mass = Some(u32::try_from(*n).map_err(|_| {
-                    semantic(decl.line, "confidence out of range")
-                })?);
+                critical_mass = Some(
+                    u32::try_from(*n)
+                        .map_err(|_| semantic(decl.line, "confidence out of range"))?,
+                );
             }
             ("confidence" | "critical_mass", _) => {
-                return Err(semantic(decl.line, "confidence needs an integer, e.g. confidence=2"))
+                return Err(semantic(
+                    decl.line,
+                    "confidence needs an integer, e.g. confidence=2",
+                ))
             }
             (other, _) => {
                 return Err(semantic(
@@ -325,16 +345,24 @@ fn compile_aggregate(decl: &AggrDecl) -> Result<AggregateTuple, CompileError> {
             }
         }
     }
-    let freshness = freshness
-        .ok_or_else(|| semantic(decl.line, format!("aggregate {:?} needs freshness=…", decl.name)))?;
+    let freshness = freshness.ok_or_else(|| {
+        semantic(
+            decl.line,
+            format!("aggregate {:?} needs freshness=…", decl.name),
+        )
+    })?;
     let critical_mass = critical_mass.ok_or_else(|| {
-        semantic(decl.line, format!("aggregate {:?} needs confidence=…", decl.name))
+        semantic(
+            decl.line,
+            format!("aggregate {:?} needs confidence=…", decl.name),
+        )
     })?;
     Ok((decl.name.clone(), function, input, freshness, critical_mass))
 }
 
 /// Statements the interpreter supports.
-const SUPPORTED: &str = "MySend(pursuer, self:label, VAR), send_base(VAR), log(…), set_state(\"…\")";
+const SUPPORTED: &str =
+    "MySend(pursuer, self:label, VAR), send_base(VAR), log(…), set_state(\"…\")";
 
 fn validate_body(body: &[Stmt], ctx: &ContextDecl) -> Result<(), CompileError> {
     for stmt in body {
@@ -468,7 +496,10 @@ mod tests {
         assert_eq!(spec.aggregates[0].name, "location");
         assert_eq!(spec.aggregates[0].critical_mass, 2);
         assert_eq!(spec.aggregates[0].freshness, SimDuration::from_secs(1));
-        assert!(matches!(spec.aggregates[0].function, AggregateFn::CenterOfGravity));
+        assert!(matches!(
+            spec.aggregates[0].function,
+            AggregateFn::CenterOfGravity
+        ));
         assert_eq!(spec.objects.len(), 1);
         assert_eq!(spec.objects[0].methods.len(), 1);
     }
@@ -492,8 +523,8 @@ mod tests {
 
     #[test]
     fn unknown_sensing_function_is_reported_with_alternatives() {
-        let e = compile_source("begin context x\n activation: sonar_ping()\n end context")
-            .unwrap_err();
+        let e =
+            compile_source("begin context x\n activation: sonar_ping()\n end context").unwrap_err();
         let msg = e.to_string();
         assert!(msg.contains("sonar_ping"), "{msg}");
         assert!(msg.contains("magnetic_sensor_reading"), "{msg}");
@@ -556,7 +587,10 @@ mod tests {
     fn duplicate_context_surfaces_core_validation() {
         let src = "begin context a\n activation: light\n end context\nbegin context a\n activation: light\n end context";
         let e = compile_source(src).unwrap_err();
-        assert!(matches!(e, CompileError::Program(ProgramError::DuplicateContext { .. })));
+        assert!(matches!(
+            e,
+            CompileError::Program(ProgramError::DuplicateContext { .. })
+        ));
     }
 
     #[test]

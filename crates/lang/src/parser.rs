@@ -40,7 +40,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -48,7 +52,11 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line, col: e.col }
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
     }
 }
 
@@ -65,7 +73,11 @@ pub fn parse(src: &str) -> Result<ProgramDecl, ParseError> {
         contexts.push(p.context_decl()?);
     }
     if contexts.is_empty() {
-        return Err(ParseError { message: "empty program: expected `begin context`".into(), line: 1, col: 1 });
+        return Err(ParseError {
+            message: "empty program: expected `begin context`".into(),
+            line: 1,
+            col: 1,
+        });
     }
     Ok(ProgramDecl { contexts })
 }
@@ -94,7 +106,11 @@ impl Parser {
 
     fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
         let s = self.peek();
-        Err(ParseError { message: message.into(), line: s.line, col: s.col })
+        Err(ParseError {
+            message: message.into(),
+            line: s.line,
+            col: s.col,
+        })
     }
 
     fn expect_tok(&mut self, tok: &Tok, what: &str) -> Result<Spanned, ParseError> {
@@ -234,8 +250,8 @@ impl Parser {
         loop {
             // Attribute list: IDENT = value, possibly comma-separated. It
             // ends when the next token isn't `ident =`.
-            let is_attr = matches!(&self.peek().tok, Tok::Ident(_))
-                && self.peek2_tok() == Some(&Tok::Eq);
+            let is_attr =
+                matches!(&self.peek().tok, Tok::Ident(_)) && self.peek2_tok() == Some(&Tok::Eq);
             if !is_attr {
                 break;
             }
@@ -253,7 +269,13 @@ impl Parser {
                 self.bump();
             }
         }
-        Ok(AggrDecl { name, function, input, attrs, line })
+        Ok(AggrDecl {
+            name,
+            function,
+            input,
+            attrs,
+            line,
+        })
     }
 
     fn object_decl(&mut self) -> Result<ObjectDecl, ParseError> {
@@ -317,7 +339,12 @@ impl Parser {
             body.push(self.stmt()?);
         }
         self.expect_tok(&Tok::RBrace, "`}`")?;
-        Ok(MethodDecl { name, invocation, body, line })
+        Ok(MethodDecl {
+            name,
+            invocation,
+            body,
+            line,
+        })
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -405,8 +432,9 @@ impl Parser {
                             Tok::Int(n) => args.push(n as f64),
                             Tok::Float(x) => args.push(x),
                             other => {
-                                return self
-                                    .error(format!("sensing functions take numbers, found `{other}`"))
+                                return self.error(format!(
+                                    "sensing functions take numbers, found `{other}`"
+                                ))
                             }
                         }
                         if self.peek().tok == Tok::Comma {
@@ -433,7 +461,11 @@ impl Parser {
                     Tok::Float(x) => x,
                     other => return self.error(format!("expected a number, found `{other}`")),
                 };
-                Ok(BoolExpr::Compare { channel: name, op, value })
+                Ok(BoolExpr::Compare {
+                    channel: name,
+                    op,
+                    value,
+                })
             }
             _ => Ok(BoolExpr::Truthy { channel: name }),
         }
@@ -465,7 +497,10 @@ mod tests {
         assert_eq!(c.name, "tracker");
         assert_eq!(
             c.activation,
-            BoolExpr::Call { name: "magnetic_sensor_reading".into(), args: vec![] }
+            BoolExpr::Call {
+                name: "magnetic_sensor_reading".into(),
+                args: vec![]
+            }
         );
         assert!(c.deactivation.is_none());
         assert_eq!(c.aggregates.len(), 1);
@@ -491,23 +526,34 @@ mod tests {
         assert_eq!(m.body[0].name, "MySend");
         assert_eq!(
             m.body[0].args,
-            vec![Expr::Var("pursuer".into()), Expr::SelfLabel, Expr::Var("location".into())]
+            vec![
+                Expr::Var("pursuer".into()),
+                Expr::SelfLabel,
+                Expr::Var("location".into())
+            ]
         );
     }
 
     #[test]
     fn fire_condition_with_and_parses() {
-        let p = parse(
-            "begin context fire\n activation: temperature > 180 and light\n end context",
-        )
-        .unwrap();
+        let p = parse("begin context fire\n activation: temperature > 180 and light\n end context")
+            .unwrap();
         match &p.contexts[0].activation {
             BoolExpr::And(l, r) => {
                 assert_eq!(
                     **l,
-                    BoolExpr::Compare { channel: "temperature".into(), op: CmpOp::Gt, value: 180.0 }
+                    BoolExpr::Compare {
+                        channel: "temperature".into(),
+                        op: CmpOp::Gt,
+                        value: 180.0
+                    }
                 );
-                assert_eq!(**r, BoolExpr::Truthy { channel: "light".into() });
+                assert_eq!(
+                    **r,
+                    BoolExpr::Truthy {
+                        channel: "light".into()
+                    }
+                );
             }
             other => panic!("expected And, got {other:?}"),
         }
@@ -515,18 +561,25 @@ mod tests {
 
     #[test]
     fn precedence_not_and_or() {
-        let p = parse(
-            "begin context x\n activation: not a and b or c\n end context",
-        )
-        .unwrap();
+        let p = parse("begin context x\n activation: not a and b or c\n end context").unwrap();
         // ((not a) and b) or c
         match &p.contexts[0].activation {
             BoolExpr::Or(l, r) => {
-                assert_eq!(**r, BoolExpr::Truthy { channel: "c".into() });
+                assert_eq!(
+                    **r,
+                    BoolExpr::Truthy {
+                        channel: "c".into()
+                    }
+                );
                 match &**l {
                     BoolExpr::And(ll, lr) => {
                         assert!(matches!(**ll, BoolExpr::Not(_)));
-                        assert_eq!(**lr, BoolExpr::Truthy { channel: "b".into() });
+                        assert_eq!(
+                            **lr,
+                            BoolExpr::Truthy {
+                                channel: "b".into()
+                            }
+                        );
                     }
                     other => panic!("expected And, got {other:?}"),
                 }
@@ -535,15 +588,15 @@ mod tests {
         }
         // Parentheses override.
         let p = parse("begin context x\n activation: a and (b or c)\n end context").unwrap();
-        assert!(matches!(&p.contexts[0].activation, BoolExpr::And(_, r) if matches!(**r, BoolExpr::Or(_, _))));
+        assert!(
+            matches!(&p.contexts[0].activation, BoolExpr::And(_, r) if matches!(**r, BoolExpr::Or(_, _)))
+        );
     }
 
     #[test]
     fn pinned_clause_parses() {
-        let p = parse(
-            "begin context panel\n activation: light\n pinned: 3.5, 4\n end context",
-        )
-        .unwrap();
+        let p = parse("begin context panel\n activation: light\n pinned: 3.5, 4\n end context")
+            .unwrap();
         assert_eq!(p.contexts[0].pinned, Some((3.5, 4.0)));
         let e = parse(
             "begin context panel\n activation: light\n pinned: 1, 2\n pinned: 3, 4\n end context",

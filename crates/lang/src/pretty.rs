@@ -89,7 +89,13 @@ fn aggr(a: &AggrDecl) -> String {
             AttrValue::Ident(s) => format!("{k}={s}"),
         })
         .collect();
-    format!("{} : {}({}) {}", a.name, a.function, a.input, attrs.join(", "))
+    format!(
+        "{} : {}({}) {}",
+        a.name,
+        a.function,
+        a.input,
+        attrs.join(", ")
+    )
 }
 
 fn fmt_num(x: f64) -> String {

@@ -112,7 +112,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -131,7 +135,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
     let mut line = 1u32;
     let mut col = 1u32;
 
-    let err = |message: &str, line: u32, col: u32| LexError { message: message.into(), line, col };
+    let err = |message: &str, line: u32, col: u32| LexError {
+        message: message.into(),
+        line,
+        col,
+    };
 
     while i < bytes.len() {
         let c = bytes[i];
@@ -158,58 +166,110 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
             }
             ':' => {
-                out.push(Spanned { tok: Tok::Colon, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Colon,
+                    line: tline,
+                    col: tcol,
+                });
                 advance(&mut i, &mut line, &mut col);
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    line: tline,
+                    col: tcol,
+                });
                 advance(&mut i, &mut line, &mut col);
             }
             ';' => {
-                out.push(Spanned { tok: Tok::Semi, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    line: tline,
+                    col: tcol,
+                });
                 advance(&mut i, &mut line, &mut col);
             }
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    line: tline,
+                    col: tcol,
+                });
                 advance(&mut i, &mut line, &mut col);
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    line: tline,
+                    col: tcol,
+                });
                 advance(&mut i, &mut line, &mut col);
             }
             '{' => {
-                out.push(Spanned { tok: Tok::LBrace, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::LBrace,
+                    line: tline,
+                    col: tcol,
+                });
                 advance(&mut i, &mut line, &mut col);
             }
             '}' => {
-                out.push(Spanned { tok: Tok::RBrace, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::RBrace,
+                    line: tline,
+                    col: tcol,
+                });
                 advance(&mut i, &mut line, &mut col);
             }
             '=' => {
                 advance(&mut i, &mut line, &mut col);
                 if i < bytes.len() && bytes[i] == '=' {
                     advance(&mut i, &mut line, &mut col);
-                    out.push(Spanned { tok: Tok::EqEq, line: tline, col: tcol });
+                    out.push(Spanned {
+                        tok: Tok::EqEq,
+                        line: tline,
+                        col: tcol,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Eq, line: tline, col: tcol });
+                    out.push(Spanned {
+                        tok: Tok::Eq,
+                        line: tline,
+                        col: tcol,
+                    });
                 }
             }
             '>' => {
                 advance(&mut i, &mut line, &mut col);
                 if i < bytes.len() && bytes[i] == '=' {
                     advance(&mut i, &mut line, &mut col);
-                    out.push(Spanned { tok: Tok::Ge, line: tline, col: tcol });
+                    out.push(Spanned {
+                        tok: Tok::Ge,
+                        line: tline,
+                        col: tcol,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Gt, line: tline, col: tcol });
+                    out.push(Spanned {
+                        tok: Tok::Gt,
+                        line: tline,
+                        col: tcol,
+                    });
                 }
             }
             '<' => {
                 advance(&mut i, &mut line, &mut col);
                 if i < bytes.len() && bytes[i] == '=' {
                     advance(&mut i, &mut line, &mut col);
-                    out.push(Spanned { tok: Tok::Le, line: tline, col: tcol });
+                    out.push(Spanned {
+                        tok: Tok::Le,
+                        line: tline,
+                        col: tcol,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Lt, line: tline, col: tcol });
+                    out.push(Spanned {
+                        tok: Tok::Lt,
+                        line: tline,
+                        col: tcol,
+                    });
                 }
             }
             '"' => {
@@ -249,7 +309,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         }
                     }
                 }
-                out.push(Spanned { tok: Tok::Str(s), line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line: tline,
+                    col: tcol,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut num = String::new();
@@ -282,7 +346,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         return Err(err(&format!("unknown unit suffix {other:?}"), tline, tcol))
                     }
                 };
-                out.push(Spanned { tok, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -290,12 +358,20 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     s.push(bytes[i]);
                     advance(&mut i, &mut line, &mut col);
                 }
-                out.push(Spanned { tok: Tok::Ident(s), line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    line: tline,
+                    col: tcol,
+                });
             }
             other => return Err(err(&format!("unexpected character {other:?}"), tline, tcol)),
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line, col });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 
@@ -339,23 +415,40 @@ mod tests {
     fn numbers_and_comparisons() {
         assert_eq!(
             toks("temperature > 180"),
-            vec![Tok::Ident("temperature".into()), Tok::Gt, Tok::Int(180), Tok::Eof]
+            vec![
+                Tok::Ident("temperature".into()),
+                Tok::Gt,
+                Tok::Int(180),
+                Tok::Eof
+            ]
         );
         assert_eq!(toks("1.5"), vec![Tok::Float(1.5), Tok::Eof]);
-        assert_eq!(toks(">= <= =="), vec![Tok::Ge, Tok::Le, Tok::EqEq, Tok::Eof]);
+        assert_eq!(
+            toks(">= <= =="),
+            vec![Tok::Ge, Tok::Le, Tok::EqEq, Tok::Eof]
+        );
     }
 
     #[test]
     fn strings_and_escapes() {
         assert_eq!(toks(r#""hello""#), vec![Tok::Str("hello".into()), Tok::Eof]);
-        assert_eq!(toks(r#""a\"b\\c""#), vec![Tok::Str(r#"a"b\c"#.into()), Tok::Eof]);
+        assert_eq!(
+            toks(r#""a\"b\\c""#),
+            vec![Tok::Str(r#"a"b\c"#.into()), Tok::Eof]
+        );
         assert!(lex("\"unterminated").is_err());
     }
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("a // comment\nb"), vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
-        assert_eq!(toks("# whole line\nc"), vec![Tok::Ident("c".into()), Tok::Eof]);
+        assert_eq!(
+            toks("a // comment\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+        assert_eq!(
+            toks("# whole line\nc"),
+            vec![Tok::Ident("c".into()), Tok::Eof]
+        );
     }
 
     #[test]

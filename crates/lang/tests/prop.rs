@@ -6,15 +6,26 @@ use envirotrack_lang::ast::{
 };
 use envirotrack_lang::parser::parse;
 use envirotrack_lang::pretty::to_source;
-use proptest::prelude::*;
+use testkit::prelude::*;
 
 /// Identifiers that cannot collide with keywords or tokens.
 fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
         !matches!(
             s.as_str(),
-            "begin" | "end" | "context" | "object" | "activation" | "deactivation"
-                | "invocation" | "subscribe" | "and" | "or" | "not" | "self" | "label"
+            "begin"
+                | "end"
+                | "context"
+                | "object"
+                | "activation"
+                | "deactivation"
+                | "invocation"
+                | "subscribe"
+                | "and"
+                | "or"
+                | "not"
+                | "self"
+                | "label"
         )
     })
 }
@@ -32,10 +43,16 @@ fn arb_cmp() -> impl Strategy<Value = CmpOp> {
 fn arb_bool_expr() -> impl Strategy<Value = BoolExpr> {
     let leaf = prop_oneof![
         (ident(), prop::collection::vec(0u32..10_000, 0..3)).prop_map(|(name, args)| {
-            BoolExpr::Call { name, args: args.into_iter().map(f64::from).collect() }
+            BoolExpr::Call {
+                name,
+                args: args.into_iter().map(f64::from).collect(),
+            }
         }),
-        (ident(), arb_cmp(), 0u32..100_000)
-            .prop_map(|(channel, op, v)| BoolExpr::Compare { channel, op, value: f64::from(v) }),
+        (ident(), arb_cmp(), 0u32..100_000).prop_map(|(channel, op, v)| BoolExpr::Compare {
+            channel,
+            op,
+            value: f64::from(v)
+        }),
         ident().prop_map(|channel| BoolExpr::Truthy { channel }),
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
@@ -60,9 +77,19 @@ fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
 }
 
 fn arb_aggr() -> impl Strategy<Value = AggrDecl> {
-    (ident(), ident(), ident(), prop::collection::vec((ident(), arb_attr_value()), 0..3)).prop_map(
-        |(name, function, input, attrs)| AggrDecl { name, function, input, attrs, line: 0 },
+    (
+        ident(),
+        ident(),
+        ident(),
+        prop::collection::vec((ident(), arb_attr_value()), 0..3),
     )
+        .prop_map(|(name, function, input, attrs)| AggrDecl {
+            name,
+            function,
+            input,
+            attrs,
+            line: 0,
+        })
 }
 
 fn arb_expr() -> impl Strategy<Value = Expr> {
@@ -83,12 +110,20 @@ fn arb_method() -> impl Strategy<Value = MethodDecl> {
         ident(),
         invocation,
         prop::collection::vec(
-            (ident(), prop::collection::vec(arb_expr(), 0..4))
-                .prop_map(|(name, args)| Stmt { name, args, line: 0 }),
+            (ident(), prop::collection::vec(arb_expr(), 0..4)).prop_map(|(name, args)| Stmt {
+                name,
+                args,
+                line: 0,
+            }),
             0..4,
         ),
     )
-        .prop_map(|(name, invocation, body)| MethodDecl { name, invocation, body, line: 0 })
+        .prop_map(|(name, invocation, body)| MethodDecl {
+            name,
+            invocation,
+            body,
+            line: 0,
+        })
 }
 
 fn arb_object() -> impl Strategy<Value = ObjectDecl> {
@@ -141,8 +176,8 @@ fn strip(mut p: ProgramDecl) -> ProgramDecl {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+prop_test! {
+    #![config(Config::with_cases(64))]
 
     /// Printing any AST and re-parsing it yields the same AST.
     #[test]

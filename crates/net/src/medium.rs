@@ -27,12 +27,11 @@ use std::collections::BTreeMap;
 use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_world::field::{Deployment, NodeId};
-use serde::{Deserialize, Serialize};
 
 use crate::packet::{Frame, FrameKind};
 
 /// Radio and MAC parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RadioConfig {
     /// Communication radius in grid units.
     pub comm_radius: f64,
@@ -78,7 +77,10 @@ impl RadioConfig {
     /// Sets the fade probability; chainable.
     #[must_use]
     pub fn with_base_loss(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         self.base_loss = p;
         self
     }
@@ -127,7 +129,11 @@ pub struct ChannelSaturatedError {
 
 impl std::fmt::Display for ChannelSaturatedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "channel busy beyond the defer bound (needed {})", self.needed_defer)
+        write!(
+            f,
+            "channel busy beyond the defer bound (needed {})",
+            self.needed_defer
+        )
     }
 }
 
@@ -165,7 +171,7 @@ struct TxRecord {
 }
 
 /// Per-frame-kind delivery statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct KindStats {
     /// Transmissions attempted (after MAC drops).
     pub tx: u64,
@@ -214,7 +220,7 @@ impl KindStats {
 }
 
 /// A whole-run snapshot of channel statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct NetStats {
     /// Statistics per frame kind.
     pub per_kind: BTreeMap<u8, KindStats>,
@@ -330,14 +336,17 @@ impl Medium {
                 }
             }
             if busy_until > now {
-                let backoff =
-                    SimDuration::from_micros(self.rng.below(self.config.backoff_max.as_micros().max(1)));
+                let backoff = SimDuration::from_micros(
+                    self.rng.below(self.config.backoff_max.as_micros().max(1)),
+                );
                 start = busy_until + backoff;
             }
             let defer = start.saturating_since(now);
             if defer > self.config.max_defer {
                 self.kind_stats_mut(frame.kind).mac_dropped += 1;
-                return Err(ChannelSaturatedError { needed_defer: defer });
+                return Err(ChannelSaturatedError {
+                    needed_defer: defer,
+                });
             }
         }
         let tx_time = self.config.tx_time(&frame);
@@ -350,8 +359,18 @@ impl Medium {
         self.stats.busy_time += tx_time;
         self.kind_stats_mut(frame.kind).tx += 1;
 
-        self.active.push(TxRecord { id, src: frame.src, start, end, frame, resolved: false });
-        Ok(Transmission { id, completes_at: end + self.config.proc_delay })
+        self.active.push(TxRecord {
+            id,
+            src: frame.src,
+            start,
+            end,
+            frame,
+            resolved: false,
+        });
+        Ok(Transmission {
+            id,
+            completes_at: end + self.config.proc_delay,
+        })
     }
 
     /// Resolves the per-receiver outcomes of a completed transmission.
@@ -469,12 +488,16 @@ mod tests {
 
     fn line_deployment(n: u32, spacing: f64) -> Deployment {
         Deployment::from_positions(
-            (0..n).map(|i| Point::new(f64::from(i) * spacing, 0.0)).collect(),
+            (0..n)
+                .map(|i| Point::new(f64::from(i) * spacing, 0.0))
+                .collect(),
         )
     }
 
     fn lossless(comm_radius: f64) -> RadioConfig {
-        RadioConfig::default().with_comm_radius(comm_radius).with_base_loss(0.0)
+        RadioConfig::default()
+            .with_comm_radius(comm_radius)
+            .with_base_loss(0.0)
     }
 
     fn frame(src: u32) -> Frame {
@@ -539,7 +562,11 @@ mod tests {
         let t2 = m.transmit(Timestamp::ZERO, frame(2)).unwrap();
         assert!(t2.completes_at > t0.completes_at);
         let r0 = m.deliveries(t0.id);
-        assert_eq!(r0.delivered().count(), 2, "deferral must avoid the collision");
+        assert_eq!(
+            r0.delivered().count(),
+            2,
+            "deferral must avoid the collision"
+        );
         let r2 = m.deliveries(t2.id);
         assert_eq!(r2.delivered().count(), 2);
     }
@@ -576,7 +603,9 @@ mod tests {
     #[test]
     fn fading_loses_roughly_the_configured_fraction() {
         let d = line_deployment(2, 1.0);
-        let cfg = RadioConfig::default().with_comm_radius(5.0).with_base_loss(0.2);
+        let cfg = RadioConfig::default()
+            .with_comm_radius(5.0)
+            .with_base_loss(0.2);
         let mut m = Medium::new(&d, cfg, &SimRng::seed_from(7));
         let mut now = Timestamp::ZERO;
         let mut delivered = 0u32;
@@ -609,7 +638,9 @@ mod tests {
         let _ = m.deliveries(tx.id);
         let bits = frame(0).on_air_bits();
         assert_eq!(m.stats().total_bits, bits);
-        let util = m.stats().link_utilization(SimDuration::from_secs(1), 50_000);
+        let util = m
+            .stats()
+            .link_utilization(SimDuration::from_secs(1), 50_000);
         assert!((util - bits as f64 / 50_000.0).abs() < 1e-12);
     }
 

@@ -11,10 +11,9 @@
 
 use bytes::Bytes;
 use envirotrack_world::field::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Link-layer addressing: who the frame is *for* (everyone hears it).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkDest {
     /// Addressed to every node in radio range.
     Broadcast,
@@ -39,7 +38,7 @@ impl LinkDest {
 /// actual constants (heartbeats, sensor reports, …). Per-kind delivery
 /// statistics let the harness separate heartbeat loss from data loss, as
 /// Table 1 of the paper does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FrameKind(pub u8);
 
 impl std::fmt::Display for FrameKind {
@@ -75,13 +74,25 @@ impl Frame {
     /// Creates a broadcast frame.
     #[must_use]
     pub fn broadcast(src: NodeId, kind: FrameKind, payload: Bytes) -> Self {
-        Frame { src, link_dst: LinkDest::Broadcast, kind, link_seq: 0, payload }
+        Frame {
+            src,
+            link_dst: LinkDest::Broadcast,
+            kind,
+            link_seq: 0,
+            payload,
+        }
     }
 
     /// Creates a unicast (single-hop) frame.
     #[must_use]
     pub fn unicast(src: NodeId, to: NodeId, kind: FrameKind, payload: Bytes) -> Self {
-        Frame { src, link_dst: LinkDest::Node(to), kind, link_seq: 0, payload }
+        Frame {
+            src,
+            link_dst: LinkDest::Node(to),
+            kind,
+            link_seq: 0,
+            payload,
+        }
     }
 
     /// Sets the link-layer sequence number; chainable.

@@ -37,7 +37,11 @@ pub struct RoutingVoidError {
 
 impl std::fmt::Display for RoutingVoidError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "greedy routing stuck at {} short of {}", self.stuck_at, self.dest)
+        write!(
+            f,
+            "greedy routing stuck at {} short of {}",
+            self.stuck_at, self.dest
+        )
     }
 }
 
@@ -65,7 +69,10 @@ impl GeoRouter {
                 }
             }
         }
-        GeoRouter { positions: deployment.positions().to_vec(), neighbors }
+        GeoRouter {
+            positions: deployment.positions().to_vec(),
+            neighbors,
+        }
     }
 
     /// The position of `node`.
@@ -118,7 +125,10 @@ impl GeoRouter {
                 None => return Ok(path),
             }
         }
-        Err(RoutingVoidError { stuck_at: here, dest })
+        Err(RoutingVoidError {
+            stuck_at: here,
+            dest,
+        })
     }
 
     /// The node whose position is globally closest to `dest` (ties to the

@@ -8,9 +8,67 @@ use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_world::field::{Deployment, NodeId};
 use envirotrack_world::geometry::Point;
-use proptest::prelude::*;
+use testkit::prelude::*;
 
-proptest! {
+/// The delivery-range and statistics invariants, checked for one concrete
+/// configuration. Shared between the property below and the saved
+/// regression case.
+fn check_delivery_invariants(
+    cols: u32,
+    rows: u32,
+    comm_radius: f64,
+    loss: f64,
+    sends: &[(u32, u64)],
+    seed: u64,
+) {
+    let field = Deployment::grid(cols, rows, 1.0);
+    let n = field.len() as u32;
+    let cfg = RadioConfig::default()
+        .with_comm_radius(comm_radius)
+        .with_base_loss(loss);
+    let mut medium = Medium::new(&field, cfg, &SimRng::seed_from(seed));
+    let mut now = Timestamp::ZERO;
+    let mut pending = Vec::new();
+    for &(src, gap_ms) in sends {
+        now += SimDuration::from_millis(gap_ms);
+        let frame = Frame::broadcast(NodeId(src % n), FrameKind(1), Bytes::from_static(&[0; 8]));
+        if let Ok(tx) = medium.transmit(now, frame) {
+            pending.push((tx, NodeId(src % n)));
+        }
+    }
+    // Resolve in completion order.
+    pending.sort_by_key(|(tx, _)| tx.completes_at);
+    let mut rx_pairs = 0u64;
+    let mut lost_pairs = 0u64;
+    for (tx, src) in pending {
+        let report = medium.deliveries(tx.id);
+        for (receiver, outcome) in &report.outcomes {
+            let d = field.position(src).distance_to(field.position(*receiver));
+            prop_assert!(d <= comm_radius + 1e-9, "delivered beyond the radio range");
+            prop_assert_ne!(*receiver, src, "no self-delivery");
+            match outcome {
+                DeliveryOutcome::Delivered => rx_pairs += 1,
+                _ => lost_pairs += 1,
+            }
+        }
+    }
+    let ks = medium.stats().kind(FrameKind(1));
+    prop_assert_eq!(ks.rx, rx_pairs);
+    prop_assert_eq!(ks.collided + ks.faded + ks.half_duplex, lost_pairs);
+    prop_assert!(ks.tx_lost <= ks.tx);
+    let ratio = ks.pair_loss_ratio();
+    prop_assert!((0.0..=1.0).contains(&ratio));
+}
+
+/// The failing case proptest once saved to `prop.proptest-regressions`
+/// for `deliveries_stay_in_range_and_stats_balance`, preserved verbatim
+/// as an explicit regression test across the testkit port.
+#[test]
+fn saved_regression_two_by_two_grid_short_radius() {
+    check_delivery_invariants(2, 2, 0.5, 0.0, &[(0, 0), (0, 856), (0, 402)], 0);
+}
+
+prop_test! {
     /// Deliveries only ever reach nodes within the communication radius,
     /// and the per-kind statistics add up.
     #[test]
@@ -22,41 +80,7 @@ proptest! {
         sends in prop::collection::vec((0u32..36, 0u64..1000u64), 1..30),
         seed: u64,
     ) {
-        let field = Deployment::grid(cols, rows, 1.0);
-        let n = field.len() as u32;
-        let cfg = RadioConfig::default().with_comm_radius(comm_radius).with_base_loss(loss);
-        let mut medium = Medium::new(&field, cfg, &SimRng::seed_from(seed));
-        let mut now = Timestamp::ZERO;
-        let mut pending = Vec::new();
-        for &(src, gap_ms) in &sends {
-            now += SimDuration::from_millis(gap_ms);
-            let frame = Frame::broadcast(NodeId(src % n), FrameKind(1), Bytes::from_static(&[0; 8]));
-            if let Ok(tx) = medium.transmit(now, frame) {
-                pending.push((tx, NodeId(src % n)));
-            }
-        }
-        // Resolve in completion order.
-        pending.sort_by_key(|(tx, _)| tx.completes_at);
-        let mut rx_pairs = 0u64;
-        let mut lost_pairs = 0u64;
-        for (tx, src) in pending {
-            let report = medium.deliveries(tx.id);
-            for (receiver, outcome) in &report.outcomes {
-                let d = field.position(src).distance_to(field.position(*receiver));
-                prop_assert!(d <= comm_radius + 1e-9, "delivered beyond the radio range");
-                prop_assert_ne!(*receiver, src, "no self-delivery");
-                match outcome {
-                    DeliveryOutcome::Delivered => rx_pairs += 1,
-                    _ => lost_pairs += 1,
-                }
-            }
-        }
-        let ks = medium.stats().kind(FrameKind(1));
-        prop_assert_eq!(ks.rx, rx_pairs);
-        prop_assert_eq!(ks.collided + ks.faded + ks.half_duplex, lost_pairs);
-        prop_assert!(ks.tx_lost <= ks.tx);
-        let ratio = ks.pair_loss_ratio();
-        prop_assert!((0.0..=1.0).contains(&ratio));
+        check_delivery_invariants(cols, rows, comm_radius, loss, &sends, seed);
     }
 
     /// With zero loss and serialized (non-overlapping) transmissions,

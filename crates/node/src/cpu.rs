@@ -28,10 +28,9 @@
 //! ```
 
 use envirotrack_sim::time::{SimDuration, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// CPU model parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CpuConfig {
     /// Maximum backlog of queued work before tasks are dropped.
     ///
@@ -42,7 +41,9 @@ pub struct CpuConfig {
 
 impl Default for CpuConfig {
     fn default() -> Self {
-        CpuConfig { max_backlog: SimDuration::from_millis(60) }
+        CpuConfig {
+            max_backlog: SimDuration::from_millis(60),
+        }
     }
 }
 
@@ -87,14 +88,18 @@ pub struct CpuOverloadError {
 
 impl std::fmt::Display for CpuOverloadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "mote CPU overloaded (backlog would reach {})", self.backlog)
+        write!(
+            f,
+            "mote CPU overloaded (backlog would reach {})",
+            self.backlog
+        )
     }
 }
 
 impl std::error::Error for CpuOverloadError {}
 
 /// Cumulative CPU statistics for one node.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CpuStats {
     /// Tasks admitted.
     pub admitted: u64,
@@ -129,7 +134,11 @@ impl MoteCpu {
     /// Creates an idle CPU.
     #[must_use]
     pub fn new(config: CpuConfig) -> Self {
-        MoteCpu { config, busy_until: Timestamp::ZERO, stats: CpuStats::default() }
+        MoteCpu {
+            config,
+            busy_until: Timestamp::ZERO,
+            stats: CpuStats::default(),
+        }
     }
 
     /// Offers a task costing `cost` at the current instant `now`.
@@ -138,7 +147,11 @@ impl MoteCpu {
     ///
     /// Returns [`CpuOverloadError`] (and counts a drop) when accepting the
     /// task would push the backlog past the configured bound.
-    pub fn admit(&mut self, now: Timestamp, cost: SimDuration) -> Result<Admission, CpuOverloadError> {
+    pub fn admit(
+        &mut self,
+        now: Timestamp,
+        cost: SimDuration,
+    ) -> Result<Admission, CpuOverloadError> {
         let start = self.busy_until.max(now);
         let finish = start + cost;
         let backlog = finish.saturating_since(now);
@@ -189,8 +202,13 @@ mod tests {
     #[test]
     fn idle_cpu_runs_immediately() {
         let mut cpu = MoteCpu::new(CpuConfig::default());
-        let a = cpu.admit(Timestamp::from_secs(1), SimDuration::from_millis(3)).unwrap();
-        assert_eq!(a.ready_at, Timestamp::from_secs(1) + SimDuration::from_millis(3));
+        let a = cpu
+            .admit(Timestamp::from_secs(1), SimDuration::from_millis(3))
+            .unwrap();
+        assert_eq!(
+            a.ready_at,
+            Timestamp::from_secs(1) + SimDuration::from_millis(3)
+        );
     }
 
     #[test]
@@ -199,26 +217,40 @@ mod tests {
         let t0 = Timestamp::ZERO;
         let a = cpu.admit(t0, SimDuration::from_millis(10)).unwrap();
         let b = cpu.admit(t0, SimDuration::from_millis(10)).unwrap();
-        assert_eq!(b.ready_at.saturating_since(a.ready_at), SimDuration::from_millis(10));
+        assert_eq!(
+            b.ready_at.saturating_since(a.ready_at),
+            SimDuration::from_millis(10)
+        );
     }
 
     #[test]
     fn backlog_drains_over_time() {
         let mut cpu = MoteCpu::new(CpuConfig::default());
-        cpu.admit(Timestamp::ZERO, SimDuration::from_millis(10)).unwrap();
-        assert_eq!(cpu.backlog(Timestamp::from_millis(4)), SimDuration::from_millis(6));
+        cpu.admit(Timestamp::ZERO, SimDuration::from_millis(10))
+            .unwrap();
+        assert_eq!(
+            cpu.backlog(Timestamp::from_millis(4)),
+            SimDuration::from_millis(6)
+        );
         assert_eq!(cpu.backlog(Timestamp::from_millis(20)), SimDuration::ZERO);
         // After draining, a new task starts fresh.
-        let c = cpu.admit(Timestamp::from_millis(20), SimDuration::from_millis(5)).unwrap();
+        let c = cpu
+            .admit(Timestamp::from_millis(20), SimDuration::from_millis(5))
+            .unwrap();
         assert_eq!(c.ready_at, Timestamp::from_millis(25));
     }
 
     #[test]
     fn overload_drops_and_counts() {
-        let cfg = CpuConfig { max_backlog: SimDuration::from_millis(10) };
+        let cfg = CpuConfig {
+            max_backlog: SimDuration::from_millis(10),
+        };
         let mut cpu = MoteCpu::new(cfg);
-        cpu.admit(Timestamp::ZERO, SimDuration::from_millis(8)).unwrap();
-        let err = cpu.admit(Timestamp::ZERO, SimDuration::from_millis(8)).unwrap_err();
+        cpu.admit(Timestamp::ZERO, SimDuration::from_millis(8))
+            .unwrap();
+        let err = cpu
+            .admit(Timestamp::ZERO, SimDuration::from_millis(8))
+            .unwrap_err();
         assert_eq!(err.backlog, SimDuration::from_millis(16));
         assert_eq!(cpu.stats().dropped, 1);
         assert_eq!(cpu.stats().admitted, 1);
@@ -230,9 +262,13 @@ mod tests {
     #[test]
     fn utilization_is_busy_over_elapsed() {
         let mut cpu = MoteCpu::new(CpuConfig::default());
-        cpu.admit(Timestamp::ZERO, SimDuration::from_millis(25)).unwrap();
+        cpu.admit(Timestamp::ZERO, SimDuration::from_millis(25))
+            .unwrap();
         let u = cpu.utilization(SimDuration::from_millis(100));
         assert!((u - 0.25).abs() < 1e-12);
-        assert_eq!(MoteCpu::new(CpuConfig::default()).utilization(SimDuration::ZERO), 0.0);
+        assert_eq!(
+            MoteCpu::new(CpuConfig::default()).utilization(SimDuration::ZERO),
+            0.0
+        );
     }
 }

@@ -25,7 +25,6 @@
 //! ```
 
 use envirotrack_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Supply voltage of a 2×AA mote, in volts.
 pub const SUPPLY_VOLTS: f64 = 3.0;
@@ -37,7 +36,7 @@ pub const RX_MILLIAMPS: f64 = 4.5;
 pub const CPU_MILLIAMPS: f64 = 5.0;
 
 /// A per-node marginal-energy meter. See the [module docs](self).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyMeter {
     tx_mj: f64,
     rx_mj: f64,

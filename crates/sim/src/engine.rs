@@ -178,7 +178,11 @@ impl<W> Engine<W> {
 
     /// Creates an engine over `world`, seeding all randomness from `seed`.
     pub fn new(world: W, seed: u64) -> Self {
-        Engine { kernel: Kernel::new(seed), world, event_limit: Self::DEFAULT_EVENT_LIMIT }
+        Engine {
+            kernel: Kernel::new(seed),
+            world,
+            event_limit: Self::DEFAULT_EVENT_LIMIT,
+        }
     }
 
     /// Replaces the runaway-simulation guard (events per run call).
@@ -216,7 +220,10 @@ impl<W> Engine<W> {
     /// Executes exactly one event if one is pending, returning its time.
     pub fn step(&mut self) -> Option<Timestamp> {
         let (at, event) = self.kernel.queue.pop()?;
-        debug_assert!(at >= self.kernel.now, "event queue yielded an event from the past");
+        debug_assert!(
+            at >= self.kernel.now,
+            "event queue yielded an event from the past"
+        );
         self.kernel.now = at;
         self.kernel.events_processed += 1;
         event(&mut self.world, &mut self.kernel);
@@ -290,7 +297,11 @@ impl TraceLog {
     /// Creates a log that keeps at most `capacity` entries.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        TraceLog { entries: Vec::new(), capacity, dropped: 0 }
+        TraceLog {
+            entries: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Appends an entry, dropping it (counted) if the log is full.
@@ -327,15 +338,18 @@ mod tests {
     #[test]
     fn events_run_in_time_order_with_fifo_ties() {
         let mut e = Engine::new(World::default(), 1);
-        e.kernel_mut().schedule_at(Timestamp::from_secs(2), |w: &mut World, k| {
-            w.log.push((k.now().as_micros(), "b"));
-        });
-        e.kernel_mut().schedule_at(Timestamp::from_secs(1), |w: &mut World, k| {
-            w.log.push((k.now().as_micros(), "a1"));
-        });
-        e.kernel_mut().schedule_at(Timestamp::from_secs(1), |w: &mut World, k| {
-            w.log.push((k.now().as_micros(), "a2"));
-        });
+        e.kernel_mut()
+            .schedule_at(Timestamp::from_secs(2), |w: &mut World, k| {
+                w.log.push((k.now().as_micros(), "b"));
+            });
+        e.kernel_mut()
+            .schedule_at(Timestamp::from_secs(1), |w: &mut World, k| {
+                w.log.push((k.now().as_micros(), "a1"));
+            });
+        e.kernel_mut()
+            .schedule_at(Timestamp::from_secs(1), |w: &mut World, k| {
+                w.log.push((k.now().as_micros(), "a2"));
+            });
         assert_eq!(e.run_to_completion(), RunOutcome::QueueDrained);
         assert_eq!(
             e.world().log,
@@ -346,11 +360,12 @@ mod tests {
     #[test]
     fn handlers_can_schedule_followups() {
         let mut e = Engine::new(World::default(), 1);
-        e.kernel_mut().schedule_at(Timestamp::from_secs(1), |_w: &mut World, k| {
-            k.schedule_in(SimDuration::from_secs(1), |w: &mut World, k| {
-                w.log.push((k.now().as_micros(), "child"));
+        e.kernel_mut()
+            .schedule_at(Timestamp::from_secs(1), |_w: &mut World, k| {
+                k.schedule_in(SimDuration::from_secs(1), |w: &mut World, k| {
+                    w.log.push((k.now().as_micros(), "child"));
+                });
             });
-        });
         e.run_to_completion();
         assert_eq!(e.world().log, vec![(2_000_000, "child")]);
     }
@@ -358,13 +373,20 @@ mod tests {
     #[test]
     fn run_until_respects_horizon_and_advances_clock() {
         let mut e = Engine::new(World::default(), 1);
-        e.kernel_mut().schedule_at(Timestamp::from_secs(5), |w: &mut World, _| {
-            w.log.push((5, "late"));
-        });
-        assert_eq!(e.run_until(Timestamp::from_secs(3)), RunOutcome::HorizonReached);
+        e.kernel_mut()
+            .schedule_at(Timestamp::from_secs(5), |w: &mut World, _| {
+                w.log.push((5, "late"));
+            });
+        assert_eq!(
+            e.run_until(Timestamp::from_secs(3)),
+            RunOutcome::HorizonReached
+        );
         assert!(e.world().log.is_empty());
         assert_eq!(e.kernel().now(), Timestamp::from_secs(3));
-        assert_eq!(e.run_until(Timestamp::from_secs(6)), RunOutcome::QueueDrained);
+        assert_eq!(
+            e.run_until(Timestamp::from_secs(6)),
+            RunOutcome::QueueDrained
+        );
         assert_eq!(e.world().log.len(), 1);
         assert_eq!(e.kernel().now(), Timestamp::from_secs(6));
     }
@@ -372,10 +394,12 @@ mod tests {
     #[test]
     fn stop_interrupts_the_run() {
         let mut e = Engine::new(World::default(), 1);
-        e.kernel_mut().schedule_at(Timestamp::from_secs(1), |_: &mut World, k| k.stop());
-        e.kernel_mut().schedule_at(Timestamp::from_secs(2), |w: &mut World, _| {
-            w.log.push((2, "unreachable"));
-        });
+        e.kernel_mut()
+            .schedule_at(Timestamp::from_secs(1), |_: &mut World, k| k.stop());
+        e.kernel_mut()
+            .schedule_at(Timestamp::from_secs(2), |w: &mut World, _| {
+                w.log.push((2, "unreachable"));
+            });
         assert_eq!(e.run_to_completion(), RunOutcome::Stopped);
         assert!(e.world().log.is_empty());
         // Stop is one-shot: the next run proceeds.
@@ -399,9 +423,11 @@ mod tests {
     #[should_panic(expected = "cannot schedule into the past")]
     fn scheduling_into_the_past_panics() {
         let mut e = Engine::new(World::default(), 1);
-        e.kernel_mut().schedule_at(Timestamp::from_secs(1), |_: &mut World, _| {});
+        e.kernel_mut()
+            .schedule_at(Timestamp::from_secs(1), |_: &mut World, _| {});
         e.run_to_completion();
-        e.kernel_mut().schedule_at(Timestamp::ZERO, |_: &mut World, _| {});
+        e.kernel_mut()
+            .schedule_at(Timestamp::ZERO, |_: &mut World, _| {});
     }
 
     #[test]

@@ -17,10 +17,8 @@
 //! assert_eq!(s.len(), 3);
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 /// A monotone event counter.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -62,7 +60,7 @@ impl Counter {
 /// Streaming mean/variance/min/max using Welford's algorithm.
 ///
 /// Numerically stable for long runs (no sum-of-squares cancellation).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RunningStats {
     n: u64,
     mean: f64,
@@ -75,7 +73,13 @@ impl RunningStats {
     /// Creates an empty accumulator.
     #[must_use]
     pub fn new() -> Self {
-        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one sample.
@@ -176,7 +180,7 @@ impl FromIterator<f64> for RunningStats {
 }
 
 /// A fixed-width-bin histogram over `[lo, hi)` with overflow/underflow bins.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -196,7 +200,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo < hi, "histogram range must be non-empty: [{lo}, {hi})");
         assert!(bins > 0, "histogram needs at least one bin");
-        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Records one sample.
@@ -272,7 +283,9 @@ mod tests {
 
     #[test]
     fn running_stats_match_closed_form() {
-        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.std_dev() - 2.0).abs() < 1e-12);
         assert_eq!(s.min(), Some(2.0));

@@ -8,6 +8,21 @@
 //! subsystems can be given their own streams without consuming numbers from
 //! each other — adding a draw in one module does not perturb another.
 //!
+//! ## Algorithm and stream stability
+//!
+//! The generator is an in-tree **xoshiro256++** (Blackman & Vigna) whose
+//! 256-bit state is expanded from the `u64` seed by **splitmix64** — the
+//! reference seeding procedure. Both algorithms are pure integer arithmetic
+//! with no platform- or version-dependent behaviour, so identical seeds
+//! produce identical streams on every build of this repository.
+//!
+//! That guarantee is load-bearing: every experiment in EXPERIMENTS.md is
+//! reported against a seed. The stream is therefore *pinned* by a
+//! regression test ([`tests::seed_42_stream_is_pinned`]) holding the first
+//! eight outputs of seed 42 — any future change to the algorithm (or an
+//! accidental reordering of draws) fails loudly instead of silently
+//! shifting every experiment.
+//!
 //! ```
 //! use envirotrack_sim::rng::SimRng;
 //!
@@ -20,16 +35,28 @@
 //! assert_ne!(radio.next_u64(), world.next_u64()); // independent streams
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// The splitmix64 step: advances `state` and returns the next output.
+///
+/// Used to expand a 64-bit seed into xoshiro's 256-bit state, and useful on
+/// its own wherever a cheap stateless mix of a `u64` is needed.
+#[inline]
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A deterministic random number generator for simulation use.
 ///
-/// Wraps a fixed algorithm (`StdRng`, currently ChaCha12) so that every
-/// build of this repository produces identical streams for identical seeds.
+/// Wraps a fixed algorithm (xoshiro256++ seeded via splitmix64) so that
+/// every build of this repository produces identical streams for identical
+/// seeds. See the module docs for the stream-stability guarantee.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
 }
 
@@ -37,7 +64,14 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed), seed }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { state, seed }
     }
 
     /// The seed this generator was created from (forks derive new seeds).
@@ -71,14 +105,29 @@ impl SimRng {
         SimRng::seed_from(base.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (the xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        RngCore::next_u64(&mut self.inner)
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// A uniform value in `[0, 1)`.
+    /// Next raw 32-bit value (the upper half of a 64-bit draw, which is the
+    /// better-mixed half for xoshiro-family generators).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `[0, 1)`, using the top 53 bits of a draw.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform value in `[lo, hi)`.
@@ -87,21 +136,35 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range [{lo}, {hi})"
+        );
         if lo == hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let x = lo + self.uniform() * (hi - lo);
+        // Floating-point rounding can push x onto hi when hi - lo is tiny
+        // relative to the magnitudes involved; keep the interval half-open.
+        if x >= hi {
+            lo
+        } else {
+            x
+        }
     }
 
     /// A uniform integer in `[0, n)`.
+    ///
+    /// Uses a plain modulo reduction: the bias is at most `n / 2^64`, far
+    /// below anything a simulation or test could resolve, and keeping the
+    /// draw count fixed at one per call keeps streams easy to reason about.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        self.next_u64() % n
     }
 
     /// A Bernoulli trial: `true` with probability `p` (clamped to `[0,1]`).
@@ -115,7 +178,7 @@ impl SimRng {
         }
     }
 
-    /// A standard-normal sample (Box–Muller), for sensor noise models.
+    /// A standard-normal sample, for sensor noise models.
     pub fn gaussian(&mut self) -> f64 {
         // Marsaglia polar method avoids trig and is numerically tame.
         loop {
@@ -147,24 +210,34 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The first eight outputs of seed 42 are pinned. A future swap of the
+    /// RNG algorithm (or an accidental change to seeding or draw order)
+    /// must update this vector *deliberately* — and with it, re-baseline
+    /// every seed-reported experiment in EXPERIMENTS.md — rather than
+    /// silently changing every experiment's stream.
+    #[test]
+    fn seed_42_stream_is_pinned() {
+        let mut rng = SimRng::seed_from(42);
+        let observed: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        let pinned: [u64; 8] = [
+            0xd076_4d4f_4476_689f,
+            0x519e_4174_576f_3791,
+            0xfbe0_7cfb_0c24_ed8c,
+            0xb37d_9f60_0cd8_35b8,
+            0xcb23_1c38_7484_6a73,
+            0x968d_9f00_4e50_de7d,
+            0x2017_18ff_221a_3556,
+            0x9ae9_4e07_0ed8_cb46,
+        ];
+        assert_eq!(
+            observed, pinned,
+            "the seed-42 stream drifted — see module docs"
+        );
+    }
 
     #[test]
     fn same_seed_same_stream() {
@@ -226,6 +299,20 @@ mod tests {
     }
 
     #[test]
+    fn uniform_is_half_open_and_well_spread() {
+        let mut rng = SimRng::seed_from(17);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
     fn gaussian_moments_look_normal() {
         let mut rng = SimRng::seed_from(5);
         let n = 50_000;
@@ -234,6 +321,18 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from(23);
+        let mut counts = [0u32; 10];
+        for _ in 0..50_000 {
+            counts[rng.below(10) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((4_500..=5_500).contains(&c), "bucket {i} got {c}");
+        }
     }
 
     #[test]

@@ -25,8 +25,6 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An absolute instant of virtual time, counted in microseconds from the
 /// beginning of the simulation.
 ///
@@ -37,7 +35,7 @@ use serde::{Deserialize, Serialize};
 /// use envirotrack_sim::time::Timestamp;
 /// assert!(Timestamp::from_secs(2) > Timestamp::from_millis(1999));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(u64);
 
 /// A non-negative span of virtual time, counted in microseconds.
@@ -48,7 +46,7 @@ pub struct Timestamp(u64);
 /// assert_eq!(hb * 2, SimDuration::from_millis(500));
 /// assert_eq!(hb.as_secs_f64(), 0.25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl Timestamp {
@@ -397,7 +395,10 @@ mod tests {
 
     #[test]
     fn saturating_helpers_never_panic() {
-        assert_eq!(Timestamp::MAX.saturating_add(SimDuration::from_secs(1)), Timestamp::MAX);
+        assert_eq!(
+            Timestamp::MAX.saturating_add(SimDuration::from_secs(1)),
+            Timestamp::MAX
+        );
         assert_eq!(
             SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)),
             SimDuration::ZERO

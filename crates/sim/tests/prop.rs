@@ -4,9 +4,9 @@ use envirotrack_sim::metrics::RunningStats;
 use envirotrack_sim::queue::EventQueue;
 use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::{SimDuration, Timestamp};
-use proptest::prelude::*;
+use testkit::prelude::*;
 
-proptest! {
+prop_test! {
     /// Popping the queue yields items sorted by time, and FIFO among equal
     /// times (tracked via the insertion index).
     #[test]

@@ -1,0 +1,197 @@
+//! The `prop_test!` macro family: a drop-in for `proptest!` suites.
+//!
+//! ```
+//! use testkit::prelude::*;
+//!
+//! prop_test! {
+//!     #![config(Config::with_cases(64))]
+//!
+//!     // In a test module this would carry `#[test]`; attributes pass
+//!     // through unchanged.
+//!     fn addition_commutes(a in 0u32..1000, b: u32) {
+//!         prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+//!     }
+//! }
+//! # addition_commutes();
+//! ```
+//!
+//! Parameters take either proptest form: `name in strategy_expr` or
+//! `name: Type` (shorthand for `name in any::<Type>()`). The optional
+//! `#![config(...)]` header replaces proptest's
+//! `#![proptest_config(...)]` and applies to every test in the block.
+
+/// Declares property tests; see the [module docs](crate::macros).
+#[macro_export]
+macro_rules! prop_test {
+    (#![config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__prop_test_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__prop_test_items! { cfg = ($crate::Config::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`prop_test!`]: splits the block into test
+/// functions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_test_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__prop_test_body! {
+                cfg = ($cfg);
+                params = [$($params)*];
+                pats = ();
+                strats = ();
+                body = $body
+            }
+        }
+        $crate::__prop_test_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`prop_test!`]: munches the parameter list
+/// into a tuple strategy and a tuple pattern, then invokes the runner.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_test_body {
+    // `name: Type` — shorthand for `name in any::<Type>()`.
+    (cfg = ($cfg:expr);
+     params = [$p:ident : $t:ty, $($rest:tt)*];
+     pats = ($($pats:tt)*); strats = ($($strats:tt)*); body = $body:block) => {
+        $crate::__prop_test_body! {
+            cfg = ($cfg);
+            params = [$($rest)*];
+            pats = ($($pats)* $p,);
+            strats = ($($strats)* ($crate::any::<$t>()),);
+            body = $body
+        }
+    };
+    (cfg = ($cfg:expr);
+     params = [$p:ident : $t:ty];
+     pats = ($($pats:tt)*); strats = ($($strats:tt)*); body = $body:block) => {
+        $crate::__prop_test_body! {
+            cfg = ($cfg);
+            params = [];
+            pats = ($($pats)* $p,);
+            strats = ($($strats)* ($crate::any::<$t>()),);
+            body = $body
+        }
+    };
+    // `pattern in strategy`.
+    (cfg = ($cfg:expr);
+     params = [$p:pat_param in $s:expr, $($rest:tt)*];
+     pats = ($($pats:tt)*); strats = ($($strats:tt)*); body = $body:block) => {
+        $crate::__prop_test_body! {
+            cfg = ($cfg);
+            params = [$($rest)*];
+            pats = ($($pats)* $p,);
+            strats = ($($strats)* ($s),);
+            body = $body
+        }
+    };
+    (cfg = ($cfg:expr);
+     params = [$p:pat_param in $s:expr];
+     pats = ($($pats:tt)*); strats = ($($strats:tt)*); body = $body:block) => {
+        $crate::__prop_test_body! {
+            cfg = ($cfg);
+            params = [];
+            pats = ($($pats)* $p,);
+            strats = ($($strats)* ($s),);
+            body = $body
+        }
+    };
+    // All parameters consumed: run.
+    (cfg = ($cfg:expr);
+     params = [];
+     pats = ($($pats:tt)*); strats = ($($strats:tt)*); body = $body:block) => {{
+        let __cfg: $crate::Config = $cfg;
+        let __strategy = ($($strats)*);
+        $crate::check(&__cfg, &__strategy, |($($pats)*)| $body);
+    }};
+}
+
+/// Asserts a condition inside a property, with an optional format
+/// message. Failing aborts (and shrinks) the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("property assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts two expressions are equal, reporting both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            panic!(
+                "property assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r,
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            panic!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format_args!($($fmt)+), __l, __r,
+            );
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal, reporting the shared value.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            panic!(
+                "property assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left), stringify!($right), __l,
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            panic!("{}\n  both: {:?}", format_args!($($fmt)+), __l);
+        }
+    }};
+}
+
+/// Discards the current case (without failing) unless the condition
+/// holds. Discarded cases do not count toward the configured case count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            $crate::reject();
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type. List
+/// the simplest arm first: shrinking gravitates toward it.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}

@@ -1,0 +1,254 @@
+//! String strategies from a small regex-like pattern language.
+//!
+//! A `&'static str` is itself a [`Strategy`] generating `String`s, exactly
+//! as in `proptest` (`name in "[a-z]{1,12}"`). The supported subset is
+//! what the workspace's suites use:
+//!
+//! * literal characters,
+//! * character classes `[a-z0-9_]` with ranges and `\`-escapes,
+//! * the `\PC` escape (any non-control character),
+//! * counted repetition `{n}` / `{m,n}` on the preceding atom.
+//!
+//! Unsupported syntax panics at generation time with the offending
+//! pattern, so a typo fails loudly rather than generating garbage.
+
+use crate::strategy::Strategy;
+use crate::tape::Gen;
+
+/// One pattern atom plus its repetition range (inclusive).
+struct Atom {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+enum CharSet {
+    /// Inclusive char ranges; a singleton is `(c, c)`.
+    Ranges(Vec<(char, char)>),
+    /// `\PC`: any character outside Unicode category C (controls).
+    NonControl,
+}
+
+impl CharSet {
+    fn pick(&self, g: &mut Gen) -> char {
+        match self {
+            CharSet::Ranges(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(a, b)| u64::from(*b) - u64::from(*a) + 1)
+                    .sum();
+                let mut idx = g.below(total);
+                for (a, b) in ranges {
+                    let size = u64::from(*b) - u64::from(*a) + 1;
+                    if idx < size {
+                        return char::from_u32(*a as u32 + idx as u32).unwrap_or(*a);
+                    }
+                    idx -= size;
+                }
+                unreachable!("index within total")
+            }
+            CharSet::NonControl => {
+                // Mostly printable ASCII; occasionally a BMP char clear of
+                // the surrogate range, skipped if it lands on a control.
+                if g.below(8) < 7 {
+                    char::from_u32(0x20 + g.below(0x5F) as u32).unwrap_or(' ')
+                } else {
+                    let c = char::from_u32(0xA0 + g.below(0xD7FF - 0xA0) as u32).unwrap_or('¡');
+                    if c.is_control() {
+                        ' '
+                    } else {
+                        c
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => match chars.next() {
+                Some('P') => {
+                    if chars.next() != Some('C') {
+                        bad(pattern, "only the \\PC category escape is supported");
+                    }
+                    CharSet::NonControl
+                }
+                Some(esc) => CharSet::Ranges(vec![(esc, esc)]),
+                None => bad(pattern, "dangling backslash"),
+            },
+            '.' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                bad(pattern, "unsupported regex operator")
+            }
+            lit => CharSet::Ranges(vec![(lit, lit)]),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            parse_counts(&mut chars, pattern)
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> CharSet {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = match chars.next() {
+            Some(c) => c,
+            None => bad(pattern, "unterminated character class"),
+        };
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                if ranges.is_empty() {
+                    bad(pattern, "empty character class");
+                }
+                return CharSet::Ranges(ranges);
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().expect("checked");
+                let hi = match chars.next() {
+                    Some('\\') => chars
+                        .next()
+                        .unwrap_or_else(|| bad(pattern, "dangling backslash")),
+                    Some(h) => h,
+                    None => bad(pattern, "unterminated character class"),
+                };
+                if hi < lo {
+                    bad(pattern, "inverted class range");
+                }
+                ranges.push((lo, hi));
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(match chars.next() {
+                    Some(e) => e,
+                    None => bad(pattern, "dangling backslash"),
+                }) {
+                    ranges.push((p, p));
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    ranges.push((p, p));
+                }
+            }
+        }
+    }
+}
+
+fn parse_counts(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> (u32, u32) {
+    let mut min = 0u32;
+    let mut max: Option<u32> = None;
+    let mut saw_comma = false;
+    loop {
+        match chars.next() {
+            Some(d @ '0'..='9') => {
+                let digit = d as u32 - '0' as u32;
+                if saw_comma {
+                    max = Some(max.unwrap_or(0) * 10 + digit);
+                } else {
+                    min = min * 10 + digit;
+                }
+            }
+            Some(',') => saw_comma = true,
+            Some('}') => {
+                let max = if saw_comma { max.unwrap_or(min) } else { min };
+                if max < min {
+                    bad(pattern, "inverted repetition count");
+                }
+                return (min, max);
+            }
+            _ => bad(pattern, "malformed repetition count"),
+        }
+    }
+}
+
+fn bad(pattern: &str, why: &str) -> ! {
+    panic!("testkit string pattern {pattern:?}: {why}");
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, g: &mut Gen) -> String {
+        let mut out = String::new();
+        for atom in parse(self) {
+            let count = atom.min + g.below(u64::from(atom.max - atom.min) + 1) as u32;
+            for _ in 0..count {
+                out.push(atom.set.pick(g));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_many(pattern: &'static str, n: u32) -> Vec<String> {
+        let mut g = Gen::random(17);
+        (0..n).map(|_| pattern.generate(&mut g)).collect()
+    }
+
+    #[test]
+    fn identifier_pattern_matches_its_own_grammar() {
+        for s in gen_many("[a-z][a-z0-9_]{0,8}", 300) {
+            assert!((1..=9).contains(&s.len()), "bad length: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn class_with_escaped_brackets_excludes_quote_and_backslash() {
+        // Printable ASCII minus `"` and `\` — the lang suite's string set.
+        for s in gen_many("[ -!#-\\[\\]-~]{0,12}", 300) {
+            assert!(s.len() <= 12);
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c), "outside printable: {c:?}");
+                assert!(c != '"' && c != '\\', "excluded char generated: {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_control_escape_generates_no_controls() {
+        for s in gen_many("\\PC{0,200}", 50) {
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn counted_repetition_is_exact_without_a_comma() {
+        for s in gen_many("[a-z]{12}", 50) {
+            assert_eq!(s.len(), 12);
+        }
+    }
+
+    #[test]
+    fn zero_tape_yields_the_shortest_smallest_string() {
+        let mut g = Gen::replay(vec![]);
+        assert_eq!("[a-z]{1,12}".generate(&mut g), "a");
+        let mut g = Gen::replay(vec![]);
+        assert_eq!("[a-z]{0,8}".generate(&mut g), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex operator")]
+    fn unsupported_syntax_panics_loudly() {
+        let mut g = Gen::replay(vec![]);
+        let _ = "a+b".generate(&mut g);
+    }
+}

@@ -1,0 +1,455 @@
+//! The property runner: case generation, rejection accounting, and
+//! tape-level shrinking of failing cases.
+//!
+//! A failing case is a recorded choice tape (see [`crate::tape`]). The
+//! shrinker never needs to understand values: it deletes tape chunks,
+//! zeroes entries, binary-searches entries downward, and decrements them,
+//! accepting any mutation that still fails and is shortlex-smaller. The
+//! minimal tape regenerates the minimal failing value, which is what the
+//! failure message reports.
+
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use crate::strategy::Strategy;
+use crate::tape::Gen;
+
+/// Sentinel panic payload for a rejected (not failed) case; raised by
+/// `prop_assume!` and exhausted `prop_filter` retries.
+pub(crate) struct Rejected;
+
+/// Aborts the current test case without failing it. The runner generates
+/// a replacement case (up to [`Config::max_rejects`] times per property).
+pub fn reject() -> ! {
+    panic::panic_any(Rejected)
+}
+
+/// Runner parameters. `Config::default()` honours the `TESTKIT_CASES` and
+/// `TESTKIT_SEED` environment variables, so a failing run can be
+/// reproduced (or a suite broadened) without editing tests.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Passing cases required per property.
+    pub cases: u32,
+    /// Master seed; each case's seed derives from it deterministically.
+    pub seed: u64,
+    /// Cap on rejected cases per property before giving up.
+    pub max_rejects: u32,
+    /// Cap on candidate executions while shrinking a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let env_u64 = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<u64>().ok());
+        Config {
+            cases: env_u64("TESTKIT_CASES").map_or(64, |v| v.max(1) as u32),
+            seed: env_u64("TESTKIT_SEED").unwrap_or(0x5eed_cafe_f00d_d00d),
+            max_rejects: 4096,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+impl Config {
+    /// The default configuration with an explicit case count.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// What one executed case did.
+enum Outcome {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+/// One executed case: its outcome, the recorded tape, and the generated
+/// value's `Debug` rendering (absent if generation itself bailed).
+struct CaseRun {
+    outcome: Outcome,
+    tape: Vec<u64>,
+    value: Option<String>,
+}
+
+/// A fully shrunk property failure.
+pub(crate) struct Failure {
+    pub value: String,
+    pub message: String,
+    pub case_index: u32,
+    pub shrink_iters: u32,
+}
+
+/// Why a run did not complete its configured cases.
+pub(crate) enum RunError {
+    /// A case failed; carries the shrunk counterexample.
+    Failed(Failure),
+    /// More cases were rejected than [`Config::max_rejects`] allows.
+    TooManyRejects { rejected: u32, cases: u32 },
+}
+
+impl RunError {
+    #[cfg(test)]
+    pub(crate) fn into_failure(self) -> Failure {
+        match self {
+            RunError::Failed(f) => f,
+            RunError::TooManyRejects { .. } => panic!("expected a failure, got rejections"),
+        }
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "test case panicked with a non-string payload".to_string()
+    }
+}
+
+fn run_case<S, F>(strategy: &S, test: &F, mut g: Gen) -> CaseRun
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: Fn(S::Value),
+{
+    let mut value = None;
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let v = strategy.generate(&mut g);
+        value = Some(format!("{v:?}"));
+        test(v);
+    }));
+    let outcome = match result {
+        Ok(()) => Outcome::Pass,
+        Err(payload) if payload.is::<Rejected>() => Outcome::Reject,
+        Err(payload) => Outcome::Fail(payload_message(payload.as_ref())),
+    };
+    CaseRun {
+        outcome,
+        tape: g.into_recorded(),
+        value,
+    }
+}
+
+/// Shortlex order: shorter tapes first, then lexicographic.
+fn shortlex_less(a: &[u64], b: &[u64]) -> bool {
+    (a.len(), a) < (b.len(), b)
+}
+
+/// Shrinks a failing tape; returns the minimal tape found plus the number
+/// of candidate executions spent.
+fn shrink<S, F>(strategy: &S, test: &F, seed_tape: Vec<u64>, budget: u32) -> (Vec<u64>, u32)
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: Fn(S::Value),
+{
+    let mut best = seed_tape;
+    let mut iters = 0u32;
+    // Tries one candidate; accepts it (true) iff it still fails and its
+    // recording is strictly shortlex-smaller than the current best.
+    let attempt = |cand: Vec<u64>, best: &mut Vec<u64>, iters: &mut u32| -> bool {
+        *iters += 1;
+        let run = run_case(strategy, test, Gen::replay(cand));
+        if matches!(run.outcome, Outcome::Fail(_)) && shortlex_less(&run.tape, best) {
+            *best = run.tape;
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete chunks of choices, largest first, end to start.
+        for chunk in [8usize, 4, 2, 1] {
+            let mut i = best.len();
+            while i >= chunk {
+                i -= chunk;
+                if iters >= budget {
+                    return (best, iters);
+                }
+                let mut cand = best.clone();
+                cand.drain(i..i + chunk);
+                improved |= attempt(cand, &mut best, &mut iters);
+            }
+        }
+
+        // Pass 2: minimize entries in place — zero, then binary search
+        // down, then a bounded run of decrements (which walks modulo
+        // encodings like collection lengths down one step at a time).
+        let mut i = 0;
+        while i < best.len() {
+            if best[i] != 0 {
+                if iters >= budget {
+                    return (best, iters);
+                }
+                let mut cand = best.clone();
+                cand[i] = 0;
+                if attempt(cand, &mut best, &mut iters) {
+                    improved = true;
+                } else {
+                    // Lowest still-failing value in (0, best[i]) if the
+                    // failure is monotone in this entry. Accepted tapes
+                    // are recordings and may be shorter than the
+                    // candidate, so re-check the index each step.
+                    let (mut lo, mut hi) = (0u64, best[i]);
+                    while hi - lo > 1 && iters < budget && i < best.len() {
+                        let mid = lo + (hi - lo) / 2;
+                        let mut cand = best.clone();
+                        cand[i] = mid;
+                        if attempt(cand, &mut best, &mut iters) {
+                            improved = true;
+                            hi = mid;
+                        } else {
+                            lo = mid;
+                        }
+                    }
+                    for _ in 0..64 {
+                        if i >= best.len() || best[i] == 0 || iters >= budget {
+                            break;
+                        }
+                        let mut cand = best.clone();
+                        cand[i] -= 1;
+                        if attempt(cand, &mut best, &mut iters) {
+                            improved = true;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        if !improved || iters >= budget {
+            return (best, iters);
+        }
+    }
+}
+
+/// Runs the property; `Err` carries the shrunk failure. The runner
+/// serializes property bodies across threads and silences the default
+/// panic printer while cases run, so shrinking does not spray hundreds of
+/// panic backtraces onto stderr.
+pub(crate) fn run<S, F>(cfg: &Config, strategy: &S, test: F) -> Result<(), RunError>
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: Fn(S::Value),
+{
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+    let _guard = HOOK_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // `run_inner` never unwinds (case panics are caught inside it), so a
+    // straight-line swap/restore is sound — and `set_hook` cannot be
+    // called from a panicking thread anyway.
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = run_inner(cfg, strategy, &test);
+    let _ = panic::take_hook();
+    panic::set_hook(prev_hook);
+    result
+}
+
+fn run_inner<S, F>(cfg: &Config, strategy: &S, test: &F) -> Result<(), RunError>
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: Fn(S::Value),
+{
+    let mut case_seeds = envirotrack_sim::rng::SimRng::seed_from(cfg.seed).fork("testkit-seeds");
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut index = 0u32;
+    while passed < cfg.cases {
+        let run = run_case(strategy, test, Gen::random(case_seeds.next_u64()));
+        match run.outcome {
+            Outcome::Pass => passed += 1,
+            Outcome::Reject => {
+                rejected += 1;
+                if rejected > cfg.max_rejects {
+                    return Err(RunError::TooManyRejects {
+                        rejected,
+                        cases: cfg.cases,
+                    });
+                }
+            }
+            Outcome::Fail(_) => {
+                let (tape, shrink_iters) = shrink(strategy, test, run.tape, cfg.max_shrink_iters);
+                // Final replay of the minimal tape for the value + message.
+                let minimal = run_case(strategy, test, Gen::replay(tape));
+                let message = match minimal.outcome {
+                    Outcome::Fail(m) => m,
+                    // Unreachable in practice: the tape was accepted as failing.
+                    _ => "shrunk case no longer fails (unstable property?)".to_string(),
+                };
+                return Err(RunError::Failed(Failure {
+                    value: minimal
+                        .value
+                        .unwrap_or_else(|| "<generation bailed>".to_string()),
+                    message,
+                    case_index: index,
+                    shrink_iters,
+                }));
+            }
+        }
+        index += 1;
+    }
+    Ok(())
+}
+
+/// Checks a property: generates `cfg.cases` passing values of `strategy`,
+/// panicking with the shrunk minimal counterexample if any case fails.
+///
+/// This is what the [`prop_test!`] macro expands to; call it directly for
+/// one-off checks.
+///
+/// [`prop_test!`]: crate::prop_test
+#[track_caller]
+pub fn check<S, F>(cfg: &Config, strategy: &S, test: F)
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: Fn(S::Value),
+{
+    match run(cfg, strategy, test) {
+        Ok(()) => {}
+        Err(RunError::Failed(f)) => panic!(
+            "property failed (case {idx}, shrunk over {iters} candidate(s))\n\
+             minimal failing input: {value}\n\
+             {msg}\n\
+             reproduce with TESTKIT_SEED={seed}",
+            idx = f.case_index,
+            iters = f.shrink_iters,
+            value = f.value,
+            msg = f.message,
+            seed = cfg.seed,
+        ),
+        Err(RunError::TooManyRejects { rejected, cases }) => panic!(
+            "testkit: {rejected} rejected cases before reaching {cases} passes — \
+             loosen the filters or assumptions"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{any, prop};
+    use std::cell::RefCell;
+
+    fn quiet_cfg() -> Config {
+        Config {
+            cases: 64,
+            seed: 42,
+            max_rejects: 4096,
+            max_shrink_iters: 1024,
+        }
+    }
+
+    #[test]
+    fn passing_properties_pass() {
+        check(&quiet_cfg(), &(0u32..100), |v| assert!(v < 100));
+    }
+
+    #[test]
+    fn rejection_excess_is_reported() {
+        let cfg = Config {
+            max_rejects: 10,
+            ..quiet_cfg()
+        };
+        match run(&cfg, &(0u32..100), |_| reject()) {
+            Err(RunError::TooManyRejects { rejected, cases }) => {
+                assert_eq!(rejected, 11);
+                assert_eq!(cases, 64);
+            }
+            _ => panic!("expected a rejection-overflow error"),
+        }
+    }
+
+    #[test]
+    fn shrinking_minimizes_an_intentionally_failing_vec_property() {
+        // Scratch property: "every generated vec has fewer than 5
+        // elements" — false for the strategy below. The shrinker must
+        // walk any failing case down to the minimal counterexample:
+        // exactly five zero elements.
+        let minimal: RefCell<Vec<u8>> = RefCell::new(Vec::new());
+        let failure = run(
+            &quiet_cfg(),
+            &prop::collection::vec(any::<u8>(), 0..100),
+            |v| {
+                if v.len() >= 5 {
+                    *minimal.borrow_mut() = v;
+                    panic!("vec too long");
+                }
+            },
+        )
+        .err()
+        .expect("property must fail")
+        .into_failure();
+        assert_eq!(*minimal.borrow(), vec![0u8; 5], "not shrunk to minimal");
+        assert!(
+            failure.value.contains("[0, 0, 0, 0, 0]"),
+            "report: {}",
+            failure.value
+        );
+        assert_eq!(failure.message, "vec too long");
+    }
+
+    #[test]
+    fn shrinking_minimizes_a_scalar_bound_failure() {
+        let minimal = RefCell::new(0u64);
+        let failure = run(&quiet_cfg(), &(0u64..1_000_000), |v| {
+            if v >= 1000 {
+                *minimal.borrow_mut() = v;
+                panic!("too big");
+            }
+        })
+        .err()
+        .expect("property must fail")
+        .into_failure();
+        assert_eq!(
+            *minimal.borrow(),
+            1000,
+            "binary search must find the boundary"
+        );
+        assert!(failure.value.contains("1000"));
+    }
+
+    #[test]
+    fn failures_reproduce_deterministically_for_a_fixed_seed() {
+        // Fails for roughly half of all cases, so 64 cases always hit it.
+        let failing = |v: (u32, u32)| assert!(v.0 + v.1 < 1000, "sum too big");
+        let a = run(&quiet_cfg(), &((0u32..1000, 0u32..1000),), |(v,)| {
+            failing(v)
+        })
+        .err()
+        .expect("fails")
+        .into_failure();
+        let b = run(&quiet_cfg(), &((0u32..1000, 0u32..1000),), |(v,)| {
+            failing(v)
+        })
+        .err()
+        .expect("fails")
+        .into_failure();
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.case_index, b.case_index);
+    }
+
+    #[test]
+    fn config_with_cases_overrides_only_the_case_count() {
+        let c = Config::with_cases(7);
+        assert_eq!(c.cases, 7);
+        assert!(c.max_shrink_iters > 0);
+    }
+}

@@ -14,7 +14,6 @@
 //! ```
 
 use envirotrack_sim::rng::SimRng;
-use serde::{Deserialize, Serialize};
 
 use crate::geometry::{Aabb, Point};
 
@@ -22,7 +21,7 @@ use crate::geometry::{Aabb, Point};
 ///
 /// Ids are dense indices into the deployment, which lets per-node state live
 /// in plain `Vec`s throughout the workspace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -40,7 +39,7 @@ impl std::fmt::Display for NodeId {
 }
 
 /// An immutable placement of sensor nodes in the plane.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Deployment {
     positions: Vec<Point>,
     bounds: Aabb,
@@ -54,14 +53,20 @@ impl Deployment {
     /// Panics if `positions` is empty — a sensor network needs sensors.
     #[must_use]
     pub fn from_positions(positions: Vec<Point>) -> Self {
-        assert!(!positions.is_empty(), "a deployment needs at least one node");
+        assert!(
+            !positions.is_empty(),
+            "a deployment needs at least one node"
+        );
         let mut min = positions[0];
         let mut max = positions[0];
         for p in &positions {
             min = Point::new(min.x.min(p.x), min.y.min(p.y));
             max = Point::new(max.x.max(p.x), max.y.max(p.y));
         }
-        Deployment { positions, bounds: Aabb::new(min, max) }
+        Deployment {
+            positions,
+            bounds: Aabb::new(min, max),
+        }
     }
 
     /// A `cols × rows` rectangular grid with the given spacing, nodes at
@@ -78,7 +83,10 @@ impl Deployment {
         let mut positions = Vec::with_capacity((cols * rows) as usize);
         for row in 0..rows {
             for col in 0..cols {
-                positions.push(Point::new(f64::from(col) * spacing, f64::from(row) * spacing));
+                positions.push(Point::new(
+                    f64::from(col) * spacing,
+                    f64::from(row) * spacing,
+                ));
             }
         }
         Deployment::from_positions(positions)
@@ -87,7 +95,13 @@ impl Deployment {
     /// A grid whose node positions are perturbed by uniform jitter in
     /// `[-jitter, jitter]` on each axis, modelling imprecise hand placement.
     #[must_use]
-    pub fn jittered_grid(cols: u32, rows: u32, spacing: f64, jitter: f64, rng: &mut SimRng) -> Self {
+    pub fn jittered_grid(
+        cols: u32,
+        rows: u32,
+        spacing: f64,
+        jitter: f64,
+        rng: &mut SimRng,
+    ) -> Self {
         assert!(jitter >= 0.0, "jitter must be non-negative");
         let mut base = Deployment::grid(cols, rows, spacing);
         for p in &mut base.positions {
@@ -147,7 +161,10 @@ impl Deployment {
 
     /// Iterates `(NodeId, Point)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Point)> + '_ {
-        self.positions.iter().enumerate().map(|(i, &p)| (NodeId(i as u32), p))
+        self.positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (NodeId(i as u32), p))
     }
 
     /// All node ids.
@@ -180,7 +197,10 @@ impl Deployment {
     #[must_use]
     pub fn nodes_within(&self, p: Point, radius: f64) -> Vec<NodeId> {
         let r2 = radius * radius;
-        self.iter().filter(|(_, pos)| pos.distance_sq_to(p) <= r2).map(|(id, _)| id).collect()
+        self.iter()
+            .filter(|(_, pos)| pos.distance_sq_to(p) <= r2)
+            .map(|(id, _)| id)
+            .collect()
     }
 }
 
@@ -209,7 +229,10 @@ mod tests {
     fn nodes_within_is_inclusive_and_ordered() {
         let d = Deployment::grid(3, 3, 1.0);
         let ids = d.nodes_within(Point::new(1.0, 1.0), 1.0);
-        assert_eq!(ids, vec![NodeId(1), NodeId(3), NodeId(4), NodeId(5), NodeId(7)]);
+        assert_eq!(
+            ids,
+            vec![NodeId(1), NodeId(3), NodeId(4), NodeId(5), NodeId(7)]
+        );
     }
 
     #[test]

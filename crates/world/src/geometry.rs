@@ -16,10 +16,8 @@
 use core::fmt;
 use core::ops::{Add, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A location in the plane, in grid units.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: f64,
@@ -28,7 +26,7 @@ pub struct Point {
 }
 
 /// A displacement between two [`Point`]s.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vector {
     /// Horizontal component.
     pub x: f64,
@@ -164,7 +162,7 @@ impl fmt::Display for Point {
 }
 
 /// An axis-aligned bounding box, used for field extents.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aabb {
     /// Lower-left corner.
     pub min: Point,
@@ -203,13 +201,19 @@ impl Aabb {
     /// The geometric centre.
     #[must_use]
     pub fn center(&self) -> Point {
-        Point::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
     }
 
     /// Clamps `p` to the box.
     #[must_use]
     pub fn clamp(&self, p: Point) -> Point {
-        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
     }
 }
 
@@ -238,7 +242,11 @@ mod tests {
 
     #[test]
     fn centroid_averages_points() {
-        let pts = [Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(1.0, 3.0)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 3.0),
+        ];
         let c = Point::centroid(pts).unwrap();
         assert!((c.x - 1.0).abs() < 1e-12);
         assert!((c.y - 1.0).abs() < 1e-12);

@@ -17,7 +17,6 @@
 //! ```
 
 use envirotrack_sim::time::Timestamp;
-use serde::{Deserialize, Serialize};
 
 use crate::field::Deployment;
 use crate::geometry::Point;
@@ -87,7 +86,7 @@ impl Scenario {
 }
 
 /// Builder for the paper's tank-tracking scenario (§6.1, Figs. 3–4, Table 1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TankScenario {
     /// Grid columns (field length in grid units + 1).
     pub cols: u32,
@@ -168,7 +167,9 @@ impl TankScenario {
             vec![Emission {
                 channel: Channel::Magnetic,
                 strength: 1.0,
-                falloff: Falloff::Disk { radius: self.sensing_radius },
+                falloff: Falloff::Disk {
+                    radius: self.sensing_radius,
+                },
             }],
         );
         environment.add_target(tank);
@@ -193,7 +194,7 @@ impl TankScenario {
 /// Builder for a fire-tracking scenario: a stationary, spreading heat disk
 /// over an ambient-temperature field (the paper's `sense_fire()` example:
 /// `temperature > 180 and light`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FireScenario {
     /// Grid columns.
     pub cols: u32,
@@ -282,7 +283,7 @@ impl FireScenario {
 /// Builder for multiple tanks on parallel lanes — used to verify that
 /// physically separate entities of the same type get *distinct* context
 /// labels (the paper's physical-continuity invariant).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultiTargetScenario {
     /// Grid columns.
     pub cols: u32,
@@ -328,7 +329,9 @@ impl MultiTargetScenario {
                 vec![Emission {
                     channel: Channel::Magnetic,
                     strength: 1.0,
-                    falloff: Falloff::Disk { radius: self.sensing_radius },
+                    falloff: Falloff::Disk {
+                        radius: self.sensing_radius,
+                    },
                 }],
             ));
         }
@@ -395,9 +398,16 @@ mod tests {
         let before = s.ground_truth_sensors(Timestamp::from_secs(1));
         assert!(before.is_empty(), "fire sensed before ignition");
         let at_ignition = s.ground_truth_sensors(cfg.ignition_time);
-        let later = s.ground_truth_sensors(cfg.ignition_time + envirotrack_sim::time::SimDuration::from_secs(30));
+        let later = s.ground_truth_sensors(
+            cfg.ignition_time + envirotrack_sim::time::SimDuration::from_secs(30),
+        );
         assert!(!at_ignition.is_empty());
-        assert!(later.len() > at_ignition.len(), "fire did not spread: {} -> {}", at_ignition.len(), later.len());
+        assert!(
+            later.len() > at_ignition.len(),
+            "fire did not spread: {} -> {}",
+            at_ignition.len(),
+            later.len()
+        );
     }
 
     #[test]
@@ -420,6 +430,9 @@ mod tests {
             t,
         );
         assert!(!set0.is_empty() && !set1.is_empty());
-        assert!(set0.iter().all(|i| !set1.contains(i)), "lanes overlap: {set0:?} vs {set1:?}");
+        assert!(
+            set0.iter().all(|i| !set1.contains(i)),
+            "lanes overlap: {set0:?} vs {set1:?}"
+        );
     }
 }

@@ -27,13 +27,12 @@
 
 use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::Timestamp;
-use serde::{Deserialize, Serialize};
 
 use crate::geometry::Point;
 use crate::target::{Channel, Target, TargetId};
 
 /// One multi-channel sensor reading.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SensorSample {
     values: [f64; 5],
 }
@@ -63,13 +62,15 @@ impl SensorSample {
 
     /// Iterates `(channel, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (Channel, f64)> + '_ {
-        Channel::ALL.iter().map(move |&c| (c, self.values[c.index()]))
+        Channel::ALL
+            .iter()
+            .map(move |&c| (c, self.values[c.index()]))
     }
 }
 
 /// Additive Gaussian noise applied per channel when sampling through a
 /// [`NoiseModel`]-carrying environment.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct NoiseModel {
     stddev: [f64; 5],
 }
@@ -108,7 +109,7 @@ impl NoiseModel {
 /// This is the ground truth of a simulation. The middleware never reads it
 /// directly — simulated sensor nodes sample it at their own position, and
 /// the experiment harness reads it to audit tracking accuracy.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Environment {
     ambient: SensorSample,
     targets: Vec<Target>,
@@ -255,9 +256,20 @@ mod tests {
             }],
         ));
         let probe = Point::new(5.0, 0.0);
-        assert_eq!(env.sample(probe, Timestamp::ZERO).get(Channel::Magnetic), 0.0);
-        assert_eq!(env.sample(probe, Timestamp::from_secs(5)).get(Channel::Magnetic), 1.0);
-        assert_eq!(env.sample(probe, Timestamp::from_secs(9)).get(Channel::Magnetic), 0.0);
+        assert_eq!(
+            env.sample(probe, Timestamp::ZERO).get(Channel::Magnetic),
+            0.0
+        );
+        assert_eq!(
+            env.sample(probe, Timestamp::from_secs(5))
+                .get(Channel::Magnetic),
+            1.0
+        );
+        assert_eq!(
+            env.sample(probe, Timestamp::from_secs(9))
+                .get(Channel::Magnetic),
+            0.0
+        );
     }
 
     #[test]
@@ -270,11 +282,23 @@ mod tests {
             Point::new(2.0, 0.0),
             Point::new(3.0, 0.0),
         ];
-        let set = env.sensing_set(TargetId(7), Channel::Magnetic, 0.5, &candidates, Timestamp::ZERO);
+        let set = env.sensing_set(
+            TargetId(7),
+            Channel::Magnetic,
+            0.5,
+            &candidates,
+            Timestamp::ZERO,
+        );
         assert_eq!(set, vec![0, 1, 2]);
         // Unknown target → empty.
         assert!(env
-            .sensing_set(TargetId(99), Channel::Magnetic, 0.5, &candidates, Timestamp::ZERO)
+            .sensing_set(
+                TargetId(99),
+                Channel::Magnetic,
+                0.5,
+                &candidates,
+                Timestamp::ZERO
+            )
             .is_empty());
     }
 
@@ -292,7 +316,10 @@ mod tests {
 
         let mut rng = SimRng::seed_from(6);
         let mean = (0..2000)
-            .map(|_| env.sample_noisy(p, Timestamp::ZERO, &mut rng).get(Channel::Temperature))
+            .map(|_| {
+                env.sample_noisy(p, Timestamp::ZERO, &mut rng)
+                    .get(Channel::Temperature)
+            })
             .sum::<f64>()
             / 2000.0;
         assert!((mean - 100.0).abs() < 0.25, "noisy mean {mean}");

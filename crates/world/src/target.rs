@@ -18,12 +18,11 @@
 //! ```
 
 use envirotrack_sim::time::Timestamp;
-use serde::{Deserialize, Serialize};
 
 use crate::geometry::Point;
 
 /// Identifies one target within a scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TargetId(pub u32);
 
 impl std::fmt::Display for TargetId {
@@ -36,7 +35,7 @@ impl std::fmt::Display for TargetId {
 ///
 /// Waypoints are visited in order starting at `start_time`; the target halts
 /// at the final waypoint (or loops, if [`Trajectory::looped`] was set).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trajectory {
     waypoints: Vec<Point>,
     /// Speed in grid units per second, applied to every segment.
@@ -50,7 +49,12 @@ impl Trajectory {
     /// non-moving phenomena).
     #[must_use]
     pub fn stationary(p: Point) -> Self {
-        Trajectory { waypoints: vec![p], speed: 0.0, start_time: Timestamp::ZERO, looped: false }
+        Trajectory {
+            waypoints: vec![p],
+            speed: 0.0,
+            start_time: Timestamp::ZERO,
+            looped: false,
+        }
     }
 
     /// A straight line from `from` to `to` at `speed` grid units/second,
@@ -72,12 +76,20 @@ impl Trajectory {
     /// than one waypoint is given.
     #[must_use]
     pub fn waypoints(points: Vec<Point>, speed: f64) -> Self {
-        assert!(!points.is_empty(), "a trajectory needs at least one waypoint");
+        assert!(
+            !points.is_empty(),
+            "a trajectory needs at least one waypoint"
+        );
         assert!(
             points.len() == 1 || speed > 0.0,
             "a moving trajectory needs a positive speed, got {speed}"
         );
-        Trajectory { waypoints: points, speed, start_time: Timestamp::ZERO, looped: false }
+        Trajectory {
+            waypoints: points,
+            speed,
+            start_time: Timestamp::ZERO,
+            looped: false,
+        }
     }
 
     /// Delays departure until `at` (the target sits at the first waypoint
@@ -111,7 +123,11 @@ impl Trajectory {
     /// Total path length of one pass over the waypoints, in grid units.
     #[must_use]
     pub fn path_length(&self) -> f64 {
-        let segs = self.waypoints.windows(2).map(|w| w[0].distance_to(w[1])).sum::<f64>();
+        let segs = self
+            .waypoints
+            .windows(2)
+            .map(|w| w[0].distance_to(w[1]))
+            .sum::<f64>();
         if self.looped && self.waypoints.len() > 1 {
             segs + self.waypoints[self.waypoints.len() - 1].distance_to(self.waypoints[0])
         } else {
@@ -126,7 +142,9 @@ impl Trajectory {
         if self.speed <= 0.0 || self.looped {
             return None;
         }
-        Some(envirotrack_sim::time::SimDuration::from_secs_f64(self.path_length() / self.speed))
+        Some(envirotrack_sim::time::SimDuration::from_secs_f64(
+            self.path_length() / self.speed,
+        ))
     }
 
     /// The target position at virtual time `t`.
@@ -174,7 +192,7 @@ impl Trajectory {
 /// The paper lists "temperature, pressure, motion, acceleration, humidity,
 /// light, smoke, sound and magnetic field"; we model the five used by its
 /// scenarios and examples.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Channel {
     /// Magnetometer output (the tank scenario).
     Magnetic,
@@ -190,8 +208,13 @@ pub enum Channel {
 
 impl Channel {
     /// All channels, for iteration.
-    pub const ALL: [Channel; 5] =
-        [Channel::Magnetic, Channel::Temperature, Channel::Light, Channel::Acoustic, Channel::Motion];
+    pub const ALL: [Channel; 5] = [
+        Channel::Magnetic,
+        Channel::Temperature,
+        Channel::Light,
+        Channel::Acoustic,
+        Channel::Motion,
+    ];
 
     /// Dense index for array-backed sample storage.
     #[must_use]
@@ -228,7 +251,9 @@ impl std::str::FromStr for Channel {
             "light" => Ok(Channel::Light),
             "acoustic" => Ok(Channel::Acoustic),
             "motion" => Ok(Channel::Motion),
-            _ => Err(ParseChannelError { input: s.to_owned() }),
+            _ => Err(ParseChannelError {
+                input: s.to_owned(),
+            }),
         }
     }
 }
@@ -248,7 +273,7 @@ impl std::fmt::Display for ParseChannelError {
 impl std::error::Error for ParseChannelError {}
 
 /// How a target's signal decays with distance `d` from the target.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Falloff {
     /// Constant `strength` inside `radius`, zero outside — a crisp sensing
     /// disk (the testbed's shadowed-light model).
@@ -297,7 +322,12 @@ impl Falloff {
     /// is time-dependent.
     #[must_use]
     pub fn gain_at(&self, d: f64, elapsed_secs: f64) -> f64 {
-        if let Falloff::GrowingDisk { initial_radius, growth_per_sec, max_radius } = *self {
+        if let Falloff::GrowingDisk {
+            initial_radius,
+            growth_per_sec,
+            max_radius,
+        } = *self
+        {
             let r = (initial_radius + growth_per_sec * elapsed_secs.max(0.0)).min(max_radius);
             return if d <= r { 1.0 } else { 0.0 };
         }
@@ -368,7 +398,12 @@ impl Falloff {
         threshold: f64,
         elapsed_secs: f64,
     ) -> Option<f64> {
-        if let Falloff::GrowingDisk { initial_radius, growth_per_sec, max_radius } = *self {
+        if let Falloff::GrowingDisk {
+            initial_radius,
+            growth_per_sec,
+            max_radius,
+        } = *self
+        {
             if threshold <= 0.0 || strength < threshold {
                 return None;
             }
@@ -380,7 +415,7 @@ impl Falloff {
 }
 
 /// One channel's emission from a target.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Emission {
     /// Which sensor channel this emission drives.
     pub channel: Channel,
@@ -391,7 +426,7 @@ pub struct Emission {
 }
 
 /// A physical entity moving through the field.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Target {
     id: TargetId,
     trajectory: Trajectory,
@@ -407,7 +442,13 @@ impl Target {
     /// the whole simulation.
     #[must_use]
     pub fn new(id: TargetId, trajectory: Trajectory, emissions: Vec<Emission>) -> Self {
-        Target { id, trajectory, emissions, active_from: Timestamp::ZERO, active_until: Timestamp::MAX }
+        Target {
+            id,
+            trajectory,
+            emissions,
+            active_from: Timestamp::ZERO,
+            active_until: Timestamp::MAX,
+        }
     }
 
     /// Restricts the interval during which the target exists.
@@ -491,7 +532,10 @@ impl Target {
         self.emissions
             .iter()
             .filter(|e| e.channel == channel)
-            .filter_map(|e| e.falloff.detection_radius_at(e.strength, threshold, elapsed))
+            .filter_map(|e| {
+                e.falloff
+                    .detection_radius_at(e.strength, threshold, elapsed)
+            })
             .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
     }
 }
@@ -506,9 +550,15 @@ mod tests {
         let t = Trajectory::line(Point::new(0.0, 0.0), Point::new(10.0, 0.0), 2.0);
         assert_eq!(t.position_at(Timestamp::ZERO), Point::new(0.0, 0.0));
         assert_eq!(t.position_at(Timestamp::from_secs(1)), Point::new(2.0, 0.0));
-        assert_eq!(t.position_at(Timestamp::from_secs(5)), Point::new(10.0, 0.0));
+        assert_eq!(
+            t.position_at(Timestamp::from_secs(5)),
+            Point::new(10.0, 0.0)
+        );
         // Halts at the end.
-        assert_eq!(t.position_at(Timestamp::from_secs(100)), Point::new(10.0, 0.0));
+        assert_eq!(
+            t.position_at(Timestamp::from_secs(100)),
+            Point::new(10.0, 0.0)
+        );
         assert!(t.finished_at(Timestamp::from_secs(5)));
         assert!(!t.finished_at(Timestamp::from_secs(4)));
     }
@@ -518,7 +568,10 @@ mod tests {
         let t = Trajectory::line(Point::ORIGIN, Point::new(4.0, 0.0), 1.0)
             .starting_at(Timestamp::from_secs(10));
         assert_eq!(t.position_at(Timestamp::from_secs(5)), Point::ORIGIN);
-        assert_eq!(t.position_at(Timestamp::from_secs(12)), Point::new(2.0, 0.0));
+        assert_eq!(
+            t.position_at(Timestamp::from_secs(12)),
+            Point::new(2.0, 0.0)
+        );
     }
 
     #[test]
@@ -551,7 +604,10 @@ mod tests {
     #[test]
     fn stationary_targets_never_move_or_finish() {
         let t = Trajectory::stationary(Point::new(2.0, 2.0));
-        assert_eq!(t.position_at(Timestamp::from_secs(1_000_000)), Point::new(2.0, 2.0));
+        assert_eq!(
+            t.position_at(Timestamp::from_secs(1_000_000)),
+            Point::new(2.0, 2.0)
+        );
         assert!(!t.finished_at(Timestamp::MAX));
     }
 
@@ -584,9 +640,21 @@ mod tests {
             TargetId(0),
             Trajectory::stationary(Point::ORIGIN),
             vec![
-                Emission { channel: Channel::Magnetic, strength: 8.0, falloff: Falloff::Disk { radius: 1.0 } },
-                Emission { channel: Channel::Magnetic, strength: 2.0, falloff: Falloff::Disk { radius: 5.0 } },
-                Emission { channel: Channel::Acoustic, strength: 1.0, falloff: Falloff::Disk { radius: 9.0 } },
+                Emission {
+                    channel: Channel::Magnetic,
+                    strength: 8.0,
+                    falloff: Falloff::Disk { radius: 1.0 },
+                },
+                Emission {
+                    channel: Channel::Magnetic,
+                    strength: 2.0,
+                    falloff: Falloff::Disk { radius: 5.0 },
+                },
+                Emission {
+                    channel: Channel::Acoustic,
+                    strength: 1.0,
+                    falloff: Falloff::Disk { radius: 9.0 },
+                },
             ],
         )
         .active_between(Timestamp::from_secs(10), Timestamp::from_secs(20));
@@ -595,8 +663,14 @@ mod tests {
         assert_eq!(tgt.signal(Channel::Magnetic, 0.5, mid), 10.0);
         assert_eq!(tgt.signal(Channel::Magnetic, 3.0, mid), 2.0);
         assert_eq!(tgt.signal(Channel::Acoustic, 3.0, mid), 1.0);
-        assert_eq!(tgt.signal(Channel::Magnetic, 0.5, Timestamp::from_secs(5)), 0.0);
-        assert_eq!(tgt.signal(Channel::Magnetic, 0.5, Timestamp::from_secs(20)), 0.0);
+        assert_eq!(
+            tgt.signal(Channel::Magnetic, 0.5, Timestamp::from_secs(5)),
+            0.0
+        );
+        assert_eq!(
+            tgt.signal(Channel::Magnetic, 0.5, Timestamp::from_secs(20)),
+            0.0
+        );
         assert_eq!(tgt.detection_radius(Channel::Magnetic, 1.0), Some(5.0));
         assert_eq!(tgt.detection_radius(Channel::Temperature, 1.0), None);
     }
@@ -621,18 +695,36 @@ mod tests {
         // Before ignition: nothing.
         assert_eq!(fire.signal(Channel::Temperature, 0.5, Timestamp::ZERO), 0.0);
         // At ignition: 1-unit disk.
-        assert_eq!(fire.signal(Channel::Temperature, 0.5, Timestamp::from_secs(10)), 200.0);
-        assert_eq!(fire.signal(Channel::Temperature, 1.5, Timestamp::from_secs(10)), 0.0);
+        assert_eq!(
+            fire.signal(Channel::Temperature, 0.5, Timestamp::from_secs(10)),
+            200.0
+        );
+        assert_eq!(
+            fire.signal(Channel::Temperature, 1.5, Timestamp::from_secs(10)),
+            0.0
+        );
         // 2 s later: radius 2.
-        assert_eq!(fire.signal(Channel::Temperature, 1.5, Timestamp::from_secs(12)), 200.0);
+        assert_eq!(
+            fire.signal(Channel::Temperature, 1.5, Timestamp::from_secs(12)),
+            200.0
+        );
         // Long after: capped at radius 3.
-        assert_eq!(fire.signal(Channel::Temperature, 2.9, Timestamp::from_secs(100)), 200.0);
-        assert_eq!(fire.signal(Channel::Temperature, 3.1, Timestamp::from_secs(100)), 0.0);
+        assert_eq!(
+            fire.signal(Channel::Temperature, 2.9, Timestamp::from_secs(100)),
+            200.0
+        );
+        assert_eq!(
+            fire.signal(Channel::Temperature, 3.1, Timestamp::from_secs(100)),
+            0.0
+        );
         assert_eq!(
             fire.detection_radius_at(Channel::Temperature, 180.0, Timestamp::from_secs(12)),
             Some(2.0)
         );
-        assert_eq!(fire.detection_radius_at(Channel::Temperature, 180.0, Timestamp::ZERO), None);
+        assert_eq!(
+            fire.detection_radius_at(Channel::Temperature, 180.0, Timestamp::ZERO),
+            None
+        );
     }
 
     #[test]

@@ -5,13 +5,13 @@ use envirotrack_sim::time::Timestamp;
 use envirotrack_world::field::Deployment;
 use envirotrack_world::geometry::{Aabb, Point};
 use envirotrack_world::target::{Falloff, Trajectory};
-use proptest::prelude::*;
+use testkit::prelude::*;
 
 fn arb_point() -> impl Strategy<Value = Point> {
     (-100.0..100.0f64, -100.0..100.0f64).prop_map(|(x, y)| Point::new(x, y))
 }
 
-proptest! {
+prop_test! {
     /// A trajectory never moves faster than its declared speed.
     #[test]
     fn trajectory_respects_its_speed_limit(

@@ -36,21 +36,27 @@ fn program() -> Arc<Program> {
     Arc::new(
         Program::builder()
             .context("command_post", |c| {
-                c.pinned(Point::new(1.0, 6.0)).subscribe("fire").object("post", |o| {
-                    o.on_message("alert", ALERT, |ctx| {
-                        let from = ctx.incoming().expect("message-triggered").src_label;
-                        ctx.log(format!("intruder alert from {from}"));
+                c.pinned(Point::new(1.0, 6.0))
+                    .subscribe("fire")
+                    .object("post", |o| {
+                        o.on_message("alert", ALERT, |ctx| {
+                            let from = ctx.incoming().expect("message-triggered").src_label;
+                            ctx.log(format!("intruder alert from {from}"));
+                        })
+                        .on_timer(
+                            "fire_watch",
+                            SimDuration::from_secs(10),
+                            |ctx| {
+                                let fires = ctx.labels_of_type(FIRE);
+                                if fires.is_empty() {
+                                    ctx.log("no fires on the board".to_owned());
+                                }
+                                for (label, at) in fires {
+                                    ctx.log(format!("fire {label} burning near {at}"));
+                                }
+                            },
+                        )
                     })
-                    .on_timer("fire_watch", SimDuration::from_secs(10), |ctx| {
-                        let fires = ctx.labels_of_type(FIRE);
-                        if fires.is_empty() {
-                            ctx.log("no fires on the board".to_owned());
-                        }
-                        for (label, at) in fires {
-                            ctx.log(format!("fire {label} burning near {at}"));
-                        }
-                    })
-                })
             })
             .context("intruder", |c| {
                 c.activation(SensePredicate::threshold(Channel::Magnetic, 0.5))
@@ -185,7 +191,10 @@ fn main() {
         .filter(|(_, _, l)| l.contains("burning near"))
         .count();
     println!("  command post received {alerts} intruder alerts, {fire_sightings} fire sightings");
-    println!("  base station holds {} intruder position reports", net.base_log().len());
+    println!(
+        "  base station holds {} intruder position reports",
+        net.base_log().len()
+    );
 
     let handovers = net
         .events()

@@ -54,7 +54,9 @@ fn main() {
                                 ));
                                 ctx.send_to_base(payload::position(center));
                             }
-                            _ => ctx.log("siting not yet confirmed (below critical mass)".to_owned()),
+                            _ => {
+                                ctx.log("siting not yet confirmed (below critical mass)".to_owned())
+                            }
                         }
                     })
                 })
@@ -74,13 +76,8 @@ fn main() {
     let mut config = NetworkConfig::default();
     config.middleware.proximity_radius = 2.0 * cfg.max_radius + 2.0;
 
-    let mut engine = SensorNetwork::build_engine(
-        program,
-        world.deployment,
-        world.environment,
-        config,
-        451,
-    );
+    let mut engine =
+        SensorNetwork::build_engine(program, world.deployment, world.environment, config, 451);
 
     // Observe group growth as the fire spreads.
     println!("\n{:>6}  {:>8}  {:>8}", "time", "leaders", "members");
@@ -89,8 +86,10 @@ fn main() {
         engine.run_until(t);
         let net = engine.world();
         let leaders = net.leaders_of_type(ContextTypeId(0));
-        let members: usize =
-            leaders.iter().map(|(_, l)| net.members_of_label(*l).len()).sum();
+        let members: usize = leaders
+            .iter()
+            .map(|(_, l)| net.members_of_label(*l).len())
+            .sum();
         println!("{:>6}  {:>8}  {:>8}", t.to_string(), leaders.len(), members);
     }
 
@@ -100,7 +99,10 @@ fn main() {
         println!("  {t} {node}: {line}");
     }
 
-    println!("\nbase station received {} confirmed fire reports", net.base_log().len());
+    println!(
+        "\nbase station received {} confirmed fire reports",
+        net.base_log().len()
+    );
     let ignition = cfg.ignition;
     if let Some((_, track)) = net.base_log().tracks_of_type(ContextTypeId(0)).first() {
         if let Some((_, p)) = track.last() {

@@ -58,9 +58,8 @@ fn main() {
                     })
             })
             .context("intruder", |c| {
-                c.activation(SensePredicate::threshold(Channel::Magnetic, 0.5)).object(
-                    "respond",
-                    |o| {
+                c.activation(SensePredicate::threshold(Channel::Magnetic, 0.5))
+                    .object("respond", |o| {
                         o.on_message("challenged", CHALLENGE_PORT, |ctx| {
                             let incoming = ctx.incoming().expect("message-triggered").clone();
                             ctx.log(format!(
@@ -69,8 +68,7 @@ fn main() {
                             ));
                             ctx.send(incoming.src_label, REPLY_PORT, &b"just a tank"[..]);
                         })
-                    },
-                )
+                    })
             })
             .build()
             .expect("valid program"),
@@ -94,8 +92,7 @@ fn main() {
     config.middleware = config.middleware.with_directory(true);
     config.middleware.directory_update_period = SimDuration::from_secs(5);
 
-    let mut engine =
-        SensorNetwork::build_engine(program, deployment, environment, config, 7777);
+    let mut engine = SensorNetwork::build_engine(program, deployment, environment, config, 7777);
     engine.run_until(Timestamp::from_secs(120));
     let net = engine.world();
 
@@ -107,7 +104,9 @@ fn main() {
     let delivered = net
         .events()
         .count(|e| matches!(e, SystemEvent::MtpDelivered { .. }));
-    let dropped = net.events().count(|e| matches!(e, SystemEvent::MtpDropped { .. }));
+    let dropped = net
+        .events()
+        .count(|e| matches!(e, SystemEvent::MtpDropped { .. }));
     println!("\nMTP segments delivered to objects: {delivered}, dropped: {dropped}");
     let replies = net
         .app_log()

@@ -48,7 +48,11 @@ fn main() {
     let scenario = TankScenario::default().with_speed_kmh(33.0);
     let world = scenario.build();
     println!("scenario: {}", world.description);
-    let tank = world.environment.target(world.primary_target).expect("tank exists").clone();
+    let tank = world
+        .environment
+        .target(world.primary_target)
+        .expect("tank exists")
+        .clone();
 
     // 3. Assemble middleware + radio + motes and run.
     let mut engine = SensorNetwork::build_engine(
@@ -63,7 +67,10 @@ fn main() {
     let net = engine.world();
 
     // 4. What did the pursuer see?
-    println!("\n{:>8}  {:>18}  {:>18}  {:>6}", "time", "reported", "actual", "error");
+    println!(
+        "\n{:>8}  {:>18}  {:>18}  {:>6}",
+        "time", "reported", "actual", "error"
+    );
     let tracks = net.base_log().tracks_of_type(ContextTypeId(0));
     for (label, track) in &tracks {
         println!("-- context label {label} --");
@@ -82,8 +89,14 @@ fn main() {
     // 5. Protocol summary.
     let events = net.events();
     println!("\nprotocol summary:");
-    println!("  labels created:   {}", events.labels_created(ContextTypeId(0)).len());
-    println!("  labels suppressed:{}", events.suppressed(ContextTypeId(0)).len());
+    println!(
+        "  labels created:   {}",
+        events.labels_created(ContextTypeId(0)).len()
+    );
+    println!(
+        "  labels suppressed:{}",
+        events.suppressed(ContextTypeId(0)).len()
+    );
     println!(
         "  leader handovers: {}",
         events.count(|e| matches!(e, SystemEvent::LeaderHandover { .. }))
@@ -92,7 +105,10 @@ fn main() {
     println!(
         "  heartbeats sent {} / lost {:.1}%",
         stats.kind(envirotrack::core::wire::kinds::HEARTBEAT).tx,
-        100.0 * stats.kind(envirotrack::core::wire::kinds::HEARTBEAT).tx_loss_ratio()
+        100.0
+            * stats
+                .kind(envirotrack::core::wire::kinds::HEARTBEAT)
+                .tx_loss_ratio()
     );
     println!(
         "  link utilization: {:.2}%",

@@ -38,7 +38,10 @@ const TRACKER_SOURCE: &str = r#"
 
 fn main() {
     let program = Arc::new(compile_source(TRACKER_SOURCE).expect("Figure 2 compiles"));
-    println!("compiled {} context type(s) from EnviroTrack source", program.context_count());
+    println!(
+        "compiled {} context type(s) from EnviroTrack source",
+        program.context_count()
+    );
 
     // Two vehicles on parallel lanes of a 12×8 grid.
     let scenario = MultiTargetScenario::default();
@@ -58,7 +61,10 @@ fn main() {
 
     // The pursuer's view: tracks keyed by context label.
     let tracks = net.base_log().tracks_of_type(ContextTypeId(0));
-    println!("\npursuer recorded {} distinct vehicle label(s):", tracks.len());
+    println!(
+        "\npursuer recorded {} distinct vehicle label(s):",
+        tracks.len()
+    );
     for (label, track) in &tracks {
         let first = track.first();
         let last = track.last();
@@ -92,7 +98,12 @@ fn main() {
             SystemEvent::LabelCreated { label, node, .. } => {
                 println!("  {t} created   {label} at {node}");
             }
-            SystemEvent::LeaderHandover { label, from, to, reason } => {
+            SystemEvent::LeaderHandover {
+                label,
+                from,
+                to,
+                reason,
+            } => {
                 println!("  {t} handover  {label} {from} -> {to} ({reason:?})");
             }
             SystemEvent::LabelSuppressed { loser, winner, .. } => {

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run before recording a change in CHANGES.md.
+#
+# The workspace is hermetic: every dependency lives in crates/, so both
+# steps run with --offline and must succeed with networking disabled.
+# TESTKIT_CASES / TESTKIT_SEED (see crates/testkit) can be exported first
+# to broaden or pin the property suites.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline --workspace
+
+echo "verify: OK"

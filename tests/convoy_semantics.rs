@@ -82,7 +82,10 @@ fn converging_tanks_merge_into_one_label() {
     // legitimate merge mechanisms and must be visible in the event log.
     let suppressed = world.events().suppressed(TRACKER).len();
     let dissolved = world.events().count(|e| {
-        matches!(e, envirotrack::core::events::SystemEvent::LabelDissolved { .. })
+        matches!(
+            e,
+            envirotrack::core::events::SystemEvent::LabelDissolved { .. }
+        )
     });
     assert!(
         suppressed + dissolved >= 1,

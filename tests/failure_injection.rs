@@ -117,7 +117,10 @@ fn repeated_leader_assassination_does_not_stop_tracking() {
             }
         )
     });
-    assert!(takeovers >= 2, "most assassinations should resolve via takeover, got {takeovers}");
+    assert!(
+        takeovers >= 2,
+        "most assassinations should resolve via takeover, got {takeovers}"
+    );
 }
 
 #[test]
@@ -129,14 +132,23 @@ fn revived_node_rejoins_cleanly() {
     engine.run_until(Timestamp::from_secs(55));
     // Revive with amnesia and restart its sensing loop.
     engine.world_mut().revive_node(leader);
-    engine.kernel_mut().schedule_at(Timestamp::from_secs(55), move |w: &mut SensorNetwork, k| {
-        w.sense_tick(k, leader);
-    });
+    engine
+        .kernel_mut()
+        .schedule_at(Timestamp::from_secs(55), move |w: &mut SensorNetwork, k| {
+            w.sense_tick(k, leader);
+        });
     engine.run_until(Timestamp::from_secs(90));
     let world = engine.world();
     let leaders = world.leaders_of_type(TRACKER);
-    assert_eq!(leaders.len(), 1, "exactly one label after the revival: {leaders:?}");
-    assert_eq!(leaders[0].1, label, "the revived node must not have forked the label");
+    assert_eq!(
+        leaders.len(),
+        1,
+        "exactly one label after the revival: {leaders:?}"
+    );
+    assert_eq!(
+        leaders[0].1, label,
+        "the revived node must not have forked the label"
+    );
 }
 
 #[test]
@@ -158,5 +170,8 @@ fn killing_every_group_member_restarts_tracking_with_a_new_label() {
     assert_eq!(leaders.len(), 1, "tracking must resume: {leaders:?}");
     assert!(world.is_alive(leaders[0].0));
     let created = world.events().labels_created(TRACKER).len();
-    assert!(created >= 2, "a fresh label was required after annihilation");
+    assert!(
+        created >= 2,
+        "a fresh label was required after annihilation"
+    );
 }

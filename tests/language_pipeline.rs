@@ -30,7 +30,11 @@ fn figure_two_source_tracks_the_tank() {
         .expect("Figure 2 compiles"),
     );
     let world = TankScenario::default().with_speed_hops_per_s(0.1).build();
-    let tank = world.environment.target(world.primary_target).unwrap().clone();
+    let tank = world
+        .environment
+        .target(world.primary_target)
+        .unwrap()
+        .clone();
     let mut engine = SensorNetwork::build_engine(
         program,
         world.deployment,
@@ -44,13 +48,20 @@ fn figure_two_source_tracks_the_tank() {
     let tracks = net.base_log().tracks_of_type(ContextTypeId(0));
     assert_eq!(tracks.len(), 1, "one tank, one labelled track");
     let (_, track) = &tracks[0];
-    assert!(track.len() >= 8, "expected a stream of reports, got {}", track.len());
+    assert!(
+        track.len() >= 8,
+        "expected a stream of reports, got {}",
+        track.len()
+    );
     let mean_err: f64 = track
         .iter()
         .map(|(t, p)| p.distance_to(tank.position_at(*t)))
         .sum::<f64>()
         / track.len() as f64;
-    assert!(mean_err < 1.0, "language-built tracker has error {mean_err}");
+    assert!(
+        mean_err < 1.0,
+        "language-built tracker has error {mean_err}"
+    );
 }
 
 #[test]
@@ -77,13 +88,8 @@ fn fire_source_with_conjunction_and_logging_runs() {
     let world = cfg.build();
     let mut config = NetworkConfig::default();
     config.middleware.proximity_radius = 2.0 * cfg.max_radius + 2.0;
-    let mut engine = SensorNetwork::build_engine(
-        program,
-        world.deployment,
-        world.environment,
-        config,
-        23,
-    );
+    let mut engine =
+        SensorNetwork::build_engine(program, world.deployment, world.environment, config, 23);
     engine.run_until(Timestamp::from_secs(120));
     let net = engine.world();
 
@@ -93,7 +99,10 @@ fn fire_source_with_conjunction_and_logging_runs() {
         .iter()
         .filter(|(_, _, l)| l.contains("heat=") && !l.contains('<'))
         .count();
-    assert!(heat_lines >= 3, "expected confirmed heat logs, got {heat_lines}");
+    assert!(
+        heat_lines >= 3,
+        "expected confirmed heat logs, got {heat_lines}"
+    );
     // And the scalar reports reached the base station.
     let scalars: Vec<f64> = net
         .base_log()
@@ -147,7 +156,10 @@ fn null_flag_suppresses_unconfirmed_reports() {
     );
     // The failures were surfaced as events.
     let failures = net.events().count(|e| {
-        matches!(e, envirotrack::core::events::SystemEvent::AggregateReadFailed { .. })
+        matches!(
+            e,
+            envirotrack::core::events::SystemEvent::AggregateReadFailed { .. }
+        )
     });
     assert!(failures > 0, "unconfirmed reads must be observable");
 }

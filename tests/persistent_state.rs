@@ -22,9 +22,8 @@ fn counting_program() -> Arc<Program> {
     Arc::new(
         Program::builder()
             .context("counter", |c| {
-                c.activation(SensePredicate::threshold(Channel::Magnetic, 0.5)).object(
-                    "ticker",
-                    |o| {
+                c.activation(SensePredicate::threshold(Channel::Magnetic, 0.5))
+                    .object("ticker", |o| {
                         o.on_timer("tick", SimDuration::from_secs(3), |ctx| {
                             let n = ctx
                                 .state()
@@ -34,8 +33,7 @@ fn counting_program() -> Arc<Program> {
                             ctx.set_state(Bytes::copy_from_slice(&next.to_be_bytes()));
                             ctx.log(format!("count={next}"));
                         })
-                    },
-                )
+                    })
             })
             .build()
             .unwrap(),
@@ -97,7 +95,10 @@ fn state_survives_leader_failures_when_replication_is_on() {
         );
     }
     let max = *seq.last().unwrap();
-    assert!(max >= 8, "three assassinations should not stall the count: {seq:?}");
+    assert!(
+        max >= 8,
+        "three assassinations should not stall the count: {seq:?}"
+    );
 }
 
 #[test]

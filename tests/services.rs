@@ -35,15 +35,13 @@ fn two_party_world() -> (Arc<Program>, Deployment, Environment, NetworkConfig) {
                     })
             })
             .context("beacon", |c| {
-                c.activation(SensePredicate::threshold(Channel::Acoustic, 0.5)).object(
-                    "responder",
-                    |o| {
+                c.activation(SensePredicate::threshold(Channel::Acoustic, 0.5))
+                    .object("responder", |o| {
                         o.on_message("ping", PING, |ctx| {
                             let from = ctx.incoming().expect("message-triggered").src_label;
                             ctx.send(from, PONG, &b"pong"[..]);
                         })
-                    },
-                )
+                    })
             })
             .build()
             .expect("valid program"),
@@ -54,7 +52,11 @@ fn two_party_world() -> (Arc<Program>, Deployment, Environment, NetworkConfig) {
     environment.add_target(Target::new(
         TargetId(0),
         Trajectory::stationary(Point::new(1.0, 1.0)),
-        vec![Emission { channel: Channel::Light, strength: 1.0, falloff: Falloff::Disk { radius: 1.2 } }],
+        vec![Emission {
+            channel: Channel::Light,
+            strength: 1.0,
+            falloff: Falloff::Disk { radius: 1.2 },
+        }],
     ));
     environment.add_target(Target::new(
         TargetId(1),
@@ -79,10 +81,22 @@ fn directory_resolves_and_mtp_round_trips() {
     engine.run_until(Timestamp::from_secs(90));
     let world = engine.world();
 
-    let delivered = world.events().count(|e| matches!(e, SystemEvent::MtpDelivered { .. }));
-    assert!(delivered >= 2, "expected pings and pongs to be delivered, got {delivered}");
-    let pongs = world.app_log().iter().filter(|(_, _, l)| l.contains("pong received")).count();
-    assert!(pongs >= 3, "expected repeated ping/pong round trips, got {pongs}");
+    let delivered = world
+        .events()
+        .count(|e| matches!(e, SystemEvent::MtpDelivered { .. }));
+    assert!(
+        delivered >= 2,
+        "expected pings and pongs to be delivered, got {delivered}"
+    );
+    let pongs = world
+        .app_log()
+        .iter()
+        .filter(|(_, _, l)| l.contains("pong received"))
+        .count();
+    assert!(
+        pongs >= 3,
+        "expected repeated ping/pong round trips, got {pongs}"
+    );
 }
 
 #[test]
@@ -130,14 +144,12 @@ fn mtp_chases_a_moving_label_through_forwarding() {
                     })
             })
             .context("runner", |c| {
-                c.activation(SensePredicate::threshold(Channel::Magnetic, 0.5)).object(
-                    "ear",
-                    |o| {
+                c.activation(SensePredicate::threshold(Channel::Magnetic, 0.5))
+                    .object("ear", |o| {
                         o.on_message("ping", PING, |ctx| {
                             ctx.log(format!("ping heard at {}", ctx.node()));
                         })
-                    },
-                )
+                    })
             })
             .build()
             .unwrap(),
@@ -147,7 +159,11 @@ fn mtp_chases_a_moving_label_through_forwarding() {
     environment.add_target(Target::new(
         TargetId(0),
         Trajectory::stationary(Point::new(10.0, 5.0)),
-        vec![Emission { channel: Channel::Light, strength: 1.0, falloff: Falloff::Disk { radius: 1.2 } }],
+        vec![Emission {
+            channel: Channel::Light,
+            strength: 1.0,
+            falloff: Falloff::Disk { radius: 1.2 },
+        }],
     ));
     environment.add_target(Target::new(
         TargetId(1),
@@ -166,9 +182,16 @@ fn mtp_chases_a_moving_label_through_forwarding() {
     engine.run_until(Timestamp::from_secs(130));
     let world = engine.world();
 
-    let pings: Vec<&(Timestamp, envirotrack::world::field::NodeId, String)> =
-        world.app_log().iter().filter(|(_, _, l)| l.contains("ping heard")).collect();
-    assert!(pings.len() >= 4, "moving label must keep receiving pings, got {}", pings.len());
+    let pings: Vec<&(Timestamp, envirotrack::world::field::NodeId, String)> = world
+        .app_log()
+        .iter()
+        .filter(|(_, _, l)| l.contains("ping heard"))
+        .collect();
+    assert!(
+        pings.len() >= 4,
+        "moving label must keep receiving pings, got {}",
+        pings.len()
+    );
     // The receiving node changes as the group migrates.
     let distinct_receivers: std::collections::BTreeSet<_> =
         pings.iter().map(|(_, n, _)| *n).collect();
@@ -187,6 +210,8 @@ fn mtp_without_directory_drops_unknown_labels() {
     let world = engine.world();
     // With no directory there is no way to learn the beacon's label, so no
     // MTP deliveries can occur (and nothing crashes).
-    let delivered = world.events().count(|e| matches!(e, SystemEvent::MtpDelivered { .. }));
+    let delivered = world
+        .events()
+        .count(|e| matches!(e, SystemEvent::MtpDelivered { .. }));
     assert_eq!(delivered, 0);
 }

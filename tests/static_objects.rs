@@ -42,12 +42,22 @@ fn pinned_object_exists_from_startup_and_never_moves() {
     let leaders = world.leaders_of_type(ContextTypeId(0));
     assert_eq!(leaders.len(), 1, "exactly one pinned instance: {leaders:?}");
     let (host, _) = leaders[0];
-    assert_eq!(deployment.position(host), Point::new(3.0, 3.0), "hosted at the pinned point");
+    assert_eq!(
+        deployment.position(host),
+        Point::new(3.0, 3.0),
+        "hosted at the pinned point"
+    );
     // It ticked for the whole run, always on the same node.
-    let beats: Vec<_> =
-        world.app_log().iter().filter(|(_, _, l)| l.contains("alive at")).collect();
+    let beats: Vec<_> = world
+        .app_log()
+        .iter()
+        .filter(|(_, _, l)| l.contains("alive at"))
+        .collect();
     assert!(beats.len() >= 10, "expected ~12 beats, got {}", beats.len());
-    assert!(beats.iter().all(|(_, n, _)| *n == host), "a static object must not migrate");
+    assert!(
+        beats.iter().all(|(_, n, _)| *n == host),
+        "a static object must not migrate"
+    );
     // Exactly one label was ever created for it.
     assert_eq!(world.events().labels_created(ContextTypeId(0)).len(), 1);
 }
@@ -99,10 +109,21 @@ fn tracking_objects_can_message_a_static_object() {
     engine.run_until(Timestamp::from_secs(120));
     let world = engine.world();
 
-    let alerts = world.app_log().iter().filter(|(_, _, l)| l.contains("ALERT from")).count();
-    assert!(alerts >= 5, "the panel should keep receiving alerts, got {alerts}");
-    let dropped = world.events().count(|e| matches!(e, SystemEvent::MtpDropped { .. }));
-    let delivered = world.events().count(|e| matches!(e, SystemEvent::MtpDelivered { .. }));
+    let alerts = world
+        .app_log()
+        .iter()
+        .filter(|(_, _, l)| l.contains("ALERT from"))
+        .count();
+    assert!(
+        alerts >= 5,
+        "the panel should keep receiving alerts, got {alerts}"
+    );
+    let dropped = world
+        .events()
+        .count(|e| matches!(e, SystemEvent::MtpDropped { .. }));
+    let delivered = world
+        .events()
+        .count(|e| matches!(e, SystemEvent::MtpDelivered { .. }));
     assert!(
         delivered > dropped,
         "most alerts must reach the static endpoint ({delivered} delivered / {dropped} dropped)"
@@ -143,7 +164,11 @@ fn pinned_instance_survives_nearby_tracking_chaos() {
     engine.run_until(Timestamp::from_secs(150));
     let world = engine.world();
     let sinks = world.leaders_of_type(ContextTypeId(0));
-    assert_eq!(sinks.len(), 1, "the static object must still exist: {sinks:?}");
+    assert_eq!(
+        sinks.len(),
+        1,
+        "the static object must still exist: {sinks:?}"
+    );
     assert_eq!(
         world.events().labels_created(ContextTypeId(0)).len(),
         1,

@@ -58,7 +58,10 @@ fn single_tank_keeps_a_single_coherent_label() {
 
     let created = world.events().labels_created(TRACKER);
     let suppressed = world.events().suppressed(TRACKER);
-    assert!(!created.is_empty(), "a label must be created when the tank enters");
+    assert!(
+        !created.is_empty(),
+        "a label must be created when the tank enters"
+    );
     // Coherence: every extra label must have been suppressed as spurious.
     assert!(
         created.len() - suppressed.len() <= 1,
@@ -68,14 +71,21 @@ fn single_tank_keeps_a_single_coherent_label() {
     let handovers = world
         .events()
         .count(|e| matches!(e, SystemEvent::LeaderHandover { .. }));
-    assert!(handovers >= 1, "the label never handed over while the tank crossed");
+    assert!(
+        handovers >= 1,
+        "the label never handed over while the tank crossed"
+    );
 }
 
 #[test]
 fn reported_track_follows_the_tank() {
     let cfg = TankScenario::default().with_speed_hops_per_s(0.1);
     let scenario = cfg.build();
-    let tank = scenario.environment.target(scenario.primary_target).unwrap().clone();
+    let tank = scenario
+        .environment
+        .target(scenario.primary_target)
+        .unwrap()
+        .clone();
     let mut engine = SensorNetwork::build_engine(
         tracker_program(),
         scenario.deployment,
@@ -100,7 +110,10 @@ fn reported_track_follows_the_tank() {
     let mean_err = total_err / f64::from(points);
     // Sensors estimate position as the centroid of detecting nodes; with a
     // 1-grid sensing radius the error stays well under 2 grid units.
-    assert!(mean_err < 1.5, "mean tracking error {mean_err} grids over {points} reports");
+    assert!(
+        mean_err < 1.5,
+        "mean tracking error {mean_err} grids over {points} reports"
+    );
 }
 
 #[test]
@@ -152,14 +165,21 @@ fn killing_the_leader_triggers_takeover_not_a_new_label() {
         leaders[0]
     };
     let members = engine.world().members_of_label(label);
-    assert!(!members.is_empty(), "the group should have members besides the leader");
+    assert!(
+        !members.is_empty(),
+        "the group should have members besides the leader"
+    );
 
     engine.world_mut().kill_node(leader);
     // Takeover happens within ~2.1 heartbeat periods (+jitter).
     engine.run_until(Timestamp::from_secs(48));
     let world = engine.world();
     let leaders = world.leaders_of_type(TRACKER);
-    assert_eq!(leaders.len(), 1, "exactly one leader after takeover, got {leaders:?}");
+    assert_eq!(
+        leaders.len(),
+        1,
+        "exactly one leader after takeover, got {leaders:?}"
+    );
     assert_ne!(leaders[0].0, leader, "the dead node cannot lead");
     assert_eq!(leaders[0].1, label, "the label must survive the takeover");
     let timeouts = world.events().count(|e| {
@@ -197,7 +217,10 @@ fn same_seed_reproduces_the_event_history() {
     let a = run(11);
     let b = run(11);
     let c = run(12);
-    assert_eq!(a, b, "identical seeds must give identical protocol histories");
+    assert_eq!(
+        a, b,
+        "identical seeds must give identical protocol histories"
+    );
     assert!(!a.is_empty());
     assert_ne!(a, c, "different seeds should differ somewhere");
 }
