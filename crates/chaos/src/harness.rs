@@ -1,0 +1,141 @@
+//! Installing a fault plan and monitor into an engine.
+//!
+//! [`install`] turns a [`FaultPlan`] into ordinary kernel events on an
+//! existing [`Engine<SensorNetwork>`] and starts the recurring invariant
+//! tick, returning the shared [`InvariantMonitor`]. The harness owns no
+//! event loop of its own: everything rides the simulation kernel, so fault
+//! timing composes deterministically with protocol traffic under a single
+//! seed.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use envirotrack_core::network::SensorNetwork;
+use envirotrack_core::report::RunRecord;
+use envirotrack_sim::engine::{Engine, Kernel};
+use envirotrack_sim::time::Timestamp;
+use envirotrack_world::field::NodeId;
+
+use crate::monitor::{InvariantMonitor, MonitorConfig};
+use crate::plan::{FaultEvent, FaultPlan};
+
+/// Shared monitor handle: kernel events and the caller both sample it.
+pub type MonitorHandle = Rc<RefCell<InvariantMonitor>>;
+
+/// Battery budgets activated so far: `(node, millijoules)`.
+type Budgets = Rc<RefCell<Vec<(NodeId, f64)>>>;
+
+/// Schedules every event of `plan` on the engine's kernel, enables the
+/// medium's delivery audit log, and starts the invariant tick. Returns the
+/// monitor to inspect after the run.
+///
+/// # Panics
+///
+/// Panics when the plan fails [`FaultPlan::validate`] against the engine's
+/// deployment — a malformed plan is a harness bug, not a run outcome.
+pub fn install(
+    engine: &mut Engine<SensorNetwork>,
+    plan: FaultPlan,
+    seed: u64,
+    cfg: MonitorConfig,
+) -> MonitorHandle {
+    plan.validate(engine.world().deployment().len())
+        .expect("fault plan must match the deployment");
+    let monitor: MonitorHandle =
+        Rc::new(RefCell::new(InvariantMonitor::new(seed, engine.world(), cfg)));
+    let budgets: Budgets = Rc::new(RefCell::new(Vec::new()));
+    engine.world_mut().set_delivery_log(true);
+
+    let k = engine.kernel_mut();
+    for (at, event) in plan.events().iter().cloned() {
+        let mon = Rc::clone(&monitor);
+        let bud = Rc::clone(&budgets);
+        k.schedule_at(at.max(k.now()), move |w: &mut SensorNetwork, k| {
+            apply_fault(w, k, &mon, &bud, event);
+        });
+    }
+    let mon = Rc::clone(&monitor);
+    let bud = Rc::clone(&budgets);
+    let first = k.now() + cfg.tick;
+    k.schedule_at(first, move |w: &mut SensorNetwork, k| {
+        monitor_tick(w, k, mon, bud, cfg);
+    });
+    monitor
+}
+
+/// One run summary for JSON-lines emission: the world's counters plus the
+/// monitor's violation count.
+#[must_use]
+pub fn summarize(
+    world: &SensorNetwork,
+    seed: u64,
+    now: Timestamp,
+    monitor: &InvariantMonitor,
+) -> RunRecord {
+    world.run_record(
+        seed,
+        now.saturating_since(Timestamp::ZERO),
+        monitor.violations().len() as u64,
+    )
+}
+
+fn apply_fault(
+    w: &mut SensorNetwork,
+    k: &mut Kernel<SensorNetwork>,
+    monitor: &MonitorHandle,
+    budgets: &Budgets,
+    event: FaultEvent,
+) {
+    monitor
+        .borrow_mut()
+        .note_fault(k.now(), event.describe());
+    match event {
+        FaultEvent::Crash(node) => w.kill_node(node),
+        FaultEvent::Reboot(node) => {
+            w.revive_node(node);
+            w.sense_tick(k, node);
+        }
+        FaultEvent::BatteryBudget { node, millijoules } => {
+            budgets.borrow_mut().push((node, millijoules));
+        }
+        FaultEvent::Partition(groups) => {
+            // Judge the log by the outgoing mask before switching.
+            monitor.borrow_mut().check_deliveries(w, k.now());
+            w.set_partition(Some(groups));
+        }
+        FaultEvent::Heal => {
+            monitor.borrow_mut().check_deliveries(w, k.now());
+            w.set_partition(None);
+        }
+        FaultEvent::BurstLossOn(model) => w.set_burst_loss(Some(model)),
+        FaultEvent::BurstLossOff => w.set_burst_loss(None),
+        FaultEvent::ClockRate { node, rate } => w.set_clock_rate(node, rate, k.now()),
+    }
+}
+
+fn monitor_tick(
+    w: &mut SensorNetwork,
+    k: &mut Kernel<SensorNetwork>,
+    monitor: MonitorHandle,
+    budgets: Budgets,
+    cfg: MonitorConfig,
+) {
+    // Reschedule first so a panicking check still leaves a live loop when
+    // tests catch and continue.
+    let mon = Rc::clone(&monitor);
+    let bud = Rc::clone(&budgets);
+    k.schedule_at(k.now() + cfg.tick, move |w: &mut SensorNetwork, k| {
+        monitor_tick(w, k, mon, bud, cfg);
+    });
+    // Battery death: a budgeted node dies for good once its cumulative
+    // protocol energy crosses the line.
+    for (node, limit) in budgets.borrow().iter() {
+        if w.is_alive(*node) && w.energy_at(*node).total_millijoules() > *limit {
+            monitor
+                .borrow_mut()
+                .note_fault(k.now(), format!("battery died on node {}", node.0));
+            w.kill_node(*node);
+        }
+    }
+    monitor.borrow_mut().check(w, k.now());
+}

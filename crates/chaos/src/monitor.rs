@@ -1,0 +1,268 @@
+//! Invariant monitors: the safety claims a chaos run must not break.
+//!
+//! The monitor samples the world once per tick and checks four invariants:
+//!
+//! 1. **Leader uniqueness** — two same-type leaders within the proximity
+//!    radius track the *same* physical entity, so one of them must yield;
+//!    the condition may exist transiently during takeover, but must not
+//!    persist past the settle window (the wait timer is the protocol's own
+//!    bound on that race).
+//! 2. **Aggregate quorum** — an aggregate reported `valid` must actually
+//!    hold at least its critical mass of fresh readings.
+//! 3. **Partition isolation** — no frame is delivered between nodes in
+//!    different partition groups (checked against the medium's delivery
+//!    audit log).
+//! 4. **Clock monotonicity** — every node's local clock only moves
+//!    forward, whatever skew the plan injects.
+//!
+//! Violations carry the seed and the fault trace so far, so a red run
+//! reproduces from the report alone.
+
+use envirotrack_core::context::ContextTypeId;
+use envirotrack_core::network::SensorNetwork;
+use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_world::field::NodeId;
+
+/// Which invariant a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// Two heavy leaders of one type stayed within the proximity radius
+    /// past the settle window.
+    DuplicateLeaders,
+    /// An aggregate was `valid` with fewer than its critical mass of fresh
+    /// readings.
+    InvalidAggregate,
+    /// A frame crossed an active partition.
+    PartitionLeak,
+    /// A node's local clock moved backwards.
+    ClockRegression,
+}
+
+/// One observed invariant violation, with everything needed to replay it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// When the monitor observed it.
+    pub at: Timestamp,
+    /// The run's simulation seed.
+    pub seed: u64,
+    /// The broken invariant.
+    pub kind: InvariantKind,
+    /// What exactly was seen.
+    pub detail: String,
+    /// The fault events applied before the observation, in order.
+    pub trace: Vec<String>,
+}
+
+/// Monitor tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Sampling period.
+    pub tick: SimDuration,
+    /// How long a duplicate-leader condition may persist before it counts
+    /// as a violation. Should exceed the wait timer plus takeover jitter;
+    /// the default covers the paper's default timers with slack.
+    pub settle: SimDuration,
+    /// Two same-type leaders closer than this are considered duplicates
+    /// (mirror of the middleware's proximity radius).
+    pub proximity_radius: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            tick: SimDuration::from_millis(250),
+            settle: SimDuration::from_secs(5),
+            proximity_radius: 3.0,
+        }
+    }
+}
+
+/// The sampling monitor. Create with [`InvariantMonitor::new`], then let
+/// [`crate::harness::install`] drive it, or call
+/// [`InvariantMonitor::check`] by hand from a custom harness.
+#[derive(Debug)]
+pub struct InvariantMonitor {
+    seed: u64,
+    cfg: MonitorConfig,
+    /// Last local-clock sample per node.
+    last_clock: Vec<SimDuration>,
+    /// When a duplicate-leader condition started, per context type.
+    dup_since: Vec<Option<Timestamp>>,
+    trace: Vec<String>,
+    violations: Vec<Violation>,
+}
+
+impl InvariantMonitor {
+    /// Creates a monitor sized to `world`.
+    #[must_use]
+    pub fn new(seed: u64, world: &SensorNetwork, cfg: MonitorConfig) -> Self {
+        InvariantMonitor {
+            seed,
+            cfg,
+            last_clock: vec![SimDuration::ZERO; world.deployment().len()],
+            dup_since: vec![None; world.context_type_count()],
+            trace: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// The monitor configuration.
+    #[must_use]
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
+    }
+
+    /// Records an applied fault event for violation traces.
+    pub fn note_fault(&mut self, at: Timestamp, description: String) {
+        self.trace.push(format!("{at}: {description}"));
+    }
+
+    /// All violations observed so far.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The fault events applied so far.
+    #[must_use]
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    fn record(&mut self, at: Timestamp, kind: InvariantKind, detail: String) {
+        self.violations.push(Violation {
+            at,
+            seed: self.seed,
+            kind,
+            detail,
+            trace: self.trace.clone(),
+        });
+    }
+
+    /// Runs every invariant check once. Called on each monitor tick.
+    pub fn check(&mut self, world: &mut SensorNetwork, now: Timestamp) {
+        self.check_clocks(world, now);
+        self.check_leaders(world, now);
+        self.check_aggregates(world, now);
+        self.check_deliveries(world, now);
+    }
+
+    fn check_clocks(&mut self, world: &SensorNetwork, now: Timestamp) {
+        for i in 0..self.last_clock.len() {
+            let node = NodeId(u32::try_from(i).unwrap_or(u32::MAX));
+            let c = world.local_clock(node, now);
+            if c < self.last_clock[i] {
+                self.record(
+                    now,
+                    InvariantKind::ClockRegression,
+                    format!(
+                        "node {i} local clock went {} -> {c}",
+                        self.last_clock[i]
+                    ),
+                );
+            }
+            self.last_clock[i] = c;
+        }
+    }
+
+    fn check_leaders(&mut self, world: &SensorNetwork, now: Timestamp) {
+        // Leader uniqueness is a claim about a *connected* network: while a
+        // partition is active, both sides of a split group correctly elect
+        // their own leader, so the check pauses and the settle clock
+        // restarts after the heal.
+        if world.partition().is_some() {
+            for s in &mut self.dup_since {
+                *s = None;
+            }
+            return;
+        }
+        for t in 0..self.dup_since.len() {
+            let tid = ContextTypeId(u16::try_from(t).unwrap_or(u16::MAX));
+            let leaders = world.leaders_detailed(tid);
+            let mut close_pair = None;
+            'outer: for (i, a) in leaders.iter().enumerate() {
+                for b in leaders.iter().skip(i + 1) {
+                    if a.3.distance_to(b.3) <= self.cfg.proximity_radius {
+                        close_pair = Some((a.0, b.0));
+                        break 'outer;
+                    }
+                }
+            }
+            match (close_pair, self.dup_since[t]) {
+                (None, _) => self.dup_since[t] = None,
+                (Some(_), None) => self.dup_since[t] = Some(now),
+                (Some((a, b)), Some(since)) => {
+                    if now.saturating_since(since) > self.cfg.settle {
+                        self.record(
+                            now,
+                            InvariantKind::DuplicateLeaders,
+                            format!(
+                                "type {t}: nodes {} and {} both lead within {} units since {since}",
+                                a.0, b.0, self.cfg.proximity_radius
+                            ),
+                        );
+                        // Start a new episode so one long condition does
+                        // not flood the report.
+                        self.dup_since[t] = Some(now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_aggregates(&mut self, world: &SensorNetwork, now: Timestamp) {
+        for t in 0..self.dup_since.len() {
+            let tid = ContextTypeId(u16::try_from(t).unwrap_or(u16::MAX));
+            for (node, rows) in world.aggregate_health(tid, now) {
+                for row in rows {
+                    if row.valid && row.fresh < row.need {
+                        self.record(
+                            now,
+                            InvariantKind::InvalidAggregate,
+                            format!(
+                                "node {} aggregate '{}' valid with {}/{} fresh readings",
+                                node.0, row.variable, row.fresh, row.need
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the medium's delivery log and checks each delivered pair
+    /// against the *currently* active partition mask. The harness also
+    /// calls this immediately before changing the mask, so entries are
+    /// always judged by the mask in force when they were delivered.
+    pub fn check_deliveries(&mut self, world: &mut SensorNetwork, now: Timestamp) {
+        let log = world.take_delivery_log();
+        let Some(groups) = world.partition() else {
+            return;
+        };
+        for (t, src, dst) in log {
+            if groups[src.index()] != groups[dst.index()] {
+                self.record(
+                    now,
+                    InvariantKind::PartitionLeak,
+                    format!(
+                        "frame delivered {} -> {} across partition at {t}",
+                        src.0, dst.0
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_settle_exceeds_the_default_wait_timer() {
+        let cfg = MonitorConfig::default();
+        // Paper defaults: wait timer = 4.2 × 500 ms = 2.1 s.
+        assert!(cfg.settle > SimDuration::from_millis(2100));
+        assert!(cfg.tick < cfg.settle);
+    }
+}

@@ -48,6 +48,21 @@ pub struct MiddlewareConfig {
     pub mtp_max_chain_hops: u8,
     /// How long a send may wait on directory resolution before expiring.
     pub mtp_pending_ttl: SimDuration,
+    /// Whether MTP segments are acknowledged end to end and retransmitted.
+    pub mtp_retx_enabled: bool,
+    /// Base end-to-end ack timeout; doubles per retransmission attempt.
+    pub mtp_retx_timeout: SimDuration,
+    /// Total MTP transmission attempts (first send included).
+    pub mtp_retx_max_attempts: u32,
+    /// Upper bound on the uniform jitter added to each retransmission
+    /// backoff (desynchronises retransmitters after a shared outage).
+    pub mtp_retx_jitter_max: SimDuration,
+    /// Directory registrations fan out to this many nodes nearest the hash
+    /// point (1 = the classic single home node).
+    pub directory_replicas: usize,
+    /// How long a directory query may stay unanswered before failing over
+    /// to the next replica.
+    pub directory_query_timeout: SimDuration,
     /// Whether persistent object state is carried on heartbeats (the
     /// paper's `setState` mechanism).
     pub state_replication_enabled: bool,
@@ -79,6 +94,12 @@ impl Default for MiddlewareConfig {
             mtp_forward_ttl: SimDuration::from_secs(20),
             mtp_max_chain_hops: 8,
             mtp_pending_ttl: SimDuration::from_secs(5),
+            mtp_retx_enabled: true,
+            mtp_retx_timeout: SimDuration::from_millis(600),
+            mtp_retx_max_attempts: 4,
+            mtp_retx_jitter_max: SimDuration::from_millis(80),
+            directory_replicas: 1,
+            directory_query_timeout: SimDuration::from_millis(1500),
             state_replication_enabled: false,
             proximity_radius: 3.0,
         }
@@ -135,6 +156,21 @@ impl MiddlewareConfig {
         self
     }
 
+    /// Enables or disables end-to-end MTP retransmission; chainable.
+    #[must_use]
+    pub fn with_mtp_retx(mut self, enabled: bool) -> Self {
+        self.mtp_retx_enabled = enabled;
+        self
+    }
+
+    /// Sets the directory replication factor; chainable.
+    #[must_use]
+    pub fn with_directory_replicas(mut self, k: usize) -> Self {
+        assert!(k >= 1, "at least one directory replica is required");
+        self.directory_replicas = k;
+        self
+    }
+
     /// Validates cross-field constraints.
     ///
     /// # Errors
@@ -155,6 +191,20 @@ impl MiddlewareConfig {
         }
         if self.sense_period.is_zero() {
             return Err("sense period must be positive".into());
+        }
+        if self.mtp_retx_enabled {
+            if self.mtp_retx_max_attempts == 0 {
+                return Err("MTP retransmission needs at least one attempt".into());
+            }
+            if self.mtp_retx_timeout.is_zero() {
+                return Err("MTP retransmission timeout must be positive".into());
+            }
+        }
+        if self.directory_replicas == 0 {
+            return Err("at least one directory replica is required".into());
+        }
+        if self.directory_enabled && self.directory_query_timeout.is_zero() {
+            return Err("directory query timeout must be positive".into());
         }
         Ok(())
     }

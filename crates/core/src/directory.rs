@@ -19,6 +19,7 @@
 //! ```
 
 use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_world::field::{Deployment, NodeId};
 use envirotrack_world::geometry::{Aabb, Point};
 
 use crate::context::{ContextLabel, ContextTypeId};
@@ -42,6 +43,28 @@ pub fn hash_point(type_name: &str, bounds: Aabb) -> Point {
         bounds.min.x + fx * bounds.width(),
         bounds.min.y + fy * bounds.height(),
     )
+}
+
+/// The `k` nodes nearest `home` — the replica set a registration fans out
+/// to and a failed query falls back through. Deterministic: distance ties
+/// break on node id, so every node computes the identical ordering. The
+/// first element is the primary (the classic single home node).
+#[must_use]
+pub fn replica_set(deployment: &Deployment, home: Point, k: usize) -> Vec<NodeId> {
+    let mut by_distance: Vec<(NodeId, f64)> = deployment
+        .iter()
+        .map(|(id, pos)| (id, pos.distance_sq_to(home)))
+        .collect();
+    by_distance.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    by_distance
+        .into_iter()
+        .take(k.max(1))
+        .map(|(id, _)| id)
+        .collect()
 }
 
 /// One directory entry.
@@ -165,6 +188,52 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn replica_set_is_deterministic_and_distance_ordered() {
+        let d = Deployment::grid(4, 4, 1.0);
+        let home = Point::new(1.2, 1.1);
+        let r = replica_set(&d, home, 3);
+        assert_eq!(r.len(), 3);
+        // Nearest grid node to (1.2, 1.1) is (1,1); its id is 1*4+1 = 5.
+        assert_eq!(r[0], NodeId(5));
+        // Every subsequent replica is at least as far as the previous.
+        let dist =
+            |id: NodeId| d.position(id).distance_sq_to(home);
+        assert!(dist(r[0]) <= dist(r[1]) && dist(r[1]) <= dist(r[2]));
+        assert_eq!(r, replica_set(&d, home, 3), "must be stable");
+        // k = 0 still yields the primary.
+        assert_eq!(replica_set(&d, home, 0), vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn sweep_drops_exactly_the_expired_entries() {
+        let mut d = DirectoryStore::new();
+        let ttl = SimDuration::from_secs(30);
+        d.register(label(0, 1, 0), Point::ORIGIN, Timestamp::from_secs(0));
+        d.register(label(0, 2, 0), Point::ORIGIN, Timestamp::from_secs(20));
+        d.register(label(1, 3, 0), Point::ORIGIN, Timestamp::from_secs(40));
+        // At t=45 nothing has outlived the 30 s TTL except the t=0 entry.
+        d.sweep(Timestamp::from_secs(45), ttl);
+        assert_eq!(d.len(), 2);
+        assert!(d
+            .query(ContextTypeId(0), Timestamp::from_secs(45), ttl)
+            .contains(&(label(0, 2, 0), Point::ORIGIN)));
+        // A refresh resets the clock: the refreshed entry survives a sweep
+        // that kills its sibling.
+        d.register(label(0, 2, 0), Point::ORIGIN, Timestamp::from_secs(60));
+        d.sweep(Timestamp::from_secs(75), ttl);
+        assert_eq!(d.len(), 1);
+        assert_eq!(
+            d.query(ContextTypeId(0), Timestamp::from_secs(75), ttl),
+            vec![(label(0, 2, 0), Point::ORIGIN)]
+        );
+        // The boundary is inclusive: exactly-TTL-old entries survive.
+        d.sweep(Timestamp::from_secs(90), ttl);
+        assert_eq!(d.len(), 1);
+        d.sweep(Timestamp::from_secs(91), ttl);
+        assert!(d.is_empty());
     }
 
     #[test]

@@ -45,6 +45,20 @@ use crate::object::{ContextAccess, IncomingMessage, ObjectApi, ObjectEffect, Obj
 use crate::transport::{LeaderLoc, Port};
 use crate::wire::{Heartbeat, Message, Relinquish, Report};
 
+/// One aggregate variable's leader-side health snapshot — see
+/// [`GroupMachine::aggregate_health`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateHealth {
+    /// The aggregate variable name.
+    pub variable: String,
+    /// Fresh distinct contributors in the window right now.
+    pub fresh: u32,
+    /// Critical mass `Ne` required for validity.
+    pub need: u32,
+    /// Whether a read right now would succeed.
+    pub valid: bool,
+}
+
 /// Logical timers owned by one group machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GroupTimer {
@@ -297,6 +311,35 @@ impl GroupMachine {
             Role::Leader(l) => Some(l.weight),
             _ => None,
         }
+    }
+
+    /// Leader-side aggregate health at `now`: one row per aggregate
+    /// variable of `spec`, stating how many fresh contributors the window
+    /// holds, the critical mass required, and whether a read right now
+    /// would be valid. Empty when this node is not leading. Invariant
+    /// monitors use this to check that validity is never claimed below
+    /// `Ne` fresh reports.
+    #[must_use]
+    pub fn aggregate_health(&self, spec: &ContextSpec, now: Timestamp) -> Vec<AggregateHealth> {
+        let Role::Leader(l) = &self.role else {
+            return Vec::new();
+        };
+        spec.aggregates
+            .iter()
+            .enumerate()
+            .map(|(idx, agg)| {
+                let fresh = l.windows[idx].fresh(now, agg.freshness).len() as u32;
+                let valid = l.windows[idx]
+                    .evaluate(&agg.function, now, agg.freshness, agg.critical_mass)
+                    .is_ok();
+                AggregateHealth {
+                    variable: agg.name.clone(),
+                    fresh,
+                    need: agg.critical_mass.max(1),
+                    valid,
+                }
+            })
+            .collect()
     }
 
     // ------------------------------------------------------------------

@@ -47,7 +47,7 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use envirotrack_net::medium::{DeliveryOutcome, Medium, NetStats, RadioConfig, TxId};
+use envirotrack_net::medium::{DeliveryOutcome, GilbertElliott, Medium, NetStats, RadioConfig, TxId};
 use envirotrack_net::packet::Frame;
 use envirotrack_net::routing::GeoRouter;
 use envirotrack_node::cpu::{costs, CpuConfig, MoteCpu};
@@ -63,15 +63,15 @@ use envirotrack_world::sensing::Environment;
 use crate::api::Program;
 use crate::config::MiddlewareConfig;
 use crate::context::{ContextLabel, ContextTypeId};
-use crate::directory::{hash_point, DirectoryStore};
+use crate::directory::{hash_point, replica_set, DirectoryStore};
 use crate::events::{EventLog, SystemEvent};
-use crate::group::{GroupAction, GroupCtx, GroupMachine, GroupTimer, RoleKind};
+use crate::group::{AggregateHealth, GroupAction, GroupCtx, GroupMachine, GroupTimer, RoleKind};
 use crate::object::IncomingMessage;
-use crate::report::{BaseStationLog, ReportEntry};
-use crate::transport::{LeaderLoc, MtpState, Port};
+use crate::report::{BaseStationLog, ReportEntry, RunRecord};
+use crate::transport::{LeaderLoc, MtpState, Outstanding, Port, RetxPolicy};
 use crate::wire::{
-    BaseReport, DirQuery, DirRegister, DirResponse, GeoForward, Heartbeat, Message, MtpSegment,
-    Relinquish, Report,
+    BaseReport, DirQuery, DirRegister, DirResponse, GeoForward, Heartbeat, Message, MtpAck,
+    MtpSegment, Relinquish, Report,
 };
 
 /// Link-layer acknowledgement/retransmit parameters for *unicast* frames
@@ -140,6 +140,50 @@ struct PendingQuery {
     /// The local machine (context type) that asked, for subscription
     /// queries; `None` for MTP resolution queries.
     asker: Option<ContextTypeId>,
+    /// Replica-failover attempts so far (0 = the initial geo-routed query).
+    attempt: usize,
+}
+
+/// A node's local clock model: `local = anchor_local + (global −
+/// anchor_global) · rate`. Rate 1.0 is a perfect clock; the anchors are
+/// rebased whenever the rate changes so local time stays continuous (and
+/// therefore monotonic — which the invariant monitor checks).
+#[derive(Debug, Clone, Copy)]
+struct NodeClock {
+    rate: f64,
+    anchor_global: Timestamp,
+    anchor_local: SimDuration,
+}
+
+impl NodeClock {
+    fn ideal() -> Self {
+        NodeClock {
+            rate: 1.0,
+            anchor_global: Timestamp::ZERO,
+            anchor_local: SimDuration::ZERO,
+        }
+    }
+
+    /// The node's local clock reading at global instant `now`.
+    fn local_time(&self, now: Timestamp) -> SimDuration {
+        self.anchor_local + now.saturating_since(self.anchor_global).mul_f64(self.rate)
+    }
+
+    fn set_rate(&mut self, rate: f64, now: Timestamp) {
+        self.anchor_local = self.local_time(now);
+        self.anchor_global = now;
+        self.rate = rate;
+    }
+
+    /// Converts a delay measured on this node's clock into global time: a
+    /// fast clock (rate > 1) makes local delays elapse sooner.
+    fn global_delay(&self, local: SimDuration) -> SimDuration {
+        if (self.rate - 1.0).abs() < f64::EPSILON {
+            local
+        } else {
+            local.mul_f64(1.0 / self.rate)
+        }
+    }
 }
 
 /// The per-node runtime: middleware machines plus node-local substrates.
@@ -160,6 +204,11 @@ struct NodeRuntime {
     seen_unicast: Vec<(NodeId, u32)>,
     /// Marginal radio energy (CPU energy derives from the CPU meter).
     energy: EnergyMeter,
+    /// The node's local clock (skew/drift model).
+    clock: NodeClock,
+    /// Dedicated stream for MTP retransmission jitter, so enabling or
+    /// disabling retransmission never perturbs the node's main RNG.
+    retx_rng: SimRng,
 }
 
 /// An unacknowledged unicast frame awaiting retransmission.
@@ -242,6 +291,8 @@ impl SensorNetwork {
                 pending_acks: Vec::new(),
                 seen_unicast: Vec::new(),
                 energy: EnergyMeter::new(),
+                clock: NodeClock::ideal(),
+                retx_rng: master.fork_indexed("mtp-retx", u64::from(id.0)),
             })
             .collect();
         SensorNetwork {
@@ -353,6 +404,12 @@ impl SensorNetwork {
         &self.config
     }
 
+    /// Number of context types in the deployed program.
+    #[must_use]
+    pub fn context_type_count(&self) -> usize {
+        self.program.context_count()
+    }
+
     /// Current leaders of a context type as `(node, label)` pairs.
     #[must_use]
     pub fn leaders_of_type(&self, type_id: ContextTypeId) -> Vec<(NodeId, ContextLabel)> {
@@ -439,8 +496,12 @@ impl SensorNetwork {
     }
 
     /// Revives a previously killed node with cleared protocol state (a
-    /// rebooted mote remembers nothing). Its sensing loop must be restarted
-    /// by scheduling [`SensorNetwork::sense_tick`].
+    /// rebooted mote remembers nothing): group machines, transport tables,
+    /// directory entries, and every in-flight query or ack are gone. Only
+    /// the link/transport sequence bases survive, as a nonvolatile boot
+    /// counter — reusing sequence numbers would trip peers' dedup windows.
+    /// Its sensing loop must be restarted by scheduling
+    /// [`SensorNetwork::sense_tick`].
     pub fn revive_node(&mut self, node: NodeId) {
         let rt = &mut self.nodes[node.index()];
         rt.alive = true;
@@ -449,6 +510,184 @@ impl SensorNetwork {
             .type_ids()
             .map(|tid| GroupMachine::new(node, tid, self.program.spec(tid)))
             .collect();
+        let seq_base = rt.mtp.seq_base();
+        rt.mtp = MtpState::new(
+            self.config.middleware.mtp_table_capacity,
+            self.config.middleware.mtp_forward_ttl,
+            self.config.middleware.mtp_max_chain_hops,
+        );
+        rt.mtp.set_seq_base(seq_base);
+        rt.directory = DirectoryStore::new();
+        rt.pending_queries.clear();
+        rt.pending_acks.clear();
+        rt.seen_unicast.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Chaos hooks (fault plans and invariant monitors)
+    // ------------------------------------------------------------------
+
+    /// Installs or clears a radio partition mask (see
+    /// [`Medium::set_partition`]).
+    pub fn set_partition(&mut self, groups: Option<Vec<u8>>) {
+        self.medium.set_partition(groups);
+    }
+
+    /// The active partition mask, if any.
+    #[must_use]
+    pub fn partition(&self) -> Option<&[u8]> {
+        self.medium.partition()
+    }
+
+    /// Installs or clears the Gilbert–Elliott burst-loss model on the
+    /// channel.
+    pub fn set_burst_loss(&mut self, model: Option<GilbertElliott>) {
+        self.medium.set_burst_loss(model);
+    }
+
+    /// Sets a node's clock rate (1.0 = ideal; 1.02 = 2 % fast). The local
+    /// clock is rebased at `now` so it stays continuous. Applies to all
+    /// subsequently armed timers and sensing ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is outside the bounded-skew range `[0.5, 2.0]` —
+    /// the protocol makes no claims under unbounded drift.
+    pub fn set_clock_rate(&mut self, node: NodeId, rate: f64, now: Timestamp) {
+        assert!(
+            (0.5..=2.0).contains(&rate),
+            "clock rate {rate} outside the bounded-skew range [0.5, 2.0]"
+        );
+        self.nodes[node.index()].clock.set_rate(rate, now);
+    }
+
+    /// A node's local clock reading at global instant `now`.
+    #[must_use]
+    pub fn local_clock(&self, node: NodeId, now: Timestamp) -> SimDuration {
+        self.nodes[node.index()].clock.local_time(now)
+    }
+
+    /// Enables or disables the medium's delivery audit log.
+    pub fn set_delivery_log(&mut self, enabled: bool) {
+        self.medium.set_delivery_log(enabled);
+    }
+
+    /// Drains the medium's delivery audit log.
+    pub fn take_delivery_log(&mut self) -> Vec<(Timestamp, NodeId, NodeId)> {
+        self.medium.take_delivery_log()
+    }
+
+    /// Current leaders of a type with their weight and position, for
+    /// invariant monitors: `(node, label, weight, position)`.
+    #[must_use]
+    pub fn leaders_detailed(
+        &self,
+        type_id: ContextTypeId,
+    ) -> Vec<(NodeId, ContextLabel, u32, Point)> {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .filter_map(|n| {
+                let m = &n.machines[type_id.0 as usize];
+                match m.role_kind() {
+                    RoleKind::Leader(label) => {
+                        Some((n.id, label, m.leader_weight().unwrap_or(0), n.pos))
+                    }
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate health rows for every live leader of `type_id` at `now`,
+    /// as `(leader node, rows)` — see [`GroupMachine::aggregate_health`].
+    #[must_use]
+    pub fn aggregate_health(
+        &self,
+        type_id: ContextTypeId,
+        now: Timestamp,
+    ) -> Vec<(NodeId, Vec<AggregateHealth>)> {
+        let spec = self.program.spec(type_id);
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .filter_map(|n| {
+                let rows = n.machines[type_id.0 as usize].aggregate_health(spec, now);
+                if rows.is_empty() {
+                    None
+                } else {
+                    Some((n.id, rows))
+                }
+            })
+            .collect()
+    }
+
+    /// Number of MTP segments a node holds awaiting end-to-end acks.
+    #[must_use]
+    pub fn mtp_outstanding_at(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].mtp.outstanding_len()
+    }
+
+    /// Number of cached last-known-leader entries on a node.
+    #[must_use]
+    pub fn mtp_table_len_at(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].mtp.table_len()
+    }
+
+    /// The directory replica set of a context type: the `k` nodes nearest
+    /// its hash point (`k` = the configured replication factor).
+    #[must_use]
+    pub fn directory_replicas_of(&self, type_id: ContextTypeId) -> Vec<NodeId> {
+        replica_set(
+            &self.deployment,
+            self.hash_points[type_id.0 as usize],
+            self.config.middleware.directory_replicas,
+        )
+    }
+
+    /// A whole-run robustness record for JSON-lines output; `violations`
+    /// comes from the caller's invariant monitor (0 without one).
+    #[must_use]
+    pub fn run_record(&self, seed: u64, elapsed: SimDuration, violations: u64) -> RunRecord {
+        let stats = self.medium.stats();
+        RunRecord {
+            seed,
+            elapsed,
+            labels_created: self.events.count(|e| {
+                matches!(e, SystemEvent::LabelCreated { .. })
+            }) as u64,
+            labels_suppressed: self.events.count(|e| {
+                matches!(e, SystemEvent::LabelSuppressed { .. })
+            }) as u64,
+            handovers: self.events.count(|e| {
+                matches!(e, SystemEvent::LeaderHandover { .. })
+            }) as u64,
+            base_reports: self.base_log.len() as u64,
+            hb_loss: stats.kind(crate::wire::kinds::HEARTBEAT).tx_loss_ratio(),
+            report_loss: stats.kind(crate::wire::kinds::REPORT).tx_loss_ratio(),
+            pair_loss: {
+                let mut agg = envirotrack_net::medium::KindStats::default();
+                for ks in stats.per_kind.values() {
+                    agg.rx += ks.rx;
+                    agg.faded += ks.faded;
+                    agg.collided += ks.collided;
+                    agg.half_duplex += ks.half_duplex;
+                    agg.burst_faded += ks.burst_faded;
+                    agg.partition_dropped += ks.partition_dropped;
+                }
+                agg.pair_loss_ratio()
+            },
+            burst_faded: stats.sum(|k| k.burst_faded),
+            partition_dropped: stats.sum(|k| k.partition_dropped),
+            mac_dropped: stats.sum(|k| k.mac_dropped),
+            mtp_delivered: self.events.count(|e| {
+                matches!(e, SystemEvent::MtpDelivered { .. })
+            }) as u64,
+            mtp_dropped: self.events.count(|e| {
+                matches!(e, SystemEvent::MtpDropped { .. })
+            }) as u64,
+            violations,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -459,7 +698,11 @@ impl SensorNetwork {
     /// context-type machine, reschedule. Public so harnesses can restart a
     /// revived node's loop.
     pub fn sense_tick(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId) {
-        let period = self.config.middleware.sense_period;
+        // The sensing period elapses on the node's *local* clock: skewed
+        // clocks sample faster or slower than global time.
+        let period = self.nodes[node.index()]
+            .clock
+            .global_delay(self.config.middleware.sense_period);
         // Reschedule first: the loop survives any processing below.
         k.schedule_at(k.now() + period, move |w: &mut SensorNetwork, k| {
             w.sense_tick(k, node);
@@ -588,6 +831,7 @@ impl SensorNetwork {
             Message::Relinquish(r) => self.handle_relinquish(k, node, &r),
             Message::Geo(geo) => self.handle_geo(k, node, geo),
             Message::Mtp(seg) => self.handle_mtp_segment(k, node, seg),
+            Message::MtpAckMsg(ack) => self.handle_mtp_ack(node, &ack),
             Message::DirRegister(reg) => {
                 let now = k.now();
                 let ttl = self.config.middleware.directory_entry_ttl;
@@ -702,17 +946,17 @@ impl SensorNetwork {
         for send in parked {
             match resp.entries.iter().find(|(l, _)| *l == send.dst_label) {
                 Some((_, location)) => {
-                    let seg = MtpSegment {
-                        src_label: send.src_label,
-                        src_port: send.src_port,
-                        dst_label: send.dst_label,
-                        dst_port: send.dst_port,
-                        src_leader: node,
-                        src_leader_pos: self.nodes[node.index()].pos,
-                        chain_hops: 0,
-                        payload: send.payload,
-                    };
-                    self.send_geo(k, node, *location, None, Message::Mtp(seg));
+                    self.send_mtp_segment(
+                        k,
+                        node,
+                        send.src_label,
+                        send.src_port,
+                        send.dst_label,
+                        send.dst_port,
+                        send.payload,
+                        *location,
+                        None,
+                    );
                 }
                 None => {
                     self.events.push(
@@ -746,6 +990,25 @@ impl SensorNetwork {
             RoleKind::Leader(l) if l == seg.dst_label
         );
         if leads_dst {
+            if self.config.middleware.mtp_retx_enabled {
+                // Transport-level ack: the segment reached its label's
+                // leader. Duplicates are re-acked — the earlier ack may
+                // itself have been lost.
+                let ack = Message::MtpAckMsg(MtpAck {
+                    dst_label: seg.dst_label,
+                    src_node: seg.src_leader,
+                    seq: seg.seq,
+                    acker: node,
+                    acker_pos: self.nodes[node.index()].pos,
+                });
+                self.send_geo(k, node, seg.src_leader_pos, Some(seg.src_leader), ack);
+                if !self.nodes[node.index()]
+                    .mtp
+                    .note_delivered(seg.src_leader, seg.seq)
+                {
+                    return; // duplicate: re-acked above, not re-delivered
+                }
+            }
             let Some(method) = self.program.method_for_port(tid, seg.dst_port) else {
                 return;
             };
@@ -850,7 +1113,13 @@ impl SensorNetwork {
                     self.send_frame(k, node, frame);
                 }
                 GroupAction::ArmTimer { key, at, token } => {
-                    k.schedule_at(at.max(k.now()), move |w: &mut SensorNetwork, k| {
+                    // Machines arm timers as delays on the node's local
+                    // clock; convert through its clock model (exact
+                    // identity at rate 1.0).
+                    let local_delay = at.saturating_since(k.now());
+                    let fire_at =
+                        k.now() + self.nodes[node.index()].clock.global_delay(local_delay);
+                    k.schedule_at(fire_at, move |w: &mut SensorNetwork, k| {
                         w.group_timer(k, node, tid, key, token);
                     });
                 }
@@ -861,7 +1130,18 @@ impl SensorNetwork {
                         label,
                         location: self.nodes[node.index()].pos,
                     });
-                    self.send_geo(k, node, dest, None, msg);
+                    let replicas = self.config.middleware.directory_replicas;
+                    if replicas <= 1 {
+                        self.send_geo(k, node, dest, None, msg);
+                    } else {
+                        // Fan the registration out to every replica
+                        // explicitly; geo routing alone finds only the
+                        // primary.
+                        for target in replica_set(&self.deployment, dest, replicas) {
+                            let pos = self.deployment.position(target);
+                            self.send_geo(k, node, pos, Some(target), msg.clone());
+                        }
+                    }
                 }
                 GroupAction::QueryDirectory { type_id } => {
                     let rt = &mut self.nodes[node.index()];
@@ -871,6 +1151,7 @@ impl SensorNetwork {
                         query_id,
                         target_type: type_id,
                         asker: Some(tid),
+                        attempt: 0,
                     });
                     let reply_pos = rt.pos;
                     let dest = self.hash_points[type_id.0 as usize];
@@ -881,6 +1162,7 @@ impl SensorNetwork {
                         query_id,
                     });
                     self.send_geo(k, node, dest, None, msg);
+                    self.arm_query_failover(k, node, query_id);
                 }
                 GroupAction::SendToBase { label, payload } => {
                     let Some(base) = self.config.base_station else {
@@ -936,17 +1218,17 @@ impl SensorNetwork {
         let known = self.nodes[node.index()].mtp.lookup(dst_label);
         match known {
             Some(loc) => {
-                let seg = MtpSegment {
+                self.send_mtp_segment(
+                    k,
+                    node,
                     src_label,
-                    src_port: Port(0),
+                    Port(0),
                     dst_label,
                     dst_port,
-                    src_leader: node,
-                    src_leader_pos: src_pos,
-                    chain_hops: 0,
                     payload,
-                };
-                self.send_geo(k, node, loc.pos, Some(loc.node), Message::Mtp(seg));
+                    loc.pos,
+                    Some(loc.node),
+                );
             }
             None if self.config.middleware.directory_enabled => {
                 // Park the send and resolve through the directory.
@@ -957,6 +1239,7 @@ impl SensorNetwork {
                     query_id,
                     target_type: dst_label.type_id,
                     asker: None,
+                    attempt: 0,
                 });
                 rt.mtp.park(
                     src_label,
@@ -975,6 +1258,7 @@ impl SensorNetwork {
                     query_id,
                 });
                 self.send_geo(k, node, dest, None, msg);
+                self.arm_query_failover(k, node, query_id);
             }
             None => {
                 self.events.push(
@@ -986,6 +1270,207 @@ impl SensorNetwork {
                 );
             }
         }
+    }
+
+    /// Transmits one MTP segment towards a destination, allocating an
+    /// end-to-end sequence number and arming the retransmission timer when
+    /// acks are enabled.
+    #[allow(clippy::too_many_arguments)]
+    fn send_mtp_segment(
+        &mut self,
+        k: &mut Kernel<SensorNetwork>,
+        node: NodeId,
+        src_label: ContextLabel,
+        src_port: Port,
+        dst_label: ContextLabel,
+        dst_port: Port,
+        payload: Bytes,
+        dest: Point,
+        deliver_to: Option<NodeId>,
+    ) {
+        let seq = if self.config.middleware.mtp_retx_enabled {
+            let rt = &mut self.nodes[node.index()];
+            let seq = rt.mtp.next_seq();
+            rt.mtp
+                .track_outstanding(seq, src_label, src_port, dst_label, dst_port, payload.clone());
+            let timeout = self.config.middleware.mtp_retx_timeout;
+            k.schedule_at(k.now() + timeout, move |w: &mut SensorNetwork, k| {
+                w.mtp_retry(k, node, seq);
+            });
+            seq
+        } else {
+            0
+        };
+        let seg = MtpSegment {
+            src_label,
+            src_port,
+            dst_label,
+            dst_port,
+            src_leader: node,
+            src_leader_pos: self.nodes[node.index()].pos,
+            chain_hops: 0,
+            seq,
+            payload,
+        };
+        self.send_geo(k, node, dest, deliver_to, Message::Mtp(seg));
+    }
+
+    /// The end-to-end retransmission timer: resends an unacked segment with
+    /// exponential backoff and jitter, or abandons it once the attempt
+    /// budget is spent.
+    fn mtp_retry(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, seq: u32) {
+        if !self.nodes[node.index()].alive {
+            return;
+        }
+        let mw = &self.config.middleware;
+        let policy = RetxPolicy {
+            timeout: mw.mtp_retx_timeout,
+            max_attempts: mw.mtp_retx_max_attempts,
+            jitter_max: mw.mtp_retx_jitter_max,
+        };
+        match self.nodes[node.index()].mtp.retransmit(seq, policy.max_attempts) {
+            None => {} // acknowledged in the meantime
+            Some(Err(abandoned)) => {
+                self.events.push(
+                    k.now(),
+                    SystemEvent::MtpDropped {
+                        label: abandoned.dst_label,
+                        node,
+                    },
+                );
+            }
+            Some(Ok(out)) => {
+                let jitter = SimDuration::from_micros(
+                    self.nodes[node.index()]
+                        .retx_rng
+                        .below(policy.jitter_max.as_micros().max(1)),
+                );
+                let next_check = k.now() + jitter + policy.backoff(out.attempts);
+                k.schedule_at(next_check, move |w: &mut SensorNetwork, k| {
+                    w.mtp_retry(k, node, seq);
+                });
+                let resend_at = k.now() + jitter;
+                k.schedule_at(resend_at, move |w: &mut SensorNetwork, k| {
+                    w.mtp_resend(k, node, out);
+                });
+            }
+        }
+    }
+
+    /// Re-emits a tracked segment towards the current best-known location
+    /// of its destination label — which may have moved since the original
+    /// send, so the route is re-resolved rather than replayed.
+    fn mtp_resend(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, out: Outstanding) {
+        if !self.nodes[node.index()].alive {
+            return;
+        }
+        let now = k.now();
+        let next = {
+            let rt = &mut self.nodes[node.index()];
+            rt.mtp
+                .forward_pointer(out.dst_label, now)
+                .or_else(|| rt.mtp.lookup(out.dst_label))
+        };
+        // With no route knowledge the attempt is forfeit; the retry timer
+        // stays armed, so a later heartbeat can still rescue the segment.
+        let Some(loc) = next else { return };
+        let seg = MtpSegment {
+            src_label: out.src_label,
+            src_port: out.src_port,
+            dst_label: out.dst_label,
+            dst_port: out.dst_port,
+            src_leader: node,
+            src_leader_pos: self.nodes[node.index()].pos,
+            chain_hops: 0,
+            seq: out.seq,
+            payload: out.payload,
+        };
+        self.send_geo(k, node, loc.pos, Some(loc.node), Message::Mtp(seg));
+    }
+
+    /// An end-to-end ack arrived: clear the outstanding segment and refresh
+    /// leadership knowledge from the acker.
+    fn handle_mtp_ack(&mut self, node: NodeId, ack: &MtpAck) {
+        // Geo routing can dead-end an ack at a node other than the
+        // segment's source; such strays carry nothing actionable here.
+        if ack.src_node != node {
+            return;
+        }
+        let rt = &mut self.nodes[node.index()];
+        rt.mtp.learn(
+            ack.dst_label,
+            LeaderLoc {
+                node: ack.acker,
+                pos: ack.acker_pos,
+            },
+        );
+        rt.mtp.acknowledge(ack.seq);
+    }
+
+    /// Arms the replica-failover timer for a directory query. A no-op at
+    /// the default replication factor of 1, so unreplicated runs schedule
+    /// no extra kernel events.
+    fn arm_query_failover(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, query_id: u32) {
+        if self.config.middleware.directory_replicas <= 1 {
+            return;
+        }
+        let timeout = self.config.middleware.directory_query_timeout;
+        k.schedule_at(k.now() + timeout, move |w: &mut SensorNetwork, k| {
+            w.query_failover(k, node, query_id);
+        });
+    }
+
+    /// Re-issues an unanswered directory query to the next replica, or
+    /// fails it — dropping any MTP sends parked on it — once the replica
+    /// set is exhausted.
+    fn query_failover(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, query_id: u32) {
+        if !self.nodes[node.index()].alive {
+            return;
+        }
+        let hit = self.nodes[node.index()]
+            .pending_queries
+            .iter_mut()
+            .find(|p| p.query_id == query_id)
+            .map(|p| {
+                p.attempt += 1;
+                (p.target_type, p.attempt)
+            });
+        let Some((target_type, attempt)) = hit else {
+            return; // answered in the meantime
+        };
+        let replicas = replica_set(
+            &self.deployment,
+            self.hash_points[target_type.0 as usize],
+            self.config.middleware.directory_replicas,
+        );
+        if attempt >= replicas.len() {
+            // Every replica tried: the query fails; parked sends die too.
+            let parked = {
+                let rt = &mut self.nodes[node.index()];
+                rt.pending_queries.retain(|p| p.query_id != query_id);
+                rt.mtp.take_pending(query_id)
+            };
+            for send in parked {
+                self.events.push(
+                    k.now(),
+                    SystemEvent::MtpDropped {
+                        label: send.dst_label,
+                        node,
+                    },
+                );
+            }
+            return;
+        }
+        let msg = Message::DirQuery(DirQuery {
+            type_id: target_type,
+            reply_to: node,
+            reply_pos: self.nodes[node.index()].pos,
+            query_id,
+        });
+        let target = replicas[attempt];
+        let pos = self.deployment.position(target);
+        self.send_geo(k, node, pos, Some(target), msg);
+        self.arm_query_failover(k, node, query_id);
     }
 
     // ------------------------------------------------------------------

@@ -14,7 +14,7 @@
 //! this module instead of `serde` derives.
 
 use bytes::Bytes;
-use envirotrack_sim::time::Timestamp;
+use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_world::geometry::Point;
 
 use crate::context::{ContextLabel, ContextTypeId};
@@ -242,6 +242,70 @@ impl ReportEntry {
     }
 }
 
+/// A whole-run robustness summary, one JSON line per run: protocol event
+/// totals, channel loss broken down by cause (so burst and partition
+/// losses are distinguishable from plain fading), and the invariant
+/// violation count from a chaos monitor. With a fixed seed and fault plan
+/// the record is byte-identical across runs — the determinism contract the
+/// chaos tests assert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The simulation seed.
+    pub seed: u64,
+    /// Simulated time covered by the run.
+    pub elapsed: SimDuration,
+    /// `LabelCreated` events.
+    pub labels_created: u64,
+    /// `LabelSuppressed` events.
+    pub labels_suppressed: u64,
+    /// `LeaderHandover` events.
+    pub handovers: u64,
+    /// Reports received at the base station.
+    pub base_reports: u64,
+    /// Heartbeat transmission-loss ratio.
+    pub hb_loss: f64,
+    /// Member-report transmission-loss ratio.
+    pub report_loss: f64,
+    /// Receiver-side loss ratio over all frame kinds.
+    pub pair_loss: f64,
+    /// Receiver opportunities lost to Gilbert–Elliott bursts.
+    pub burst_faded: u64,
+    /// Receiver opportunities suppressed by a partition mask.
+    pub partition_dropped: u64,
+    /// Frames dropped at the MAC before airtime.
+    pub mac_dropped: u64,
+    /// `MtpDelivered` events.
+    pub mtp_delivered: u64,
+    /// `MtpDropped` events.
+    pub mtp_dropped: u64,
+    /// Invariant violations observed by the monitor.
+    pub violations: u64,
+}
+
+impl RunRecord {
+    /// Encodes the record as one flat JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        json::JsonObject::new()
+            .field_u64("seed", self.seed)
+            .field_u64("elapsed_us", self.elapsed.as_micros())
+            .field_u64("labels_created", self.labels_created)
+            .field_u64("labels_suppressed", self.labels_suppressed)
+            .field_u64("handovers", self.handovers)
+            .field_u64("base_reports", self.base_reports)
+            .field_f64("hb_loss", self.hb_loss)
+            .field_f64("report_loss", self.report_loss)
+            .field_f64("pair_loss", self.pair_loss)
+            .field_u64("burst_faded", self.burst_faded)
+            .field_u64("partition_dropped", self.partition_dropped)
+            .field_u64("mac_dropped", self.mac_dropped)
+            .field_u64("mtp_delivered", self.mtp_delivered)
+            .field_u64("mtp_dropped", self.mtp_dropped)
+            .field_u64("violations", self.violations)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +382,34 @@ mod tests {
             .field_bool("ok", true)
             .finish();
         assert_eq!(obj, "{\"k\\\"ey\":\"v\\\\al\",\"nan\":null,\"ok\":true}");
+    }
+
+    #[test]
+    fn run_record_encodes_every_field_in_stable_order() {
+        let r = RunRecord {
+            seed: 42,
+            elapsed: SimDuration::from_secs(60),
+            labels_created: 3,
+            labels_suppressed: 1,
+            handovers: 2,
+            base_reports: 17,
+            hb_loss: 0.25,
+            report_loss: 0.0,
+            pair_loss: 0.125,
+            burst_faded: 9,
+            partition_dropped: 4,
+            mac_dropped: 0,
+            mtp_delivered: 5,
+            mtp_dropped: 1,
+            violations: 0,
+        };
+        let line = r.to_json();
+        assert!(line.starts_with("{\"seed\":42,\"elapsed_us\":60000000,"));
+        assert!(line.contains("\"burst_faded\":9"));
+        assert!(line.contains("\"partition_dropped\":4"));
+        assert!(line.ends_with("\"violations\":0}"));
+        // Byte-identical re-encoding: the determinism contract.
+        assert_eq!(line, r.to_json());
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //!   addressed to an out-of-date leader are chased along the chain to the
 //!   current one;
 //! * **pending sends** parked while a destination label is resolved through
-//!   the directory service.
+//!   the directory service;
+//! * **outstanding segments** awaiting an end-to-end acknowledgement, each
+//!   retransmitted a bounded number of times under exponential backoff with
+//!   jitter, with receiver-side duplicate suppression keyed on
+//!   `(source node, sequence)`.
 //!
 //! The actual send/receive orchestration lives in
 //! [`crate::network`]; this module is pure state, unit-testable in
@@ -165,6 +169,47 @@ struct ForwardPointer {
     expires: Timestamp,
 }
 
+/// One transmitted segment awaiting its end-to-end acknowledgement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outstanding {
+    /// The end-to-end sequence number (node-scoped).
+    pub seq: u32,
+    /// Destination label.
+    pub dst_label: ContextLabel,
+    /// Destination port.
+    pub dst_port: Port,
+    /// Source label.
+    pub src_label: ContextLabel,
+    /// Source port.
+    pub src_port: Port,
+    /// Application payload, kept for retransmission.
+    pub payload: Bytes,
+    /// Send attempts so far (1 after the first transmission).
+    pub attempts: u32,
+}
+
+/// Policy knobs for end-to-end retransmission.
+#[derive(Debug, Clone, Copy)]
+pub struct RetxPolicy {
+    /// Base acknowledgement timeout (doubled per attempt).
+    pub timeout: SimDuration,
+    /// Total transmission attempts before giving up.
+    pub max_attempts: u32,
+    /// Upper bound on the uniform jitter added to each backoff.
+    pub jitter_max: SimDuration,
+}
+
+impl RetxPolicy {
+    /// The backoff before the next retransmission after `attempts` tries:
+    /// `timeout * 2^(attempts-1)`, to which the caller adds jitter drawn
+    /// from its own RNG stream.
+    #[must_use]
+    pub fn backoff(&self, attempts: u32) -> SimDuration {
+        let shift = attempts.saturating_sub(1).min(16);
+        SimDuration::from_micros(self.timeout.as_micros().saturating_mul(1u64 << shift))
+    }
+}
+
 /// Per-node transport state. See the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct MtpState {
@@ -174,6 +219,13 @@ pub struct MtpState {
     forward_ttl: SimDuration,
     /// Maximum forwarding-chain length before a segment is dropped.
     pub max_chain_hops: u8,
+    /// Next end-to-end sequence number to assign.
+    next_seq: u32,
+    /// Segments awaiting end-to-end acknowledgement.
+    outstanding: Vec<Outstanding>,
+    /// Recently delivered `(source node, seq)` pairs, a bounded ring for
+    /// duplicate suppression when a retransmission races its ack.
+    seen_segments: Vec<(NodeId, u32)>,
 }
 
 impl MtpState {
@@ -187,7 +239,100 @@ impl MtpState {
             pending: Vec::new(),
             forward_ttl,
             max_chain_hops,
+            next_seq: 0,
+            outstanding: Vec::new(),
+            seen_segments: Vec::new(),
         }
+    }
+
+    /// Allocates the next end-to-end sequence number.
+    pub fn next_seq(&mut self) -> u32 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// The next sequence number that would be allocated.
+    #[must_use]
+    pub fn seq_base(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Starts sequence allocation at `base`. Models the nonvolatile boot
+    /// counter real transports keep so a rebooted node never reuses
+    /// sequence numbers its peers may still hold in dedup windows.
+    pub fn set_seq_base(&mut self, base: u32) {
+        self.next_seq = base;
+    }
+
+    /// Registers a freshly transmitted segment as awaiting its ack.
+    #[allow(clippy::too_many_arguments)]
+    pub fn track_outstanding(
+        &mut self,
+        seq: u32,
+        src_label: ContextLabel,
+        src_port: Port,
+        dst_label: ContextLabel,
+        dst_port: Port,
+        payload: Bytes,
+    ) {
+        self.outstanding.push(Outstanding {
+            seq,
+            dst_label,
+            dst_port,
+            src_label,
+            src_port,
+            payload,
+            attempts: 1,
+        });
+    }
+
+    /// Clears an outstanding segment on ack receipt. Returns whether the
+    /// ack matched anything (a stale or duplicate ack does not).
+    pub fn acknowledge(&mut self, seq: u32) -> bool {
+        let before = self.outstanding.len();
+        self.outstanding.retain(|o| o.seq != seq);
+        self.outstanding.len() != before
+    }
+
+    /// Looks up an outstanding segment for retransmission, bumping its
+    /// attempt counter. Returns `None` when the segment was acked,
+    /// `Some(Ok(..))` with the segment to resend, and `Some(Err(..))` with
+    /// the abandoned segment when the retry budget is exhausted (it is
+    /// dropped from the table).
+    pub fn retransmit(
+        &mut self,
+        seq: u32,
+        max_attempts: u32,
+    ) -> Option<Result<Outstanding, Outstanding>> {
+        let idx = self.outstanding.iter().position(|o| o.seq == seq)?;
+        if self.outstanding[idx].attempts >= max_attempts {
+            return Some(Err(self.outstanding.remove(idx)));
+        }
+        let o = &mut self.outstanding[idx];
+        o.attempts += 1;
+        Some(Ok(o.clone()))
+    }
+
+    /// Number of segments awaiting acknowledgement.
+    #[must_use]
+    pub fn outstanding_len(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Records a delivered `(source node, seq)` pair; returns `false` when
+    /// it was already seen (a duplicate that must be re-acked but not
+    /// re-delivered to the application).
+    pub fn note_delivered(&mut self, src: NodeId, seq: u32) -> bool {
+        if self.seen_segments.contains(&(src, seq)) {
+            return false;
+        }
+        const DEDUP_WINDOW: usize = 64;
+        if self.seen_segments.len() >= DEDUP_WINDOW {
+            self.seen_segments.remove(0);
+        }
+        self.seen_segments.push((src, seq));
+        true
     }
 
     /// The last-known leader of `label`, refreshing its recency.
@@ -444,5 +589,57 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_lru_is_rejected() {
         let _: LruTable<u32, u32> = LruTable::new(0);
+    }
+
+    #[test]
+    fn outstanding_segments_ack_and_retransmit() {
+        let mut mtp = MtpState::new(4, SimDuration::from_secs(10), 4);
+        let s1 = mtp.next_seq();
+        let s2 = mtp.next_seq();
+        assert_eq!((s1, s2), (0, 1));
+        mtp.track_outstanding(s1, label(0), Port(1), label(7), Port(2), Bytes::new());
+        mtp.track_outstanding(s2, label(0), Port(1), label(8), Port(2), Bytes::new());
+        assert_eq!(mtp.outstanding_len(), 2);
+
+        // Ack clears exactly the matching segment; stale acks are inert.
+        assert!(mtp.acknowledge(s1));
+        assert!(!mtp.acknowledge(s1));
+        assert_eq!(mtp.outstanding_len(), 1);
+
+        // Retransmission bumps attempts until the budget is exhausted.
+        let rt = mtp.retransmit(s2, 3).unwrap().unwrap();
+        assert_eq!(rt.attempts, 2);
+        let rt = mtp.retransmit(s2, 3).unwrap().unwrap();
+        assert_eq!(rt.attempts, 3);
+        let dropped = mtp.retransmit(s2, 3).unwrap().unwrap_err();
+        assert_eq!(dropped.attempts, 3);
+        assert_eq!(mtp.outstanding_len(), 0);
+        // An acked/dropped segment no longer retransmits.
+        assert_eq!(mtp.retransmit(s2, 3), None);
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let policy = RetxPolicy {
+            timeout: SimDuration::from_millis(400),
+            max_attempts: 4,
+            jitter_max: SimDuration::from_millis(50),
+        };
+        assert_eq!(policy.backoff(1), SimDuration::from_millis(400));
+        assert_eq!(policy.backoff(2), SimDuration::from_millis(800));
+        assert_eq!(policy.backoff(3), SimDuration::from_millis(1600));
+    }
+
+    #[test]
+    fn duplicate_segments_are_suppressed_once_seen() {
+        let mut mtp = MtpState::new(4, SimDuration::from_secs(10), 4);
+        assert!(mtp.note_delivered(NodeId(3), 7));
+        assert!(!mtp.note_delivered(NodeId(3), 7), "duplicate must be flagged");
+        assert!(mtp.note_delivered(NodeId(4), 7), "other sender, same seq is new");
+        // The window is bounded: old entries eventually age out.
+        for i in 0..100 {
+            mtp.note_delivered(NodeId(9), i);
+        }
+        assert!(mtp.note_delivered(NodeId(3), 7), "aged out of the ring");
     }
 }

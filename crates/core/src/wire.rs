@@ -56,6 +56,8 @@ pub mod kinds {
     pub const BASE_REPORT: FrameKind = FrameKind(7);
     /// Link-layer acknowledgements for reliable unicast hops.
     pub const LINK_ACK: FrameKind = FrameKind(8);
+    /// End-to-end MTP acknowledgements (transport-layer reliability).
+    pub const MTP_ACK: FrameKind = FrameKind(9);
 }
 
 /// A leader's periodic announcement (paper §5.2).
@@ -154,8 +156,28 @@ pub struct MtpSegment {
     pub src_leader_pos: Point,
     /// Forwarding-chain hop count (bounds chasing through past leaders).
     pub chain_hops: u8,
+    /// End-to-end sequence number, scoped to the sending node; pairs with
+    /// [`MtpAck`] for bounded retransmission and receiver-side dedup.
+    pub seq: u32,
     /// Application payload.
     pub payload: Bytes,
+}
+
+/// An end-to-end acknowledgement for one [`MtpSegment`], geo-routed back to
+/// the segment's source leader. Carries the acker's current leadership so
+/// the source refreshes its last-known-leader table for free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtpAck {
+    /// The acknowledged segment's destination label (who is acking).
+    pub dst_label: ContextLabel,
+    /// The acknowledged segment's source node (where the ack goes).
+    pub src_node: NodeId,
+    /// The acknowledged sequence number.
+    pub seq: u32,
+    /// The acking leader.
+    pub acker: NodeId,
+    /// The acking leader's position.
+    pub acker_pos: Point,
 }
 
 /// An application report delivered to the base station / pursuer.
@@ -202,6 +224,8 @@ pub enum Message {
     Base(BaseReport),
     /// Geographic forwarding wrapper.
     Geo(GeoForward),
+    /// End-to-end MTP acknowledgement.
+    MtpAckMsg(MtpAck),
 }
 
 impl Message {
@@ -218,6 +242,7 @@ impl Message {
             Message::Mtp(_) => kinds::MTP,
             Message::Base(_) => kinds::BASE_REPORT,
             Message::Geo(_) => kinds::GEO_FORWARD,
+            Message::MtpAckMsg(_) => kinds::MTP_ACK,
         }
     }
 
@@ -296,6 +321,7 @@ impl Message {
                 buf.put_u32(m.src_leader.0);
                 put_point(buf, m.src_leader_pos);
                 buf.put_u8(m.chain_hops);
+                buf.put_u32(m.seq);
                 buf.put_u16(m.payload.len() as u16);
                 buf.put_slice(&m.payload);
             }
@@ -320,6 +346,14 @@ impl Message {
                 g.inner.encode_into(&mut inner);
                 buf.put_u16(inner.len() as u16);
                 buf.put_slice(&inner);
+            }
+            Message::MtpAckMsg(a) => {
+                buf.put_u8(10);
+                put_label(buf, a.dst_label);
+                buf.put_u32(a.src_node.0);
+                buf.put_u32(a.seq);
+                buf.put_u32(a.acker.0);
+                put_point(buf, a.acker_pos);
             }
         }
     }
@@ -405,6 +439,7 @@ impl Message {
                 src_leader: NodeId(get_u32(buf)?),
                 src_leader_pos: get_point(buf)?,
                 chain_hops: get_u8(buf)?,
+                seq: get_u32(buf)?,
                 payload: get_len_bytes(buf)?,
             }),
             8 => Message::Base(BaseReport {
@@ -438,6 +473,13 @@ impl Message {
                     inner: Box::new(inner),
                 })
             }
+            10 => Message::MtpAckMsg(MtpAck {
+                dst_label: get_label(buf)?,
+                src_node: NodeId(get_u32(buf)?),
+                seq: get_u32(buf)?,
+                acker: NodeId(get_u32(buf)?),
+                acker_pos: get_point(buf)?,
+            }),
             other => return Err(DecodeError::UnknownTag { tag: other }),
         })
     }
@@ -671,7 +713,15 @@ mod tests {
             src_leader: NodeId(1),
             src_leader_pos: Point::new(2.0, 2.0),
             chain_hops: 3,
+            seq: 77,
             payload: Bytes::from_static(b"hello object"),
+        }));
+        round_trip(Message::MtpAckMsg(MtpAck {
+            dst_label: label(1, 2, 2),
+            src_node: NodeId(4),
+            seq: 77,
+            acker: NodeId(2),
+            acker_pos: Point::new(7.0, 7.0),
         }));
         round_trip(Message::Base(BaseReport {
             label: label(0, 1, 1),

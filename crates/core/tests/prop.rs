@@ -111,11 +111,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
         any::<u16>(),
         0u32..10_000,
         arb_point(),
-        0u8..16,
+        (0u8..16, any::<u32>()),
         arb_bytes(60),
     )
         .prop_map(
-            |(src_label, sp, dst_label, dp, leader, pos, hops, payload)| {
+            |(src_label, sp, dst_label, dp, leader, pos, (hops, seq), payload)| {
                 Message::Mtp(MtpSegment {
                     src_label,
                     src_port: Port(sp),
@@ -124,6 +124,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     src_leader: NodeId(leader),
                     src_leader_pos: pos,
                     chain_hops: hops,
+                    seq,
                     payload,
                 })
             },

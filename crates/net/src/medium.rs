@@ -15,6 +15,12 @@
 //! * **Fading** — independent per-receiver Bernoulli loss, the residual
 //!   unreliability the paper observed even at low utilisation (MICA's MAC
 //!   has no reliability layer).
+//! * **Burst loss** (optional) — a per-receiver Gilbert–Elliott two-state
+//!   chain layered on top of the Bernoulli fading, modelling correlated
+//!   deep fades; installed and removed at runtime by the chaos harness.
+//! * **Partitions** (optional) — a node-group mask that severs every link
+//!   between groups, modelling an RF barrier or a split field; enforced at
+//!   carrier sensing, collision resolution and delivery alike.
 //!
 //! The medium is passive: an event handler calls [`Medium::transmit`], then
 //! schedules one engine event at the returned completion instant and calls
@@ -93,6 +99,56 @@ impl RadioConfig {
     }
 }
 
+/// A Gilbert–Elliott two-state burst-loss channel model.
+///
+/// Each receiver carries an independent Good/Bad state advanced once per
+/// frame-arrival opportunity; the loss probability depends on the state.
+/// With the default parameters the Bad state loses most frames and bursts
+/// last a handful of frames, which is what defeats single-shot delivery
+/// while bounded retransmission still gets through.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Probability of moving Good → Bad at each arrival opportunity.
+    pub p_good_to_bad: f64,
+    /// Probability of moving Bad → Good at each arrival opportunity.
+    pub p_bad_to_good: f64,
+    /// Loss probability while in the Good state.
+    pub loss_good: f64,
+    /// Loss probability while in the Bad state.
+    pub loss_bad: f64,
+}
+
+impl Default for GilbertElliott {
+    /// Mild-Good / severe-Bad defaults: ~7-frame mean burst length, 85 %
+    /// loss inside a burst, clean channel outside it.
+    fn default() -> Self {
+        GilbertElliott {
+            p_good_to_bad: 0.05,
+            p_bad_to_good: 0.15,
+            loss_good: 0.0,
+            loss_bad: 0.85,
+        }
+    }
+}
+
+impl GilbertElliott {
+    /// Validates the four probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any probability is outside `[0, 1]`.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("p_good_to_bad", self.p_good_to_bad),
+            ("p_bad_to_good", self.p_bad_to_good),
+            ("loss_good", self.loss_good),
+            ("loss_bad", self.loss_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0,1], got {p}");
+        }
+    }
+}
+
 /// Identifies one in-flight transmission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TxId(u64);
@@ -108,6 +164,10 @@ pub enum DeliveryOutcome {
     HalfDuplex,
     /// Independent fading loss.
     Faded,
+    /// Lost to a Gilbert–Elliott burst (receiver in the Bad state).
+    BurstFaded,
+    /// The link is severed by an active partition mask.
+    PartitionDrop,
 }
 
 /// Returned by [`Medium::transmit`]: when to collect the deliveries.
@@ -188,6 +248,12 @@ pub struct KindStats {
     pub half_duplex: u64,
     /// Frames dropped by the MAC before transmission (channel saturated).
     pub mac_dropped: u64,
+    /// (tx, receiver) pairs lost to Gilbert–Elliott bursts — kept separate
+    /// from `faded` so chaos-induced loss is distinguishable from the
+    /// baseline Bernoulli fading.
+    pub burst_faded: u64,
+    /// (tx, receiver) pairs severed by an active partition mask.
+    pub partition_dropped: u64,
 }
 
 impl KindStats {
@@ -209,7 +275,8 @@ impl KindStats {
     /// running on one mote experiences, matching Table 1 of the paper.
     #[must_use]
     pub fn pair_loss_ratio(&self) -> f64 {
-        let lost = self.faded + self.collided + self.half_duplex;
+        let lost =
+            self.faded + self.collided + self.half_duplex + self.burst_faded + self.partition_dropped;
         let total = self.rx + lost;
         if total == 0 {
             0.0
@@ -239,6 +306,13 @@ impl NetStats {
         self.per_kind.get(&kind.0).copied().unwrap_or_default()
     }
 
+    /// Sum of a per-kind counter over every kind — e.g.
+    /// `stats.sum(|k| k.burst_faded)` for the whole-run burst-loss count.
+    #[must_use]
+    pub fn sum(&self, f: impl Fn(&KindStats) -> u64) -> u64 {
+        self.per_kind.values().map(f).sum()
+    }
+
     /// Worst-case broadcast-channel utilisation over `elapsed`: total bits
     /// sent divided by what the link could carry, as in Table 1 of the
     /// paper (assumes no spatial reuse).
@@ -262,6 +336,16 @@ pub struct Medium {
     stats: NetStats,
     /// Records older than this horizon can no longer affect any delivery.
     prune_horizon: SimDuration,
+    /// Partition group per node; links between different groups are severed.
+    partition: Option<Vec<u8>>,
+    /// Optional burst-loss model with per-receiver Good/Bad state
+    /// (`true` = Bad). The chain uses its own forked RNG so installing or
+    /// removing it never perturbs the baseline fading stream.
+    burst: Option<(GilbertElliott, Vec<bool>)>,
+    burst_rng: SimRng,
+    /// When enabled, every intact (src, dst) delivery is appended here for
+    /// the invariant monitor to audit (e.g. "nothing crosses a partition").
+    delivery_log: Option<Vec<(Timestamp, NodeId, NodeId)>>,
 }
 
 impl Medium {
@@ -288,6 +372,10 @@ impl Medium {
             rng: rng.fork("radio-medium"),
             stats: NetStats::default(),
             prune_horizon,
+            partition: None,
+            burst: None,
+            burst_rng: rng.fork("radio-burst"),
+            delivery_log: None,
         }
     }
 
@@ -307,6 +395,75 @@ impl Medium {
     #[must_use]
     pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
         self.neighbors[a.index()].contains(&b)
+    }
+
+    /// Installs (or clears) a partition mask: `groups[i]` is node `i`'s
+    /// group, and links between different groups are severed — no carrier
+    /// sensing, no collisions, no delivery across the cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mask length does not match the deployment size.
+    pub fn set_partition(&mut self, groups: Option<Vec<u8>>) {
+        if let Some(g) = &groups {
+            assert_eq!(
+                g.len(),
+                self.neighbors.len(),
+                "partition mask must cover every node"
+            );
+        }
+        self.partition = groups;
+    }
+
+    /// The currently active partition mask, if any.
+    #[must_use]
+    pub fn partition(&self) -> Option<&[u8]> {
+        self.partition.as_deref()
+    }
+
+    /// Whether the link `a`↔`b` is severed by the active partition.
+    #[must_use]
+    pub fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        match &self.partition {
+            Some(g) => g[a.index()] != g[b.index()],
+            None => false,
+        }
+    }
+
+    /// Installs (or clears) the Gilbert–Elliott burst-loss model. Receiver
+    /// states start Good; the chain draws from a dedicated RNG stream, so
+    /// the baseline fading sequence is unaffected either way.
+    pub fn set_burst_loss(&mut self, model: Option<GilbertElliott>) {
+        self.burst = model.map(|m| {
+            m.validate();
+            (m, vec![false; self.neighbors.len()])
+        });
+    }
+
+    /// Whether a burst-loss model is currently installed.
+    #[must_use]
+    pub fn burst_loss_active(&self) -> bool {
+        self.burst.is_some()
+    }
+
+    /// Enables or disables the delivery audit log (disabled by default; the
+    /// invariant monitor turns it on and drains it every sample tick).
+    pub fn set_delivery_log(&mut self, enabled: bool) {
+        self.delivery_log = if enabled {
+            Some(self.delivery_log.take().unwrap_or_default())
+        } else {
+            None
+        };
+    }
+
+    /// Drains the delivery audit log: `(tx-end instant, src, dst)` triples
+    /// for every intact delivery since the last drain. Empty when the log
+    /// is disabled.
+    pub fn take_delivery_log(&mut self) -> Vec<(Timestamp, NodeId, NodeId)> {
+        match &mut self.delivery_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// Starts transmitting `frame` at `now`.
@@ -330,7 +487,9 @@ impl Medium {
             // the sender, and start after the latest of them.
             let mut busy_until = now;
             for rec in &self.active {
-                let audible = rec.src == frame.src || self.in_range(rec.src, frame.src);
+                let audible = rec.src == frame.src
+                    || (self.in_range(rec.src, frame.src)
+                        && !self.partitioned(rec.src, frame.src));
                 if audible && rec.end > busy_until {
                     busy_until = rec.end;
                 }
@@ -396,21 +555,55 @@ impl Medium {
         let mut outcomes = Vec::with_capacity(receivers.len());
         let mut any_delivered = false;
         for v in receivers {
-            let outcome = self.receiver_outcome(src, v, start, end);
+            let outcome = if self.partitioned(src, v) {
+                DeliveryOutcome::PartitionDrop
+            } else {
+                self.receiver_outcome(src, v, start, end)
+            };
             let outcome = match outcome {
                 DeliveryOutcome::Delivered if self.rng.chance(self.config.base_loss) => {
                     DeliveryOutcome::Faded
                 }
                 o => o,
             };
+            // The Gilbert–Elliott chain (when installed) advances once per
+            // arrival opportunity and can turn a surviving delivery into a
+            // burst loss; it draws from its own RNG stream.
+            let outcome = match (&mut self.burst, outcome) {
+                (Some((model, states)), o) if o != DeliveryOutcome::PartitionDrop => {
+                    let bad = &mut states[v.index()];
+                    let flip = if *bad {
+                        model.p_bad_to_good
+                    } else {
+                        model.p_good_to_bad
+                    };
+                    if self.burst_rng.chance(flip) {
+                        *bad = !*bad;
+                    }
+                    let loss = if *bad { model.loss_bad } else { model.loss_good };
+                    if o == DeliveryOutcome::Delivered && self.burst_rng.chance(loss) {
+                        DeliveryOutcome::BurstFaded
+                    } else {
+                        o
+                    }
+                }
+                (_, o) => o,
+            };
             match outcome {
                 DeliveryOutcome::Delivered => {
                     any_delivered = true;
                     self.kind_stats_mut(frame.kind).rx += 1;
+                    if let Some(log) = &mut self.delivery_log {
+                        log.push((end, src, v));
+                    }
                 }
                 DeliveryOutcome::Collided => self.kind_stats_mut(frame.kind).collided += 1,
                 DeliveryOutcome::HalfDuplex => self.kind_stats_mut(frame.kind).half_duplex += 1,
                 DeliveryOutcome::Faded => self.kind_stats_mut(frame.kind).faded += 1,
+                DeliveryOutcome::BurstFaded => self.kind_stats_mut(frame.kind).burst_faded += 1,
+                DeliveryOutcome::PartitionDrop => {
+                    self.kind_stats_mut(frame.kind).partition_dropped += 1;
+                }
             }
             outcomes.push((v, outcome));
         }
@@ -439,7 +632,7 @@ impl Medium {
             if other.src == v {
                 return DeliveryOutcome::HalfDuplex;
             }
-            if self.in_range(other.src, v) {
+            if self.in_range(other.src, v) && !self.partitioned(other.src, v) {
                 return DeliveryOutcome::Collided;
             }
         }
@@ -642,6 +835,99 @@ mod tests {
             .stats()
             .link_utilization(SimDuration::from_secs(1), 50_000);
         assert!((util - bits as f64 / 50_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_severs_cross_group_links_and_counts_drops() {
+        let d = line_deployment(4, 1.0);
+        let mut m = Medium::new(&d, lossless(5.0), &SimRng::seed_from(1));
+        // Nodes {0,1} vs {2,3}.
+        m.set_partition(Some(vec![0, 0, 1, 1]));
+        assert!(m.partitioned(NodeId(1), NodeId(2)));
+        assert!(!m.partitioned(NodeId(0), NodeId(1)));
+        let tx = m.transmit(Timestamp::ZERO, frame(1)).unwrap();
+        let r = m.deliveries(tx.id);
+        let delivered: Vec<NodeId> = r.delivered().collect();
+        assert_eq!(delivered, vec![NodeId(0)]);
+        assert!(r
+            .outcomes
+            .iter()
+            .any(|(n, o)| *n == NodeId(2) && *o == DeliveryOutcome::PartitionDrop));
+        let ks = m.stats().kind(FrameKind(1));
+        assert_eq!(ks.partition_dropped, 2);
+        assert!(ks.pair_loss_ratio() > 0.0);
+
+        // Healing restores the full broadcast.
+        m.set_partition(None);
+        let tx = m
+            .transmit(Timestamp::from_secs(1), frame(1))
+            .unwrap();
+        assert_eq!(m.deliveries(tx.id).delivered().count(), 3);
+    }
+
+    #[test]
+    fn partition_blocks_carrier_sensing_across_the_cut() {
+        let d = line_deployment(2, 1.0);
+        let mut m = Medium::new(&d, lossless(5.0), &SimRng::seed_from(1));
+        m.set_partition(Some(vec![0, 1]));
+        let t0 = m.transmit(Timestamp::ZERO, frame(0)).unwrap();
+        // Node 1 cannot hear node 0 across the cut, so it does not defer.
+        let t1 = m.transmit(Timestamp::ZERO, frame(1)).unwrap();
+        assert_eq!(t0.completes_at, t1.completes_at);
+    }
+
+    #[test]
+    fn burst_loss_is_bursty_and_counted_separately() {
+        let d = line_deployment(2, 1.0);
+        let mut m = Medium::new(&d, lossless(5.0), &SimRng::seed_from(11));
+        m.set_burst_loss(Some(GilbertElliott::default()));
+        let mut now = Timestamp::ZERO;
+        let mut lost_runs = Vec::new();
+        let mut run = 0u32;
+        let trials = 2000;
+        for _ in 0..trials {
+            let tx = m.transmit(now, frame(0)).unwrap();
+            now = tx.completes_at + SimDuration::from_millis(1);
+            let delivered = m.deliveries(tx.id).delivered().count() == 1;
+            if delivered {
+                if run > 0 {
+                    lost_runs.push(run);
+                }
+                run = 0;
+            } else {
+                run += 1;
+            }
+        }
+        let ks = m.stats().kind(FrameKind(1));
+        assert_eq!(ks.faded, 0, "base loss is zero; only bursts may lose");
+        assert!(ks.burst_faded > 100, "bursts must actually lose frames");
+        // Burst losses cluster: mean lost-run length well above 1.
+        let mean =
+            f64::from(lost_runs.iter().sum::<u32>()) / lost_runs.len().max(1) as f64;
+        assert!(mean > 1.5, "losses should be correlated, mean run {mean}");
+        // Removing the model restores a clean channel.
+        m.set_burst_loss(None);
+        let before = m.stats().kind(FrameKind(1)).rx;
+        for _ in 0..50 {
+            let tx = m.transmit(now, frame(0)).unwrap();
+            now = tx.completes_at + SimDuration::from_millis(1);
+            let _ = m.deliveries(tx.id);
+        }
+        assert_eq!(m.stats().kind(FrameKind(1)).rx, before + 50);
+    }
+
+    #[test]
+    fn delivery_log_records_intact_pairs_only() {
+        let d = line_deployment(3, 1.0);
+        let mut m = Medium::new(&d, lossless(5.0), &SimRng::seed_from(1));
+        m.set_delivery_log(true);
+        m.set_partition(Some(vec![0, 0, 1]));
+        let tx = m.transmit(Timestamp::ZERO, frame(1)).unwrap();
+        let _ = m.deliveries(tx.id);
+        let log = m.take_delivery_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!((log[0].1, log[0].2), (NodeId(1), NodeId(0)));
+        assert!(m.take_delivery_log().is_empty(), "drain empties the log");
     }
 
     #[test]

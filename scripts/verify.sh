@@ -11,4 +11,12 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline --workspace
 
+# Chaos smoke: randomized fault plans (crashes, reboots, partitions, burst
+# loss, clock skew) must leave every invariant intact. CHAOS_CASES scales
+# the sweep; the workspace pass above already ran it at the testkit
+# default, so this re-runs wider.
+TESTKIT_CASES="${CHAOS_CASES:-128}" \
+  cargo test -q --offline -p envirotrack-chaos --test chaos \
+  -- random_fault_plans_never_break_invariants
+
 echo "verify: OK"

@@ -18,6 +18,8 @@
 //!   management, aggregate state with freshness/critical-mass QoS, the
 //!   directory service, and the MTP transport.
 //! * [`lang`] — the EnviroTrack declaration language and preprocessor.
+//! * [`chaos`] — scripted fault plans (crashes, partitions, burst loss,
+//!   clock skew) and invariant monitors for robustness testing.
 //!
 //! ## A minimal tracking application
 //!
@@ -57,6 +59,7 @@
 //! assert!(!engine.world().base_log().is_empty(), "the pursuer heard about the tank");
 //! ```
 
+pub use envirotrack_chaos as chaos;
 pub use envirotrack_core as core;
 pub use envirotrack_lang as lang;
 pub use envirotrack_net as net;
