@@ -21,6 +21,7 @@
 use envirotrack_core::context::ContextTypeId;
 use envirotrack_core::network::SensorNetwork;
 use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_telemetry::Telemetry;
 use envirotrack_world::field::NodeId;
 
 /// Which invariant a violation broke.
@@ -51,6 +52,10 @@ pub struct Violation {
     pub detail: String,
     /// The fault events applied before the observation, in order.
     pub trace: Vec<String>,
+    /// The tail of the telemetry trace at observation time: the last
+    /// events for the violating label when one is implicated, otherwise
+    /// the whole-run tail. Rendered, oldest first.
+    pub label_trace: Vec<String>,
 }
 
 /// Monitor tuning.
@@ -90,6 +95,9 @@ pub struct InvariantMonitor {
     dup_since: Vec<Option<Timestamp>>,
     trace: Vec<String>,
     violations: Vec<Violation>,
+    /// The run's telemetry registry (shared with the world), read to
+    /// attach protocol trace tails to violations.
+    telemetry: Telemetry,
 }
 
 impl InvariantMonitor {
@@ -103,6 +111,7 @@ impl InvariantMonitor {
             dup_since: vec![None; world.context_type_count()],
             trace: Vec::new(),
             violations: Vec::new(),
+            telemetry: world.telemetry().clone(),
         }
     }
 
@@ -129,13 +138,23 @@ impl InvariantMonitor {
         &self.trace
     }
 
-    fn record(&mut self, at: Timestamp, kind: InvariantKind, detail: String) {
+    /// How many label-scoped trace events a violation carries.
+    const LABEL_TRACE_EVENTS: usize = 32;
+    /// How many whole-run trace events a label-free violation carries.
+    const TAIL_TRACE_EVENTS: usize = 16;
+
+    fn record(&mut self, at: Timestamp, kind: InvariantKind, detail: String, label: Option<&str>) {
+        let label_trace = match label {
+            Some(l) => self.telemetry.events_for_label(l, Self::LABEL_TRACE_EVENTS),
+            None => self.telemetry.last_events(Self::TAIL_TRACE_EVENTS),
+        };
         self.violations.push(Violation {
             at,
             seed: self.seed,
             kind,
             detail,
             trace: self.trace.clone(),
+            label_trace,
         });
     }
 
@@ -159,6 +178,7 @@ impl InvariantMonitor {
                         "node {i} local clock went {} -> {c}",
                         self.last_clock[i]
                     ),
+                    None,
                 );
             }
             self.last_clock[i] = c;
@@ -183,7 +203,7 @@ impl InvariantMonitor {
             'outer: for (i, a) in leaders.iter().enumerate() {
                 for b in leaders.iter().skip(i + 1) {
                     if a.3.distance_to(b.3) <= self.cfg.proximity_radius {
-                        close_pair = Some((a.0, b.0));
+                        close_pair = Some((a.0, b.0, a.1));
                         break 'outer;
                     }
                 }
@@ -191,7 +211,7 @@ impl InvariantMonitor {
             match (close_pair, self.dup_since[t]) {
                 (None, _) => self.dup_since[t] = None,
                 (Some(_), None) => self.dup_since[t] = Some(now),
-                (Some((a, b)), Some(since)) => {
+                (Some((a, b, label)), Some(since)) => {
                     if now.saturating_since(since) > self.cfg.settle {
                         self.record(
                             now,
@@ -200,6 +220,7 @@ impl InvariantMonitor {
                                 "type {t}: nodes {} and {} both lead within {} units since {since}",
                                 a.0, b.0, self.cfg.proximity_radius
                             ),
+                            Some(&label.to_string()),
                         );
                         // Start a new episode so one long condition does
                         // not flood the report.
@@ -223,6 +244,7 @@ impl InvariantMonitor {
                                 "node {} aggregate '{}' valid with {}/{} fresh readings",
                                 node.0, row.variable, row.fresh, row.need
                             ),
+                            None,
                         );
                     }
                 }
@@ -248,6 +270,7 @@ impl InvariantMonitor {
                         "frame delivered {} -> {} across partition at {t}",
                         src.0, dst.0
                     ),
+                    None,
                 );
             }
         }

@@ -5,9 +5,10 @@
 use std::sync::Arc;
 
 use envirotrack_chaos::harness;
-use envirotrack_chaos::monitor::MonitorConfig;
+use envirotrack_chaos::monitor::{InvariantKind, MonitorConfig};
 use envirotrack_chaos::plan::{FaultEvent, FaultPlan};
 use envirotrack_core::prelude::*;
+use envirotrack_core::report::{telemetry_summary, telemetry_to_jsonl};
 use envirotrack_net::medium::GilbertElliott;
 use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_world::field::Deployment;
@@ -134,6 +135,87 @@ fn identical_seed_and_plan_replay_byte_identically() {
     };
     assert_eq!(transcript(7), transcript(7), "replay must be byte-identical");
     assert_eq!(transcript(1234), transcript(1234));
+}
+
+/// A total radio blackout makes members take over a group whose leader is
+/// still alive and heartbeating into the void: the classic engineered
+/// duplicate-leader condition. The monitor must flag it, and the violation
+/// must carry enough label-scoped telemetry trace to reconstruct the
+/// handoff storm.
+#[test]
+fn blackout_violation_carries_the_labels_trace_tail() {
+    let seed = 11;
+    let scenario = TankScenario::default()
+        .with_grid(12, 3)
+        .with_speed_hops_per_s(0.03)
+        .build();
+    let mut engine = SensorNetwork::build_engine(
+        tracker_program(),
+        scenario.deployment,
+        scenario.environment,
+        NetworkConfig::default(),
+        seed,
+    );
+    engine.run_until(Timestamp::from_secs(30));
+    assert_eq!(engine.world().leaders_of_type(TRACKER).len(), 1);
+    // Every frame lost, forever: not a partition, so the leader-uniqueness
+    // check stays armed while receive timeouts promote the members.
+    let blackout = GilbertElliott {
+        p_good_to_bad: 1.0,
+        p_bad_to_good: 0.0,
+        loss_good: 1.0,
+        loss_bad: 1.0,
+    };
+    let plan = FaultPlan::new().at(Timestamp::from_secs(31), FaultEvent::BurstLossOn(blackout));
+    let monitor = harness::install(&mut engine, plan, seed, MonitorConfig::default());
+    engine.run_until(Timestamp::from_secs(60));
+
+    let mon = monitor.borrow();
+    let dup = mon
+        .violations()
+        .iter()
+        .find(|v| v.kind == InvariantKind::DuplicateLeaders)
+        .expect("total blackout must produce a duplicate-leader violation");
+    assert!(
+        dup.label_trace.len() >= 16,
+        "violation must carry the label's trace tail, got {} events: {:?}",
+        dup.label_trace.len(),
+        dup.label_trace
+    );
+    // The tail is protocol history for the violating label: heartbeats at
+    // minimum, and the takeover that created the duplicate.
+    assert!(
+        dup.label_trace.iter().any(|l| l.contains("group.")),
+        "trace tail should show group protocol events: {:?}",
+        dup.label_trace
+    );
+    assert_eq!(dup.trace.len(), 1, "the fault plan rides along");
+}
+
+/// Same seed + same plan ⇒ byte-identical telemetry: every counter,
+/// histogram bucket, and trace event line. This is the determinism
+/// contract the telemetry layer promises.
+#[test]
+fn telemetry_replays_byte_identically() {
+    let transcript = |seed: u64| -> String {
+        let scenario = TankScenario::default().with_grid(10, 3).build();
+        let mut engine = SensorNetwork::build_engine(
+            tracker_program(),
+            scenario.deployment,
+            scenario.environment,
+            NetworkConfig::default(),
+            seed,
+        );
+        let plan = FaultPlan::random(seed, engine.world().deployment().len(), SimDuration::from_secs(50));
+        let _monitor = harness::install(&mut engine, plan, seed, MonitorConfig::default());
+        engine.run_until(Timestamp::from_secs(60));
+        let t = engine.world().telemetry();
+        format!("{}{}", telemetry_to_jsonl(t), telemetry_summary(t))
+    };
+    let a = transcript(9);
+    assert!(a.contains("\"t\":\"trace\""), "trace must be non-empty");
+    assert!(a.contains("== telemetry summary =="));
+    assert_eq!(a, transcript(9), "telemetry replay must be byte-identical");
 }
 
 /// A small, cheap world for randomized plans: a 5×5 grid watching one

@@ -270,11 +270,20 @@ impl ReadingWindow {
     }
 
     /// The fresh contributions at `now` under `freshness`.
+    ///
+    /// Freshness is a *two-sided* bound: a reading stamped more than
+    /// `freshness` in the future (a skewed reporter clock) is just as
+    /// untrustworthy as a stale one. Without the forward bound,
+    /// `saturating_since` clamps a future timestamp to age zero and the
+    /// reading stays "fresh" forever.
     #[must_use]
     pub fn fresh(&self, now: Timestamp, freshness: SimDuration) -> Vec<Contribution> {
         self.readings
             .iter()
-            .filter(|c| now.saturating_since(c.taken_at) <= freshness)
+            .filter(|c| {
+                now.saturating_since(c.taken_at) <= freshness
+                    && c.taken_at.saturating_since(now) <= freshness
+            })
             .copied()
             .collect()
     }
@@ -315,11 +324,13 @@ impl ReadingWindow {
         Ok(function.apply(&fresh))
     }
 
-    /// Drops readings older than `horizon` before `now`, bounding memory on
-    /// long-lived leaders.
+    /// Drops readings more than `horizon` away from `now` — older *or*
+    /// future-stamped — bounding memory on long-lived leaders.
     pub fn prune(&mut self, now: Timestamp, horizon: SimDuration) {
-        self.readings
-            .retain(|c| now.saturating_since(c.taken_at) <= horizon);
+        self.readings.retain(|c| {
+            now.saturating_since(c.taken_at) <= horizon
+                && c.taken_at.saturating_since(now) <= horizon
+        });
     }
 
     /// Discards everything (e.g. on leadership loss).
@@ -331,6 +342,7 @@ impl ReadingWindow {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use testkit::prelude::*;
 
     fn scalar_window(entries: &[(u32, u64, f64)]) -> ReadingWindow {
         let mut w = ReadingWindow::new();
@@ -532,6 +544,113 @@ mod tests {
         assert_eq!(w.len(), 1);
         w.clear();
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn future_stamped_reading_is_not_fresh() {
+        // Regression: a reporter with a skewed clock stamps its reading in
+        // the future. Before the two-sided bound, `saturating_since`
+        // clamped its age to zero, so it stayed fresh forever and kept
+        // satisfying critical mass on its own.
+        let mut w = ReadingWindow::new();
+        w.insert(
+            NodeId(1),
+            Timestamp::from_secs(100),
+            ReadingValue::Scalar(9.0),
+        );
+        let err = w
+            .evaluate(
+                &AggregateFn::Count,
+                Timestamp::from_secs(10),
+                SimDuration::from_secs(1),
+                1,
+            )
+            .unwrap_err();
+        assert_eq!(err, AggregateReadError { have: 0, need: 1 });
+        // Slight skew within the freshness horizon is still accepted.
+        let v = w
+            .evaluate(
+                &AggregateFn::Count,
+                Timestamp::from_secs(99),
+                SimDuration::from_secs(1),
+                1,
+            )
+            .unwrap();
+        assert_eq!(v, AggValue::Scalar(1.0));
+        // Prune also drops far-future readings instead of keeping them
+        // forever.
+        w.prune(Timestamp::from_secs(10), SimDuration::from_secs(5));
+        assert!(w.is_empty());
+    }
+
+    prop_test! {
+        /// Whatever interleaving of re-reports arrives, the window keeps at
+        /// most one reading per member (distinct-contributor counting) and
+        /// that reading is the newest one inserted (latest-value-wins; on a
+        /// timestamp tie the later arrival wins).
+        #[test]
+        fn duplicate_reporters_never_double_count(seed: u64) {
+            use envirotrack_sim::rng::SimRng;
+            const MEMBERS: u64 = 5;
+            let mut rng = SimRng::seed_from(seed);
+            let mut w = ReadingWindow::new();
+            // expected[m] = (taken_at, value) the window must end up with.
+            let mut expected: Vec<Option<(u64, f64)>> = vec![None; MEMBERS as usize];
+            let inserts = 1 + rng.below(40);
+            for i in 0..inserts {
+                let m = rng.below(MEMBERS);
+                let secs = rng.below(100);
+                #[allow(clippy::cast_precision_loss)]
+                let value = i as f64;
+                w.insert(
+                    NodeId(u32::try_from(m).unwrap()),
+                    Timestamp::from_secs(secs),
+                    ReadingValue::Scalar(value),
+                );
+                let slot = &mut expected[usize::try_from(m).unwrap()];
+                match slot {
+                    Some((t, _)) if secs < *t => {}
+                    _ => *slot = Some((secs, value)),
+                }
+            }
+            let distinct = expected.iter().filter(|e| e.is_some()).count();
+            prop_assert!(
+                w.len() == distinct,
+                "window holds {} entries for {} distinct members",
+                w.len(),
+                distinct
+            );
+            // Critical mass counts distinct members, never report volume.
+            let at = Timestamp::from_secs(100);
+            let horizon = SimDuration::from_secs(100);
+            let counted = w
+                .evaluate(&AggregateFn::Count, at, horizon, 1)
+                .map(|v| v.as_scalar().unwrap_or(-1.0))
+                .unwrap_or(0.0);
+            #[allow(clippy::cast_precision_loss)]
+            let want = distinct as f64;
+            prop_assert!(
+                (counted - want).abs() < f64::EPSILON,
+                "Count saw {counted}, want {want}"
+            );
+            prop_assert!(
+                w.evaluate(&AggregateFn::Count, at, horizon, u32::try_from(distinct).unwrap() + 1).is_err(),
+                "critical mass above distinct members must fail"
+            );
+            // Latest-value-wins per member.
+            for c in w.fresh(at, horizon) {
+                let (t, v) = expected[usize::try_from(c.member.0).unwrap()]
+                    .expect("member reported");
+                prop_assert!(
+                    c.taken_at == Timestamp::from_secs(t)
+                        && (c.value.as_scalar().unwrap() - v).abs() < f64::EPSILON,
+                    "member {} kept ({:?}, {:?}), want ({t}s, {v})",
+                    c.member.0,
+                    c.taken_at,
+                    c.value
+                );
+            }
+        }
     }
 
     #[test]

@@ -29,8 +29,11 @@
 //!   type: the lighter label is deleted and its leader joins the heavier
 //!   one — spurious labels die out.
 
+use std::cmp::Reverse;
+
 use bytes::Bytes;
 use envirotrack_node::timer::{TimerSlot, TimerToken};
+use envirotrack_telemetry::Telemetry;
 use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_world::field::NodeId;
@@ -153,6 +156,9 @@ pub struct GroupCtx<'a> {
     pub position: Point,
     /// The node's randomness stream.
     pub rng: &'a mut SimRng,
+    /// The run-wide telemetry registry (a cheap clone of the shared
+    /// handle); the machine records group-transition trace events on it.
+    pub telemetry: Telemetry,
 }
 
 /// Non-member memory of a nearby label (the paper's wait timer).
@@ -482,9 +488,10 @@ impl GroupMachine {
             Role::Leader(l) if l.label != hb.label => {
                 // Different labels of the same type around the *same*
                 // stimulus: the lighter label is spurious and deletes
-                // itself (ties broken by label order). Distant leaders
-                // track different entities and are left alone.
-                if nearby && (hb.weight, hb.label) > (l.weight, l.label) {
+                // itself. On a weight tie the *older* (lower-ordered)
+                // label survives, so exactly one side yields. Distant
+                // leaders track different entities and are left alone.
+                if nearby && (hb.weight, Reverse(hb.label)) > (l.weight, Reverse(l.label)) {
                     Decision::SuppressOwnLabel
                 } else {
                     Decision::Nothing
@@ -503,8 +510,10 @@ impl GroupMachine {
             }
             Role::Member(m) => {
                 // Heartbeat from a *different* nearby label of the same
-                // type: follow the heavier label.
-                if nearby && (hb.weight, hb.label) > (m.leader_weight, m.label) {
+                // type: follow the heavier label (same tiebreak as the
+                // leader-vs-leader rule, so members and leaders agree on
+                // the survivor).
+                if nearby && (hb.weight, Reverse(hb.label)) > (m.leader_weight, Reverse(m.label)) {
                     Decision::JoinHeavierLabel
                 } else {
                     Decision::Nothing
@@ -697,8 +706,11 @@ impl GroupMachine {
                     at,
                     token: tok,
                 });
-                // Bound window memory while we're here.
-                let horizon = ctx.cfg.wait_timer().max(SimDuration::from_secs(10));
+                // Bound window memory while we're here. The horizon comes
+                // from config alone: a hard floor would outlive the wait
+                // timer under a reconfigured short heartbeat period and
+                // resurrect long-gone reporters as relinquish successors.
+                let horizon = ctx.cfg.wait_timer();
                 for w in &mut l.windows {
                     w.prune(ctx.now, horizon);
                 }
@@ -946,6 +958,13 @@ impl GroupMachine {
         last_state: Option<Bytes>,
         out: &mut Vec<GroupAction>,
     ) {
+        ctx.telemetry.trace(
+            ctx.now.as_micros(),
+            self.node.0,
+            &label.to_string(),
+            "group.join",
+            format!("leader=n{} weight={weight}", leader.0),
+        );
         let mut member = MemberState {
             label,
             leader,
@@ -1082,6 +1101,13 @@ impl GroupMachine {
         out: &mut Vec<GroupAction>,
     ) {
         l.hb_seq += 1;
+        ctx.telemetry.trace(
+            ctx.now.as_micros(),
+            node.0,
+            &l.label.to_string(),
+            "group.hb",
+            format!("seq={} weight={}", l.hb_seq, l.weight),
+        );
         out.push(GroupAction::Broadcast(Message::Heartbeat(Heartbeat {
             label: l.label,
             leader: node,
@@ -1120,7 +1146,8 @@ impl GroupMachine {
         let spec_obj = &ctx.spec.objects[oi];
         let method = &spec_obj.methods[mi];
         let (effects, failure) = {
-            let access = LeaderAccess::new(l, ctx.spec, ctx.now);
+            let access =
+                LeaderAccess::new(l, ctx.spec, ctx.now, self.node, ctx.telemetry.clone());
             let mut api =
                 ObjectApi::new(label, self.node, ctx.position, ctx.now, &access, incoming);
             (method.body)(&mut api);
@@ -1169,15 +1196,25 @@ struct LeaderAccess<'a> {
     leader: &'a LeaderState,
     spec: &'a ContextSpec,
     now: Timestamp,
+    node: NodeId,
+    telemetry: Telemetry,
     last_failure: std::cell::Cell<Option<(String, u32, u32)>>,
 }
 
 impl<'a> LeaderAccess<'a> {
-    fn new(leader: &'a LeaderState, spec: &'a ContextSpec, now: Timestamp) -> Self {
+    fn new(
+        leader: &'a LeaderState,
+        spec: &'a ContextSpec,
+        now: Timestamp,
+        node: NodeId,
+        telemetry: Telemetry,
+    ) -> Self {
         LeaderAccess {
             leader,
             spec,
             now,
+            node,
+            telemetry,
             last_failure: std::cell::Cell::new(None),
         }
     }
@@ -1191,14 +1228,36 @@ impl ContextAccess for LeaderAccess<'_> {
             });
         };
         let agg = &self.spec.aggregates[idx];
+        let label = self.leader.label.to_string();
         match self.leader.windows[idx].evaluate(
             &agg.function,
             self.now,
             agg.freshness,
             agg.critical_mass,
         ) {
-            Ok(v) => Ok(v),
+            Ok(v) => {
+                let contributors =
+                    self.leader.windows[idx].fresh(self.now, agg.freshness).len() as u64;
+                self.telemetry.incr("agg.valid");
+                self.telemetry.observe("agg.contributors", contributors);
+                self.telemetry.trace(
+                    self.now.as_micros(),
+                    self.node.0,
+                    &label,
+                    "agg.valid",
+                    format!("var={name} contributors={contributors}"),
+                );
+                Ok(v)
+            }
             Err(e) => {
+                self.telemetry.incr("agg.null");
+                self.telemetry.trace(
+                    self.now.as_micros(),
+                    self.node.0,
+                    &label,
+                    "agg.null",
+                    format!("var={name} have={} need={}", e.have, e.need),
+                );
                 self.last_failure
                     .set(Some((name.to_owned(), e.have, e.need)));
                 Err(ObjectReadError::NotConfirmed(e))
@@ -1253,6 +1312,7 @@ mod tests {
         sample: SensorSample,
         now: Timestamp,
         position: Point,
+        telemetry: Telemetry,
     }
 
     impl Harness {
@@ -1264,6 +1324,7 @@ mod tests {
                 sample: SensorSample::zero(),
                 now: Timestamp::from_secs(1),
                 position: Point::new(3.0, 0.5),
+                telemetry: Telemetry::new(),
             }
         }
 
@@ -1281,6 +1342,7 @@ mod tests {
                 sample: &self.sample,
                 position: self.position,
                 rng: &mut self.rng,
+                telemetry: self.telemetry.clone(),
             }
         }
     }
@@ -1679,6 +1741,93 @@ mod tests {
             GroupAction::Emit(SystemEvent::LabelSuppressed { loser, winner, .. })
                 if *loser == my_label && *winner == other
         )));
+    }
+
+    #[test]
+    fn equal_weight_leader_collision_converges_on_the_older_label() {
+        // Regression: the tiebreak compared raw labels, so with equal
+        // weights the *younger* (higher-ordered) label won and the paper's
+        // heavier/older-leader-wins rule was inverted — worse, each side
+        // believed the other should yield.
+        let mut ha = Harness::new().sensing();
+        let mut hx = Harness::new().sensing();
+        let mut a = machine(1, &spec_with_tracker());
+        let mut b = machine(2, &spec_with_tracker());
+        let la = make_leader(&mut ha, &mut a);
+        let lb = make_leader(&mut hx, &mut b);
+        assert!(la < lb, "node 1 minted the older label");
+        // Exchange heartbeats both ways, repeatedly (stale heartbeats from
+        // the losing label keep arriving for a while in a real network):
+        // exactly one label survives, and the outcome is stable.
+        for round in 0..3 {
+            let _ = a.on_heartbeat(&mut ha.ctx(), &hb(lb, 2, 0, 1));
+            let _ = b.on_heartbeat(&mut hx.ctx(), &hb(la, 1, 0, 1));
+            assert!(
+                a.is_leader(),
+                "round {round}: the older equal-weight label must survive"
+            );
+            assert_eq!(a.current_label(), Some(la));
+            assert_eq!(
+                b.role_kind(),
+                RoleKind::Member(la),
+                "round {round}: the younger label must suppress itself and join"
+            );
+        }
+    }
+
+    #[test]
+    fn window_prune_horizon_follows_a_short_heartbeat_period() {
+        // Regression: the prune horizon had a hard 10 s floor, so with a
+        // reconfigured sub-second heartbeat period a reporter that left
+        // long ago (many wait-timer windows in the past) still got
+        // designated relinquish successor instead of the label dissolving.
+        let mut h = Harness::new().sensing();
+        h.cfg = MiddlewareConfig::default()
+            .with_heartbeat_period(SimDuration::from_millis(200));
+        let wait = h.cfg.wait_timer();
+        assert!(wait < SimDuration::from_secs(1), "sub-second horizon");
+        let mut m = machine(1, &spec_with_tracker());
+        let actions = m.on_sense_tick(&mut h.ctx());
+        let (at, token) = find_timer(&actions, GroupTimer::Formation).unwrap();
+        h.now = at;
+        let actions = m.on_timer(&mut h.ctx(), GroupTimer::Formation, token);
+        let lbl = m.current_label().unwrap();
+        let (_, hb_tok) = find_timer(&actions, GroupTimer::Heartbeat).unwrap();
+        // One member reports, then goes silent.
+        let report = Report {
+            label: lbl,
+            member: NodeId(5),
+            taken_at: h.now,
+            values: vec![(0, ReadingValue::Position(Point::new(3.2, 0.5)))],
+        };
+        let _ = m.on_report(&mut h.ctx(), &report);
+        // Well past the wait timer (but far below the old 10 s floor) the
+        // heartbeat tick prunes the window.
+        h.now += SimDuration::from_secs(1);
+        let _ = m.on_timer(&mut h.ctx(), GroupTimer::Heartbeat, hb_tok);
+        // Sensing stops: the leader steps down. The long-gone reporter must
+        // NOT be resurrected as successor — the label dissolves.
+        h.sample = SensorSample::zero();
+        let actions = m.on_sense_tick(&mut h.ctx());
+        let relinquish: Vec<_> = broadcasts(&actions)
+            .into_iter()
+            .filter_map(|msg| match msg {
+                Message::Relinquish(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(relinquish.len(), 1);
+        assert_eq!(
+            relinquish[0].successor, None,
+            "stale reporter must have been pruned from the window"
+        );
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                GroupAction::Emit(SystemEvent::LabelDissolved { label, .. }) if *label == lbl
+            )),
+            "no successor → the label dissolves"
+        );
     }
 
     #[test]

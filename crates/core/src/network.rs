@@ -56,6 +56,7 @@ use envirotrack_node::timer::TimerToken;
 use envirotrack_sim::engine::{Engine, Kernel};
 use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_telemetry::Telemetry;
 use envirotrack_world::field::{Deployment, NodeId};
 use envirotrack_world::geometry::Point;
 use envirotrack_world::sensing::Environment;
@@ -64,7 +65,7 @@ use crate::api::Program;
 use crate::config::MiddlewareConfig;
 use crate::context::{ContextLabel, ContextTypeId};
 use crate::directory::{hash_point, replica_set, DirectoryStore};
-use crate::events::{EventLog, SystemEvent};
+use crate::events::{EventLog, HandoverReason, SystemEvent};
 use crate::group::{AggregateHealth, GroupAction, GroupCtx, GroupMachine, GroupTimer, RoleKind};
 use crate::object::IncomingMessage;
 use crate::report::{BaseStationLog, ReportEntry, RunRecord};
@@ -232,6 +233,9 @@ pub struct SensorNetwork {
     app_log: Vec<(Timestamp, NodeId, String)>,
     /// Rendezvous coordinate per context type (directory homes).
     hash_points: Vec<Point>,
+    /// The run-wide telemetry registry, shared (via cheap clones) with the
+    /// kernel, the medium, and every per-node substrate.
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for SensorNetwork {
@@ -260,7 +264,9 @@ impl SensorNetwork {
             .validate()
             .expect("invalid middleware configuration");
         let master = SimRng::seed_from(seed);
-        let medium = Medium::new(&deployment, config.radio.clone(), &master);
+        let telemetry = Telemetry::new();
+        let mut medium = Medium::new(&deployment, config.radio.clone(), &master);
+        medium.attach_telemetry(telemetry.clone());
         let router = GeoRouter::new(&deployment, config.radio.comm_radius);
         let bounds = deployment.bounds();
         let hash_points = program
@@ -283,8 +289,9 @@ impl SensorNetwork {
                     config.middleware.mtp_table_capacity,
                     config.middleware.mtp_forward_ttl,
                     config.middleware.mtp_max_chain_hops,
-                ),
-                directory: DirectoryStore::new(),
+                )
+                .with_telemetry(telemetry.clone()),
+                directory: DirectoryStore::new().with_telemetry(telemetry.clone()),
                 next_query_id: 0,
                 pending_queries: Vec::new(),
                 next_link_seq: 0,
@@ -307,7 +314,14 @@ impl SensorNetwork {
             base_log: BaseStationLog::new(),
             app_log: Vec::new(),
             hash_points,
+            telemetry,
         }
+    }
+
+    /// The run-wide telemetry registry.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Builds the world *and* an engine with the bootstrap scheduled: every
@@ -321,7 +335,9 @@ impl SensorNetwork {
         seed: u64,
     ) -> Engine<SensorNetwork> {
         let world = SensorNetwork::new(program, deployment, environment, config, seed);
+        let telemetry = world.telemetry().clone();
         let mut engine = Engine::new(world, seed);
+        engine.kernel_mut().attach_telemetry(telemetry);
         engine
             .kernel_mut()
             .schedule_at(Timestamp::ZERO, |w: &mut SensorNetwork, k| {
@@ -515,9 +531,10 @@ impl SensorNetwork {
             self.config.middleware.mtp_table_capacity,
             self.config.middleware.mtp_forward_ttl,
             self.config.middleware.mtp_max_chain_hops,
-        );
+        )
+        .with_telemetry(self.telemetry.clone());
         rt.mtp.set_seq_base(seq_base);
-        rt.directory = DirectoryStore::new();
+        rt.directory = DirectoryStore::new().with_telemetry(self.telemetry.clone());
         rt.pending_queries.clear();
         rt.pending_acks.clear();
         rt.seen_unicast.clear();
@@ -831,13 +848,20 @@ impl SensorNetwork {
             Message::Relinquish(r) => self.handle_relinquish(k, node, &r),
             Message::Geo(geo) => self.handle_geo(k, node, geo),
             Message::Mtp(seg) => self.handle_mtp_segment(k, node, seg),
-            Message::MtpAckMsg(ack) => self.handle_mtp_ack(node, &ack),
+            Message::MtpAckMsg(ack) => self.handle_mtp_ack(k.now(), node, &ack),
             Message::DirRegister(reg) => {
                 let now = k.now();
                 let ttl = self.config.middleware.directory_entry_ttl;
                 let dir = &mut self.nodes[node.index()].directory;
                 dir.register(reg.label, reg.location, now);
                 dir.sweep(now, ttl);
+                self.telemetry.trace(
+                    now.as_micros(),
+                    node.0,
+                    &reg.label.to_string(),
+                    "dir.register",
+                    String::new(),
+                );
             }
             Message::DirQuery(q) => self.handle_dir_query(k, node, &q),
             Message::DirResponse(resp) => self.handle_dir_response(k, node, resp),
@@ -900,9 +924,16 @@ impl SensorNetwork {
             geo.deliver_to == Some(node) || self.router.next_hop(node, geo.dest).is_none();
         if deliver_here {
             self.dispatch_message(k, node, *geo.inner);
-        } else {
-            self.send_geo(k, node, geo.dest, geo.deliver_to, *geo.inner);
+            return;
         }
+        // Count intermediate hops taken by directory traffic specifically.
+        if matches!(
+            *geo.inner,
+            Message::DirQuery(_) | Message::DirRegister(_) | Message::DirResponse(_)
+        ) {
+            self.telemetry.incr("dir.hop");
+        }
+        self.send_geo(k, node, geo.dest, geo.deliver_to, *geo.inner);
     }
 
     fn handle_dir_query(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, q: &DirQuery) {
@@ -911,6 +942,13 @@ impl SensorNetwork {
         let entries = self.nodes[node.index()]
             .directory
             .query(q.type_id, now, ttl);
+        self.telemetry.trace(
+            now.as_micros(),
+            node.0,
+            &format!("type{}", q.type_id.0),
+            "dir.query",
+            format!("id={} hits={}", q.query_id, entries.len()),
+        );
         let resp = Message::DirResponse(DirResponse {
             query_id: q.query_id,
             entries,
@@ -959,8 +997,9 @@ impl SensorNetwork {
                     );
                 }
                 None => {
-                    self.events.push(
+                    self.record_event(
                         k.now(),
+                        node,
                         SystemEvent::MtpDropped {
                             label: send.dst_label,
                             node,
@@ -1025,8 +1064,9 @@ impl SensorNetwork {
                     .deliver_mtp(ctx, dst_label, dst_port, incoming, method)
                     .unwrap_or_default()
             });
-            self.events.push(
+            self.record_event(
                 k.now(),
+                node,
                 SystemEvent::MtpDelivered {
                     label: dst_label,
                     node,
@@ -1038,8 +1078,9 @@ impl SensorNetwork {
         }
         // Not the leader: chase the label along pointers / cached knowledge.
         if seg.chain_hops >= self.nodes[node.index()].mtp.max_chain_hops {
-            self.events.push(
+            self.record_event(
                 k.now(),
+                node,
                 SystemEvent::MtpDropped {
                     label: seg.dst_label,
                     node,
@@ -1062,8 +1103,9 @@ impl SensorNetwork {
                 self.send_geo(k, node, loc.pos, Some(loc.node), Message::Mtp(chased));
             }
             _ => {
-                self.events.push(
+                self.record_event(
                     k.now(),
+                    node,
                     SystemEvent::MtpDropped {
                         label: seg.dst_label,
                         node,
@@ -1085,6 +1127,7 @@ impl SensorNetwork {
         tid: ContextTypeId,
         f: impl FnOnce(&mut GroupMachine, &mut GroupCtx<'_>) -> Vec<GroupAction>,
     ) -> Vec<GroupAction> {
+        let telemetry = self.telemetry.clone();
         let rt = &mut self.nodes[node.index()];
         let sample = self.environment.sample_noisy(rt.pos, now, &mut rt.rng);
         let mut ctx = GroupCtx {
@@ -1095,8 +1138,84 @@ impl SensorNetwork {
             sample: &sample,
             position: rt.pos,
             rng: &mut rt.rng,
+            telemetry,
         };
         f(&mut rt.machines[tid.0 as usize], &mut ctx)
+    }
+
+    /// Appends a system event to the run log and mirrors it into the
+    /// telemetry trace/counters, so post-hoc analysis sees one stream.
+    fn record_event(&mut self, at: Timestamp, node: NodeId, event: SystemEvent) {
+        self.mirror_event(at, node, &event);
+        self.events.push(at, event);
+    }
+
+    /// Translates a [`SystemEvent`] into its telemetry counter/trace form.
+    fn mirror_event(&self, at: Timestamp, node: NodeId, event: &SystemEvent) {
+        let t = &self.telemetry;
+        let us = at.as_micros();
+        match event {
+            SystemEvent::LabelCreated { label, .. } => {
+                t.incr("group.form");
+                t.trace(us, node.0, &label.to_string(), "group.form", String::new());
+            }
+            SystemEvent::LeaderHandover {
+                label,
+                from,
+                to,
+                reason,
+            } => {
+                let kind = match reason {
+                    HandoverReason::Relinquish => "group.relinquish",
+                    HandoverReason::ReceiveTimeout => "group.takeover",
+                    HandoverReason::DuplicateYield => "group.yield",
+                };
+                t.incr(&format!("group.handover.{label}"));
+                t.trace(
+                    us,
+                    node.0,
+                    &label.to_string(),
+                    kind,
+                    format!("from=n{} to=n{}", from.0, to.0),
+                );
+            }
+            SystemEvent::LabelSuppressed { loser, winner, .. } => {
+                t.incr("group.suppress");
+                t.trace(
+                    us,
+                    node.0,
+                    &loser.to_string(),
+                    "group.suppress",
+                    format!("winner={winner}"),
+                );
+            }
+            SystemEvent::LabelDissolved { label, .. } => {
+                t.incr("group.dissolve");
+                t.trace(us, node.0, &label.to_string(), "group.dissolve", String::new());
+            }
+            SystemEvent::MethodInvoked { .. } => t.incr("app.method"),
+            // Aggregate outcomes are recorded at the read site itself
+            // (`LeaderAccess::read_aggregate`), which also knows the
+            // contributor count; mirroring here would double-count.
+            SystemEvent::AggregateReadFailed { .. } => {}
+            SystemEvent::MtpDelivered {
+                label, chain_hops, ..
+            } => {
+                t.incr("mtp.delivered");
+                t.observe("mtp.chain_hops", u64::from(*chain_hops));
+                t.trace(
+                    us,
+                    node.0,
+                    &label.to_string(),
+                    "mtp.delivered",
+                    format!("chain_hops={chain_hops}"),
+                );
+            }
+            SystemEvent::MtpDropped { label, .. } => {
+                t.incr("mtp.drop");
+                t.trace(us, node.0, &label.to_string(), "mtp.drop", String::new());
+            }
+        }
     }
 
     fn apply_actions(
@@ -1123,7 +1242,7 @@ impl SensorNetwork {
                         w.group_timer(k, node, tid, key, token);
                     });
                 }
-                GroupAction::Emit(event) => self.events.push(k.now(), event),
+                GroupAction::Emit(event) => self.record_event(k.now(), node, event),
                 GroupAction::RegisterDirectory { label } => {
                     let dest = self.hash_points[tid.0 as usize];
                     let msg = Message::DirRegister(DirRegister {
@@ -1261,8 +1380,9 @@ impl SensorNetwork {
                 self.arm_query_failover(k, node, query_id);
             }
             None => {
-                self.events.push(
+                self.record_event(
                     k.now(),
+                    node,
                     SystemEvent::MtpDropped {
                         label: dst_label,
                         node,
@@ -1288,6 +1408,7 @@ impl SensorNetwork {
         dest: Point,
         deliver_to: Option<NodeId>,
     ) {
+        let telemetry = self.telemetry.clone();
         let seq = if self.config.middleware.mtp_retx_enabled {
             let rt = &mut self.nodes[node.index()];
             let seq = rt.mtp.next_seq();
@@ -1297,10 +1418,21 @@ impl SensorNetwork {
             k.schedule_at(k.now() + timeout, move |w: &mut SensorNetwork, k| {
                 w.mtp_retry(k, node, seq);
             });
+            // The ack span measures first-send to end-to-end ack, across
+            // any retransmissions in between.
+            telemetry.span_start(k.now().as_micros(), node.0, &format!("mtp#{seq}"));
             seq
         } else {
             0
         };
+        telemetry.incr("mtp.send");
+        telemetry.trace(
+            k.now().as_micros(),
+            node.0,
+            &dst_label.to_string(),
+            "mtp.send",
+            format!("seq={seq}"),
+        );
         let seg = MtpSegment {
             src_label,
             src_port,
@@ -1331,8 +1463,11 @@ impl SensorNetwork {
         match self.nodes[node.index()].mtp.retransmit(seq, policy.max_attempts) {
             None => {} // acknowledged in the meantime
             Some(Err(abandoned)) => {
-                self.events.push(
+                self.telemetry
+                    .observe("mtp.attempts", u64::from(abandoned.attempts));
+                self.record_event(
                     k.now(),
+                    node,
                     SystemEvent::MtpDropped {
                         label: abandoned.dst_label,
                         node,
@@ -1340,6 +1475,14 @@ impl SensorNetwork {
                 );
             }
             Some(Ok(out)) => {
+                self.telemetry.incr("mtp.retx");
+                self.telemetry.trace(
+                    k.now().as_micros(),
+                    node.0,
+                    &out.dst_label.to_string(),
+                    "mtp.retx",
+                    format!("seq={seq} attempt={}", out.attempts),
+                );
                 let jitter = SimDuration::from_micros(
                     self.nodes[node.index()]
                         .retx_rng
@@ -1390,12 +1533,13 @@ impl SensorNetwork {
 
     /// An end-to-end ack arrived: clear the outstanding segment and refresh
     /// leadership knowledge from the acker.
-    fn handle_mtp_ack(&mut self, node: NodeId, ack: &MtpAck) {
+    fn handle_mtp_ack(&mut self, now: Timestamp, node: NodeId, ack: &MtpAck) {
         // Geo routing can dead-end an ack at a node other than the
         // segment's source; such strays carry nothing actionable here.
         if ack.src_node != node {
             return;
         }
+        let telemetry = self.telemetry.clone();
         let rt = &mut self.nodes[node.index()];
         rt.mtp.learn(
             ack.dst_label,
@@ -1404,7 +1548,24 @@ impl SensorNetwork {
                 pos: ack.acker_pos,
             },
         );
-        rt.mtp.acknowledge(ack.seq);
+        let attempts = rt.mtp.attempts_of(ack.seq);
+        if rt.mtp.acknowledge(ack.seq) {
+            telemetry.incr("mtp.ack");
+            if let Some(attempts) = attempts {
+                telemetry.observe("mtp.attempts", u64::from(attempts));
+            }
+            let us = now.as_micros();
+            if let Some(rtt) = telemetry.span_end(us, node.0, &format!("mtp#{}", ack.seq)) {
+                telemetry.observe("mtp.ack_us", rtt);
+            }
+            telemetry.trace(
+                us,
+                node.0,
+                &ack.dst_label.to_string(),
+                "mtp.ack",
+                format!("seq={} acker=n{}", ack.seq, ack.acker.0),
+            );
+        }
     }
 
     /// Arms the replica-failover timer for a directory query. A no-op at
@@ -1451,8 +1612,9 @@ impl SensorNetwork {
                 rt.mtp.take_pending(query_id)
             };
             for send in parked {
-                self.events.push(
+                self.record_event(
                     k.now(),
+                    node,
                     SystemEvent::MtpDropped {
                         label: send.dst_label,
                         node,

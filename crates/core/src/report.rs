@@ -15,6 +15,7 @@
 
 use bytes::Bytes;
 use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_telemetry::Telemetry;
 use envirotrack_world::geometry::Point;
 
 use crate::context::{ContextLabel, ContextTypeId};
@@ -306,6 +307,153 @@ impl RunRecord {
     }
 }
 
+/// Exports a telemetry registry as JSON lines, in deterministic order:
+/// counters, gauges, histograms (buckets as `low:count` pairs), the
+/// trace-ring drop count when nonzero, then every retained trace event.
+/// With a fixed seed and fault plan the output is byte-identical across
+/// runs — the same determinism contract as [`RunRecord`].
+#[must_use]
+pub fn telemetry_to_jsonl(telemetry: &Telemetry) -> String {
+    telemetry.with_registry(|r| {
+        let mut out = String::new();
+        let mut line = |s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        for (name, v) in r.counters() {
+            line(
+                json::JsonObject::new()
+                    .field_str("t", "counter")
+                    .field_str("name", name)
+                    .field_u64("value", v)
+                    .finish(),
+            );
+        }
+        for (name, v) in r.gauges() {
+            line(
+                json::JsonObject::new()
+                    .field_str("t", "gauge")
+                    .field_str("name", name)
+                    .field_f64("value", v)
+                    .finish(),
+            );
+        }
+        for (name, h) in r.histograms() {
+            let buckets: Vec<String> = h.iter().map(|(low, c)| format!("{low}:{c}")).collect();
+            line(
+                json::JsonObject::new()
+                    .field_str("t", "hist")
+                    .field_str("name", name)
+                    .field_u64("count", h.count())
+                    .field_u64("sum", u64::try_from(h.sum()).unwrap_or(u64::MAX))
+                    .field_u64("max", h.max())
+                    .field_str("buckets", &buckets.join(" "))
+                    .finish(),
+            );
+        }
+        if r.trace_dropped() > 0 {
+            line(
+                json::JsonObject::new()
+                    .field_str("t", "trace_dropped")
+                    .field_u64("value", r.trace_dropped())
+                    .finish(),
+            );
+        }
+        for e in r.trace_events() {
+            line(
+                json::JsonObject::new()
+                    .field_str("t", "trace")
+                    .field_u64("at_us", e.at_us)
+                    .field_u64("node", u64::from(e.node))
+                    .field_str("label", &e.label)
+                    .field_str("kind", &e.kind)
+                    .field_str("detail", &e.detail)
+                    .finish(),
+            );
+        }
+        out
+    })
+}
+
+fn pct(num: u64, den: u64) -> String {
+    if den == 0 {
+        "n/a".to_owned()
+    } else {
+        format!("{:.1}%", 100.0 * num as f64 / den as f64)
+    }
+}
+
+/// Renders the end-of-run text summary table: per-label leadership
+/// handoffs, heartbeat loss rate, the retransmission-attempts histogram,
+/// aggregate validity, directory traffic, and trace volume.
+#[must_use]
+pub fn telemetry_summary(telemetry: &Telemetry) -> String {
+    use std::fmt::Write as _;
+    telemetry.with_registry(|r| {
+        let mut out = String::new();
+        out.push_str("== telemetry summary ==\n");
+        out.push_str("leadership handoffs per label:\n");
+        let mut any = false;
+        for (name, v) in r.counters() {
+            if let Some(label) = name.strip_prefix("group.handover.") {
+                any = true;
+                let _ = writeln!(out, "  {label:<24} {v}");
+            }
+        }
+        if !any {
+            out.push_str("  (none)\n");
+        }
+        let hb_tx = r.counter("net.k1.tx");
+        let hb_lost = r.counter("net.k1.lost");
+        let _ = writeln!(
+            out,
+            "heartbeat loss: {hb_lost}/{hb_tx} broadcasts heard by nobody ({})",
+            pct(hb_lost, hb_tx)
+        );
+        let _ = writeln!(
+            out,
+            "mtp: send={} ack={} retx={} drop={} delivered={} dedup={}",
+            r.counter("mtp.send"),
+            r.counter("mtp.ack"),
+            r.counter("mtp.retx"),
+            r.counter("mtp.drop"),
+            r.counter("mtp.delivered"),
+            r.counter("mtp.dedup"),
+        );
+        out.push_str("mtp attempts histogram (attempts -> segments):\n");
+        match r.histogram("mtp.attempts") {
+            Some(h) if !h.is_empty() => {
+                for (low, c) in h.iter() {
+                    let _ = writeln!(out, "  {low:>4}  {c}");
+                }
+            }
+            _ => out.push_str("  (empty)\n"),
+        }
+        let valid = r.counter("agg.valid");
+        let null = r.counter("agg.null");
+        let _ = writeln!(
+            out,
+            "aggregate reads: valid={valid} null={null} (validity {})",
+            pct(valid, valid + null)
+        );
+        let _ = writeln!(
+            out,
+            "directory: register={} query={} hop={}",
+            r.counter("dir.register"),
+            r.counter("dir.query"),
+            r.counter("dir.hop"),
+        );
+        let _ = writeln!(
+            out,
+            "trace: {} events retained, {} dropped; kernel events {}",
+            r.trace_events().count(),
+            r.trace_dropped(),
+            r.counter("kernel.events"),
+        );
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,5 +571,72 @@ mod tests {
         });
         assert!(log.track(label(1)).is_empty());
         assert_eq!(log.labels(), vec![label(1)]);
+    }
+
+    fn sample_telemetry() -> Telemetry {
+        let t = Telemetry::new();
+        t.incr("group.handover.T0/n1#0");
+        t.incr("group.handover.T0/n1#0");
+        t.add("net.k1.tx", 10);
+        t.add("net.k1.lost", 3);
+        t.set_gauge("nodes.alive", 24.5);
+        t.observe("mtp.attempts", 1);
+        t.observe("mtp.attempts", 1);
+        t.observe("mtp.attempts", 4);
+        t.trace(1000, 1, "T0/n1#0", "group.form", String::new());
+        t.trace(2000, 2, "T0/n1#0", "mtp.send", "weird \"detail\"\nline".to_owned());
+        t
+    }
+
+    #[test]
+    fn telemetry_jsonl_is_valid_escaped_and_byte_stable() {
+        let t = sample_telemetry();
+        let out = telemetry_to_jsonl(&t);
+        for line in out.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "not an object: {line}"
+            );
+        }
+        // Counters, gauge, histogram, and both trace events all present.
+        assert!(out.contains("\"name\":\"group.handover.T0\\/n1#0\",\"value\":2")
+            || out.contains("\"name\":\"group.handover.T0/n1#0\",\"value\":2"));
+        assert!(out.contains("\"t\":\"gauge\""));
+        assert!(out.contains("\"t\":\"hist\""));
+        assert!(out.contains("\"kind\":\"group.form\""));
+        // The hostile detail string round-trips escaped, never raw.
+        assert!(out.contains("weird \\\"detail\\\"\\nline"));
+        assert!(!out.contains("weird \"detail\"\nline"));
+        // Byte-identical re-export: the determinism contract.
+        assert_eq!(out, telemetry_to_jsonl(&t));
+    }
+
+    #[test]
+    fn telemetry_summary_reports_handoffs_losses_and_attempts() {
+        let t = sample_telemetry();
+        let s = telemetry_summary(&t);
+        assert!(s.contains("== telemetry summary =="));
+        let handoff_line = s
+            .lines()
+            .find(|l| l.contains("T0/n1#0"))
+            .expect("handoff line present");
+        assert!(handoff_line.trim_end().ends_with('2'), "bad line: {handoff_line}");
+        assert!(s.contains("3/10"), "heartbeat loss missing: {s}");
+        assert!(s.contains("30.0%"));
+        // No aggregate reads recorded: validity must degrade to n/a.
+        assert!(s.contains("valid=0 null=0 (validity n/a)"));
+        // The attempts histogram shows both buckets.
+        assert!(s.contains("mtp attempts histogram"));
+        assert_eq!(s, telemetry_summary(&t));
+    }
+
+    #[test]
+    fn empty_telemetry_summary_renders_placeholders() {
+        let t = Telemetry::new();
+        let s = telemetry_summary(&t);
+        assert!(s.contains("(none)"));
+        assert!(s.contains("(empty)"));
+        assert!(s.contains("n/a"));
+        assert!(telemetry_to_jsonl(&t).is_empty());
     }
 }

@@ -26,6 +26,7 @@
 
 use bytes::Bytes;
 use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_telemetry::Telemetry;
 use envirotrack_world::field::NodeId;
 use envirotrack_world::geometry::Point;
 
@@ -226,6 +227,9 @@ pub struct MtpState {
     /// Recently delivered `(source node, seq)` pairs, a bounded ring for
     /// duplicate suppression when a retransmission races its ack.
     seen_segments: Vec<(NodeId, u32)>,
+    /// Run-wide telemetry; a detached registry until the owning network
+    /// attaches the shared one.
+    telemetry: Telemetry,
 }
 
 impl MtpState {
@@ -242,7 +246,15 @@ impl MtpState {
             next_seq: 0,
             outstanding: Vec::new(),
             seen_segments: Vec::new(),
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// Replaces the detached default registry with the run-wide one.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Allocates the next end-to-end sequence number.
@@ -320,11 +332,22 @@ impl MtpState {
         self.outstanding.len()
     }
 
+    /// Send attempts recorded so far for an outstanding segment, if it is
+    /// still being tracked (used to histogram attempts at ack time).
+    #[must_use]
+    pub fn attempts_of(&self, seq: u32) -> Option<u32> {
+        self.outstanding
+            .iter()
+            .find(|o| o.seq == seq)
+            .map(|o| o.attempts)
+    }
+
     /// Records a delivered `(source node, seq)` pair; returns `false` when
     /// it was already seen (a duplicate that must be re-acked but not
     /// re-delivered to the application).
     pub fn note_delivered(&mut self, src: NodeId, seq: u32) -> bool {
         if self.seen_segments.contains(&(src, seq)) {
+            self.telemetry.incr("mtp.dedup");
             return false;
         }
         const DEDUP_WINDOW: usize = 64;
@@ -380,6 +403,8 @@ impl MtpState {
             .into_iter()
             .partition(|p| now.saturating_since(p.parked_at) <= pending_ttl);
         self.pending = keep;
+        self.telemetry
+            .add("mtp.pending_expired", expired.len() as u64);
         expired
     }
 

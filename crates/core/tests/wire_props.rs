@@ -1,0 +1,261 @@
+//! Exhaustive wire-codec properties: every [`Message`] variant must
+//! round-trip through encode/decode, including the wrap-around extremes
+//! (`u32::MAX` sequence numbers, ports, and weights) that a long-lived
+//! node eventually reaches — and telemetry trace events must survive the
+//! JSON-lines encoder byte-identically whatever strings they carry.
+
+use bytes::Bytes;
+use envirotrack_core::aggregate::ReadingValue;
+use envirotrack_core::context::{ContextLabel, ContextTypeId};
+use envirotrack_core::report::telemetry_to_jsonl;
+use envirotrack_core::transport::Port;
+use envirotrack_core::wire::{
+    BaseReport, DirQuery, DirRegister, DirResponse, GeoForward, Heartbeat, Message, MtpAck,
+    MtpSegment, Relinquish, Report,
+};
+use envirotrack_sim::time::Timestamp;
+use envirotrack_telemetry::Telemetry;
+use envirotrack_world::field::NodeId;
+use envirotrack_world::geometry::Point;
+use testkit::prelude::*;
+
+/// Identifiers biased toward the edges: zero, small, and the `u32::MAX`
+/// neighbourhood where sequence arithmetic wraps.
+fn arb_u32() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        Just(0u32),
+        0u32..1000,
+        Just(u32::MAX - 1),
+        Just(u32::MAX),
+    ]
+}
+
+fn arb_u16() -> impl Strategy<Value = u16> {
+    prop_oneof![Just(0u16), 0u16..100, Just(u16::MAX)]
+}
+
+fn arb_label() -> impl Strategy<Value = ContextLabel> {
+    (arb_u16(), arb_u32(), arb_u32()).prop_map(|(t, n, s)| ContextLabel {
+        type_id: ContextTypeId(t),
+        creator: NodeId(n),
+        seq: s,
+    })
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1e9..1e9f64, -1e9..1e9f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_bytes(max: usize) -> impl Strategy<Value = Bytes> {
+    prop::collection::vec(any::<u8>(), 0..max).prop_map(Bytes::from)
+}
+
+/// One strategy per variant, so a single run exercises all ten tags.
+fn arb_any_message() -> impl Strategy<Value = Message> {
+    let heartbeat = (
+        arb_label(),
+        arb_u32(),
+        arb_point(),
+        arb_u32(),
+        arb_u32(),
+        any::<u8>(),
+        prop::option::of(arb_bytes(40)),
+    )
+        .prop_map(|(label, leader, leader_pos, weight, hb_seq, ttl, state)| {
+            Message::Heartbeat(Heartbeat {
+                label,
+                leader: NodeId(leader),
+                leader_pos,
+                weight,
+                hb_seq,
+                ttl,
+                state,
+            })
+        });
+    let relinquish = (
+        arb_label(),
+        arb_u32(),
+        arb_u32(),
+        prop::option::of(arb_u32()),
+        prop::option::of(arb_bytes(40)),
+    )
+        .prop_map(|(label, from, weight, successor, state)| {
+            Message::Relinquish(Relinquish {
+                label,
+                from: NodeId(from),
+                weight,
+                successor: successor.map(NodeId),
+                state,
+            })
+        });
+    let report = (
+        arb_label(),
+        arb_u32(),
+        0u64..u64::MAX / 2,
+        prop::collection::vec(
+            (any::<u8>(), (-1e9..1e9f64).prop_map(ReadingValue::Scalar)),
+            0..4,
+        ),
+    )
+        .prop_map(|(label, member, us, values)| {
+            Message::Report(Report {
+                label,
+                member: NodeId(member),
+                taken_at: Timestamp::from_micros(us),
+                values,
+            })
+        });
+    let dir_register = (arb_label(), arb_point()).prop_map(|(label, location)| {
+        Message::DirRegister(DirRegister { label, location })
+    });
+    let dir_query = (arb_u16(), arb_u32(), arb_point(), arb_u32()).prop_map(
+        |(t, reply_to, reply_pos, query_id)| {
+            Message::DirQuery(DirQuery {
+                type_id: ContextTypeId(t),
+                reply_to: NodeId(reply_to),
+                reply_pos,
+                query_id,
+            })
+        },
+    );
+    let dir_response = (
+        arb_u32(),
+        prop::collection::vec((arb_label(), arb_point()), 0..5),
+    )
+        .prop_map(|(query_id, entries)| Message::DirResponse(DirResponse { query_id, entries }));
+    let mtp = (
+        (arb_label(), arb_u16(), arb_label(), arb_u16()),
+        (arb_u32(), arb_point(), any::<u8>(), arb_u32()),
+        arb_bytes(60),
+    )
+        .prop_map(
+            |((src_label, sp, dst_label, dp), (leader, pos, hops, seq), payload)| {
+                Message::Mtp(MtpSegment {
+                    src_label,
+                    src_port: Port(sp),
+                    dst_label,
+                    dst_port: Port(dp),
+                    src_leader: NodeId(leader),
+                    src_leader_pos: pos,
+                    chain_hops: hops,
+                    seq,
+                    payload,
+                })
+            },
+        );
+    let mtp_ack = (arb_label(), arb_u32(), arb_u32(), arb_u32(), arb_point()).prop_map(
+        |(dst_label, src_node, seq, acker, acker_pos)| {
+            Message::MtpAckMsg(MtpAck {
+                dst_label,
+                src_node: NodeId(src_node),
+                seq,
+                acker: NodeId(acker),
+                acker_pos,
+            })
+        },
+    );
+    let base = (arb_label(), 0u64..u64::MAX / 2, arb_bytes(60)).prop_map(
+        |(label, us, payload)| {
+            Message::Base(BaseReport {
+                label,
+                generated_at: Timestamp::from_micros(us),
+                payload,
+            })
+        },
+    );
+    let leaf = prop_oneof![
+        heartbeat,
+        relinquish,
+        report,
+        dir_register,
+        dir_query,
+        dir_response,
+        mtp,
+        mtp_ack,
+        base,
+    ];
+    // Wrap some leaves in a geo-forward so the nested path is exercised too.
+    (leaf, prop::option::of((arb_point(), prop::option::of(arb_u32())))).prop_map(
+        |(inner, wrap)| match wrap {
+            None => inner,
+            Some((dest, deliver_to)) => Message::Geo(GeoForward {
+                dest,
+                deliver_to: deliver_to.map(NodeId),
+                inner: Box::new(inner),
+            }),
+        },
+    )
+}
+
+prop_test! {
+    /// Any message from any variant — wrap-edge identifiers included —
+    /// survives encode → decode unchanged.
+    #[test]
+    fn every_variant_round_trips(msg in arb_any_message()) {
+        let bytes = msg.encode();
+        let back = Message::decode(&bytes);
+        prop_assert_eq!(back.as_ref(), Ok(&msg), "bytes: {:02x?}", &bytes[..]);
+    }
+
+    /// Trace events with arbitrary (possibly hostile) strings export as
+    /// one JSON object per line, byte-identically on re-export.
+    #[test]
+    fn trace_events_survive_the_telemetry_encoder(
+        raw in prop::collection::vec(
+            (0u64..u64::MAX / 2, arb_u32(), prop::collection::vec(any::<u8>(), 0..24)),
+            1..8,
+        )
+    ) {
+        let t = Telemetry::new();
+        for (at_us, node, junk) in &raw {
+            let s = String::from_utf8_lossy(junk).into_owned();
+            t.trace(*at_us, *node, &s, "prop.kind", s.clone());
+        }
+        let out = telemetry_to_jsonl(&t);
+        prop_assert_eq!(out.lines().count(), raw.len());
+        for line in out.lines() {
+            prop_assert!(line.starts_with('{') && line.ends_with('}'), "bad line: {line}");
+            prop_assert!(!line[1..line.len() - 1].contains('\n'));
+        }
+        prop_assert_eq!(out, telemetry_to_jsonl(&t));
+    }
+}
+
+/// A pinned, non-random spot check: every `u32` field at exactly
+/// `u32::MAX` at once, in the deepest message shape (an MTP segment with
+/// its ack, geo-wrapped).
+#[test]
+fn u32_max_everywhere_round_trips() {
+    let max_label = ContextLabel {
+        type_id: ContextTypeId(u16::MAX),
+        creator: NodeId(u32::MAX),
+        seq: u32::MAX,
+    };
+    let seg = Message::Mtp(MtpSegment {
+        src_label: max_label,
+        src_port: Port(u16::MAX),
+        dst_label: max_label,
+        dst_port: Port(u16::MAX),
+        src_leader: NodeId(u32::MAX),
+        src_leader_pos: Point::new(f64::MAX, f64::MIN),
+        chain_hops: u8::MAX,
+        seq: u32::MAX,
+        payload: Bytes::from_static(b"at the edge"),
+    });
+    let ack = Message::MtpAckMsg(MtpAck {
+        dst_label: max_label,
+        src_node: NodeId(u32::MAX),
+        seq: u32::MAX,
+        acker: NodeId(u32::MAX),
+        acker_pos: Point::new(-0.0, f64::EPSILON),
+    });
+    for inner in [seg, ack] {
+        let wrapped = Message::Geo(GeoForward {
+            dest: Point::new(f64::MAX, f64::MAX),
+            deliver_to: Some(NodeId(u32::MAX)),
+            inner: Box::new(inner),
+        });
+        let bytes = wrapped.encode();
+        assert_eq!(Message::decode(&bytes).unwrap(), wrapped);
+    }
+}

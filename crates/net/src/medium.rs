@@ -32,6 +32,7 @@ use std::collections::BTreeMap;
 
 use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_telemetry::Telemetry;
 use envirotrack_world::field::{Deployment, NodeId};
 
 use crate::packet::{Frame, FrameKind};
@@ -346,6 +347,9 @@ pub struct Medium {
     /// When enabled, every intact (src, dst) delivery is appended here for
     /// the invariant monitor to audit (e.g. "nothing crosses a partition").
     delivery_log: Option<Vec<(Timestamp, NodeId, NodeId)>>,
+    /// Run-wide telemetry; a detached registry until the owning network
+    /// attaches the shared one.
+    telemetry: Telemetry,
 }
 
 impl Medium {
@@ -376,7 +380,15 @@ impl Medium {
             burst: None,
             burst_rng: rng.fork("radio-burst"),
             delivery_log: None,
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// Replaces the detached default registry with the run-wide one. The
+    /// medium records per-frame-kind transmission and whole-broadcast-loss
+    /// counters (`net.k<kind>.tx`, `net.k<kind>.lost`, `net.k<kind>.mac_drop`).
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The radio configuration.
@@ -503,6 +515,8 @@ impl Medium {
             let defer = start.saturating_since(now);
             if defer > self.config.max_defer {
                 self.kind_stats_mut(frame.kind).mac_dropped += 1;
+                self.telemetry
+                    .incr(&format!("net.k{}.mac_drop", frame.kind.0));
                 return Err(ChannelSaturatedError {
                     needed_defer: defer,
                 });
@@ -517,6 +531,7 @@ impl Medium {
         self.stats.total_bits += frame.on_air_bits();
         self.stats.busy_time += tx_time;
         self.kind_stats_mut(frame.kind).tx += 1;
+        self.telemetry.incr(&format!("net.k{}.tx", frame.kind.0));
 
         self.active.push(TxRecord {
             id,
@@ -609,6 +624,7 @@ impl Medium {
         }
         if !any_delivered {
             self.kind_stats_mut(frame.kind).tx_lost += 1;
+            self.telemetry.incr(&format!("net.k{}.lost", frame.kind.0));
         }
         self.active[idx].resolved = true;
         DeliveryReport { frame, outcomes }

@@ -32,6 +32,8 @@
 //! produce identical traces (see `trace` support below and the integration
 //! tests).
 
+use envirotrack_telemetry::Telemetry;
+
 use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, Timestamp};
@@ -50,6 +52,7 @@ pub struct Kernel<W> {
     stop_requested: bool,
     events_processed: u64,
     trace: Option<TraceLog>,
+    telemetry: Option<Telemetry>,
 }
 
 impl<W> Kernel<W> {
@@ -61,7 +64,20 @@ impl<W> Kernel<W> {
             stop_requested: false,
             events_processed: 0,
             trace: None,
+            telemetry: None,
         }
+    }
+
+    /// Attaches the run-wide telemetry registry; the kernel counts every
+    /// executed event on it (`kernel.events`).
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry registry, if any.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// The current virtual time.
@@ -226,6 +242,9 @@ impl<W> Engine<W> {
         );
         self.kernel.now = at;
         self.kernel.events_processed += 1;
+        if let Some(t) = &self.kernel.telemetry {
+            t.incr("kernel.events");
+        }
         event(&mut self.world, &mut self.kernel);
         Some(at)
     }

@@ -394,8 +394,7 @@ mod tests {
                 }
             },
         )
-        .err()
-        .expect("property must fail")
+        .expect_err("property must fail")
         .into_failure();
         assert_eq!(*minimal.borrow(), vec![0u8; 5], "not shrunk to minimal");
         assert!(
@@ -415,8 +414,7 @@ mod tests {
                 panic!("too big");
             }
         })
-        .err()
-        .expect("property must fail")
+        .expect_err("property must fail")
         .into_failure();
         assert_eq!(
             *minimal.borrow(),
@@ -433,14 +431,12 @@ mod tests {
         let a = run(&quiet_cfg(), &((0u32..1000, 0u32..1000),), |(v,)| {
             failing(v)
         })
-        .err()
-        .expect("fails")
+        .expect_err("fails")
         .into_failure();
         let b = run(&quiet_cfg(), &((0u32..1000, 0u32..1000),), |(v,)| {
             failing(v)
         })
-        .err()
-        .expect("fails")
+        .expect_err("fails")
         .into_failure();
         assert_eq!(a.value, b.value);
         assert_eq!(a.case_index, b.case_index);

@@ -10,6 +10,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline --workspace
+cargo clippy -q --workspace --offline -- -D warnings
 
 # Chaos smoke: randomized fault plans (crashes, reboots, partitions, burst
 # loss, clock skew) must leave every invariant intact. CHAOS_CASES scales
@@ -18,5 +19,18 @@ cargo test -q --offline --workspace
 TESTKIT_CASES="${CHAOS_CASES:-128}" \
   cargo test -q --offline -p envirotrack-chaos --test chaos \
   -- random_fault_plans_never_break_invariants
+
+# Telemetry smoke: the flagship storm must emit the summary table and a
+# non-empty trace, byte-identically across two runs of the same seed.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run -q --release --offline --example telemetry_summary > "$tmp/a.txt"
+cargo run -q --release --offline --example telemetry_summary > "$tmp/b.txt"
+diff "$tmp/a.txt" "$tmp/b.txt" \
+  || { echo "verify: telemetry output is not seed-stable" >&2; exit 1; }
+grep -q "== telemetry summary ==" "$tmp/a.txt" \
+  || { echo "verify: telemetry summary table missing" >&2; exit 1; }
+grep -q "trace stream: [1-9][0-9]* JSON lines" "$tmp/a.txt" \
+  || { echo "verify: telemetry trace is empty" >&2; exit 1; }
 
 echo "verify: OK"

@@ -74,7 +74,7 @@ fn state_survives_leader_failures_when_replication_is_on() {
         if let Some(&(leader, _)) = engine.world().leaders_of_type(TRACKER).first() {
             engine.world_mut().kill_node(leader);
         }
-        t = t + SimDuration::from_secs(20);
+        t += SimDuration::from_secs(20);
         engine.run_until(t);
     }
     let world = engine.world();
@@ -122,7 +122,7 @@ fn without_replication_takeovers_restart_the_count() {
         if let Some(&(leader, _)) = engine.world().leaders_of_type(TRACKER).first() {
             engine.world_mut().kill_node(leader);
         }
-        t = t + SimDuration::from_secs(20);
+        t += SimDuration::from_secs(20);
         engine.run_until(t);
     }
     let seq = counts(engine.world());
