@@ -40,7 +40,10 @@ pub struct Fig5 {
     pub relinquish_reference: Vec<(f64, f64)>,
 }
 
-fn takeover_template(heartbeat: SimDuration, sensing_radius: f64, seed: u64) -> TrackingRun {
+/// The takeover-mode run template behind each swept point; public so the
+/// golden regression tests can pin single points without the full sweep.
+#[must_use]
+pub fn takeover_template(heartbeat: SimDuration, sensing_radius: f64, seed: u64) -> TrackingRun {
     TrackingRun {
         cols: 24,
         rows: 5,

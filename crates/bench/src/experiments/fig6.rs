@@ -32,7 +32,10 @@ pub struct Fig6 {
     pub points: Vec<Fig6Point>,
 }
 
-fn template(sr: f64, cr: f64, seed: u64) -> TrackingRun {
+/// The relinquish-mode run template behind each swept point; public so the
+/// golden regression tests can pin single points without the full sweep.
+#[must_use]
+pub fn template(sr: f64, cr: f64, seed: u64) -> TrackingRun {
     TrackingRun {
         cols: 24,
         rows: 7,

@@ -1,0 +1,219 @@
+//! The sweep engine: a work-stealing pool of cells with a deterministic
+//! ordered reduction.
+//!
+//! Cells are dealt round-robin into per-worker queues; a worker drains its
+//! own queue from the front and, once empty, steals from the back of the
+//! longest remaining queue. Each worker streams its finished JSON lines
+//! into a private shard — no cross-worker ordering exists anywhere in the
+//! run phase. The reducer then merges shards by *cell id*, never arrival
+//! order, which together with per-cell RNG isolation (see
+//! [`super::cells`]) makes the merged output byte-identical at any worker
+//! count.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use super::cells::SweepCell;
+
+/// The merged result of one sweep plus its execution profile.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// All cell lines, sorted by cell id, one per line, trailing newline.
+    pub merged_jsonl: String,
+    /// Cells executed.
+    pub cells_run: usize,
+    /// Cells each worker ended up executing (length = worker count).
+    pub per_worker_cells: Vec<usize>,
+    /// Cross-queue steals performed.
+    pub steals: u64,
+    /// Wall-clock spent running cells (the parallel phase).
+    pub run_wall: Duration,
+    /// Wall-clock spent merging shards (the reduction phase).
+    pub merge_wall: Duration,
+}
+
+impl SweepReport {
+    /// Completed runs per wall-clock second over the parallel phase.
+    #[must_use]
+    pub fn runs_per_sec(&self) -> f64 {
+        let s = self.run_wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.cells_run as f64 / s
+        }
+    }
+}
+
+/// One worker's queue: cells it owns, stealable from the back.
+struct WorkerQueue {
+    cells: Mutex<VecDeque<usize>>,
+}
+
+/// Runs every cell across `workers` threads and reduces the shards.
+///
+/// # Panics
+///
+/// Panics when `workers == 0` or when two cells share an id (the merge
+/// key must identify a cell uniquely).
+#[must_use]
+pub fn run_sweep(cells: &[SweepCell], workers: usize) -> SweepReport {
+    assert!(workers > 0, "a sweep needs at least one worker");
+    {
+        let mut ids: Vec<&str> = cells.iter().map(|c| c.id.as_str()).collect();
+        ids.sort_unstable();
+        assert!(
+            ids.windows(2).all(|w| w[0] != w[1]),
+            "cell ids must be unique"
+        );
+    }
+
+    // Deal the cells round-robin so every queue starts balanced.
+    let queues: Vec<WorkerQueue> = (0..workers)
+        .map(|w| WorkerQueue {
+            cells: Mutex::new(
+                (w..cells.len())
+                    .step_by(workers)
+                    .collect::<VecDeque<usize>>(),
+            ),
+        })
+        .collect();
+    let steals = AtomicU64::new(0);
+
+    let run_start = Instant::now();
+    let mut shards: Vec<Vec<(usize, String)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queues = &queues;
+                let steals = &steals;
+                s.spawn(move || {
+                    let mut shard: Vec<(usize, String)> = Vec::new();
+                    loop {
+                        // Own work first, front-to-back.
+                        let mine = queues[w].cells.lock().expect("queue lock").pop_front();
+                        let idx = match mine {
+                            Some(i) => i,
+                            None => {
+                                // Steal from the back of the fullest queue.
+                                let victim = match steal_target(queues, w) {
+                                    Some(v) => v,
+                                    None => break,
+                                };
+                                match queues[victim]
+                                    .cells
+                                    .lock()
+                                    .expect("queue lock")
+                                    .pop_back()
+                                {
+                                    Some(i) => {
+                                        steals.fetch_add(1, Ordering::Relaxed);
+                                        i
+                                    }
+                                    // Raced with the victim; rescan.
+                                    None => continue,
+                                }
+                            }
+                        };
+                        shard.push((idx, cells[idx].run()));
+                    }
+                    shard
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let run_wall = run_start.elapsed();
+
+    let merge_start = Instant::now();
+    let per_worker_cells: Vec<usize> = shards.iter().map(Vec::len).collect();
+    let mut lines: Vec<(usize, String)> = shards.drain(..).flatten().collect();
+    // Reduce in cell-id order — never arrival order — so the merged bytes
+    // are independent of scheduling.
+    lines.sort_by(|(a, _), (b, _)| cells[*a].id.cmp(&cells[*b].id));
+    let mut merged_jsonl = String::new();
+    for (_, line) in &lines {
+        merged_jsonl.push_str(line);
+        merged_jsonl.push('\n');
+    }
+    let merge_wall = merge_start.elapsed();
+
+    SweepReport {
+        merged_jsonl,
+        cells_run: lines.len(),
+        per_worker_cells,
+        steals: steals.load(Ordering::Relaxed),
+        run_wall,
+        merge_wall,
+    }
+}
+
+/// The index of the non-empty queue (other than `me`) with the most work
+/// left, or `None` when everything is drained.
+fn steal_target(queues: &[WorkerQueue], me: usize) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None;
+    for (i, q) in queues.iter().enumerate() {
+        if i == me {
+            continue;
+        }
+        let len = q.cells.lock().expect("queue lock").len();
+        if len > 0 && best.is_none_or(|(_, b)| len > b) {
+            best = Some((i, len));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::cells::default_cells;
+    use super::*;
+
+    #[test]
+    fn every_cell_runs_exactly_once_at_any_worker_count() {
+        let cells = default_cells(6, 40);
+        for workers in [1, 3, 8] {
+            let report = run_sweep(&cells, workers);
+            assert_eq!(report.cells_run, cells.len());
+            assert_eq!(report.per_worker_cells.len(), workers);
+            assert_eq!(
+                report.per_worker_cells.iter().sum::<usize>(),
+                cells.len()
+            );
+            assert_eq!(report.merged_jsonl.lines().count(), cells.len());
+        }
+    }
+
+    #[test]
+    fn merged_output_is_sorted_by_cell_id() {
+        let cells = default_cells(6, 40);
+        let report = run_sweep(&cells, 4);
+        let keys: Vec<&str> = report
+            .merged_jsonl
+            .lines()
+            .map(|l| l.split('"').nth(3).expect("cell id field"))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell ids must be unique")]
+    fn duplicate_cell_ids_are_rejected() {
+        let mut cells = default_cells(2, 40);
+        cells[1].id = cells[0].id.clone();
+        let _ = run_sweep(&cells, 2);
+    }
+
+    #[test]
+    fn more_workers_than_cells_is_fine() {
+        let cells = default_cells(2, 77);
+        let report = run_sweep(&cells, 8);
+        assert_eq!(report.cells_run, 2);
+    }
+}

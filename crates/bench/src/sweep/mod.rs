@@ -1,4 +1,16 @@
-//! Parameter sweeps: parallel execution and max-trackable-speed search.
+//! Parameter sweeps: parallel execution, the scenario sweep engine, and
+//! max-trackable-speed search.
+//!
+//! [`parallel_map`] is the light primitive the figure experiments use;
+//! [`engine`] is the full sweep engine — a work-stealing pool of
+//! `(scenario, seed)` [`cells`] whose merged JSON-lines output is
+//! byte-identical at any worker count (see DESIGN.md §10).
+
+pub mod cells;
+pub mod engine;
+
+pub use cells::{CellSpec, SweepCell};
+pub use engine::{run_sweep, SweepReport};
 
 use crate::harness::{run_tracking, TrackingRun};
 

@@ -1,0 +1,33 @@
+//! Cross-worker determinism: the sweep engine's merged output is a pure
+//! function of the cell set — worker count, scheduling, and steal patterns
+//! must never show through. This extends the byte-identical-replay
+//! contract from `crates/chaos/tests` to the parallel engine.
+
+use envirotrack_bench::sweep::cells::default_cells;
+use envirotrack_bench::sweep::run_sweep;
+
+#[test]
+fn one_and_eight_workers_merge_byte_identically() {
+    let cells = default_cells(8, 21);
+    let one = run_sweep(&cells, 1);
+    let eight = run_sweep(&cells, 8);
+    assert_eq!(
+        one.merged_jsonl, eight.merged_jsonl,
+        "worker count leaked into the merged output"
+    );
+    assert_eq!(one.cells_run, 8);
+    assert_eq!(eight.cells_run, 8);
+    // And an in-between count with a ragged cell/worker ratio.
+    let three = run_sweep(&cells, 3);
+    assert_eq!(one.merged_jsonl, three.merged_jsonl);
+}
+
+#[test]
+fn repeated_parallel_sweeps_are_byte_identical() {
+    // Same worker count, two executions: steal races may schedule cells
+    // differently, the bytes must not move.
+    let cells = default_cells(6, 77);
+    let a = run_sweep(&cells, 4);
+    let b = run_sweep(&cells, 4);
+    assert_eq!(a.merged_jsonl, b.merged_jsonl);
+}

@@ -43,6 +43,7 @@
 //! assert!(monitor.borrow().violations().is_empty());
 //! ```
 
+pub mod cell;
 pub mod harness;
 pub mod monitor;
 pub mod plan;

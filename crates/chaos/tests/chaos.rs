@@ -273,3 +273,20 @@ prop_test! {
         );
     }
 }
+
+/// A chaos cell is a pure function of its spec: running the same cell
+/// twice — as two sweep workers would — yields byte-identical records.
+#[test]
+fn chaos_cells_are_pure_functions_of_their_spec() {
+    let run = |seed: u64| {
+        let cell = envirotrack_chaos::cell::ChaosCell {
+            cols: 6,
+            rows: 2,
+            horizon: SimDuration::from_secs(20),
+            seed,
+        };
+        envirotrack_chaos::cell::run_cell(&cell, tracker_program()).to_json()
+    };
+    assert_eq!(run(3), run(3));
+    assert_ne!(run(3), run(4), "different seeds must differ somewhere");
+}

@@ -783,6 +783,8 @@ impl SensorNetwork {
                 self.receive_frame(k, *receiver, report.frame.clone());
             }
         }
+        // Hand the outcome buffer back so the next broadcast reuses it.
+        self.medium.recycle(report);
     }
 
     /// A frame arrived intact at `node`.

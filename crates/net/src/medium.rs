@@ -32,7 +32,7 @@ use std::collections::BTreeMap;
 
 use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::{SimDuration, Timestamp};
-use envirotrack_telemetry::Telemetry;
+use envirotrack_telemetry::{CounterHandle, Telemetry};
 use envirotrack_world::field::{Deployment, NodeId};
 
 use crate::packet::{Frame, FrameKind};
@@ -327,6 +327,20 @@ impl NetStats {
     }
 }
 
+/// Pre-resolved telemetry handles for one frame kind, so the hot path
+/// increments a shared cell instead of formatting a counter name and
+/// walking the registry map per event.
+#[derive(Debug, Clone)]
+struct KindCounters {
+    tx: CounterHandle,
+    lost: CounterHandle,
+    mac_drop: CounterHandle,
+}
+
+/// Upper bound on pooled outcome buffers; deliveries are collected one at a
+/// time in practice, so the pool never grows past a handful of entries.
+const OUTCOME_POOL_CAP: usize = 64;
+
 /// The shared broadcast radio channel. See the [module docs](self).
 pub struct Medium {
     config: RadioConfig,
@@ -350,6 +364,14 @@ pub struct Medium {
     /// Run-wide telemetry; a detached registry until the owning network
     /// attaches the shared one.
     telemetry: Telemetry,
+    /// Counter handles per frame kind (indexed by `FrameKind.0`), resolved
+    /// lazily against the current telemetry registry.
+    kind_counters: Vec<Option<KindCounters>>,
+    /// Recycled outcome buffers handed back via [`Medium::recycle`].
+    outcome_pool: Vec<Vec<(NodeId, DeliveryOutcome)>>,
+    /// Fresh outcome-buffer allocations made by `deliveries`; stays flat in
+    /// steady state when callers recycle their reports.
+    outcome_allocs: u64,
 }
 
 impl Medium {
@@ -381,6 +403,9 @@ impl Medium {
             burst_rng: rng.fork("radio-burst"),
             delivery_log: None,
             telemetry: Telemetry::new(),
+            kind_counters: Vec::new(),
+            outcome_pool: Vec::new(),
+            outcome_allocs: 0,
         }
     }
 
@@ -389,6 +414,29 @@ impl Medium {
     /// counters (`net.k<kind>.tx`, `net.k<kind>.lost`, `net.k<kind>.mac_drop`).
     pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+        // Handles resolved against the old registry are stale; re-resolve
+        // lazily against the new one.
+        self.kind_counters.clear();
+    }
+
+    /// The cached counter handles for `kind`, resolving them on first use.
+    fn kind_counters(&mut self, kind: FrameKind) -> &KindCounters {
+        let i = kind.0 as usize;
+        if self.kind_counters.len() <= i {
+            self.kind_counters.resize(i + 1, None);
+        }
+        if self.kind_counters[i].is_none() {
+            self.kind_counters[i] = Some(KindCounters {
+                tx: self.telemetry.counter_handle(&format!("net.k{}.tx", kind.0)),
+                lost: self
+                    .telemetry
+                    .counter_handle(&format!("net.k{}.lost", kind.0)),
+                mac_drop: self
+                    .telemetry
+                    .counter_handle(&format!("net.k{}.mac_drop", kind.0)),
+            });
+        }
+        self.kind_counters[i].as_ref().expect("just filled")
     }
 
     /// The radio configuration.
@@ -515,8 +563,7 @@ impl Medium {
             let defer = start.saturating_since(now);
             if defer > self.config.max_defer {
                 self.kind_stats_mut(frame.kind).mac_dropped += 1;
-                self.telemetry
-                    .incr(&format!("net.k{}.mac_drop", frame.kind.0));
+                self.kind_counters(frame.kind).mac_drop.incr();
                 return Err(ChannelSaturatedError {
                     needed_defer: defer,
                 });
@@ -531,7 +578,7 @@ impl Medium {
         self.stats.total_bits += frame.on_air_bits();
         self.stats.busy_time += tx_time;
         self.kind_stats_mut(frame.kind).tx += 1;
-        self.telemetry.incr(&format!("net.k{}.tx", frame.kind.0));
+        self.kind_counters(frame.kind).tx.incr();
 
         self.active.push(TxRecord {
             id,
@@ -566,10 +613,26 @@ impl Medium {
             (r.src, r.start, r.end, r.frame.clone())
         };
 
-        let receivers: Vec<NodeId> = self.neighbors[src.index()].clone();
-        let mut outcomes = Vec::with_capacity(receivers.len());
+        // Walk the neighbour list by index instead of cloning it: the loop
+        // body needs `&mut self` (RNG, burst chain, stats), so an iterator
+        // borrow would conflict, but a fresh `Vec` per broadcast — even an
+        // empty one for isolated transmitters — is pure heap churn on the
+        // hottest path in the simulator.
+        let mut outcomes = match self.outcome_pool.pop() {
+            Some(buf) => buf,
+            None => {
+                self.outcome_allocs += 1;
+                Vec::new()
+            }
+        };
+        let receiver_count = self.neighbors[src.index()].len();
+        outcomes.reserve(receiver_count);
+        // Tally per-kind stats locally and fold them into the BTreeMap once
+        // at the end, rather than one map lookup per receiver.
+        let mut tally = KindStats::default();
         let mut any_delivered = false;
-        for v in receivers {
+        for i in 0..receiver_count {
+            let v = self.neighbors[src.index()][i];
             let outcome = if self.partitioned(src, v) {
                 DeliveryOutcome::PartitionDrop
             } else {
@@ -607,27 +670,54 @@ impl Medium {
             match outcome {
                 DeliveryOutcome::Delivered => {
                     any_delivered = true;
-                    self.kind_stats_mut(frame.kind).rx += 1;
+                    tally.rx += 1;
                     if let Some(log) = &mut self.delivery_log {
                         log.push((end, src, v));
                     }
                 }
-                DeliveryOutcome::Collided => self.kind_stats_mut(frame.kind).collided += 1,
-                DeliveryOutcome::HalfDuplex => self.kind_stats_mut(frame.kind).half_duplex += 1,
-                DeliveryOutcome::Faded => self.kind_stats_mut(frame.kind).faded += 1,
-                DeliveryOutcome::BurstFaded => self.kind_stats_mut(frame.kind).burst_faded += 1,
-                DeliveryOutcome::PartitionDrop => {
-                    self.kind_stats_mut(frame.kind).partition_dropped += 1;
-                }
+                DeliveryOutcome::Collided => tally.collided += 1,
+                DeliveryOutcome::HalfDuplex => tally.half_duplex += 1,
+                DeliveryOutcome::Faded => tally.faded += 1,
+                DeliveryOutcome::BurstFaded => tally.burst_faded += 1,
+                DeliveryOutcome::PartitionDrop => tally.partition_dropped += 1,
             }
             outcomes.push((v, outcome));
         }
         if !any_delivered {
-            self.kind_stats_mut(frame.kind).tx_lost += 1;
-            self.telemetry.incr(&format!("net.k{}.lost", frame.kind.0));
+            tally.tx_lost = 1;
+        }
+        let ks = self.kind_stats_mut(frame.kind);
+        ks.rx += tally.rx;
+        ks.collided += tally.collided;
+        ks.half_duplex += tally.half_duplex;
+        ks.faded += tally.faded;
+        ks.burst_faded += tally.burst_faded;
+        ks.partition_dropped += tally.partition_dropped;
+        ks.tx_lost += tally.tx_lost;
+        if !any_delivered {
+            self.kind_counters(frame.kind).lost.incr();
         }
         self.active[idx].resolved = true;
         DeliveryReport { frame, outcomes }
+    }
+
+    /// Hands a delivery report's outcome buffer back for reuse, so the next
+    /// [`Medium::deliveries`] call pops it instead of allocating. Optional —
+    /// skipping it only costs one allocation per broadcast.
+    pub fn recycle(&mut self, report: DeliveryReport) {
+        let mut buf = report.outcomes;
+        if self.outcome_pool.len() < OUTCOME_POOL_CAP {
+            buf.clear();
+            self.outcome_pool.push(buf);
+        }
+    }
+
+    /// Fresh outcome-buffer allocations `deliveries` has made so far. With
+    /// recycling in steady state this stays pinned at the number of reports
+    /// simultaneously in flight (one, for the event-driven network stack).
+    #[must_use]
+    pub fn outcome_buffer_allocs(&self) -> u64 {
+        self.outcome_allocs
     }
 
     fn receiver_outcome(
@@ -930,6 +1020,46 @@ mod tests {
             let _ = m.deliveries(tx.id);
         }
         assert_eq!(m.stats().kind(FrameKind(1)).rx, before + 50);
+    }
+
+    #[test]
+    fn steady_state_deliveries_allocate_exactly_one_outcome_buffer() {
+        let d = line_deployment(3, 1.0);
+        let mut m = Medium::new(&d, lossless(5.0), &SimRng::seed_from(1));
+        let mut now = Timestamp::ZERO;
+        for _ in 0..200 {
+            let tx = m.transmit(now, frame(1)).unwrap();
+            now = tx.completes_at + SimDuration::from_millis(1);
+            let report = m.deliveries(tx.id);
+            assert_eq!(report.outcomes.len(), 2);
+            m.recycle(report);
+        }
+        assert_eq!(
+            m.outcome_buffer_allocs(),
+            1,
+            "200 recycled broadcasts must reuse a single buffer"
+        );
+    }
+
+    #[test]
+    fn zero_receiver_deliveries_never_build_a_receiver_list() {
+        // Two nodes far out of range: every broadcast lands on nobody.
+        let d = line_deployment(2, 10.0);
+        let mut m = Medium::new(&d, lossless(1.0), &SimRng::seed_from(1));
+        let mut now = Timestamp::ZERO;
+        for _ in 0..50 {
+            let tx = m.transmit(now, frame(0)).unwrap();
+            now = tx.completes_at + SimDuration::from_millis(1);
+            let report = m.deliveries(tx.id);
+            assert!(report.outcomes.is_empty());
+            assert_eq!(
+                report.outcomes.capacity(),
+                0,
+                "the zero-receiver path must not reserve heap space"
+            );
+            m.recycle(report);
+        }
+        assert_eq!(m.outcome_buffer_allocs(), 1);
     }
 
     #[test]

@@ -32,8 +32,9 @@
 //! produce identical traces (see `trace` support below and the integration
 //! tests).
 
-use envirotrack_telemetry::Telemetry;
+use envirotrack_telemetry::{CounterHandle, Telemetry};
 
+pub use crate::queue::EventKey;
 use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, Timestamp};
@@ -53,6 +54,9 @@ pub struct Kernel<W> {
     events_processed: u64,
     trace: Option<TraceLog>,
     telemetry: Option<Telemetry>,
+    /// Pre-resolved `kernel.events` counter: the per-event accounting is one
+    /// cell increment instead of a registry borrow + name lookup.
+    events_counter: Option<CounterHandle>,
 }
 
 impl<W> Kernel<W> {
@@ -65,12 +69,14 @@ impl<W> Kernel<W> {
             events_processed: 0,
             trace: None,
             telemetry: None,
+            events_counter: None,
         }
     }
 
     /// Attaches the run-wide telemetry registry; the kernel counts every
     /// executed event on it (`kernel.events`).
     pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.events_counter = Some(telemetry.counter_handle("kernel.events"));
         self.telemetry = Some(telemetry);
     }
 
@@ -117,6 +123,41 @@ impl<W> Kernel<W> {
     {
         let at = self.now.saturating_add(delay);
         self.queue.push(at, Box::new(event));
+    }
+
+    /// Schedules `event` at absolute instant `at` and returns a key that
+    /// [`Kernel::cancel`] accepts while the event is still pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past, like [`Kernel::schedule_at`].
+    pub fn schedule_at_cancellable<F>(&mut self, at: Timestamp, event: F) -> EventKey
+    where
+        F: FnOnce(&mut W, &mut Kernel<W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        self.queue.push_keyed(at, Box::new(event))
+    }
+
+    /// Schedules `event` after `delay`, returning a cancellation key.
+    pub fn schedule_in_cancellable<F>(&mut self, delay: SimDuration, event: F) -> EventKey
+    where
+        F: FnOnce(&mut W, &mut Kernel<W>) + 'static,
+    {
+        let at = self.now.saturating_add(delay);
+        self.queue.push_keyed(at, Box::new(event))
+    }
+
+    /// Cancels a pending event. Returns whether anything was cancelled —
+    /// `false` for a key whose event already ran or was already cancelled
+    /// (a one-shot timer racing its own cancellation is not a bug).
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key).is_some()
     }
 
     /// Requests that the run loop stop after the current event completes.
@@ -242,8 +283,8 @@ impl<W> Engine<W> {
         );
         self.kernel.now = at;
         self.kernel.events_processed += 1;
-        if let Some(t) = &self.kernel.telemetry {
-            t.incr("kernel.events");
+        if let Some(c) = &self.kernel.events_counter {
+            c.incr();
         }
         event(&mut self.world, &mut self.kernel);
         Some(at)
@@ -436,6 +477,33 @@ mod tests {
         e.kernel_mut().schedule_at(Timestamp::ZERO, forever);
         assert_eq!(e.run_to_completion(), RunOutcome::EventLimit);
         assert_eq!(e.kernel().events_processed(), 1000);
+    }
+
+    #[test]
+    fn cancelled_events_never_fire_and_stale_cancels_are_noops() {
+        let mut e = Engine::new(World::default(), 1);
+        let doomed = e
+            .kernel_mut()
+            .schedule_at_cancellable(Timestamp::from_secs(1), |w: &mut World, _| {
+                w.log.push((1, "doomed"));
+            });
+        e.kernel_mut()
+            .schedule_at(Timestamp::from_secs(2), |w: &mut World, _| {
+                w.log.push((2, "kept"));
+            });
+        let fired = e
+            .kernel_mut()
+            .schedule_in_cancellable(SimDuration::from_secs(3), |w: &mut World, _| {
+                w.log.push((3, "fired"));
+            });
+        assert!(e.kernel_mut().cancel(doomed));
+        assert!(!e.kernel_mut().cancel(doomed), "double cancel is a no-op");
+        assert_eq!(e.run_to_completion(), RunOutcome::QueueDrained);
+        assert_eq!(e.world().log, vec![(2, "kept"), (3, "fired")]);
+        assert!(
+            !e.kernel_mut().cancel(fired),
+            "cancelling an already-fired event is a no-op"
+        );
     }
 
     #[test]

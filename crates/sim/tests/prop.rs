@@ -28,6 +28,56 @@ prop_test! {
         }
     }
 
+    /// Slot pooling is invisible to queue semantics: a pooled and an
+    /// unpooled queue driven by the same randomized push/cancel/pop
+    /// schedule agree on every pop result, every cancellation outcome
+    /// (including stale keys), and every intermediate length/peek.
+    #[test]
+    fn queue_pooling_never_changes_pop_or_cancel_semantics(
+        ops in prop::collection::vec((0u8..8, 0u64..500), 1..300),
+    ) {
+        let mut pooled = EventQueue::new();
+        let mut plain = EventQueue::with_pooling(false);
+        let mut pooled_keys = Vec::new();
+        let mut plain_keys = Vec::new();
+        let mut next_item = 0usize;
+        for &(op, t) in &ops {
+            match op {
+                // Bias toward pushes so schedules grow interesting.
+                0..=3 => {
+                    let at = Timestamp::from_micros(t);
+                    pooled_keys.push(pooled.push_keyed(at, next_item));
+                    plain_keys.push(plain.push_keyed(at, next_item));
+                    next_item += 1;
+                }
+                4 | 5 if !pooled_keys.is_empty() => {
+                    // Cancel an arbitrary previously issued key; stale
+                    // (already popped/cancelled) keys must be no-ops in
+                    // both queues alike.
+                    let pick = t as usize % pooled_keys.len();
+                    let a = pooled.cancel(pooled_keys[pick]);
+                    let b = plain.cancel(plain_keys[pick]);
+                    prop_assert_eq!(a, b, "cancel outcome diverged");
+                }
+                _ => {
+                    prop_assert_eq!(pooled.pop(), plain.pop(), "pop diverged");
+                }
+            }
+            prop_assert_eq!(pooled.len(), plain.len());
+            prop_assert_eq!(pooled.peek_time(), plain.peek_time());
+        }
+        // Drain both to the end: the tails must match exactly too.
+        loop {
+            let (a, b) = (pooled.pop(), plain.pop());
+            prop_assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert!(pooled.reused_slots() >= plain.reused_slots());
+        prop_assert_eq!(plain.reused_slots(), 0);
+    }
+
     /// Welford statistics match the naive two-pass computation.
     #[test]
     fn running_stats_match_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {

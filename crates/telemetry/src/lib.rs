@@ -20,7 +20,7 @@
 //! the deterministic event order, so identical seeds produce
 //! byte-identical exports.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
@@ -144,10 +144,43 @@ impl LogLinearHistogram {
     }
 }
 
+/// A pre-resolved counter: a shared cell registered under a name in the
+/// [`Registry`], handed out by [`Telemetry::counter_handle`].
+///
+/// Incrementing through a handle skips the name formatting, the registry
+/// borrow, and the map lookup that [`Telemetry::incr`] pays — the hot-path
+/// cost is a single unconditional `Cell` read-modify-write. Exports read
+/// the same cell, so a handle and its name always agree.
+#[derive(Debug, Clone)]
+pub struct CounterHandle {
+    cell: Rc<Cell<u64>>,
+}
+
+impl CounterHandle {
+    /// Adds `n` (saturating).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.set(self.cell.get().saturating_add(n));
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[must_use]
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.get()
+    }
+}
+
 /// The shared metric + trace store. Accessed through [`Telemetry`].
 #[derive(Debug)]
 pub struct Registry {
-    counters: BTreeMap<String, u64>,
+    counters: BTreeMap<String, Rc<Cell<u64>>>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, LogLinearHistogram>,
     trace: VecDeque<TraceEvent>,
@@ -171,7 +204,7 @@ impl Registry {
 
     /// Counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
     }
 
     /// Gauges in name order.
@@ -198,7 +231,7 @@ impl Registry {
     /// A counter's current value (0 when never written).
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counters.get(name).map_or(0, |c| c.get())
     }
 
     /// A histogram by name, if any observation was recorded.
@@ -241,11 +274,25 @@ impl Telemetry {
     /// Adds `n` to the named counter.
     pub fn add(&self, name: &str, n: u64) {
         let mut r = self.inner.borrow_mut();
-        match r.counters.get_mut(name) {
-            Some(v) => *v = v.saturating_add(n),
+        match r.counters.get(name) {
+            Some(c) => c.set(c.get().saturating_add(n)),
             None => {
-                r.counters.insert(name.to_owned(), n);
+                r.counters.insert(name.to_owned(), Rc::new(Cell::new(n)));
             }
+        }
+    }
+
+    /// Resolves (registering if absent) the named counter into a
+    /// [`CounterHandle`] for repeated hot-path increments.
+    #[must_use]
+    pub fn counter_handle(&self, name: &str) -> CounterHandle {
+        let mut r = self.inner.borrow_mut();
+        let cell = r
+            .counters
+            .entry(name.to_owned())
+            .or_insert_with(|| Rc::new(Cell::new(0)));
+        CounterHandle {
+            cell: Rc::clone(cell),
         }
     }
 
@@ -364,6 +411,27 @@ mod tests {
         let u = t.clone();
         u.incr("a");
         assert_eq!(t.counter("a"), 6);
+    }
+
+    #[test]
+    fn counter_handles_share_the_named_cell() {
+        let t = Telemetry::new();
+        t.add("hot", 2);
+        let h = t.counter_handle("hot");
+        h.incr();
+        h.add(3);
+        assert_eq!(h.get(), 6);
+        assert_eq!(t.counter("hot"), 6, "handle writes are visible by name");
+        t.incr("hot");
+        assert_eq!(h.get(), 7, "named writes are visible through the handle");
+        // Resolving an unseen name registers it at zero, and exports see it.
+        let fresh = t.counter_handle("fresh");
+        assert_eq!(t.counter("fresh"), 0);
+        fresh.incr();
+        t.with_registry(|r| {
+            let names: Vec<&str> = r.counters().map(|(n, _)| n).collect();
+            assert_eq!(names, vec!["fresh", "hot"], "name order is stable");
+        });
     }
 
     #[test]

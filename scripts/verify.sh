@@ -33,4 +33,13 @@ grep -q "== telemetry summary ==" "$tmp/a.txt" \
 grep -q "trace stream: [1-9][0-9]* JSON lines" "$tmp/a.txt" \
   || { echo "verify: telemetry trace is empty" >&2; exit 1; }
 
+# Sweep smoke: the parallel sweep engine must merge byte-identically at
+# any worker count — 2 workers over 8 cells against the 1-worker golden.
+./target/release/sweep --workers 1 --cells 8 --seed 1 --out "$tmp/sweep1.jsonl"
+./target/release/sweep --workers 2 --cells 8 --seed 1 --out "$tmp/sweep2.jsonl"
+cmp -s "$tmp/sweep1.jsonl" "$tmp/sweep2.jsonl" \
+  || { echo "verify: sweep output depends on worker count" >&2; exit 1; }
+[ "$(wc -l < "$tmp/sweep1.jsonl")" -eq 8 ] \
+  || { echo "verify: sweep smoke expected 8 merged cells" >&2; exit 1; }
+
 echo "verify: OK"
