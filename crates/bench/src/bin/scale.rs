@@ -1,0 +1,208 @@
+//! `scale` — the 10k-node scaling trajectory (`BENCH_scale.json`).
+//!
+//! ```text
+//! cargo run --release -p envirotrack-bench --bin scale
+//! cargo run --release -p envirotrack-bench --bin scale -- --nodes 1000,2000 --out /tmp/s.json
+//! cargo run --release -p envirotrack-bench --bin scale -- --smoke --out /tmp/smoke.json
+//! ```
+//!
+//! Three sections land in the JSON:
+//!
+//! 1. `results` — the Figure-2 tracking program on 1k/2k/5k/10k-node
+//!    [`ScaleScenario`] fields for a fixed virtual horizon: wall time,
+//!    kernel events, events per wall-second.
+//! 2. `construction` — grid vs. brute-force neighbor-table build time on
+//!    the largest field (tables asserted identical before timing).
+//! 3. `sweep` — a homogeneous scale-cell set run at 1/2/4/8 workers with
+//!    byte-identical-merge cross-checks, as in the `sweep` bin.
+//!
+//! `--smoke` shrinks everything (1k max, 2 s horizon, 2k-node
+//! construction, 2-cell sweep) for the CI stage in `scripts/verify.sh`.
+//!
+//! [`ScaleScenario`]: envirotrack_world::scenario::ScaleScenario
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use envirotrack_bench::experiments::scale::{construction_timing, print, run_scale, ScaleRun};
+use envirotrack_bench::sweep::cells::scale_cells;
+use envirotrack_bench::sweep::run_sweep;
+use envirotrack_core::report::json::JsonObject;
+use envirotrack_sim::time::SimDuration;
+
+struct Args {
+    nodes: Vec<u32>,
+    horizon_ms: u64,
+    construction_nodes: u32,
+    sweep_cells: usize,
+    sweep_nodes: u32,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        nodes: vec![1_000, 2_000, 5_000, 10_000],
+        horizon_ms: 10_000,
+        construction_nodes: 10_000,
+        sweep_cells: 8,
+        sweep_nodes: 2_000,
+        seed: 1,
+        out: PathBuf::from("BENCH_scale.json"),
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < raw.len() {
+        let value = |i: usize| -> Result<&str, String> {
+            raw.get(i + 1)
+                .map(String::as_str)
+                .filter(|v| !v.starts_with("--"))
+                .ok_or_else(|| format!("{} requires a value", raw[i]))
+        };
+        match raw[i].as_str() {
+            "--nodes" => {
+                args.nodes = value(i)?
+                    .split(',')
+                    .map(|v| v.parse().map_err(|e| format!("--nodes: {e}")))
+                    .collect::<Result<_, _>>()?;
+                i += 2;
+            }
+            "--horizon-ms" => {
+                args.horizon_ms = value(i)?.parse().map_err(|e| format!("--horizon-ms: {e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = value(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--out" => {
+                args.out = PathBuf::from(value(i)?);
+                i += 2;
+            }
+            "--smoke" => {
+                args.nodes = vec![1_000];
+                args.horizon_ms = 2_000;
+                args.construction_nodes = 2_000;
+                args.sweep_cells = 2;
+                args.sweep_nodes = 200;
+                i += 1;
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.nodes.is_empty() {
+        return Err("--nodes needs at least one count".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("scale: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Section 1: the node-count trajectory.
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    for &nodes in &args.nodes {
+        let p = run_scale(&ScaleRun {
+            nodes,
+            horizon: SimDuration::from_millis(args.horizon_ms),
+            seed: args.seed,
+            ..ScaleRun::default()
+        });
+        eprintln!(
+            "scale: {nodes} nodes → build {:.3}s, run {:.3}s, {} events ({:.0}/s)",
+            p.build_wall_s, p.run_wall_s, p.events, p.events_per_sec
+        );
+        rows.push(
+            JsonObject::new()
+                .field_u64("nodes", u64::from(p.nodes))
+                .field_f64("build_wall_s", p.build_wall_s)
+                .field_f64("run_wall_s", p.run_wall_s)
+                .field_u64("events", p.events)
+                .field_f64("events_per_sec", p.events_per_sec)
+                .field_u64("labels_created", p.labels_created)
+                .field_u64("handovers", p.handovers)
+                .field_f64("sim_horizon_s", p.sim_horizon_s)
+                .finish(),
+        );
+        points.push(p);
+    }
+
+    // Section 2: grid vs brute-force construction on the largest field.
+    let construction = construction_timing(args.construction_nodes, 3);
+    let construction_json = JsonObject::new()
+        .field_u64("nodes", u64::from(construction.nodes))
+        .field_f64("grid_ms", construction.grid_ms)
+        .field_f64("brute_ms", construction.brute_ms)
+        .field_f64("speedup", construction.speedup)
+        .finish();
+    print(&points, &construction);
+
+    // Section 3: worker scaling over a homogeneous scale-cell set, with
+    // the sweep engine's byte-identical-merge guarantee cross-checked.
+    let cells = scale_cells(args.sweep_cells, args.sweep_nodes, args.seed);
+    let mut baseline: Option<String> = None;
+    let mut baseline_rps = 0.0;
+    let mut sweep_rows = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let report = run_sweep(&cells, workers);
+        match &baseline {
+            None => {
+                baseline = Some(report.merged_jsonl.clone());
+                baseline_rps = report.runs_per_sec();
+            }
+            Some(b) => assert_eq!(
+                *b, report.merged_jsonl,
+                "merged output changed with worker count — determinism bug"
+            ),
+        }
+        let speedup = if baseline_rps > 0.0 {
+            report.runs_per_sec() / baseline_rps
+        } else {
+            0.0
+        };
+        eprintln!(
+            "scale sweep: {workers} workers → {:.2}s wall, {:.1} runs/s ({speedup:.2}x vs 1)",
+            report.run_wall.as_secs_f64(),
+            report.runs_per_sec(),
+        );
+        sweep_rows.push(
+            JsonObject::new()
+                .field_u64("workers", workers as u64)
+                .field_f64("run_wall_s", report.run_wall.as_secs_f64())
+                .field_f64("runs_per_sec", report.runs_per_sec())
+                .field_f64("speedup_vs_1", speedup)
+                .finish(),
+        );
+    }
+
+    let head = JsonObject::new()
+        .field_str("bench", "scale")
+        .field_u64("host_cpus", host_cpus as u64)
+        .field_u64("seed", args.seed)
+        .field_f64("sim_horizon_s", args.horizon_ms as f64 / 1e3)
+        .field_u64("sweep_cells", cells.len() as u64)
+        .field_u64("sweep_cell_nodes", u64::from(args.sweep_nodes))
+        .field_bool("merged_outputs_identical", true)
+        .finish();
+    let json = format!(
+        "{},\"construction\":{},\"results\":[{}],\"sweep\":[{}]}}\n",
+        &head[..head.len() - 1],
+        construction_json,
+        rows.join(","),
+        sweep_rows.join(",")
+    );
+    if let Err(e) = std::fs::write(&args.out, json) {
+        eprintln!("scale: writing {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("scale: wrote {}", args.out.display());
+    ExitCode::SUCCESS
+}

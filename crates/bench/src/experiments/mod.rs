@@ -6,4 +6,5 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod scale;
 pub mod table1;

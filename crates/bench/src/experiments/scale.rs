@@ -1,0 +1,270 @@
+//! Scale trajectory (`BENCH_scale.json`): wall-clock and event throughput
+//! as the field grows to 10k+ nodes.
+//!
+//! Not a paper figure — an engineering benchmark that pins the scaling
+//! work: the spatial-grid medium (O(n·deg) neighbor construction instead
+//! of the all-pairs scan) and the shared-payload broadcast walk (one
+//! decode per transmission instead of one per receiver). Each point runs
+//! the Figure-2 tracking program on a [`ScaleScenario`] field for a fixed
+//! virtual horizon and reports kernel events per wall-second, so node
+//! counts are directly comparable.
+//!
+//! [`construction_timing`] times the neighbor-table build under both
+//! [`NeighborStrategy`] variants on the same deployment, asserting the
+//! tables are identical before trusting the clock — the speedup number in
+//! the JSON is therefore also an equivalence witness.
+
+use std::time::Instant;
+
+use envirotrack_core::events::SystemEvent;
+use envirotrack_core::network::{NetworkConfig, SensorNetwork};
+use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_world::grid::{neighbor_lists_with, NeighborStrategy};
+use envirotrack_world::scenario::ScaleScenario;
+
+use crate::harness::{tracker_program, TRACKER};
+
+/// One configured scale point: a `nodes`-strong field driven for a fixed
+/// virtual horizon.
+#[derive(Debug, Clone)]
+pub struct ScaleRun {
+    /// Field size in nodes.
+    pub nodes: u32,
+    /// Concurrent targets crossing on parallel lanes.
+    pub targets: u32,
+    /// Target speed in hops/s. The default is far above the paper's road
+    /// speeds on purpose: a fast target keeps heartbeats, reports and
+    /// handovers churning for the whole (short) horizon, so the benchmark
+    /// exercises the broadcast path rather than an idle field.
+    pub speed_hops_per_s: f64,
+    /// Radio communication radius in grid units. Kept small relative to
+    /// the field so the network stays genuinely multi-hop at every size.
+    pub comm_radius: f64,
+    /// Virtual time to simulate. Fixed across node counts so events/sec
+    /// compares apples to apples.
+    pub horizon: SimDuration,
+    /// Neighbor-table construction strategy.
+    pub topology: NeighborStrategy,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScaleRun {
+    /// 1000 nodes, 4 targets, comm radius 2.5, 10 virtual seconds.
+    fn default() -> Self {
+        ScaleRun {
+            nodes: 1000,
+            targets: 4,
+            speed_hops_per_s: 1.0,
+            comm_radius: 2.5,
+            horizon: SimDuration::from_secs(10),
+            topology: NeighborStrategy::Grid,
+            seed: 1,
+        }
+    }
+}
+
+/// The measured outcome of one scale point.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Field size in nodes.
+    pub nodes: u32,
+    /// Wall seconds to build the network (medium, routing, node state).
+    pub build_wall_s: f64,
+    /// Wall seconds the event loop ran.
+    pub run_wall_s: f64,
+    /// Kernel events executed over the horizon.
+    pub events: u64,
+    /// Events per wall-second of event-loop time.
+    pub events_per_sec: f64,
+    /// Context labels minted for the tracked targets.
+    pub labels_created: u64,
+    /// Leadership handovers observed.
+    pub handovers: u64,
+    /// The virtual horizon, in seconds.
+    pub sim_horizon_s: f64,
+}
+
+/// Runs one scale point and audits it.
+#[must_use]
+pub fn run_scale(cfg: &ScaleRun) -> ScalePoint {
+    let scenario = ScaleScenario {
+        nodes: cfg.nodes,
+        targets: cfg.targets,
+        speed_hops_per_s: cfg.speed_hops_per_s,
+        seed: cfg.seed,
+        ..ScaleScenario::default()
+    }
+    .build();
+    let mut net_cfg = NetworkConfig::default();
+    net_cfg.radio = net_cfg.radio.with_comm_radius(cfg.comm_radius);
+    net_cfg.radio.topology = cfg.topology;
+    // Same footprint coupling as the tracking harness: cross-label
+    // proximity only matters within one stimulus's reach.
+    net_cfg.middleware.proximity_radius = 3.0;
+
+    let build_start = Instant::now();
+    let mut engine = SensorNetwork::build_engine(
+        tracker_program(),
+        scenario.deployment,
+        scenario.environment,
+        net_cfg,
+        cfg.seed,
+    );
+    let build_wall_s = build_start.elapsed().as_secs_f64();
+
+    let run_start = Instant::now();
+    engine.run_until(Timestamp::ZERO + cfg.horizon);
+    let run_wall_s = run_start.elapsed().as_secs_f64();
+
+    let world = engine.world();
+    let events = world.telemetry().counter("kernel.events");
+    let labels_created = world.events().labels_created(TRACKER).len() as u64;
+    let handovers = world
+        .events()
+        .count(|e| matches!(e, SystemEvent::LeaderHandover { .. })) as u64;
+    ScalePoint {
+        nodes: cfg.nodes,
+        build_wall_s,
+        run_wall_s,
+        events,
+        events_per_sec: if run_wall_s > 0.0 {
+            events as f64 / run_wall_s
+        } else {
+            0.0
+        },
+        labels_created,
+        handovers,
+        sim_horizon_s: cfg.horizon.as_secs_f64(),
+    }
+}
+
+/// Grid-vs-brute-force neighbor-table construction timing on one
+/// deployment.
+#[derive(Debug, Clone)]
+pub struct ConstructionTiming {
+    /// Deployment size in nodes.
+    pub nodes: u32,
+    /// Fastest grid build over the measured repetitions, in milliseconds.
+    pub grid_ms: f64,
+    /// Fastest all-pairs build over the measured repetitions, in
+    /// milliseconds.
+    pub brute_ms: f64,
+    /// `brute_ms / grid_ms`.
+    pub speedup: f64,
+}
+
+/// Times [`neighbor_lists_with`] under both strategies on a
+/// [`ScaleScenario`] deployment of `nodes`, taking the fastest of `reps`
+/// repetitions each.
+///
+/// # Panics
+///
+/// Panics if the two strategies disagree on any neighbor list — the
+/// timing is only meaningful for equivalent outputs.
+#[must_use]
+pub fn construction_timing(nodes: u32, reps: u32) -> ConstructionTiming {
+    let radius = ScaleRun::default().comm_radius;
+    let deployment = ScaleScenario {
+        nodes,
+        ..ScaleScenario::default()
+    }
+    .build()
+    .deployment;
+
+    let grid = neighbor_lists_with(&deployment, radius, NeighborStrategy::Grid);
+    let brute = neighbor_lists_with(&deployment, radius, NeighborStrategy::BruteForce);
+    assert_eq!(
+        grid, brute,
+        "grid and brute-force neighbor tables must be identical"
+    );
+
+    let time_ms = |strategy: NeighborStrategy| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            std::hint::black_box(neighbor_lists_with(&deployment, radius, strategy));
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let grid_ms = time_ms(NeighborStrategy::Grid);
+    let brute_ms = time_ms(NeighborStrategy::BruteForce);
+    ConstructionTiming {
+        nodes,
+        grid_ms,
+        brute_ms,
+        speedup: if grid_ms > 0.0 { brute_ms / grid_ms } else { 0.0 },
+    }
+}
+
+/// Prints the trajectory as an aligned table.
+pub fn print(points: &[ScalePoint], construction: &ConstructionTiming) {
+    println!(
+        "BENCH scale — {} targets, {:.1} comm radius, grid medium",
+        ScaleRun::default().targets,
+        ScaleRun::default().comm_radius
+    );
+    println!(
+        "  {:>7}  {:>9}  {:>9}  {:>10}  {:>12}  {:>6}  {:>9}",
+        "nodes", "build s", "run s", "events", "events/s", "labels", "handovers"
+    );
+    for p in points {
+        println!(
+            "  {:>7}  {:>9.3}  {:>9.3}  {:>10}  {:>12.0}  {:>6}  {:>9}",
+            p.nodes, p.build_wall_s, p.run_wall_s, p.events, p.events_per_sec, p.labels_created, p.handovers
+        );
+    }
+    println!(
+        "  construction @ {} nodes: grid {:.2} ms vs brute {:.2} ms ({:.1}x)",
+        construction.nodes, construction.grid_ms, construction.brute_ms, construction.speedup
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ScaleRun {
+        // 5 virtual seconds: the targets start 1.5 hops outside the field
+        // (1 hop/s), so shorter horizons end before any group forms.
+        ScaleRun {
+            nodes: 200,
+            targets: 2,
+            horizon: SimDuration::from_secs(5),
+            ..ScaleRun::default()
+        }
+    }
+
+    #[test]
+    fn scale_points_are_deterministic_and_busy() {
+        let a = run_scale(&small());
+        let b = run_scale(&small());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.labels_created, b.labels_created);
+        assert_eq!(a.handovers, b.handovers);
+        assert!(a.events > 0, "a 200-node field must execute events");
+        assert!(a.labels_created >= 1, "targets should be detected: {a:?}");
+    }
+
+    #[test]
+    fn topology_toggle_does_not_change_the_audit() {
+        let grid = run_scale(&small());
+        let brute = run_scale(&ScaleRun {
+            topology: NeighborStrategy::BruteForce,
+            ..small()
+        });
+        assert_eq!(grid.events, brute.events);
+        assert_eq!(grid.labels_created, brute.labels_created);
+        assert_eq!(grid.handovers, brute.handovers);
+    }
+
+    #[test]
+    fn grid_construction_beats_brute_force() {
+        let t = construction_timing(1500, 2);
+        assert!(
+            t.speedup > 1.0,
+            "grid must beat the all-pairs scan at 1500 nodes: {t:?}"
+        );
+    }
+}

@@ -12,6 +12,7 @@ use envirotrack_chaos::cell::{run_cell as run_chaos, ChaosCell};
 use envirotrack_core::report::json::JsonObject;
 use envirotrack_sim::time::SimDuration;
 
+use crate::experiments::scale::{run_scale, ScaleRun};
 use crate::harness::{run_tracking, tracker_program, TrackingRun};
 
 /// What one sweep cell runs.
@@ -31,6 +32,20 @@ pub enum CellSpec {
     },
     /// A chaos storm: the tracking app under a seed-random fault plan.
     Chaos(ChaosCell),
+    /// A bounded scale run: `nodes` on a [`ScaleScenario`] square field,
+    /// driven for `horizon_ms` of virtual time. The JSON line carries only
+    /// virtual-time audits (never wall-clock), so merges stay
+    /// byte-identical at any worker count.
+    Scale {
+        /// Field size in nodes.
+        nodes: u32,
+        /// Concurrent targets.
+        targets: u32,
+        /// Virtual horizon in milliseconds.
+        horizon_ms: u64,
+        /// RNG seed.
+        seed: u64,
+    },
 }
 
 /// One schedulable sweep point: a unique key plus its spec. Cells are
@@ -76,6 +91,30 @@ impl SweepCell {
                     .field_f64("hb_loss", out.hb_loss)
                     .field_f64("link_utilization", out.link_utilization)
                     .field_u64("elapsed_us", out.elapsed.as_micros())
+                    .finish()
+            }
+            CellSpec::Scale {
+                nodes,
+                targets,
+                horizon_ms,
+                seed,
+            } => {
+                let out = run_scale(&ScaleRun {
+                    nodes: *nodes,
+                    targets: *targets,
+                    horizon: SimDuration::from_millis(*horizon_ms),
+                    seed: *seed,
+                    ..ScaleRun::default()
+                });
+                JsonObject::new()
+                    .field_str("cell", &self.id)
+                    .field_str("kind", "scale")
+                    .field_u64("seed", *seed)
+                    .field_u64("nodes", u64::from(*nodes))
+                    .field_u64("events", out.events)
+                    .field_u64("labels_created", out.labels_created)
+                    .field_u64("handovers", out.handovers)
+                    .field_u64("horizon_ms", *horizon_ms)
                     .finish()
             }
             CellSpec::Chaos(cell) => {
@@ -129,6 +168,27 @@ pub fn default_cells(n: usize, base_seed: u64) -> Vec<SweepCell> {
         .collect()
 }
 
+/// A homogeneous scale sweep: `n` cells of `nodes` nodes each, seeded from
+/// `base_seed`, with a short bounded horizon. Used by the `scale` bin's
+/// worker-scaling section.
+#[must_use]
+pub fn scale_cells(n: usize, nodes: u32, base_seed: u64) -> Vec<SweepCell> {
+    (0..n)
+        .map(|i| {
+            let seed = base_seed.wrapping_add(i as u64);
+            SweepCell {
+                id: format!("scale-n{nodes:06}-s{seed:06}"),
+                spec: CellSpec::Scale {
+                    nodes,
+                    targets: 2,
+                    horizon_ms: 2_000,
+                    seed,
+                },
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +208,17 @@ mod tests {
         assert!(line.ends_with('}'));
         assert!(!line.contains('\n'));
         assert!(line.contains("\"violations\":"));
+    }
+
+    #[test]
+    fn scale_cells_are_pure_and_wall_clock_free() {
+        for cell in scale_cells(2, 120, 5) {
+            let line = cell.run();
+            assert_eq!(line, cell.run(), "cell {} not pure", cell.id);
+            assert!(line.contains("\"kind\":\"scale\""));
+            assert!(line.contains("\"events\":"));
+            assert!(!line.contains("wall"), "scale lines must stay wall-clock free");
+        }
     }
 
     #[test]

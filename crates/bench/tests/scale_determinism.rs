@@ -1,0 +1,64 @@
+//! Determinism pin for the spatial-grid medium: a fixed-seed 2k-node
+//! tracking run must be *byte-identical* — telemetry JSONL and the run
+//! record — whether the neighbor table is built by the grid or by the
+//! all-pairs scan. Grid construction feeds every downstream stream
+//! (delivery order, RNG draws, timers), so any ordering difference in the
+//! tables would show up here long before it corrupted a golden digest.
+
+use envirotrack_bench::harness::tracker_program;
+use envirotrack_core::network::{NetworkConfig, SensorNetwork};
+use envirotrack_core::report::telemetry_to_jsonl;
+use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_world::grid::NeighborStrategy;
+use envirotrack_world::scenario::ScaleScenario;
+
+/// Bounded horizon: the pin runs in the debug profile under
+/// `cargo test`, so keep the event count modest while still crossing
+/// group formation, heartbeats and member reports.
+const HORIZON: SimDuration = SimDuration::from_secs(3);
+const SEED: u64 = 7;
+
+fn run(strategy: NeighborStrategy) -> (String, String) {
+    let scenario = ScaleScenario {
+        nodes: 2_000,
+        targets: 2,
+        speed_hops_per_s: 1.0,
+        seed: SEED,
+        ..ScaleScenario::default()
+    }
+    .build();
+    let mut net_cfg = NetworkConfig::default();
+    net_cfg.radio = net_cfg.radio.with_comm_radius(2.5);
+    net_cfg.radio.topology = strategy;
+    let mut engine = SensorNetwork::build_engine(
+        tracker_program(),
+        scenario.deployment,
+        scenario.environment,
+        net_cfg,
+        SEED,
+    );
+    engine.run_until(Timestamp::ZERO + HORIZON);
+    let world = engine.world();
+    (
+        telemetry_to_jsonl(world.telemetry()),
+        world.run_record(SEED, HORIZON, 0).to_json(),
+    )
+}
+
+#[test]
+fn fixed_seed_2k_node_run_is_byte_identical_under_grid_and_brute_force() {
+    let (grid_telemetry, grid_record) = run(NeighborStrategy::Grid);
+    let (brute_telemetry, brute_record) = run(NeighborStrategy::BruteForce);
+    assert!(
+        grid_telemetry.contains("group.hb"),
+        "the pin must cover live protocol traffic, not an idle field"
+    );
+    assert_eq!(
+        grid_telemetry, brute_telemetry,
+        "telemetry JSONL diverged between grid and brute-force topologies"
+    );
+    assert_eq!(
+        grid_record, brute_record,
+        "run record diverged between grid and brute-force topologies"
+    );
+}

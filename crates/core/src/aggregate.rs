@@ -179,7 +179,22 @@ impl AggregateFn {
             !contributions.is_empty(),
             "aggregation over an empty contribution set"
         );
-        let scalars = || contributions.iter().filter_map(|c| c.value.as_scalar());
+        self.apply_iter(contributions.iter())
+    }
+
+    /// Applies the function to a stream of contributions without
+    /// materializing them: the built-in functions fold the iterator
+    /// directly, so a leader aggregate read allocates nothing. Only
+    /// [`AggregateFn::Custom`] collects (its signature takes a slice).
+    ///
+    /// The caller guarantees the stream is non-empty (the window checks
+    /// critical mass ≥ 1 first).
+    #[must_use]
+    pub fn apply_iter<'a>(
+        &self,
+        contributions: impl Iterator<Item = &'a Contribution> + Clone,
+    ) -> AggValue {
+        let scalars = || contributions.clone().filter_map(|c| c.value.as_scalar());
         match self {
             AggregateFn::Average => {
                 let (sum, n) = scalars().fold((0.0, 0u32), |(s, n), v| (s + v, n + 1));
@@ -188,15 +203,19 @@ impl AggregateFn {
             AggregateFn::Sum => AggValue::Scalar(scalars().sum()),
             AggregateFn::Min => AggValue::Scalar(scalars().fold(f64::INFINITY, f64::min)),
             AggregateFn::Max => AggValue::Scalar(scalars().fold(f64::NEG_INFINITY, f64::max)),
-            AggregateFn::Count => AggValue::Scalar(contributions.len() as f64),
+            #[allow(clippy::cast_precision_loss)]
+            AggregateFn::Count => AggValue::Scalar(contributions.count() as f64),
             AggregateFn::CenterOfGravity => {
-                let pts = contributions.iter().filter_map(|c| c.value.as_position());
+                let pts = contributions.filter_map(|c| c.value.as_position());
                 match Point::centroid(pts) {
                     Some(p) => AggValue::Point(p),
                     None => AggValue::Point(Point::ORIGIN),
                 }
             }
-            AggregateFn::Custom { f, .. } => f(contributions),
+            AggregateFn::Custom { f, .. } => {
+                let collected: Vec<Contribution> = contributions.copied().collect();
+                f(&collected)
+            }
         }
     }
 }
@@ -278,27 +297,66 @@ impl ReadingWindow {
     /// reading stays "fresh" forever.
     #[must_use]
     pub fn fresh(&self, now: Timestamp, freshness: SimDuration) -> Vec<Contribution> {
-        self.readings
-            .iter()
-            .filter(|c| {
-                now.saturating_since(c.taken_at) <= freshness
-                    && c.taken_at.saturating_since(now) <= freshness
-            })
-            .copied()
-            .collect()
+        self.fresh_iter(now, freshness).copied().collect()
+    }
+
+    /// Iterates the fresh contributions at `now` without allocating — the
+    /// hot-path form of [`ReadingWindow::fresh`], used by every leader
+    /// aggregate read.
+    pub fn fresh_iter(
+        &self,
+        now: Timestamp,
+        freshness: SimDuration,
+    ) -> impl Iterator<Item = &Contribution> + Clone {
+        self.readings.iter().filter(move |c| {
+            now.saturating_since(c.taken_at) <= freshness
+                && c.taken_at.saturating_since(now) <= freshness
+        })
+    }
+
+    /// Number of fresh contributions at `now` (no allocation).
+    #[must_use]
+    pub fn fresh_count(&self, now: Timestamp, freshness: SimDuration) -> usize {
+        self.fresh_iter(now, freshness).count()
     }
 
     /// Members with any (possibly stale) reading, freshest first — used by
     /// the leader to designate a relinquish successor.
     #[must_use]
     pub fn members_by_recency(&self) -> Vec<(NodeId, Timestamp)> {
-        let mut v: Vec<(NodeId, Timestamp)> = self
-            .readings
-            .iter()
-            .map(|c| (c.member, c.taken_at))
-            .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut v = Vec::new();
+        self.members_by_recency_into(&mut v);
         v
+    }
+
+    /// Fills `out` with members by recency (freshest first, node id
+    /// breaking ties), reusing its capacity — the buffer-supplied form of
+    /// [`ReadingWindow::members_by_recency`].
+    pub fn members_by_recency_into(&self, out: &mut Vec<(NodeId, Timestamp)>) {
+        out.clear();
+        out.extend(self.readings.iter().map(|c| (c.member, c.taken_at)));
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    }
+
+    /// The freshest member other than `exclude` (ties broken toward the
+    /// smaller node id) — the relinquish-successor query, answered in one
+    /// allocation-free pass instead of sorting the whole window.
+    #[must_use]
+    pub fn successor_after(&self, exclude: NodeId) -> Option<NodeId> {
+        let mut best: Option<(Timestamp, NodeId)> = None;
+        for c in &self.readings {
+            if c.member == exclude {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((t, id)) => c.taken_at > t || (c.taken_at == t && c.member < id),
+            };
+            if better {
+                best = Some((c.taken_at, c.member));
+            }
+        }
+        best.map(|(_, id)| id)
     }
 
     /// Evaluates `function` under the QoS constraints.
@@ -314,14 +372,14 @@ impl ReadingWindow {
         freshness: SimDuration,
         critical_mass: u32,
     ) -> Result<AggValue, AggregateReadError> {
-        let fresh = self.fresh(now, freshness);
-        if (fresh.len() as u32) < critical_mass.max(1) {
+        let have = self.fresh_count(now, freshness) as u32;
+        if have < critical_mass.max(1) {
             return Err(AggregateReadError {
-                have: fresh.len() as u32,
+                have,
                 need: critical_mass.max(1),
             });
         }
-        Ok(function.apply(&fresh))
+        Ok(function.apply_iter(self.fresh_iter(now, freshness)))
     }
 
     /// Drops readings more than `horizon` away from `now` — older *or*
@@ -535,6 +593,44 @@ mod tests {
                 (NodeId(5), Timestamp::from_secs(3)),
             ]
         );
+    }
+
+    #[test]
+    fn successor_after_matches_the_sorted_scan() {
+        // The one-pass successor query must agree with "sort by recency,
+        // take the first member that isn't the leader".
+        let windows = [
+            scalar_window(&[(5, 3, 0.0), (1, 7, 0.0), (9, 7, 0.0)]),
+            scalar_window(&[(2, 4, 0.0)]),
+            scalar_window(&[(3, 1, 0.0), (4, 1, 0.0), (2, 1, 0.0)]),
+            ReadingWindow::new(),
+        ];
+        for w in &windows {
+            for leader in 0..10u32 {
+                let expect = w
+                    .members_by_recency()
+                    .into_iter()
+                    .map(|(n, _)| n)
+                    .find(|n| *n != NodeId(leader));
+                assert_eq!(w.successor_after(NodeId(leader)), expect, "leader {leader}");
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_iter_agrees_with_fresh_and_reuses_buffers() {
+        let w = scalar_window(&[(1, 5, 2.0), (2, 10, 4.0), (3, 11, 8.0)]);
+        let now = Timestamp::from_secs(10);
+        let horizon = SimDuration::from_secs(1);
+        let collected: Vec<Contribution> = w.fresh_iter(now, horizon).copied().collect();
+        assert_eq!(collected, w.fresh(now, horizon));
+        assert_eq!(w.fresh_count(now, horizon), 2);
+        let mut buf = Vec::with_capacity(8);
+        w.members_by_recency_into(&mut buf);
+        let cap = buf.capacity();
+        w.members_by_recency_into(&mut buf);
+        assert_eq!(buf.capacity(), cap, "refill reuses the buffer");
+        assert_eq!(buf, w.members_by_recency());
     }
 
     #[test]

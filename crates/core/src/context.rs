@@ -52,6 +52,56 @@ impl fmt::Display for ContextLabel {
     }
 }
 
+impl ContextLabel {
+    /// Packs the label into a unique integer intern key: labels already
+    /// compare as plain integers, and this lets their *display strings*
+    /// be cached the same way (see [`LabelIntern`]).
+    #[must_use]
+    pub fn intern_key(self) -> u128 {
+        (u128::from(self.type_id.0) << 64) | (u128::from(self.creator.0) << 32) | u128::from(self.seq)
+    }
+}
+
+/// Shared cache of label and type-name display strings for hot wire and
+/// telemetry paths.
+///
+/// Emitting a heartbeat trace or a handover counter used to call
+/// `label.to_string()` — format machinery plus an allocation — per event.
+/// This table formats each [`ContextLabel`] (and [`ContextTypeId`]) once
+/// and hands out the shared `Rc<str>` thereafter, keyed by the packed
+/// integer form so lookups never hash or compare strings. Clones share
+/// the underlying pool, mirroring the `Telemetry` handle it feeds.
+#[derive(Debug, Clone, Default)]
+pub struct LabelIntern {
+    pool: envirotrack_telemetry::Interner,
+}
+
+/// Tag bit separating type-id keys from label keys in the shared pool
+/// (label keys use at most 80 bits).
+const TYPE_KEY_TAG: u128 = 1 << 127;
+
+impl LabelIntern {
+    /// A fresh, empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared display form of `label` (e.g. `type0@n3#1`).
+    #[must_use]
+    pub fn label(&self, label: ContextLabel) -> std::rc::Rc<str> {
+        self.pool
+            .get_or_insert_with(label.intern_key(), || label.to_string())
+    }
+
+    /// The shared display form of `type_id` (e.g. `type0`).
+    #[must_use]
+    pub fn type_name(&self, type_id: ContextTypeId) -> std::rc::Rc<str> {
+        self.pool
+            .get_or_insert_with(TYPE_KEY_TAG | u128::from(type_id.0), || type_id.to_string())
+    }
+}
+
 /// A boolean sensing predicate over the local sensor sample — the paper's
 /// `sense_e()` function.
 ///

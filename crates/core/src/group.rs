@@ -42,7 +42,7 @@ use envirotrack_world::sensing::SensorSample;
 
 use crate::aggregate::{AggValue, ReadingValue, ReadingWindow};
 use crate::config::MiddlewareConfig;
-use crate::context::{ContextLabel, ContextSpec, ContextTypeId, Invocation};
+use crate::context::{ContextLabel, ContextSpec, ContextTypeId, Invocation, LabelIntern};
 use crate::events::{HandoverReason, SystemEvent};
 use crate::object::{ContextAccess, IncomingMessage, ObjectApi, ObjectEffect, ObjectReadError};
 use crate::transport::{LeaderLoc, Port};
@@ -159,6 +159,10 @@ pub struct GroupCtx<'a> {
     /// The run-wide telemetry registry (a cheap clone of the shared
     /// handle); the machine records group-transition trace events on it.
     pub telemetry: Telemetry,
+    /// Shared label-display cache (a cheap clone of the run-wide table):
+    /// per-heartbeat traces reuse one `Rc<str>` per label instead of
+    /// formatting the label every time.
+    pub labels: LabelIntern,
 }
 
 /// Non-member memory of a nearby label (the paper's wait timer).
@@ -334,7 +338,7 @@ impl GroupMachine {
             .iter()
             .enumerate()
             .map(|(idx, agg)| {
-                let fresh = l.windows[idx].fresh(now, agg.freshness).len() as u32;
+                let fresh = l.windows[idx].fresh_count(now, agg.freshness) as u32;
                 let valid = l.windows[idx]
                     .evaluate(&agg.function, now, agg.freshness, agg.critical_mass)
                     .is_ok();
@@ -958,10 +962,10 @@ impl GroupMachine {
         last_state: Option<Bytes>,
         out: &mut Vec<GroupAction>,
     ) {
-        ctx.telemetry.trace(
+        ctx.telemetry.trace_shared(
             ctx.now.as_micros(),
             self.node.0,
-            &label.to_string(),
+            &ctx.labels.label(label),
             "group.join",
             format!("leader=n{} weight={weight}", leader.0),
         );
@@ -1035,11 +1039,7 @@ impl GroupMachine {
             // The freshest reporter is the best-placed successor.
             l.windows
                 .first()
-                .map(|w| w.members_by_recency())
-                .unwrap_or_default()
-                .into_iter()
-                .map(|(n, _)| n)
-                .find(|n| *n != self.node)
+                .and_then(|w| w.successor_after(self.node))
         } else {
             None
         };
@@ -1101,10 +1101,10 @@ impl GroupMachine {
         out: &mut Vec<GroupAction>,
     ) {
         l.hb_seq += 1;
-        ctx.telemetry.trace(
+        ctx.telemetry.trace_shared(
             ctx.now.as_micros(),
             node.0,
-            &l.label.to_string(),
+            &ctx.labels.label(l.label),
             "group.hb",
             format!("seq={} weight={}", l.hb_seq, l.weight),
         );
@@ -1146,8 +1146,14 @@ impl GroupMachine {
         let spec_obj = &ctx.spec.objects[oi];
         let method = &spec_obj.methods[mi];
         let (effects, failure) = {
-            let access =
-                LeaderAccess::new(l, ctx.spec, ctx.now, self.node, ctx.telemetry.clone());
+            let access = LeaderAccess::new(
+                l,
+                ctx.spec,
+                ctx.now,
+                self.node,
+                ctx.telemetry.clone(),
+                ctx.labels.clone(),
+            );
             let mut api =
                 ObjectApi::new(label, self.node, ctx.position, ctx.now, &access, incoming);
             (method.body)(&mut api);
@@ -1198,6 +1204,7 @@ struct LeaderAccess<'a> {
     now: Timestamp,
     node: NodeId,
     telemetry: Telemetry,
+    labels: LabelIntern,
     last_failure: std::cell::Cell<Option<(String, u32, u32)>>,
 }
 
@@ -1208,6 +1215,7 @@ impl<'a> LeaderAccess<'a> {
         now: Timestamp,
         node: NodeId,
         telemetry: Telemetry,
+        labels: LabelIntern,
     ) -> Self {
         LeaderAccess {
             leader,
@@ -1215,6 +1223,7 @@ impl<'a> LeaderAccess<'a> {
             now,
             node,
             telemetry,
+            labels,
             last_failure: std::cell::Cell::new(None),
         }
     }
@@ -1228,7 +1237,7 @@ impl ContextAccess for LeaderAccess<'_> {
             });
         };
         let agg = &self.spec.aggregates[idx];
-        let label = self.leader.label.to_string();
+        let label = self.labels.label(self.leader.label);
         match self.leader.windows[idx].evaluate(
             &agg.function,
             self.now,
@@ -1237,10 +1246,10 @@ impl ContextAccess for LeaderAccess<'_> {
         ) {
             Ok(v) => {
                 let contributors =
-                    self.leader.windows[idx].fresh(self.now, agg.freshness).len() as u64;
+                    self.leader.windows[idx].fresh_count(self.now, agg.freshness) as u64;
                 self.telemetry.incr("agg.valid");
                 self.telemetry.observe("agg.contributors", contributors);
-                self.telemetry.trace(
+                self.telemetry.trace_shared(
                     self.now.as_micros(),
                     self.node.0,
                     &label,
@@ -1251,7 +1260,7 @@ impl ContextAccess for LeaderAccess<'_> {
             }
             Err(e) => {
                 self.telemetry.incr("agg.null");
-                self.telemetry.trace(
+                self.telemetry.trace_shared(
                     self.now.as_micros(),
                     self.node.0,
                     &label,
@@ -1313,6 +1322,7 @@ mod tests {
         now: Timestamp,
         position: Point,
         telemetry: Telemetry,
+        labels: LabelIntern,
     }
 
     impl Harness {
@@ -1325,6 +1335,7 @@ mod tests {
                 now: Timestamp::from_secs(1),
                 position: Point::new(3.0, 0.5),
                 telemetry: Telemetry::new(),
+                labels: LabelIntern::new(),
             }
         }
 
@@ -1343,6 +1354,7 @@ mod tests {
                 position: self.position,
                 rng: &mut self.rng,
                 telemetry: self.telemetry.clone(),
+                labels: self.labels.clone(),
             }
         }
     }

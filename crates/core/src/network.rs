@@ -44,11 +44,13 @@
 //! CPU processing — not channel bandwidth — is what limits tracking at very
 //! small heartbeat periods.
 
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
 use envirotrack_net::medium::{DeliveryOutcome, GilbertElliott, Medium, NetStats, RadioConfig, TxId};
-use envirotrack_net::packet::Frame;
+use envirotrack_net::packet::{Frame, LinkDest};
 use envirotrack_net::routing::GeoRouter;
 use envirotrack_node::cpu::{costs, CpuConfig, MoteCpu};
 use envirotrack_node::energy::EnergyMeter;
@@ -56,14 +58,14 @@ use envirotrack_node::timer::TimerToken;
 use envirotrack_sim::engine::{Engine, Kernel};
 use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::{SimDuration, Timestamp};
-use envirotrack_telemetry::Telemetry;
+use envirotrack_telemetry::{CounterHandle, Telemetry};
 use envirotrack_world::field::{Deployment, NodeId};
 use envirotrack_world::geometry::Point;
 use envirotrack_world::sensing::Environment;
 
 use crate::api::Program;
 use crate::config::MiddlewareConfig;
-use crate::context::{ContextLabel, ContextTypeId};
+use crate::context::{ContextLabel, ContextTypeId, LabelIntern};
 use crate::directory::{hash_point, replica_set, DirectoryStore};
 use crate::events::{EventLog, HandoverReason, SystemEvent};
 use crate::group::{AggregateHealth, GroupAction, GroupCtx, GroupMachine, GroupTimer, RoleKind};
@@ -220,6 +222,17 @@ struct PendingAck {
 }
 
 /// The simulation world. See the [module docs](self).
+/// Decode state shared across one broadcast's delivery walk: the payload
+/// is decoded at most once no matter how many receivers heard the frame.
+enum BroadcastDecode {
+    /// No receiver has needed the payload yet.
+    Pending,
+    /// Decoded once; all receivers dispatch off this shared value.
+    Ok(Message),
+    /// The payload failed to decode; every receiver drops it.
+    Corrupt,
+}
+
 pub struct SensorNetwork {
     program: Arc<Program>,
     config: NetworkConfig,
@@ -236,6 +249,14 @@ pub struct SensorNetwork {
     /// The run-wide telemetry registry, shared (via cheap clones) with the
     /// kernel, the medium, and every per-node substrate.
     telemetry: Telemetry,
+    /// Shared cache of label/type display strings: trace emission on the
+    /// heartbeat/handover hot paths reuses one `Rc<str>` per label instead
+    /// of re-formatting it per event.
+    labels: LabelIntern,
+    /// Pre-resolved `group.handover.<label>` counters, keyed by the packed
+    /// label so the per-handover cost is an integer-map probe, not a
+    /// format + string-keyed registry walk.
+    handover_counters: RefCell<BTreeMap<u128, CounterHandle>>,
 }
 
 impl std::fmt::Debug for SensorNetwork {
@@ -315,6 +336,8 @@ impl SensorNetwork {
             app_log: Vec::new(),
             hash_points,
             telemetry,
+            labels: LabelIntern::new(),
+            handover_counters: RefCell::new(BTreeMap::new()),
         }
     }
 
@@ -776,15 +799,86 @@ impl SensorNetwork {
     }
 
     /// A transmission finished serialising: resolve deliveries.
+    ///
+    /// Broadcast frames are processed *shared*: the wire payload is
+    /// decoded at most once and every receiver dispatches off the same
+    /// borrowed [`Message`], instead of decoding (and allocating) per
+    /// receiver. Unicast frames go straight to the addressed node — every
+    /// other receiver would discard them at the link-destination check
+    /// before touching any state, so skipping them is behaviour-identical.
     fn transmission_complete(&mut self, k: &mut Kernel<SensorNetwork>, id: TxId) {
         let report = self.medium.deliveries(id);
-        for (receiver, outcome) in &report.outcomes {
-            if *outcome == DeliveryOutcome::Delivered {
-                self.receive_frame(k, *receiver, report.frame.clone());
+        match report.frame.link_dst {
+            LinkDest::Node(dst) => {
+                if report
+                    .outcomes
+                    .iter()
+                    .any(|(r, o)| *r == dst && *o == DeliveryOutcome::Delivered)
+                {
+                    self.receive_frame(k, dst, report.frame.clone());
+                }
+            }
+            LinkDest::Broadcast => {
+                let mut decoded = BroadcastDecode::Pending;
+                for (receiver, outcome) in &report.outcomes {
+                    if *outcome == DeliveryOutcome::Delivered {
+                        self.receive_broadcast(k, *receiver, &report.frame, &mut decoded);
+                    }
+                }
             }
         }
         // Hand the outcome buffer back so the next broadcast reuses it.
         self.medium.recycle(report);
+    }
+
+    /// A broadcast frame arrived intact at `node`. `decoded` caches the
+    /// payload decode across the whole delivery walk.
+    fn receive_broadcast(
+        &mut self,
+        k: &mut Kernel<SensorNetwork>,
+        node: NodeId,
+        frame: &Frame,
+        decoded: &mut BroadcastDecode,
+    ) {
+        if !self.nodes[node.index()].alive {
+            return;
+        }
+        // The radio spent the frame's airtime decoding it regardless of
+        // what the CPU does with it afterwards.
+        let airtime = self.medium.config().tx_time(frame);
+        self.nodes[node.index()].energy.charge_rx(airtime);
+        // Receive overflow: overloaded CPUs drop frames.
+        if self.nodes[node.index()]
+            .cpu
+            .admit(k.now(), costs::RX_HANDLE)
+            .is_err()
+        {
+            return;
+        }
+        // Link-layer acks and reliable-unicast sequence numbers only ride
+        // on unicast frames, so none of `receive_frame`'s link
+        // bookkeeping applies to a broadcast.
+        if matches!(decoded, BroadcastDecode::Pending) {
+            *decoded = match Message::decode(&frame.payload) {
+                Ok(m) => BroadcastDecode::Ok(m),
+                Err(_) => BroadcastDecode::Corrupt,
+            };
+        }
+        let BroadcastDecode::Ok(msg) = &*decoded else {
+            // Corrupt payloads are silently dropped, as on a real radio.
+            return;
+        };
+        match msg {
+            Message::Heartbeat(hb) => self.handle_heartbeat(k, node, hb),
+            Message::Report(report) => self.handle_report(k, node, report),
+            Message::Relinquish(r) => self.handle_relinquish(k, node, r),
+            // The protocol only broadcasts the three kinds above; anything
+            // else takes the owned dispatch path.
+            other => {
+                let owned = other.clone();
+                self.dispatch_message(k, node, owned);
+            }
+        }
     }
 
     /// A frame arrived intact at `node`.
@@ -816,7 +910,7 @@ impl SensorNetwork {
         }
         // Acknowledge reliable unicast frames, and deduplicate retransmits.
         if self.config.link.enabled
-            && frame.link_dst == envirotrack_net::packet::LinkDest::Node(node)
+            && frame.link_dst == LinkDest::Node(node)
             && frame.link_seq != 0
         {
             let ack = Frame::unicast(
@@ -857,10 +951,10 @@ impl SensorNetwork {
                 let dir = &mut self.nodes[node.index()].directory;
                 dir.register(reg.label, reg.location, now);
                 dir.sweep(now, ttl);
-                self.telemetry.trace(
+                self.telemetry.trace_shared(
                     now.as_micros(),
                     node.0,
-                    &reg.label.to_string(),
+                    &self.labels.label(reg.label),
                     "dir.register",
                     String::new(),
                 );
@@ -944,10 +1038,10 @@ impl SensorNetwork {
         let entries = self.nodes[node.index()]
             .directory
             .query(q.type_id, now, ttl);
-        self.telemetry.trace(
+        self.telemetry.trace_shared(
             now.as_micros(),
             node.0,
-            &format!("type{}", q.type_id.0),
+            &self.labels.type_name(q.type_id),
             "dir.query",
             format!("id={} hits={}", q.query_id, entries.len()),
         );
@@ -1141,6 +1235,7 @@ impl SensorNetwork {
             position: rt.pos,
             rng: &mut rt.rng,
             telemetry,
+            labels: self.labels.clone(),
         };
         f(&mut rt.machines[tid.0 as usize], &mut ctx)
     }
@@ -1152,6 +1247,19 @@ impl SensorNetwork {
         self.events.push(at, event);
     }
 
+    /// The cached `group.handover.<label>` counter handle for `label`,
+    /// resolved against the registry on first use.
+    fn handover_counter(&self, label: ContextLabel) -> CounterHandle {
+        self.handover_counters
+            .borrow_mut()
+            .entry(label.intern_key())
+            .or_insert_with(|| {
+                self.telemetry
+                    .counter_handle(&format!("group.handover.{label}"))
+            })
+            .clone()
+    }
+
     /// Translates a [`SystemEvent`] into its telemetry counter/trace form.
     fn mirror_event(&self, at: Timestamp, node: NodeId, event: &SystemEvent) {
         let t = &self.telemetry;
@@ -1159,7 +1267,7 @@ impl SensorNetwork {
         match event {
             SystemEvent::LabelCreated { label, .. } => {
                 t.incr("group.form");
-                t.trace(us, node.0, &label.to_string(), "group.form", String::new());
+                t.trace_shared(us, node.0, &self.labels.label(*label), "group.form", String::new());
             }
             SystemEvent::LeaderHandover {
                 label,
@@ -1172,28 +1280,34 @@ impl SensorNetwork {
                     HandoverReason::ReceiveTimeout => "group.takeover",
                     HandoverReason::DuplicateYield => "group.yield",
                 };
-                t.incr(&format!("group.handover.{label}"));
-                t.trace(
+                self.handover_counter(*label).incr();
+                t.trace_shared(
                     us,
                     node.0,
-                    &label.to_string(),
+                    &self.labels.label(*label),
                     kind,
                     format!("from=n{} to=n{}", from.0, to.0),
                 );
             }
             SystemEvent::LabelSuppressed { loser, winner, .. } => {
                 t.incr("group.suppress");
-                t.trace(
+                t.trace_shared(
                     us,
                     node.0,
-                    &loser.to_string(),
+                    &self.labels.label(*loser),
                     "group.suppress",
                     format!("winner={winner}"),
                 );
             }
             SystemEvent::LabelDissolved { label, .. } => {
                 t.incr("group.dissolve");
-                t.trace(us, node.0, &label.to_string(), "group.dissolve", String::new());
+                t.trace_shared(
+                    us,
+                    node.0,
+                    &self.labels.label(*label),
+                    "group.dissolve",
+                    String::new(),
+                );
             }
             SystemEvent::MethodInvoked { .. } => t.incr("app.method"),
             // Aggregate outcomes are recorded at the read site itself
@@ -1205,17 +1319,17 @@ impl SensorNetwork {
             } => {
                 t.incr("mtp.delivered");
                 t.observe("mtp.chain_hops", u64::from(*chain_hops));
-                t.trace(
+                t.trace_shared(
                     us,
                     node.0,
-                    &label.to_string(),
+                    &self.labels.label(*label),
                     "mtp.delivered",
                     format!("chain_hops={chain_hops}"),
                 );
             }
             SystemEvent::MtpDropped { label, .. } => {
                 t.incr("mtp.drop");
-                t.trace(us, node.0, &label.to_string(), "mtp.drop", String::new());
+                t.trace_shared(us, node.0, &self.labels.label(*label), "mtp.drop", String::new());
             }
         }
     }
@@ -1422,16 +1536,16 @@ impl SensorNetwork {
             });
             // The ack span measures first-send to end-to-end ack, across
             // any retransmissions in between.
-            telemetry.span_start(k.now().as_micros(), node.0, &format!("mtp#{seq}"));
+            telemetry.span_start(k.now().as_micros(), node.0, u64::from(seq));
             seq
         } else {
             0
         };
         telemetry.incr("mtp.send");
-        telemetry.trace(
+        telemetry.trace_shared(
             k.now().as_micros(),
             node.0,
-            &dst_label.to_string(),
+            &self.labels.label(dst_label),
             "mtp.send",
             format!("seq={seq}"),
         );
@@ -1557,13 +1671,13 @@ impl SensorNetwork {
                 telemetry.observe("mtp.attempts", u64::from(attempts));
             }
             let us = now.as_micros();
-            if let Some(rtt) = telemetry.span_end(us, node.0, &format!("mtp#{}", ack.seq)) {
+            if let Some(rtt) = telemetry.span_end(us, node.0, u64::from(ack.seq)) {
                 telemetry.observe("mtp.ack_us", rtt);
             }
-            telemetry.trace(
+            telemetry.trace_shared(
                 us,
                 node.0,
-                &ack.dst_label.to_string(),
+                &self.labels.label(ack.dst_label),
                 "mtp.ack",
                 format!("seq={} acker=n{}", ack.seq, ack.acker.0),
             );

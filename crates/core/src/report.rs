@@ -366,7 +366,7 @@ pub fn telemetry_to_jsonl(telemetry: &Telemetry) -> String {
                     .field_u64("at_us", e.at_us)
                     .field_u64("node", u64::from(e.node))
                     .field_str("label", &e.label)
-                    .field_str("kind", &e.kind)
+                    .field_str("kind", e.kind)
                     .field_str("detail", &e.detail)
                     .finish(),
             );

@@ -34,6 +34,8 @@ use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_telemetry::{CounterHandle, Telemetry};
 use envirotrack_world::field::{Deployment, NodeId};
+use envirotrack_world::grid::neighbor_lists_with;
+pub use envirotrack_world::grid::NeighborStrategy;
 
 use crate::packet::{Frame, FrameKind};
 
@@ -54,6 +56,12 @@ pub struct RadioConfig {
     pub backoff_max: SimDuration,
     /// Fixed receive-path processing delay added after the last bit.
     pub proc_delay: SimDuration,
+    /// How the neighbor table is built. [`NeighborStrategy::Grid`] (the
+    /// default) buckets nodes into a uniform spatial grid — O(n·deg);
+    /// [`NeighborStrategy::BruteForce`] keeps the all-pairs scan as a
+    /// determinism cross-check. Both yield bit-identical tables, so runs
+    /// are byte-identical either way.
+    pub topology: NeighborStrategy,
 }
 
 impl Default for RadioConfig {
@@ -68,6 +76,7 @@ impl Default for RadioConfig {
             max_defer: SimDuration::from_millis(250),
             backoff_max: SimDuration::from_millis(4),
             proc_delay: SimDuration::from_millis(2),
+            topology: NeighborStrategy::Grid,
         }
     }
 }
@@ -379,16 +388,13 @@ impl Medium {
     /// its randomness stream from `rng`.
     #[must_use]
     pub fn new(deployment: &Deployment, config: RadioConfig, rng: &SimRng) -> Self {
-        let n = deployment.len();
-        let r2 = config.comm_radius * config.comm_radius;
-        let mut neighbors = vec![Vec::new(); n];
-        for (a, pa) in deployment.iter() {
-            for (b, pb) in deployment.iter() {
-                if a != b && pa.distance_sq_to(pb) <= r2 {
-                    neighbors[a.index()].push(b);
-                }
-            }
-        }
+        let neighbors = neighbor_lists_with(deployment, config.comm_radius, config.topology);
+        debug_assert!(
+            neighbors
+                .iter()
+                .all(|list| list.windows(2).all(|w| w[0] < w[1])),
+            "neighbor lists must be strictly ascending by node id"
+        );
         let prune_horizon = config.max_defer + config.proc_delay + SimDuration::from_secs(1);
         Medium {
             config,
@@ -454,7 +460,8 @@ impl Medium {
     /// Whether `a` and `b` are within communication range.
     #[must_use]
     pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
-        self.neighbors[a.index()].contains(&b)
+        // Neighbor lists are built ascending by id (asserted in `new`).
+        self.neighbors[a.index()].binary_search(&b).is_ok()
     }
 
     /// Installs (or clears) a partition mask: `groups[i]` is node `i`'s

@@ -60,18 +60,9 @@ impl GeoRouter {
     #[must_use]
     pub fn new(deployment: &Deployment, comm_radius: f64) -> Self {
         assert!(comm_radius > 0.0, "communication radius must be positive");
-        let r2 = comm_radius * comm_radius;
-        let mut neighbors = vec![Vec::new(); deployment.len()];
-        for (a, pa) in deployment.iter() {
-            for (b, pb) in deployment.iter() {
-                if a != b && pa.distance_sq_to(pb) <= r2 {
-                    neighbors[a.index()].push(b);
-                }
-            }
-        }
         GeoRouter {
             positions: deployment.positions().to_vec(),
-            neighbors,
+            neighbors: envirotrack_world::grid::neighbor_lists(deployment, comm_radius),
         }
     }
 

@@ -11,7 +11,14 @@
 //! * **A bounded trace stream** — structured [`TraceEvent`]s (timestamp,
 //!   node, context label, kind, detail), kept in a drop-oldest ring so a
 //!   long run cannot grow without bound, plus **spans** keyed by
-//!   `(node, label)` for measuring request→response latency.
+//!   `(node, id)` for measuring request→response latency.
+//!
+//! Trace labels are `Rc<str>`: hot paths that emit many events for the
+//! same context label format the label once, cache the `Rc` in an
+//! [`Interner`], and hand it to [`Telemetry::trace_shared`] — appending an
+//! event is then a reference-count bump instead of a format + allocation.
+//! Event kinds are `&'static str` (they are always literals), so they
+//! never allocate at all.
 //!
 //! The [`Telemetry`] handle is a cheap `Rc<RefCell<..>>` clone, mirroring
 //! the single-threaded simulation kernel it instruments: every layer of
@@ -36,10 +43,11 @@ pub struct TraceEvent {
     /// The node the event happened on.
     pub node: u32,
     /// The context label the event concerns (display form, e.g.
-    /// `type0@n3#1`), or `"-"` for label-free events.
-    pub label: String,
+    /// `type0@n3#1`), or `"-"` for label-free events. Shared, so events
+    /// for the same label alias one allocation.
+    pub label: Rc<str>,
     /// Event kind, dot-namespaced (`group.hb`, `mtp.retx`, ...).
-    pub kind: String,
+    pub kind: &'static str,
     /// Free-form detail, already formatted.
     pub detail: String,
 }
@@ -177,6 +185,48 @@ impl CounterHandle {
     }
 }
 
+/// A tiny numeric-keyed string intern pool.
+///
+/// Hot paths derive a stable `u128` key from a cheap `Copy` identifier
+/// (e.g. a packed `ContextLabel`) and look the display string up here
+/// instead of re-formatting it per event; the first use pays the format,
+/// every later use is a `BTreeMap<u128, _>` probe — integer comparisons,
+/// no string hashing or allocation. Clones share the pool.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    strings: Rc<RefCell<BTreeMap<u128, Rc<str>>>>,
+}
+
+impl Interner {
+    /// A fresh, empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared string for `key`, formatting it with `make` on first use.
+    pub fn get_or_insert_with(&self, key: u128, make: impl FnOnce() -> String) -> Rc<str> {
+        let mut strings = self.strings.borrow_mut();
+        Rc::clone(
+            strings
+                .entry(key)
+                .or_insert_with(|| Rc::from(make().as_str())),
+        )
+    }
+
+    /// Number of interned strings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.strings.borrow().len()
+    }
+
+    /// Whether the pool is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.strings.borrow().is_empty()
+    }
+}
+
 /// The shared metric + trace store. Accessed through [`Telemetry`].
 #[derive(Debug)]
 pub struct Registry {
@@ -186,7 +236,7 @@ pub struct Registry {
     trace: VecDeque<TraceEvent>,
     trace_capacity: usize,
     trace_dropped: u64,
-    spans: BTreeMap<(u32, String), u64>,
+    spans: BTreeMap<(u32, u64), u64>,
 }
 
 impl Registry {
@@ -329,8 +379,22 @@ impl Telemetry {
     }
 
     /// Appends a trace event, dropping (and counting) the oldest past the
-    /// ring bound.
-    pub fn trace(&self, at_us: u64, node: u32, label: &str, kind: &str, detail: String) {
+    /// ring bound. Allocates a fresh shared label; hot paths that reuse
+    /// one label should intern it and call [`Telemetry::trace_shared`].
+    pub fn trace(&self, at_us: u64, node: u32, label: &str, kind: &'static str, detail: String) {
+        self.trace_shared(at_us, node, &Rc::from(label), kind, detail);
+    }
+
+    /// Appends a trace event whose label is already shared — a
+    /// reference-count bump, no string copy.
+    pub fn trace_shared(
+        &self,
+        at_us: u64,
+        node: u32,
+        label: &Rc<str>,
+        kind: &'static str,
+        detail: String,
+    ) {
         let mut r = self.inner.borrow_mut();
         if r.trace.len() >= r.trace_capacity {
             r.trace.pop_front();
@@ -339,27 +403,24 @@ impl Telemetry {
         r.trace.push_back(TraceEvent {
             at_us,
             node,
-            label: label.to_owned(),
-            kind: kind.to_owned(),
+            label: Rc::clone(label),
+            kind,
             detail,
         });
     }
 
-    /// Opens (or restarts) the span keyed by `(node, label)`.
-    pub fn span_start(&self, at_us: u64, node: u32, label: &str) {
-        self.inner
-            .borrow_mut()
-            .spans
-            .insert((node, label.to_owned()), at_us);
+    /// Opens (or restarts) the span keyed by `(node, id)`.
+    pub fn span_start(&self, at_us: u64, node: u32, id: u64) {
+        self.inner.borrow_mut().spans.insert((node, id), at_us);
     }
 
-    /// Closes the span keyed by `(node, label)`, returning the elapsed
+    /// Closes the span keyed by `(node, id)`, returning the elapsed
     /// microseconds, or `None` when no span was open.
-    pub fn span_end(&self, at_us: u64, node: u32, label: &str) -> Option<u64> {
+    pub fn span_end(&self, at_us: u64, node: u32, id: u64) -> Option<u64> {
         self.inner
             .borrow_mut()
             .spans
-            .remove(&(node, label.to_owned()))
+            .remove(&(node, id))
             .map(|start| at_us.saturating_sub(start))
     }
 
@@ -382,7 +443,7 @@ impl Telemetry {
     pub fn events_for_label(&self, label: &str, n: usize) -> Vec<String> {
         let r = self.inner.borrow();
         let mut picked: Vec<&TraceEvent> =
-            r.trace.iter().rev().filter(|e| e.label == label).take(n).collect();
+            r.trace.iter().rev().filter(|e| &*e.label == label).take(n).collect();
         picked.reverse();
         picked.into_iter().map(TraceEvent::render).collect()
     }
@@ -513,16 +574,49 @@ mod tests {
     #[test]
     fn spans_pair_start_and_end() {
         let t = Telemetry::new();
-        t.span_start(100, 7, "lab");
-        assert_eq!(t.span_end(160, 7, "lab"), Some(60));
-        assert_eq!(t.span_end(200, 7, "lab"), None, "span consumed");
+        t.span_start(100, 7, 42);
+        assert_eq!(t.span_end(160, 7, 42), Some(60));
+        assert_eq!(t.span_end(200, 7, 42), None, "span consumed");
         // Restart overwrites.
-        t.span_start(10, 7, "lab");
-        t.span_start(20, 7, "lab");
-        assert_eq!(t.span_end(25, 7, "lab"), Some(5));
+        t.span_start(10, 7, 42);
+        t.span_start(20, 7, 42);
+        assert_eq!(t.span_end(25, 7, 42), Some(5));
         // Clock weirdness saturates rather than panicking.
-        t.span_start(50, 7, "lab");
-        assert_eq!(t.span_end(40, 7, "lab"), Some(0));
+        t.span_start(50, 7, 42);
+        assert_eq!(t.span_end(40, 7, 42), Some(0));
+        // Ids are independent per (node, id) pair.
+        t.span_start(0, 7, 1);
+        t.span_start(0, 8, 1);
+        assert_eq!(t.span_end(9, 8, 1), Some(9));
+        assert_eq!(t.span_end(10, 7, 1), Some(10));
+    }
+
+    #[test]
+    fn interner_formats_once_and_shares() {
+        let pool = Interner::new();
+        let mut formats = 0;
+        let a = pool.get_or_insert_with(7, || {
+            formats += 1;
+            "type0@n3#1".to_owned()
+        });
+        let b = pool.get_or_insert_with(7, || {
+            formats += 1;
+            unreachable!("key 7 is already interned")
+        });
+        assert_eq!(formats, 1);
+        assert!(Rc::ptr_eq(&a, &b), "same key aliases one allocation");
+        assert_eq!(pool.len(), 1);
+        // Clones share the pool; traces share the interned label.
+        let clone = pool.clone();
+        let c = clone.get_or_insert_with(7, || unreachable!());
+        assert!(Rc::ptr_eq(&a, &c));
+        let t = Telemetry::new();
+        t.trace_shared(5, 3, &a, "group.hb", String::new());
+        t.with_registry(|r| {
+            let e = r.trace_events().next().unwrap();
+            assert!(Rc::ptr_eq(&e.label, &a));
+            assert_eq!(e.render(), "5us n3 [type0@n3#1] group.hb ");
+        });
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Uniform spatial grid for near-linear neighbor-table construction.
+//!
+//! The unit-disk radio model needs, for every node, the list of nodes
+//! within `radius`. The naive construction compares all pairs — O(n²)
+//! distance checks — which caps simulated fields at a few thousand nodes.
+//! [`SpatialGrid`] buckets nodes into square cells of side `>= radius`;
+//! any node within `radius` of a point then lies in the point's own cell
+//! or one of its 8 neighbors (the *9-cell stencil*), because crossing out
+//! of the stencil requires moving more than one cell side (`>= radius`)
+//! along some axis. Construction visits each node's stencil once, so the
+//! total work is O(n · deg) for fields of bounded density.
+//!
+//! [`neighbor_lists`] returns per-node lists sorted ascending by
+//! [`NodeId`] — exactly the lists the brute-force scan produces, in the
+//! same order, which keeps every downstream consumer (radio medium,
+//! geographic router, delivery walks) byte-identical regardless of which
+//! construction built the table. The brute-force path stays available via
+//! [`NeighborStrategy::BruteForce`] as a test oracle and determinism
+//! cross-check.
+
+use crate::field::{Deployment, NodeId};
+use crate::geometry::Point;
+
+/// How to build the neighbor table from a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NeighborStrategy {
+    /// Bucket nodes into a uniform grid and scan the 9-cell stencil:
+    /// O(n · deg). The default.
+    #[default]
+    Grid,
+    /// Compare all pairs: O(n²). Kept as the oracle for property tests and
+    /// the determinism pin; produces bit-identical tables to `Grid`.
+    BruteForce,
+}
+
+/// A uniform bucket grid over a deployment, cell side `>= radius`.
+///
+/// The cell side is normally exactly `radius`, but is grown when the field
+/// is so much larger than the radius that a radius-sized grid would
+/// allocate far more cells than nodes (a sparse field with a tiny radio
+/// range); a larger cell never misses a neighbor, it only adds candidates.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    origin: Point,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    /// Node indices per cell, row-major; each bucket ascending (nodes are
+    /// inserted in id order).
+    buckets: Vec<Vec<u32>>,
+}
+
+impl SpatialGrid {
+    /// Buckets every node of `deployment` into cells of side `>= radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not finite and positive.
+    #[must_use]
+    pub fn new(deployment: &Deployment, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "grid radius must be finite and positive, got {radius}"
+        );
+        let bounds = deployment.bounds();
+        let origin = bounds.min;
+        let span_x = (bounds.max.x - origin.x).max(0.0);
+        let span_y = (bounds.max.y - origin.y).max(0.0);
+        // Cap the cell count near the node count: at most ~sqrt(n)+1 cells
+        // per axis. Correctness only needs `cell >= radius`.
+        let n = deployment.len();
+        let max_axis = (n as f64).sqrt().ceil().max(1.0);
+        let cell = radius.max(span_x / max_axis).max(span_y / max_axis);
+        let cols = Self::axis_cells(span_x, cell);
+        let rows = Self::axis_cells(span_y, cell);
+        let mut buckets = vec![Vec::new(); cols * rows];
+        let mut grid = SpatialGrid {
+            origin,
+            cell,
+            cols,
+            rows,
+            buckets: Vec::new(),
+        };
+        for (id, pos) in deployment.iter() {
+            let (cx, cy) = grid.cell_of(pos);
+            buckets[cy * cols + cx].push(id.0);
+        }
+        grid.buckets = buckets;
+        grid
+    }
+
+    fn axis_cells(span: f64, cell: f64) -> usize {
+        // floor(span / cell) + 1 cells cover [0, span]; the +1 also keeps
+        // a degenerate zero-span axis at one cell.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let c = (span / cell).floor() as usize + 1;
+        c
+    }
+
+    /// The (clamped) cell coordinates of a position.
+    fn cell_of(&self, pos: Point) -> (usize, usize) {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let clamp = |v: f64, cells: usize| -> usize {
+            // Positions sit inside the bounds by construction; the clamp
+            // only absorbs float round-off at the far edge.
+            (((v / self.cell).floor()).max(0.0) as usize).min(cells - 1)
+        };
+        (
+            clamp(pos.x - self.origin.x, self.cols),
+            clamp(pos.y - self.origin.y, self.rows),
+        )
+    }
+
+    /// Visits every node bucketed in the 9-cell stencil around `pos`
+    /// (including the node itself if it lives there). Any node within one
+    /// cell side of `pos` is guaranteed to be visited.
+    pub fn for_each_candidate(&self, pos: Point, mut f: impl FnMut(u32)) {
+        let (cx, cy) = self.cell_of(pos);
+        let x0 = cx.saturating_sub(1);
+        let y0 = cy.saturating_sub(1);
+        let x1 = (cx + 1).min(self.cols - 1);
+        let y1 = (cy + 1).min(self.rows - 1);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                for &id in &self.buckets[y * self.cols + x] {
+                    f(id);
+                }
+            }
+        }
+    }
+
+    /// Total number of cells (for diagnostics).
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+/// Builds per-node neighbor lists (all nodes strictly within `radius`,
+/// inclusive) using the default [`NeighborStrategy::Grid`]. Each list is
+/// sorted ascending by [`NodeId`].
+#[must_use]
+pub fn neighbor_lists(deployment: &Deployment, radius: f64) -> Vec<Vec<NodeId>> {
+    neighbor_lists_with(deployment, radius, NeighborStrategy::Grid)
+}
+
+/// Builds per-node neighbor lists with an explicit strategy. Both
+/// strategies produce identical output: for every node, the ids of all
+/// *other* nodes at distance `<= radius`, ascending by [`NodeId`].
+#[must_use]
+pub fn neighbor_lists_with(
+    deployment: &Deployment,
+    radius: f64,
+    strategy: NeighborStrategy,
+) -> Vec<Vec<NodeId>> {
+    let r2 = radius * radius;
+    let n = deployment.len();
+    let mut neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    match strategy {
+        NeighborStrategy::Grid => {
+            let grid = SpatialGrid::new(deployment, radius);
+            for (a, pa) in deployment.iter() {
+                let list = &mut neighbors[a.index()];
+                grid.for_each_candidate(pa, |b| {
+                    if b != a.0 && pa.distance_sq_to(deployment.position(NodeId(b))) <= r2 {
+                        list.push(NodeId(b));
+                    }
+                });
+                // Stencil cells are visited row-major, not in id order.
+                list.sort_unstable();
+            }
+        }
+        NeighborStrategy::BruteForce => {
+            for (a, pa) in deployment.iter() {
+                for (b, pb) in deployment.iter() {
+                    if a != b && pa.distance_sq_to(pb) <= r2 {
+                        neighbors[a.index()].push(b);
+                    }
+                }
+            }
+        }
+    }
+    neighbors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_brute_force_on_the_testbed_grid() {
+        let d = Deployment::grid(10, 2, 1.0);
+        assert_eq!(
+            neighbor_lists_with(&d, 6.0, NeighborStrategy::Grid),
+            neighbor_lists_with(&d, 6.0, NeighborStrategy::BruteForce),
+        );
+    }
+
+    #[test]
+    fn lists_are_ascending_and_symmetric() {
+        let d = Deployment::grid(7, 7, 1.0);
+        let lists = neighbor_lists(&d, 2.5);
+        for (a, list) in lists.iter().enumerate() {
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "node {a} not sorted");
+            for b in list {
+                assert!(
+                    lists[b.index()].binary_search(&NodeId(a as u32)).is_ok(),
+                    "asymmetric edge {a} -> {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_distance_is_inclusive() {
+        // Two nodes exactly `radius` apart are neighbors, even across a
+        // cell boundary.
+        let d = Deployment::from_positions(vec![Point::new(0.0, 0.0), Point::new(3.0, 0.0)]);
+        let lists = neighbor_lists(&d, 3.0);
+        assert_eq!(lists[0], vec![NodeId(1)]);
+        assert_eq!(lists[1], vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn single_node_field_has_no_neighbors() {
+        let d = Deployment::from_positions(vec![Point::new(4.0, -2.0)]);
+        assert!(neighbor_lists(&d, 10.0)[0].is_empty());
+    }
+
+    #[test]
+    fn sparse_field_with_tiny_radius_caps_cell_count() {
+        // 16 nodes spread over a 1000-unit span with radius 0.5 must not
+        // allocate a 2000x2000 cell grid.
+        let positions = (0..16)
+            .map(|i| Point::new(f64::from(i) * 66.0, f64::from(i % 4) * 250.0))
+            .collect();
+        let d = Deployment::from_positions(positions);
+        let grid = SpatialGrid::new(&d, 0.5);
+        assert!(grid.cell_count() <= 64, "cells = {}", grid.cell_count());
+        assert_eq!(
+            neighbor_lists_with(&d, 0.5, NeighborStrategy::Grid),
+            neighbor_lists_with(&d, 0.5, NeighborStrategy::BruteForce),
+        );
+    }
+
+    #[test]
+    fn negative_coordinates_are_handled() {
+        let d = Deployment::from_positions(vec![
+            Point::new(-5.0, -5.0),
+            Point::new(-4.5, -5.0),
+            Point::new(5.0, 5.0),
+        ]);
+        let lists = neighbor_lists(&d, 1.0);
+        assert_eq!(lists[0], vec![NodeId(1)]);
+        assert_eq!(lists[1], vec![NodeId(0)]);
+        assert!(lists[2].is_empty());
+    }
+}

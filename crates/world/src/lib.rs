@@ -11,6 +11,8 @@
 //!   distances read as hops.
 //! * [`field`] — node deployments: grids, jittered grids, random drops
 //!   ([`field::Deployment`], [`field::NodeId`]).
+//! * [`grid`] — uniform spatial hashing for O(n·deg) neighbor-table
+//!   construction ([`grid::SpatialGrid`], [`grid::neighbor_lists`]).
 //! * [`target`] — moving entities with emission profiles
 //!   ([`target::Target`], [`target::Trajectory`], [`target::Falloff`]).
 //! * [`sensing`] — multi-channel samples and the composed
@@ -35,6 +37,7 @@
 
 pub mod field;
 pub mod geometry;
+pub mod grid;
 pub mod scenario;
 pub mod sensing;
 pub mod target;
@@ -43,7 +46,10 @@ pub mod target;
 pub mod prelude {
     pub use crate::field::{Deployment, NodeId};
     pub use crate::geometry::{Aabb, Point, Vector};
-    pub use crate::scenario::{FireScenario, MultiTargetScenario, Scenario, TankScenario};
+    pub use crate::grid::{neighbor_lists, NeighborStrategy, SpatialGrid};
+    pub use crate::scenario::{
+        FireScenario, MultiTargetScenario, ScaleScenario, Scenario, TankScenario,
+    };
     pub use crate::sensing::{Environment, NoiseModel, SensorSample};
     pub use crate::target::{Channel, Emission, Falloff, Target, TargetId, Trajectory};
 }

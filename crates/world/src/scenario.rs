@@ -351,9 +351,175 @@ impl MultiTargetScenario {
     }
 }
 
+/// How a [`ScaleScenario`] lays its nodes out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScaleLayout {
+    /// A near-square unit-spacing grid, truncated to the exact node count.
+    /// The default: matches the paper's testbed geometry scaled up.
+    #[default]
+    Grid,
+    /// Nodes dropped uniformly at random over the same near-square extent,
+    /// seeded from the scenario seed (placement is deterministic).
+    UniformRandom,
+}
+
+/// Builder for large fields — thousands of nodes, several concurrent
+/// targets — used by the scale benchmarks and the spatial-grid tests.
+///
+/// The field is a near-square region with ~1 node per unit area (so radio
+/// degree stays constant as `nodes` grows, like a real deployment that
+/// scales by covering more ground, not by packing denser). Targets drive
+/// horizontal lanes spread evenly over the field height, all emitting on
+/// the magnetic channel with the same disk footprint.
+#[derive(Debug, Clone)]
+pub struct ScaleScenario {
+    /// Exact number of nodes to deploy.
+    pub nodes: u32,
+    /// Node placement.
+    pub layout: ScaleLayout,
+    /// Number of concurrent targets (parallel lanes).
+    pub targets: u32,
+    /// Common target speed in hops/s.
+    pub speed_hops_per_s: f64,
+    /// Common sensing radius in grid units.
+    pub sensing_radius: f64,
+    /// Seed for random placement (unused by [`ScaleLayout::Grid`]).
+    pub seed: u64,
+}
+
+impl Default for ScaleScenario {
+    /// 1000 nodes on a grid, 4 targets at the paper's 33 km/h.
+    fn default() -> Self {
+        ScaleScenario {
+            nodes: 1000,
+            layout: ScaleLayout::Grid,
+            targets: 4,
+            speed_hops_per_s: kmh_to_hops_per_s(33.0),
+            sensing_radius: 1.0,
+            seed: 1,
+        }
+    }
+}
+
+impl ScaleScenario {
+    /// Side length of the square field, in grid units.
+    #[must_use]
+    pub fn side(&self) -> u32 {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let side = (f64::from(self.nodes).sqrt().ceil()) as u32;
+        side.max(1)
+    }
+
+    /// Materialises the deployment and all targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `targets` is zero.
+    #[must_use]
+    pub fn build(&self) -> Scenario {
+        assert!(self.nodes > 0, "need at least one node");
+        assert!(self.targets > 0, "need at least one target");
+        let side = self.side();
+        let deployment = match self.layout {
+            ScaleLayout::Grid => {
+                // Full rows of `side`, truncated to the exact count.
+                let rows = self.nodes.div_ceil(side);
+                let mut positions = Vec::with_capacity(self.nodes as usize);
+                'fill: for row in 0..rows {
+                    for col in 0..side {
+                        if positions.len() == self.nodes as usize {
+                            break 'fill;
+                        }
+                        positions.push(Point::new(f64::from(col), f64::from(row)));
+                    }
+                }
+                Deployment::from_positions(positions)
+            }
+            ScaleLayout::UniformRandom => {
+                let extent = f64::from(side - 1).max(1.0);
+                let area = crate::geometry::Aabb::new(
+                    Point::ORIGIN,
+                    Point::new(extent, extent),
+                );
+                let rng = envirotrack_sim::rng::SimRng::seed_from(self.seed);
+                let mut placement = rng.fork("scale-placement");
+                Deployment::random_uniform(self.nodes, area, &mut placement)
+            }
+        };
+        let bounds = deployment.bounds();
+        let mut environment = Environment::new();
+        for i in 0..self.targets {
+            // Lanes at (i + 1/2) / targets of the field height; each target
+            // crosses the full width with overshoot on both sides.
+            let lane = bounds.min.y
+                + bounds.height() * (f64::from(i) + 0.5) / f64::from(self.targets);
+            let from = Point::new(bounds.min.x - 1.5, lane);
+            let to = Point::new(bounds.max.x + 1.5, lane);
+            environment.add_target(Target::new(
+                TargetId(i),
+                Trajectory::line(from, to, self.speed_hops_per_s),
+                vec![Emission {
+                    channel: Channel::Magnetic,
+                    strength: 1.0,
+                    falloff: Falloff::Disk {
+                        radius: self.sensing_radius,
+                    },
+                }],
+            ));
+        }
+        Scenario {
+            deployment,
+            environment,
+            channel: Channel::Magnetic,
+            threshold: 0.5,
+            primary_target: TargetId(0),
+            description: format!(
+                "{} nodes ({:?} layout), {} targets on parallel lanes",
+                self.nodes, self.layout, self.targets
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scale_scenario_deploys_exact_node_counts() {
+        for &n in &[1u32, 10, 100, 1000, 1234] {
+            for layout in [ScaleLayout::Grid, ScaleLayout::UniformRandom] {
+                let s = ScaleScenario {
+                    nodes: n,
+                    layout,
+                    targets: 3,
+                    ..ScaleScenario::default()
+                }
+                .build();
+                assert_eq!(s.deployment.len(), n as usize, "{layout:?} n={n}");
+                assert_eq!(s.environment.targets().len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_scenario_is_seed_deterministic_and_targets_cross_the_field() {
+        let spec = ScaleScenario {
+            nodes: 500,
+            layout: ScaleLayout::UniformRandom,
+            targets: 4,
+            seed: 7,
+            ..ScaleScenario::default()
+        };
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.deployment, b.deployment);
+        let bounds = a.deployment.bounds();
+        for t in a.environment.targets() {
+            let lane = t.trajectory().waypoint_list()[0].y;
+            assert!(lane >= bounds.min.y && lane <= bounds.max.y);
+        }
+    }
 
     #[test]
     fn speed_conversions_match_the_paper() {

@@ -4,6 +4,7 @@ use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::Timestamp;
 use envirotrack_world::field::Deployment;
 use envirotrack_world::geometry::{Aabb, Point};
+use envirotrack_world::grid::{neighbor_lists_with, NeighborStrategy};
 use envirotrack_world::target::{Falloff, Trajectory};
 use testkit::prelude::*;
 
@@ -133,5 +134,56 @@ prop_test! {
         for (_, p) in d1.iter() {
             prop_assert!(area.contains(p));
         }
+    }
+
+    /// Spatial-grid neighbor tables are *exactly* the brute-force tables:
+    /// per node, the same neighbors in the same (ascending id) order,
+    /// across random placements, radii and field aspect ratios. This is
+    /// the invariant the medium's byte-identical determinism rests on.
+    #[test]
+    fn grid_neighbor_tables_equal_brute_force(
+        seed: u64,
+        n in 1u32..120,
+        radius in 0.05..30.0f64,
+        w in 0.5..80.0f64,
+        h in 0.5..80.0f64,
+    ) {
+        let area = Aabb::new(Point::new(-w / 2.0, -h / 2.0), Point::new(w / 2.0, h / 2.0));
+        let d = Deployment::random_uniform(n, area, &mut SimRng::seed_from(seed));
+        let grid = neighbor_lists_with(&d, radius, NeighborStrategy::Grid);
+        let brute = neighbor_lists_with(&d, radius, NeighborStrategy::BruteForce);
+        for (id, _) in d.iter() {
+            prop_assert_eq!(
+                &grid[id.index()], &brute[id.index()],
+                "node {} differs (n={}, radius={})", id, n, radius
+            );
+        }
+    }
+
+    /// Clustered placements (several dense blobs with empty space between)
+    /// exercise uneven bucket occupancy; the tables must still match.
+    #[test]
+    fn grid_neighbor_tables_equal_brute_force_on_clusters(
+        seed: u64,
+        clusters in 1usize..5,
+        per in 1u32..25,
+        radius in 0.1..5.0f64,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut positions = Vec::new();
+        for _ in 0..clusters {
+            let cx = rng.uniform_range(-50.0, 50.0);
+            let cy = rng.uniform_range(-50.0, 50.0);
+            for _ in 0..per {
+                positions.push(Point::new(
+                    cx + rng.uniform_range(-1.0, 1.0),
+                    cy + rng.uniform_range(-1.0, 1.0),
+                ));
+            }
+        }
+        let d = Deployment::from_positions(positions);
+        let grid = neighbor_lists_with(&d, radius, NeighborStrategy::Grid);
+        let brute = neighbor_lists_with(&d, radius, NeighborStrategy::BruteForce);
+        prop_assert_eq!(grid, brute);
     }
 }

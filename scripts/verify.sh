@@ -42,4 +42,16 @@ cmp -s "$tmp/sweep1.jsonl" "$tmp/sweep2.jsonl" \
 [ "$(wc -l < "$tmp/sweep1.jsonl")" -eq 8 ] \
   || { echo "verify: sweep smoke expected 8 merged cells" >&2; exit 1; }
 
+# Scale smoke: a 1k-node field must run bounded (2 s virtual horizon) and
+# emit a BENCH_scale.json with every schema section present — both in the
+# fresh smoke output and in the checked-in trajectory.
+./target/release/scale --smoke --out "$tmp/scale.json"
+for f in "$tmp/scale.json" BENCH_scale.json; do
+  for key in '"bench":"scale"' '"construction":' '"speedup":' '"results":' \
+             '"events_per_sec":' '"sweep":' '"merged_outputs_identical":true'; do
+    grep -q "$key" "$f" \
+      || { echo "verify: $f is missing $key" >&2; exit 1; }
+  done
+done
+
 echo "verify: OK"
