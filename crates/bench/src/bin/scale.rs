@@ -6,28 +6,40 @@
 //! cargo run --release -p envirotrack-bench --bin scale -- --smoke --out /tmp/smoke.json
 //! ```
 //!
-//! Three sections land in the JSON:
+//! Four sections land in the JSON:
 //!
 //! 1. `results` — the Figure-2 tracking program on 1k/2k/5k/10k-node
 //!    [`ScaleScenario`] fields for a fixed virtual horizon: wall time,
-//!    kernel events, events per wall-second.
+//!    kernel events, events per wall-second, bytes on air.
 //! 2. `construction` — grid vs. brute-force neighbor-table build time on
 //!    the largest field (tables asserted identical before timing).
-//! 3. `sweep` — a homogeneous scale-cell set run at 1/2/4/8 workers with
+//! 3. `codec` — the smallest field run under both wire codecs, asserted
+//!    byte-identical in telemetry and run record, with the binary-vs-JSON
+//!    frame-byte totals and their ratio.
+//! 4. `sweep` — a homogeneous scale-cell set run at 1/2/4/8 workers with
 //!    byte-identical-merge cross-checks, as in the `sweep` bin.
 //!
 //! `--smoke` shrinks everything (1k max, 2 s horizon, 2k-node
 //! construction, 2-cell sweep) for the CI stage in `scripts/verify.sh`.
+//!
+//! `--codec binary|json` selects the wire codec for the trajectory rows,
+//! and `--crosscheck PATH` switches to a single-run dump mode: one scale
+//! point's telemetry JSONL + run record is written to PATH and nothing
+//! else runs. verify.sh invokes it once per codec and diffs the files
+//! byte-for-byte.
 //!
 //! [`ScaleScenario`]: envirotrack_world::scenario::ScaleScenario
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use envirotrack_bench::experiments::scale::{construction_timing, print, run_scale, ScaleRun};
+use envirotrack_bench::experiments::scale::{
+    codec_comparison, construction_timing, crosscheck_dump, print, run_scale, ScaleRun,
+};
 use envirotrack_bench::sweep::cells::scale_cells;
 use envirotrack_bench::sweep::run_sweep;
 use envirotrack_core::report::json::JsonObject;
+use envirotrack_core::wire::WireCodec;
 use envirotrack_sim::time::SimDuration;
 
 struct Args {
@@ -37,6 +49,8 @@ struct Args {
     sweep_cells: usize,
     sweep_nodes: u32,
     seed: u64,
+    codec: WireCodec,
+    crosscheck: Option<PathBuf>,
     out: PathBuf,
 }
 
@@ -48,6 +62,8 @@ fn parse_args() -> Result<Args, String> {
         sweep_cells: 8,
         sweep_nodes: 2_000,
         seed: 1,
+        codec: WireCodec::Binary,
+        crosscheck: None,
         out: PathBuf::from("BENCH_scale.json"),
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -79,6 +95,14 @@ fn parse_args() -> Result<Args, String> {
                 args.out = PathBuf::from(value(i)?);
                 i += 2;
             }
+            "--codec" => {
+                args.codec = WireCodec::parse(value(i)?)?;
+                i += 2;
+            }
+            "--crosscheck" => {
+                args.crosscheck = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
             "--smoke" => {
                 args.nodes = vec![1_000];
                 args.horizon_ms = 2_000;
@@ -106,6 +130,31 @@ fn main() -> ExitCode {
     };
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
+    // Cross-check dump mode: one scale point's full observable output
+    // under the selected codec, for a byte-for-byte diff across codecs.
+    if let Some(path) = &args.crosscheck {
+        let cfg = ScaleRun {
+            nodes: args.nodes[0],
+            horizon: SimDuration::from_millis(args.horizon_ms),
+            codec: args.codec,
+            seed: args.seed,
+            ..ScaleRun::default()
+        };
+        let (telemetry, record, bytes_on_air, _) = crosscheck_dump(&cfg);
+        let dump = format!("{record}\n{telemetry}");
+        if let Err(e) = std::fs::write(path, dump) {
+            eprintln!("scale: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "scale: crosscheck dump ({} codec, {} nodes, {bytes_on_air} bytes on air) → {}",
+            args.codec,
+            args.nodes[0],
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
     // Section 1: the node-count trajectory.
     let mut points = Vec::new();
     let mut rows = Vec::new();
@@ -113,12 +162,13 @@ fn main() -> ExitCode {
         let p = run_scale(&ScaleRun {
             nodes,
             horizon: SimDuration::from_millis(args.horizon_ms),
+            codec: args.codec,
             seed: args.seed,
             ..ScaleRun::default()
         });
         eprintln!(
-            "scale: {nodes} nodes → build {:.3}s, run {:.3}s, {} events ({:.0}/s)",
-            p.build_wall_s, p.run_wall_s, p.events, p.events_per_sec
+            "scale: {nodes} nodes → build {:.3}s, run {:.3}s, {} events ({:.0}/s), {} bytes on air",
+            p.build_wall_s, p.run_wall_s, p.events, p.events_per_sec, p.bytes_on_air
         );
         rows.push(
             JsonObject::new()
@@ -129,6 +179,8 @@ fn main() -> ExitCode {
                 .field_f64("events_per_sec", p.events_per_sec)
                 .field_u64("labels_created", p.labels_created)
                 .field_u64("handovers", p.handovers)
+                .field_u64("bytes_on_air", p.bytes_on_air)
+                .field_u64("payload_bytes", p.payload_bytes)
                 .field_f64("sim_horizon_s", p.sim_horizon_s)
                 .finish(),
         );
@@ -145,7 +197,29 @@ fn main() -> ExitCode {
         .finish();
     print(&points, &construction);
 
-    // Section 3: worker scaling over a homogeneous scale-cell set, with
+    // Section 3: the codec cross-check on the smallest field — both wire
+    // codecs, byte-identical telemetry/run-record asserted inside, plus
+    // the binary-vs-JSON frame-byte ratio.
+    let cmp = codec_comparison(&ScaleRun {
+        nodes: args.nodes.iter().copied().min().unwrap_or(1_000),
+        horizon: SimDuration::from_millis(args.horizon_ms),
+        seed: args.seed,
+        ..ScaleRun::default()
+    });
+    eprintln!(
+        "scale codec: {} nodes byte-identical under both codecs; json/binary frame bytes {:.2}x",
+        cmp.nodes, cmp.json_over_binary
+    );
+    let codec_json = JsonObject::new()
+        .field_u64("nodes", u64::from(cmp.nodes))
+        .field_bool("byte_identical", true)
+        .field_u64("bytes_on_air", cmp.bytes_on_air)
+        .field_u64("binary_payload_bytes", cmp.binary_payload_bytes)
+        .field_u64("json_payload_bytes", cmp.json_payload_bytes)
+        .field_f64("json_over_binary", cmp.json_over_binary)
+        .finish();
+
+    // Section 4: worker scaling over a homogeneous scale-cell set, with
     // the sweep engine's byte-identical-merge guarantee cross-checked.
     let cells = scale_cells(args.sweep_cells, args.sweep_nodes, args.seed);
     let mut baseline: Option<String> = None;
@@ -187,15 +261,17 @@ fn main() -> ExitCode {
         .field_str("bench", "scale")
         .field_u64("host_cpus", host_cpus as u64)
         .field_u64("seed", args.seed)
+        .field_str("wire_codec", &args.codec.to_string())
         .field_f64("sim_horizon_s", args.horizon_ms as f64 / 1e3)
         .field_u64("sweep_cells", cells.len() as u64)
         .field_u64("sweep_cell_nodes", u64::from(args.sweep_nodes))
         .field_bool("merged_outputs_identical", true)
         .finish();
     let json = format!(
-        "{},\"construction\":{},\"results\":[{}],\"sweep\":[{}]}}\n",
+        "{},\"construction\":{},\"codec\":{},\"results\":[{}],\"sweep\":[{}]}}\n",
         &head[..head.len() - 1],
         construction_json,
+        codec_json,
         rows.join(","),
         sweep_rows.join(",")
     );

@@ -1,13 +1,15 @@
-//! Determinism pin for the spatial-grid medium: a fixed-seed 2k-node
-//! tracking run must be *byte-identical* — telemetry JSONL and the run
-//! record — whether the neighbor table is built by the grid or by the
-//! all-pairs scan. Grid construction feeds every downstream stream
-//! (delivery order, RNG draws, timers), so any ordering difference in the
-//! tables would show up here long before it corrupted a golden digest.
+//! Determinism pins for the observably-equivalent implementation pairs:
+//! a fixed-seed 2k-node tracking run must be *byte-identical* — telemetry
+//! JSONL and the run record — whether the neighbor table is built by the
+//! grid or by the all-pairs scan, and whether frames carry the binary or
+//! the JSON wire codec. Both knobs feed every downstream stream (delivery
+//! order, RNG draws, timers), so any ordering difference would show up
+//! here long before it corrupted a golden digest.
 
 use envirotrack_bench::harness::tracker_program;
 use envirotrack_core::network::{NetworkConfig, SensorNetwork};
 use envirotrack_core::report::telemetry_to_jsonl;
+use envirotrack_core::wire::WireCodec;
 use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_world::grid::NeighborStrategy;
 use envirotrack_world::scenario::ScaleScenario;
@@ -19,6 +21,10 @@ const HORIZON: SimDuration = SimDuration::from_secs(3);
 const SEED: u64 = 7;
 
 fn run(strategy: NeighborStrategy) -> (String, String) {
+    run_with_codec(strategy, WireCodec::Binary)
+}
+
+fn run_with_codec(strategy: NeighborStrategy, codec: WireCodec) -> (String, String) {
     let scenario = ScaleScenario {
         nodes: 2_000,
         targets: 2,
@@ -30,6 +36,7 @@ fn run(strategy: NeighborStrategy) -> (String, String) {
     let mut net_cfg = NetworkConfig::default();
     net_cfg.radio = net_cfg.radio.with_comm_radius(2.5);
     net_cfg.radio.topology = strategy;
+    net_cfg.radio.codec = codec;
     let mut engine = SensorNetwork::build_engine(
         tracker_program(),
         scenario.deployment,
@@ -60,5 +67,25 @@ fn fixed_seed_2k_node_run_is_byte_identical_under_grid_and_brute_force() {
     assert_eq!(
         grid_record, brute_record,
         "run record diverged between grid and brute-force topologies"
+    );
+}
+
+#[test]
+fn fixed_seed_2k_node_run_is_byte_identical_under_binary_and_json_codecs() {
+    let (bin_telemetry, bin_record) = run_with_codec(NeighborStrategy::Grid, WireCodec::Binary);
+    let (json_telemetry, json_record) = run_with_codec(NeighborStrategy::Grid, WireCodec::Json);
+    assert!(
+        bin_telemetry.contains("group.hb"),
+        "the pin must cover live protocol traffic, not an idle field"
+    );
+    // Airtime is always charged from the canonical binary frame length, so
+    // swapping the payload encoding must not move a single event.
+    assert_eq!(
+        bin_telemetry, json_telemetry,
+        "telemetry JSONL diverged between binary and JSON wire codecs"
+    );
+    assert_eq!(
+        bin_record, json_record,
+        "run record diverged between binary and JSON wire codecs"
     );
 }

@@ -50,7 +50,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use envirotrack_net::medium::{DeliveryOutcome, GilbertElliott, Medium, NetStats, RadioConfig, TxId};
-use envirotrack_net::packet::{Frame, LinkDest};
+use envirotrack_net::packet::{Frame, LinkDest, WireCodec};
 use envirotrack_net::routing::GeoRouter;
 use envirotrack_node::cpu::{costs, CpuConfig, MoteCpu};
 use envirotrack_node::energy::EnergyMeter;
@@ -859,7 +859,7 @@ impl SensorNetwork {
         // on unicast frames, so none of `receive_frame`'s link
         // bookkeeping applies to a broadcast.
         if matches!(decoded, BroadcastDecode::Pending) {
-            *decoded = match Message::decode(&frame.payload) {
+            *decoded = match Message::decode_with(self.config.radio.codec, &frame.payload) {
                 Ok(m) => BroadcastDecode::Ok(m),
                 Err(_) => BroadcastDecode::Corrupt,
             };
@@ -930,7 +930,7 @@ impl SensorNetwork {
             }
             rt.seen_unicast.push(key);
         }
-        let Ok(msg) = Message::decode(&frame.payload) else {
+        let Ok(msg) = Message::decode_with(self.config.radio.codec, &frame.payload) else {
             // Corrupt payloads are silently dropped, as on a real radio.
             return;
         };
@@ -1344,7 +1344,9 @@ impl SensorNetwork {
         for action in actions {
             match action {
                 GroupAction::Broadcast(msg) => {
-                    let frame = Frame::broadcast(node, msg.kind(), msg.encode());
+                    let (payload, wire_len) = self.encode_payload(&msg);
+                    let frame =
+                        Frame::broadcast(node, msg.kind(), payload).with_wire_len(wire_len);
                     self.send_frame(k, node, frame);
                 }
                 GroupAction::ArmTimer { key, at, token } => {
@@ -1778,9 +1780,25 @@ impl SensorNetwork {
                     deliver_to,
                     inner: Box::new(inner),
                 });
-                let frame = Frame::unicast(from, next, geo.kind(), geo.encode());
+                let (payload, wire_len) = self.encode_payload(&geo);
+                let frame = Frame::unicast(from, next, geo.kind(), payload).with_wire_len(wire_len);
                 self.send_frame(k, from, frame);
             }
+        }
+    }
+
+    /// Serialises `msg` under the configured codec, returning the frame
+    /// payload plus the canonical *binary* length the radio is charged.
+    /// The charge is identical in both modes — under the JSON debug codec
+    /// the payload buffer carries the textual cross-check encoding, but
+    /// airtime and byte counters still reflect the canonical frame — so a
+    /// fixed-seed run is byte-identical whichever codec decodes it.
+    fn encode_payload(&self, msg: &Message) -> (Bytes, u16) {
+        let binary = msg.encode();
+        let wire_len = binary.len() as u16;
+        match self.config.radio.codec {
+            WireCodec::Binary => (binary, wire_len),
+            WireCodec::Json => (msg.encode_with(WireCodec::Json), wire_len),
         }
     }
 

@@ -1,14 +1,18 @@
-//! The middleware's wire protocol: typed messages and their binary codec.
+//! The middleware's wire protocol: typed messages and their codecs.
 //!
 //! Every protocol exchange — heartbeats, member reports, directory traffic,
 //! MTP segments — is a [`Message`] serialised into the payload of a radio
 //! [`envirotrack_net::packet::Frame`]. Sizes are what the 50 kb/s channel
-//! actually carries, so the codec is a compact hand-rolled binary format
-//! (as on the real motes) rather than a textual one; Table 1's utilisation
-//! figures depend on it.
+//! actually carries, so the canonical codec is the compact varint-framed
+//! [`binary`] format (as on the real motes); Table 1's utilisation figures
+//! depend on it. A textual [`json`] codec survives as a differential debug
+//! cross-check, selected by [`WireCodec`] on the radio config: JSON frames
+//! carry the textual encoding but are still *charged* the binary length,
+//! so fixed-seed runs are byte-identical under either codec and any
+//! semantic divergence between the two implementations fails loudly.
 //!
 //! ```
-//! use envirotrack_core::wire::{Heartbeat, Message};
+//! use envirotrack_core::wire::{Heartbeat, Message, WireCodec};
 //! use envirotrack_core::context::{ContextLabel, ContextTypeId};
 //! use envirotrack_world::field::NodeId;
 //! use envirotrack_world::geometry::Point;
@@ -24,10 +28,19 @@
 //! });
 //! let bytes = msg.encode();
 //! assert_eq!(Message::decode(&bytes).unwrap(), msg);
+//! // The JSON debug codec decodes to the same value from different bytes.
+//! let text = msg.encode_with(WireCodec::Json);
+//! assert_eq!(Message::decode_with(WireCodec::Json, &text).unwrap(), msg);
+//! assert!(bytes.len() * 2 <= text.len());
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+pub mod binary;
+pub mod json;
+pub mod varint;
+
+use bytes::Bytes;
 use envirotrack_net::packet::FrameKind;
+pub use envirotrack_net::packet::WireCodec;
 use envirotrack_sim::time::Timestamp;
 use envirotrack_world::field::NodeId;
 use envirotrack_world::geometry::Point;
@@ -246,242 +259,41 @@ impl Message {
         }
     }
 
-    /// Serialises to the compact wire format.
+    /// Serialises to the canonical binary wire format.
     #[must_use]
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(48);
-        self.encode_into(&mut buf);
-        buf.freeze()
+        binary::encode(self)
     }
 
-    fn encode_into(&self, buf: &mut BytesMut) {
-        match self {
-            Message::Heartbeat(h) => {
-                buf.put_u8(1);
-                put_label(buf, h.label);
-                buf.put_u32(h.leader.0);
-                put_point(buf, h.leader_pos);
-                buf.put_u32(h.weight);
-                buf.put_u32(h.hb_seq);
-                buf.put_u8(h.ttl);
-                put_opt_bytes(buf, &h.state);
-            }
-            Message::Relinquish(r) => {
-                buf.put_u8(2);
-                put_label(buf, r.label);
-                buf.put_u32(r.from.0);
-                buf.put_u32(r.weight);
-                match r.successor {
-                    Some(n) => {
-                        buf.put_u8(1);
-                        buf.put_u32(n.0);
-                    }
-                    None => buf.put_u8(0),
-                }
-                put_opt_bytes(buf, &r.state);
-            }
-            Message::Report(r) => {
-                buf.put_u8(3);
-                put_label(buf, r.label);
-                buf.put_u32(r.member.0);
-                buf.put_u64(r.taken_at.as_micros());
-                buf.put_u8(r.values.len() as u8);
-                for (idx, v) in &r.values {
-                    buf.put_u8(*idx);
-                    put_reading(buf, *v);
-                }
-            }
-            Message::DirRegister(d) => {
-                buf.put_u8(4);
-                put_label(buf, d.label);
-                put_point(buf, d.location);
-            }
-            Message::DirQuery(d) => {
-                buf.put_u8(5);
-                buf.put_u16(d.type_id.0);
-                buf.put_u32(d.reply_to.0);
-                put_point(buf, d.reply_pos);
-                buf.put_u32(d.query_id);
-            }
-            Message::DirResponse(d) => {
-                buf.put_u8(6);
-                buf.put_u32(d.query_id);
-                buf.put_u8(d.entries.len() as u8);
-                for (label, p) in &d.entries {
-                    put_label(buf, *label);
-                    put_point(buf, *p);
-                }
-            }
-            Message::Mtp(m) => {
-                buf.put_u8(7);
-                put_label(buf, m.src_label);
-                buf.put_u16(m.src_port.0);
-                put_label(buf, m.dst_label);
-                buf.put_u16(m.dst_port.0);
-                buf.put_u32(m.src_leader.0);
-                put_point(buf, m.src_leader_pos);
-                buf.put_u8(m.chain_hops);
-                buf.put_u32(m.seq);
-                buf.put_u16(m.payload.len() as u16);
-                buf.put_slice(&m.payload);
-            }
-            Message::Base(b) => {
-                buf.put_u8(8);
-                put_label(buf, b.label);
-                buf.put_u64(b.generated_at.as_micros());
-                buf.put_u16(b.payload.len() as u16);
-                buf.put_slice(&b.payload);
-            }
-            Message::Geo(g) => {
-                buf.put_u8(9);
-                put_point(buf, g.dest);
-                match g.deliver_to {
-                    Some(n) => {
-                        buf.put_u8(1);
-                        buf.put_u32(n.0);
-                    }
-                    None => buf.put_u8(0),
-                }
-                let mut inner = BytesMut::new();
-                g.inner.encode_into(&mut inner);
-                buf.put_u16(inner.len() as u16);
-                buf.put_slice(&inner);
-            }
-            Message::MtpAckMsg(a) => {
-                buf.put_u8(10);
-                put_label(buf, a.dst_label);
-                buf.put_u32(a.src_node.0);
-                buf.put_u32(a.seq);
-                buf.put_u32(a.acker.0);
-                put_point(buf, a.acker_pos);
-            }
-        }
-    }
-
-    /// Parses a message from its wire form.
+    /// Parses a message from the canonical binary wire form.
     ///
     /// # Errors
     ///
-    /// Returns [`DecodeError`] on truncated input or an unknown tag.
+    /// Returns [`DecodeError`] on any malformed input; never panics.
     pub fn decode(bytes: &[u8]) -> Result<Message, DecodeError> {
-        let mut buf = bytes;
-        let msg = Self::decode_from(&mut buf)?;
-        if !buf.is_empty() {
-            return Err(DecodeError::TrailingBytes { count: buf.len() });
-        }
-        Ok(msg)
+        binary::decode(bytes)
     }
 
-    fn decode_from(buf: &mut &[u8]) -> Result<Message, DecodeError> {
-        let tag = get_u8(buf)?;
-        Ok(match tag {
-            1 => Message::Heartbeat(Heartbeat {
-                label: get_label(buf)?,
-                leader: NodeId(get_u32(buf)?),
-                leader_pos: get_point(buf)?,
-                weight: get_u32(buf)?,
-                hb_seq: get_u32(buf)?,
-                ttl: get_u8(buf)?,
-                state: get_opt_bytes(buf)?,
-            }),
-            2 => Message::Relinquish(Relinquish {
-                label: get_label(buf)?,
-                from: NodeId(get_u32(buf)?),
-                weight: get_u32(buf)?,
-                successor: if get_u8(buf)? == 1 {
-                    Some(NodeId(get_u32(buf)?))
-                } else {
-                    None
-                },
-                state: get_opt_bytes(buf)?,
-            }),
-            3 => {
-                let label = get_label(buf)?;
-                let member = NodeId(get_u32(buf)?);
-                let taken_at = Timestamp::from_micros(get_u64(buf)?);
-                let n = get_u8(buf)?;
-                let mut values = Vec::with_capacity(usize::from(n));
-                for _ in 0..n {
-                    let idx = get_u8(buf)?;
-                    values.push((idx, get_reading(buf)?));
-                }
-                Message::Report(Report {
-                    label,
-                    member,
-                    taken_at,
-                    values,
-                })
-            }
-            4 => Message::DirRegister(DirRegister {
-                label: get_label(buf)?,
-                location: get_point(buf)?,
-            }),
-            5 => Message::DirQuery(DirQuery {
-                type_id: ContextTypeId(get_u16(buf)?),
-                reply_to: NodeId(get_u32(buf)?),
-                reply_pos: get_point(buf)?,
-                query_id: get_u32(buf)?,
-            }),
-            6 => {
-                let query_id = get_u32(buf)?;
-                let n = get_u8(buf)?;
-                let mut entries = Vec::with_capacity(usize::from(n));
-                for _ in 0..n {
-                    entries.push((get_label(buf)?, get_point(buf)?));
-                }
-                Message::DirResponse(DirResponse { query_id, entries })
-            }
-            7 => Message::Mtp(MtpSegment {
-                src_label: get_label(buf)?,
-                src_port: Port(get_u16(buf)?),
-                dst_label: get_label(buf)?,
-                dst_port: Port(get_u16(buf)?),
-                src_leader: NodeId(get_u32(buf)?),
-                src_leader_pos: get_point(buf)?,
-                chain_hops: get_u8(buf)?,
-                seq: get_u32(buf)?,
-                payload: get_len_bytes(buf)?,
-            }),
-            8 => Message::Base(BaseReport {
-                label: get_label(buf)?,
-                generated_at: Timestamp::from_micros(get_u64(buf)?),
-                payload: get_len_bytes(buf)?,
-            }),
-            9 => {
-                let dest = get_point(buf)?;
-                let deliver_to = if get_u8(buf)? == 1 {
-                    Some(NodeId(get_u32(buf)?))
-                } else {
-                    None
-                };
-                let len = usize::from(get_u16(buf)?);
-                if buf.remaining() < len {
-                    return Err(DecodeError::Truncated);
-                }
-                let (inner_bytes, rest) = buf.split_at(len);
-                *buf = rest;
-                let mut inner_slice = inner_bytes;
-                let inner = Message::decode_from(&mut inner_slice)?;
-                if !inner_slice.is_empty() {
-                    return Err(DecodeError::TrailingBytes {
-                        count: inner_slice.len(),
-                    });
-                }
-                Message::Geo(GeoForward {
-                    dest,
-                    deliver_to,
-                    inner: Box::new(inner),
-                })
-            }
-            10 => Message::MtpAckMsg(MtpAck {
-                dst_label: get_label(buf)?,
-                src_node: NodeId(get_u32(buf)?),
-                seq: get_u32(buf)?,
-                acker: NodeId(get_u32(buf)?),
-                acker_pos: get_point(buf)?,
-            }),
-            other => return Err(DecodeError::UnknownTag { tag: other }),
-        })
+    /// Serialises with an explicit codec — [`WireCodec::Binary`] is
+    /// [`Message::encode`]; [`WireCodec::Json`] is the debug cross-check.
+    #[must_use]
+    pub fn encode_with(&self, codec: WireCodec) -> Bytes {
+        match codec {
+            WireCodec::Binary => binary::encode(self),
+            WireCodec::Json => json::encode(self),
+        }
+    }
+
+    /// Parses with an explicit codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on any malformed input; never panics.
+    pub fn decode_with(codec: WireCodec, bytes: &[u8]) -> Result<Message, DecodeError> {
+        match codec {
+            WireCodec::Binary => binary::decode(bytes),
+            WireCodec::Json => json::decode(bytes),
+        }
     }
 }
 
@@ -492,13 +304,31 @@ pub enum DecodeError {
     Truncated,
     /// The leading type tag is not a known message.
     UnknownTag {
-        /// The offending tag byte.
-        tag: u8,
+        /// The offending tag value.
+        tag: u64,
     },
     /// Bytes remained after a complete message.
     TrailingBytes {
         /// How many bytes were left over.
         count: usize,
+    },
+    /// A varint ran past ten bytes or overflowed `u64`.
+    VarintOverflow,
+    /// A varint used more bytes than its value needs (a shorter encoding
+    /// of the same value exists; canonical decoding rejects it).
+    NonCanonicalVarint,
+    /// A frame's length prefix disagreed with its body.
+    LengthMismatch {
+        /// The length the prefix declared.
+        declared: usize,
+        /// The bytes the body actually consumed.
+        used: usize,
+    },
+    /// A field violated its own rules (bad option flag, out-of-range
+    /// integer, malformed JSON, …).
+    Malformed {
+        /// A human-readable description of the violation.
+        what: &'static str,
     },
 }
 
@@ -510,102 +340,17 @@ impl std::fmt::Display for DecodeError {
             DecodeError::TrailingBytes { count } => {
                 write!(f, "{count} trailing bytes after message")
             }
+            DecodeError::VarintOverflow => f.write_str("varint overflows u64"),
+            DecodeError::NonCanonicalVarint => f.write_str("non-canonical varint encoding"),
+            DecodeError::LengthMismatch { declared, used } => {
+                write!(f, "frame declared {declared} body bytes but used {used}")
+            }
+            DecodeError::Malformed { what } => write!(f, "malformed message: {what}"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
-
-fn put_label(buf: &mut BytesMut, label: ContextLabel) {
-    buf.put_u16(label.type_id.0);
-    buf.put_u32(label.creator.0);
-    buf.put_u32(label.seq);
-}
-
-fn get_label(buf: &mut &[u8]) -> Result<ContextLabel, DecodeError> {
-    Ok(ContextLabel {
-        type_id: ContextTypeId(get_u16(buf)?),
-        creator: NodeId(get_u32(buf)?),
-        seq: get_u32(buf)?,
-    })
-}
-
-fn put_point(buf: &mut BytesMut, p: Point) {
-    buf.put_f64(p.x);
-    buf.put_f64(p.y);
-}
-
-fn get_point(buf: &mut &[u8]) -> Result<Point, DecodeError> {
-    let x = get_f64(buf)?;
-    let y = get_f64(buf)?;
-    Ok(Point::new(x, y))
-}
-
-fn put_reading(buf: &mut BytesMut, v: ReadingValue) {
-    match v {
-        ReadingValue::Scalar(s) => {
-            buf.put_u8(0);
-            buf.put_f64(s);
-        }
-        ReadingValue::Position(p) => {
-            buf.put_u8(1);
-            put_point(buf, p);
-        }
-    }
-}
-
-fn get_reading(buf: &mut &[u8]) -> Result<ReadingValue, DecodeError> {
-    match get_u8(buf)? {
-        0 => Ok(ReadingValue::Scalar(get_f64(buf)?)),
-        1 => Ok(ReadingValue::Position(get_point(buf)?)),
-        tag => Err(DecodeError::UnknownTag { tag }),
-    }
-}
-
-fn put_opt_bytes(buf: &mut BytesMut, b: &Option<Bytes>) {
-    match b {
-        Some(data) => {
-            buf.put_u8(1);
-            buf.put_u16(data.len() as u16);
-            buf.put_slice(data);
-        }
-        None => buf.put_u8(0),
-    }
-}
-
-fn get_opt_bytes(buf: &mut &[u8]) -> Result<Option<Bytes>, DecodeError> {
-    if get_u8(buf)? == 0 {
-        return Ok(None);
-    }
-    Ok(Some(get_len_bytes(buf)?))
-}
-
-fn get_len_bytes(buf: &mut &[u8]) -> Result<Bytes, DecodeError> {
-    let len = usize::from(get_u16(buf)?);
-    if buf.remaining() < len {
-        return Err(DecodeError::Truncated);
-    }
-    let (data, rest) = buf.split_at(len);
-    let out = Bytes::copy_from_slice(data);
-    *buf = rest;
-    Ok(out)
-}
-
-macro_rules! getter {
-    ($name:ident, $ty:ty, $len:expr, $read:ident) => {
-        fn $name(buf: &mut &[u8]) -> Result<$ty, DecodeError> {
-            if buf.remaining() < $len {
-                return Err(DecodeError::Truncated);
-            }
-            Ok(buf.$read())
-        }
-    };
-}
-getter!(get_u8, u8, 1, get_u8);
-getter!(get_u16, u16, 2, get_u16);
-getter!(get_u32, u32, 4, get_u32);
-getter!(get_u64, u64, 8, get_u64);
-getter!(get_f64, f64, 8, get_f64);
 
 #[cfg(test)]
 mod tests {
@@ -619,10 +364,13 @@ mod tests {
         }
     }
 
+    /// Round-trips through the canonical binary codec *and* the JSON debug
+    /// codec, checking both decode to the original.
     fn round_trip(msg: Message) {
         let bytes = msg.encode();
-        let back = Message::decode(&bytes).unwrap();
-        assert_eq!(back, msg);
+        assert_eq!(Message::decode(&bytes).unwrap(), msg);
+        let text = msg.encode_with(WireCodec::Json);
+        assert_eq!(Message::decode_with(WireCodec::Json, &text).unwrap(), msg);
     }
 
     #[test]
@@ -770,19 +518,20 @@ mod tests {
             state: None,
         })
         .encode();
+        // The length prefix makes every cut unambiguous: the only possible
+        // error for a truncated valid frame is `Truncated`.
         for cut in 0..bytes.len() {
             let err = Message::decode(&bytes[..cut]).unwrap_err();
-            assert!(
-                matches!(err, DecodeError::Truncated | DecodeError::UnknownTag { .. }),
-                "cut at {cut} gave {err:?}"
-            );
+            assert_eq!(err, DecodeError::Truncated, "cut at {cut} gave {err:?}");
         }
     }
 
     #[test]
     fn unknown_tag_and_trailing_bytes_error() {
+        // A frame of declared length 2 whose body is the varint 200 — a
+        // tag no message uses.
         assert_eq!(
-            Message::decode(&[200]).unwrap_err(),
+            Message::decode(&[0x02, 0xC8, 0x01]).unwrap_err(),
             DecodeError::UnknownTag { tag: 200 }
         );
         let mut bytes = Message::DirResponse(DirResponse {
@@ -795,6 +544,28 @@ mod tests {
         assert_eq!(
             Message::decode(&bytes).unwrap_err(),
             DecodeError::TrailingBytes { count: 1 }
+        );
+    }
+
+    #[test]
+    fn length_prefix_lies_are_rejected() {
+        // Grow a DirRegister frame's declared length by one and pad the
+        // buffer to match: the body decodes but leaves a byte over.
+        let mut padded = Message::DirRegister(DirRegister {
+            label: label(0, 1, 1),
+            location: Point::ORIGIN,
+        })
+        .encode()
+        .to_vec();
+        padded[0] += 1;
+        padded.push(0x00);
+        let declared = padded[0] as usize;
+        assert_eq!(
+            Message::decode(&padded).unwrap_err(),
+            DecodeError::LengthMismatch {
+                declared,
+                used: declared - 1,
+            }
         );
     }
 
@@ -822,8 +593,8 @@ mod tests {
 
     #[test]
     fn heartbeat_is_compact_on_the_wire() {
-        // The mote radio carried ~36-byte packets; our heartbeat must be in
-        // that ballpark for the utilisation figures to be meaningful.
+        // The mote radio carried ~36-byte packets; varint framing gets a
+        // stateless heartbeat well under half of that.
         let hb = Message::Heartbeat(Heartbeat {
             label: label(1, 2, 3),
             leader: NodeId(2),
@@ -833,7 +604,29 @@ mod tests {
             ttl: 1,
             state: None,
         });
-        let len = hb.encode().len();
-        assert!(len <= 48, "heartbeat is {len} bytes");
+        let binary = hb.encode().len();
+        assert!(binary <= 18, "heartbeat is {binary} bytes");
+        // …and the JSON debug rendering of the same message is ≥ 2× it.
+        let json = hb.encode_with(WireCodec::Json).len();
+        assert!(json >= binary * 2, "json {json} vs binary {binary}");
+    }
+
+    #[test]
+    fn accepted_binary_input_reencodes_identically() {
+        // The canonical-decoding property the adversarial suite leans on.
+        let msg = Message::Mtp(MtpSegment {
+            src_label: label(4, 1_000_000, 3),
+            src_port: Port(700),
+            dst_label: label(5, 2, 9),
+            dst_port: Port(1),
+            src_leader: NodeId(u32::MAX),
+            src_leader_pos: Point::new(-3.75, 1e300),
+            chain_hops: 255,
+            seq: 123_456_789,
+            payload: Bytes::from_static(&[0xde, 0xad]),
+        });
+        let bytes = msg.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back.encode(), bytes);
     }
 }

@@ -1,10 +1,14 @@
-//! Exhaustive wire-codec properties: every [`Message`] variant must
-//! round-trip through encode/decode, including the wrap-around extremes
-//! (`u32::MAX` sequence numbers, ports, and weights) that a long-lived
-//! node eventually reaches — and telemetry trace events must survive the
-//! JSON-lines encoder byte-identically whatever strings they carry.
+//! Differential wire-codec properties: every [`Message`] variant must
+//! round-trip through *both* codecs — the canonical varint binary format
+//! and the JSON debug cross-check — and decode to the same value from
+//! either, including the wrap-around extremes (`u32::MAX` sequence
+//! numbers, ports, and weights) that a long-lived node eventually
+//! reaches, zero-length and unicode payloads, and float edge cases. The
+//! telemetry trace events must also survive the JSON-lines encoder
+//! byte-identically whatever strings they carry.
 
 use bytes::Bytes;
+use envirotrack_core::wire::{varint, WireCodec};
 use envirotrack_core::aggregate::ReadingValue;
 use envirotrack_core::context::{ContextLabel, ContextTypeId};
 use envirotrack_core::report::telemetry_to_jsonl;
@@ -46,8 +50,22 @@ fn arb_point() -> impl Strategy<Value = Point> {
     (-1e9..1e9f64, -1e9..1e9f64).prop_map(|(x, y)| Point::new(x, y))
 }
 
+/// Payload bytes biased toward the codec's edges: the empty payload, raw
+/// binary junk, and UTF-8 text (multi-byte unicode included) that a
+/// textual codec might be tempted to mangle.
 fn arb_bytes(max: usize) -> impl Strategy<Value = Bytes> {
-    prop::collection::vec(any::<u8>(), 0..max).prop_map(Bytes::from)
+    prop_oneof![
+        Just(Bytes::new()),
+        prop::collection::vec(any::<u8>(), 0..max).prop_map(Bytes::from),
+        prop_oneof![
+            Just("żółć"),
+            Just("目标跟踪"),
+            Just("🔥 fire"),
+            Just("plain ascii"),
+            Just("\"quoted\\escaped\""),
+        ]
+        .prop_map(|s| Bytes::copy_from_slice(s.as_bytes())),
+    ]
 }
 
 /// One strategy per variant, so a single run exercises all ten tags.
@@ -197,6 +215,47 @@ prop_test! {
         prop_assert_eq!(back.as_ref(), Ok(&msg), "bytes: {:02x?}", &bytes[..]);
     }
 
+    /// Differential battery: the same message round-trips through the
+    /// JSON debug codec, both codecs decode to *equal* values, the binary
+    /// form re-encodes canonically, and the binary frame never exceeds
+    /// the JSON rendering.
+    #[test]
+    fn both_codecs_agree_on_every_variant(msg in arb_any_message()) {
+        let binary = msg.encode_with(WireCodec::Binary);
+        let json = msg.encode_with(WireCodec::Json);
+        let from_binary = Message::decode_with(WireCodec::Binary, &binary);
+        let from_json = Message::decode_with(WireCodec::Json, &json);
+        prop_assert_eq!(from_binary.as_ref(), Ok(&msg));
+        prop_assert_eq!(
+            from_json.as_ref(), Ok(&msg),
+            "json: {}", String::from_utf8_lossy(&json)
+        );
+        // Canonical binary: decoding then re-encoding reproduces the bytes.
+        prop_assert_eq!(from_binary.unwrap().encode(), binary.clone());
+        prop_assert!(
+            binary.len() <= json.len(),
+            "binary {} > json {}", binary.len(), json.len()
+        );
+    }
+
+    /// The varint toolkit round-trips any `u64`/`i64` minimally: decoding
+    /// what was encoded yields the value, the length matches the
+    /// predictor, and zigzag is its own inverse at both `i64` extremes.
+    #[test]
+    fn varints_round_trip_minimally(v in prop_oneof![
+        Just(0u64), any::<u64>(), Just(u64::from(u32::MAX)), Just(u64::MAX),
+        (0u32..64).prop_map(|s| 1u64 << s),
+    ]) {
+        let mut buf = bytes::BytesMut::new();
+        varint::put_uvarint(&mut buf, v);
+        prop_assert_eq!(buf.len(), varint::uvarint_len(v));
+        let mut rd = &buf[..];
+        prop_assert_eq!(varint::get_uvarint(&mut rd), Ok(v));
+        prop_assert!(rd.is_empty());
+        let signed = v as i64;
+        prop_assert_eq!(varint::unzigzag(varint::zigzag(signed)), signed);
+    }
+
     /// Trace events with arbitrary (possibly hostile) strings export as
     /// one JSON object per line, byte-identically on re-export.
     #[test]
@@ -257,5 +316,48 @@ fn u32_max_everywhere_round_trips() {
         });
         let bytes = wrapped.encode();
         assert_eq!(Message::decode(&bytes).unwrap(), wrapped);
+        // The JSON cross-check agrees even at every edge simultaneously.
+        let text = wrapped.encode_with(WireCodec::Json);
+        assert_eq!(Message::decode_with(WireCodec::Json, &text).unwrap(), wrapped);
+    }
+}
+
+/// Float edge cases survive both codecs bit-exactly: `-0.0`, infinities,
+/// subnormals, and the classic shortest-round-trip stressors. (`NaN` is
+/// checked at the primitive layer — message equality can't see it.)
+#[test]
+fn float_specials_are_bit_exact_in_both_codecs() {
+    let specials = [
+        0.0,
+        -0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MIN_POSITIVE,
+        5e-324, // smallest subnormal
+        0.1 + 0.2,
+        1.0 / 3.0,
+        f64::MAX,
+        f64::MIN,
+    ];
+    for (i, &x) in specials.iter().enumerate() {
+        for (j, &y) in specials.iter().enumerate() {
+            let msg = Message::DirRegister(DirRegister {
+                label: ContextLabel {
+                    type_id: ContextTypeId(0),
+                    creator: NodeId(i as u32),
+                    seq: j as u32,
+                },
+                location: Point::new(x, y),
+            });
+            for codec in [WireCodec::Binary, WireCodec::Json] {
+                let bytes = msg.encode_with(codec);
+                let back = Message::decode_with(codec, &bytes).unwrap();
+                let Message::DirRegister(d) = back else {
+                    panic!("wrong variant back")
+                };
+                assert_eq!(d.location.x.to_bits(), x.to_bits(), "{codec} x={x:?}");
+                assert_eq!(d.location.y.to_bits(), y.to_bits(), "{codec} y={y:?}");
+            }
+        }
     }
 }

@@ -37,7 +37,7 @@ use envirotrack_world::field::{Deployment, NodeId};
 use envirotrack_world::grid::neighbor_lists_with;
 pub use envirotrack_world::grid::NeighborStrategy;
 
-use crate::packet::{Frame, FrameKind};
+use crate::packet::{Frame, FrameKind, WireCodec};
 
 /// Radio and MAC parameters.
 #[derive(Debug, Clone)]
@@ -62,6 +62,12 @@ pub struct RadioConfig {
     /// determinism cross-check. Both yield bit-identical tables, so runs
     /// are byte-identical either way.
     pub topology: NeighborStrategy,
+    /// Which codec serialises protocol payloads. [`WireCodec::Binary`]
+    /// (the default) is the canonical on-air format; [`WireCodec::Json`]
+    /// keeps a textual debug path whose runs must stay byte-identical to
+    /// binary ones (airtime is always charged from the canonical binary
+    /// size — see [`Frame::wire_len`]).
+    pub codec: WireCodec,
 }
 
 impl Default for RadioConfig {
@@ -77,6 +83,7 @@ impl Default for RadioConfig {
             backoff_max: SimDuration::from_millis(4),
             proc_delay: SimDuration::from_millis(2),
             topology: NeighborStrategy::Grid,
+            codec: WireCodec::Binary,
         }
     }
 }
@@ -87,6 +94,13 @@ impl RadioConfig {
     pub fn with_comm_radius(mut self, r: f64) -> Self {
         assert!(r > 0.0, "communication radius must be positive");
         self.comm_radius = r;
+        self
+    }
+
+    /// Sets the payload codec; chainable.
+    #[must_use]
+    pub fn with_codec(mut self, codec: WireCodec) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -264,6 +278,16 @@ pub struct KindStats {
     pub burst_faded: u64,
     /// (tx, receiver) pairs severed by an active partition mask.
     pub partition_dropped: u64,
+    /// Bytes this kind actually serialised onto the channel (preamble and
+    /// link header included), from the canonical [`Frame::wire_len`] — the
+    /// per-kind share of `NetStats::total_bits`.
+    pub bytes_on_air: u64,
+    /// Bytes of payload *buffer* carried by this kind's frames. Equal to
+    /// the payload share of `bytes_on_air` under the binary codec; under
+    /// the JSON debug codec this is what the textual encoding would have
+    /// cost, making binary-vs-JSON frame sizes directly comparable on the
+    /// same message stream.
+    pub payload_bytes: u64,
 }
 
 impl KindStats {
@@ -323,6 +347,20 @@ impl NetStats {
         self.per_kind.values().map(f).sum()
     }
 
+    /// Total bytes serialised on air across every kind (preamble + header
+    /// + canonical payload), the Table-1 "bytes actually sent" number.
+    #[must_use]
+    pub fn bytes_on_air(&self) -> u64 {
+        self.sum(|k| k.bytes_on_air)
+    }
+
+    /// Total payload-buffer bytes across every kind (see
+    /// [`KindStats::payload_bytes`]).
+    #[must_use]
+    pub fn payload_bytes(&self) -> u64 {
+        self.sum(|k| k.payload_bytes)
+    }
+
     /// Worst-case broadcast-channel utilisation over `elapsed`: total bits
     /// sent divided by what the link could carry, as in Table 1 of the
     /// paper (assumes no spatial reuse).
@@ -344,6 +382,7 @@ struct KindCounters {
     tx: CounterHandle,
     lost: CounterHandle,
     mac_drop: CounterHandle,
+    bytes: CounterHandle,
 }
 
 /// Upper bound on pooled outcome buffers; deliveries are collected one at a
@@ -417,7 +456,8 @@ impl Medium {
 
     /// Replaces the detached default registry with the run-wide one. The
     /// medium records per-frame-kind transmission and whole-broadcast-loss
-    /// counters (`net.k<kind>.tx`, `net.k<kind>.lost`, `net.k<kind>.mac_drop`).
+    /// counters (`net.k<kind>.tx`, `net.k<kind>.lost`, `net.k<kind>.mac_drop`,
+    /// `net.k<kind>.bytes`).
     pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
         // Handles resolved against the old registry are stale; re-resolve
@@ -440,6 +480,9 @@ impl Medium {
                 mac_drop: self
                     .telemetry
                     .counter_handle(&format!("net.k{}.mac_drop", kind.0)),
+                bytes: self
+                    .telemetry
+                    .counter_handle(&format!("net.k{}.bytes", kind.0)),
             });
         }
         self.kind_counters[i].as_ref().expect("just filled")
@@ -584,8 +627,20 @@ impl Medium {
         self.stats.total_tx += 1;
         self.stats.total_bits += frame.on_air_bits();
         self.stats.busy_time += tx_time;
-        self.kind_stats_mut(frame.kind).tx += 1;
-        self.kind_counters(frame.kind).tx.incr();
+        // Charged bytes come from the canonical wire length (identical under
+        // both codecs); payload_bytes is the in-memory buffer (larger under
+        // the JSON debug codec), kept out of telemetry so fixed-seed runs
+        // stay byte-identical across codecs.
+        let charged = frame.on_air_bits() / 8;
+        {
+            let ks = self.kind_stats_mut(frame.kind);
+            ks.tx += 1;
+            ks.bytes_on_air += charged;
+            ks.payload_bytes += frame.payload.len() as u64;
+        }
+        let kc = self.kind_counters(frame.kind);
+        kc.tx.incr();
+        kc.bytes.add(charged);
 
         self.active.push(TxRecord {
             id,

@@ -32,6 +32,54 @@ impl LinkDest {
     }
 }
 
+/// Which codec serialises protocol payloads into frame bytes.
+///
+/// [`Binary`](WireCodec::Binary) is the canonical on-air format: numeric
+/// message-type tags, varint/zigzag integers, length-prefixed frames — what
+/// a real mote would transmit, and what the 50 kb/s serialisation model
+/// charges. [`Json`](WireCodec::Json) is a textual debug codec kept as a
+/// cross-check (the same discipline as the grid-vs-brute-force neighbor
+/// toggle): frames carry the JSON encoding of the very same message, but
+/// the radio still charges the canonical binary size
+/// ([`Frame::wire_len`]), so a fixed-seed run is *byte-identical* under
+/// either codec — any semantic disagreement between the two codecs changes
+/// what receivers decode and breaks that identity loudly.
+///
+/// The net crate treats the codec opaquely (it only carries the toggle);
+/// `envirotrack-core`'s `wire` module implements both formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireCodec {
+    /// Compact varint-framed binary codec — the canonical wire format.
+    #[default]
+    Binary,
+    /// Textual JSON codec, retained as a differential debug cross-check.
+    Json,
+}
+
+impl WireCodec {
+    /// Parses a codec name as used by CLI flags (`binary` / `json`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending string when it names no codec.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "binary" => Ok(WireCodec::Binary),
+            "json" => Ok(WireCodec::Json),
+            other => Err(format!("unknown codec {other:?} (binary|json)")),
+        }
+    }
+}
+
+impl std::fmt::Display for WireCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WireCodec::Binary => "binary",
+            WireCodec::Json => "json",
+        })
+    }
+}
+
 /// A small tag identifying the protocol message class inside a frame.
 ///
 /// The net crate treats kinds opaquely; `envirotrack-core` defines the
@@ -61,6 +109,12 @@ pub struct Frame {
     pub link_seq: u32,
     /// Serialised protocol payload.
     pub payload: Bytes,
+    /// Canonical on-air payload length in bytes: what the radio charges for
+    /// serialisation. Equals `payload.len()` except under the JSON debug
+    /// codec, where `payload` carries the textual cross-check encoding but
+    /// the channel still serialises the canonical binary frame (see
+    /// [`WireCodec`]).
+    pub wire_len: u16,
 }
 
 impl Frame {
@@ -71,27 +125,33 @@ impl Frame {
     /// Physical-layer preamble + start symbol, charged per transmission.
     pub const PREAMBLE_BYTES: usize = 18;
 
-    /// Creates a broadcast frame.
+    /// Creates a broadcast frame. The charged on-air length defaults to the
+    /// payload's own length; JSON debug-codec senders override it with
+    /// [`Frame::with_wire_len`].
     #[must_use]
     pub fn broadcast(src: NodeId, kind: FrameKind, payload: Bytes) -> Self {
+        let wire_len = payload.len() as u16;
         Frame {
             src,
             link_dst: LinkDest::Broadcast,
             kind,
             link_seq: 0,
             payload,
+            wire_len,
         }
     }
 
     /// Creates a unicast (single-hop) frame.
     #[must_use]
     pub fn unicast(src: NodeId, to: NodeId, kind: FrameKind, payload: Bytes) -> Self {
+        let wire_len = payload.len() as u16;
         Frame {
             src,
             link_dst: LinkDest::Node(to),
             kind,
             link_seq: 0,
             payload,
+            wire_len,
         }
     }
 
@@ -102,10 +162,19 @@ impl Frame {
         self
     }
 
+    /// Overrides the canonical on-air payload length; chainable. Used by
+    /// the JSON debug codec, whose in-memory payload is *not* what the
+    /// modelled radio would serialise.
+    #[must_use]
+    pub fn with_wire_len(mut self, wire_len: u16) -> Self {
+        self.wire_len = wire_len;
+        self
+    }
+
     /// Bytes occupying the channel, excluding the physical preamble.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        Self::HEADER_BYTES + self.payload.len()
+        Self::HEADER_BYTES + usize::from(self.wire_len)
     }
 
     /// Total on-air size in bits, including the preamble — what the 50 kb/s
@@ -140,5 +209,24 @@ mod tests {
         assert_eq!(b.link_dst, LinkDest::Broadcast);
         let u = Frame::unicast(NodeId(1), NodeId(2), FrameKind(0), Bytes::new());
         assert_eq!(u.link_dst, LinkDest::Node(NodeId(2)));
+    }
+
+    #[test]
+    fn wire_len_overrides_the_charged_size() {
+        // A JSON debug payload of 100 bytes whose canonical binary frame is
+        // 20 bytes must be charged 20 on air.
+        let f = Frame::broadcast(NodeId(0), FrameKind(1), Bytes::copy_from_slice(&[0u8; 100]))
+            .with_wire_len(20);
+        assert_eq!(f.size_bytes(), Frame::HEADER_BYTES + 20);
+        assert_eq!(f.on_air_bits(), ((18 + 7 + 20) * 8) as u64);
+    }
+
+    #[test]
+    fn codec_parses_and_displays() {
+        assert_eq!(WireCodec::parse("binary"), Ok(WireCodec::Binary));
+        assert_eq!(WireCodec::parse("json"), Ok(WireCodec::Json));
+        assert!(WireCodec::parse("protobuf").is_err());
+        assert_eq!(WireCodec::default(), WireCodec::Binary);
+        assert_eq!(WireCodec::Json.to_string(), "json");
     }
 }

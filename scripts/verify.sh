@@ -8,7 +8,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
+cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy -q --workspace --offline -- -D warnings
 
@@ -48,10 +48,21 @@ cmp -s "$tmp/sweep1.jsonl" "$tmp/sweep2.jsonl" \
 ./target/release/scale --smoke --out "$tmp/scale.json"
 for f in "$tmp/scale.json" BENCH_scale.json; do
   for key in '"bench":"scale"' '"construction":' '"speedup":' '"results":' \
-             '"events_per_sec":' '"sweep":' '"merged_outputs_identical":true'; do
+             '"events_per_sec":' '"sweep":' '"merged_outputs_identical":true' \
+             '"codec":' '"bytes_on_air":' '"json_over_binary":'; do
     grep -q "$key" "$f" \
       || { echo "verify: $f is missing $key" >&2; exit 1; }
   done
 done
+
+# Codec cross-check smoke: the same 1k-node field run under the binary and
+# the JSON wire codec must produce byte-identical run records and
+# telemetry JSONL — the debug codec is an observer, not a behavior knob.
+./target/release/scale --smoke --codec binary --crosscheck "$tmp/cc_binary.jsonl"
+./target/release/scale --smoke --codec json --crosscheck "$tmp/cc_json.jsonl"
+cmp -s "$tmp/cc_binary.jsonl" "$tmp/cc_json.jsonl" \
+  || { echo "verify: simulation output depends on the wire codec" >&2; exit 1; }
+grep -q "group.hb" "$tmp/cc_binary.jsonl" \
+  || { echo "verify: codec cross-check saw no protocol traffic" >&2; exit 1; }
 
 echo "verify: OK"
