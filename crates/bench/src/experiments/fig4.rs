@@ -102,7 +102,9 @@ mod tests {
 
     #[test]
     fn propagation_beats_no_propagation_and_slow_beats_fast() {
-        let fig = run(3);
+        // Five seeds: the h=0 success gap between speeds is a few points
+        // wide, so three-seed averages sit inside run-to-run noise.
+        let fig = run(5);
         let get = |kmh: f64, ttl: u8| {
             fig.bars
                 .iter()

@@ -20,4 +20,5 @@
 pub mod experiments;
 pub mod harness;
 pub mod plot;
+pub mod soak;
 pub mod sweep;

@@ -70,6 +70,49 @@ fn fixed_seed_2k_node_run_is_byte_identical_under_grid_and_brute_force() {
     );
 }
 
+/// The CRC trailer rides inside the canonical binary frame, so it is part
+/// of the charged airtime — and the JSON debug codec, which overrides
+/// [`Frame::wire_len`] with the canonical binary length, charges the
+/// identical (trailer-inclusive) size. If either side dropped the 4
+/// trailer bytes from its stamping, frame timing would shift and the
+/// codec byte-identity pins below would cascade.
+///
+/// [`Frame::wire_len`]: envirotrack_net::packet::Frame::wire_len
+#[test]
+fn airtime_charges_include_the_crc_trailer_under_either_codec() {
+    use envirotrack_core::context::{ContextLabel, ContextTypeId};
+    use envirotrack_core::wire::{crc, Heartbeat, Message};
+    use envirotrack_net::packet::Frame;
+    use envirotrack_world::field::NodeId;
+    use envirotrack_world::geometry::Point;
+
+    let msg = Message::Heartbeat(Heartbeat {
+        label: ContextLabel {
+            type_id: ContextTypeId(0),
+            creator: NodeId(3),
+            seq: 1,
+        },
+        leader: NodeId(3),
+        leader_pos: Point::new(1.0, 2.0),
+        weight: 900,
+        hb_seq: 5,
+        ttl: 1,
+        state: None,
+    });
+    let bin = msg.encode();
+    let (body, trailer) = bin.split_at(bin.len() - crc::TRAILER_BYTES);
+    assert_eq!(trailer, crc::crc32(body).to_le_bytes());
+
+    // The frames the network builds: binary carries its own bytes; JSON
+    // carries textual bytes but stamps the canonical binary length.
+    let f_bin = Frame::broadcast(NodeId(3), msg.kind(), bin.clone());
+    let f_json = Frame::broadcast(NodeId(3), msg.kind(), msg.encode_with(WireCodec::Json))
+        .with_wire_len(bin.len() as u16);
+    assert_eq!(usize::from(f_bin.wire_len), bin.len(), "trailer missing from airtime");
+    assert_eq!(f_bin.size_bytes(), f_json.size_bytes());
+    assert_eq!(f_bin.on_air_bits(), f_json.on_air_bits());
+}
+
 #[test]
 fn fixed_seed_2k_node_run_is_byte_identical_under_binary_and_json_codecs() {
     let (bin_telemetry, bin_record) = run_with_codec(NeighborStrategy::Grid, WireCodec::Binary);

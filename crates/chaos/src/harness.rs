@@ -106,9 +106,15 @@ fn apply_fault(
         FaultEvent::Heal => {
             monitor.borrow_mut().check_deliveries(w, k.now());
             w.set_partition(None);
+            // Replicated directories diverge during the split; one
+            // anti-entropy round per live replica starts repair now
+            // instead of waiting out the gossip period.
+            w.kick_directory_gossip(k);
         }
         FaultEvent::BurstLossOn(model) => w.set_burst_loss(Some(model)),
         FaultEvent::BurstLossOff => w.set_burst_loss(None),
+        FaultEvent::LinkFaultsOn(faults) => w.set_link_faults(Some(faults)),
+        FaultEvent::LinkFaultsOff => w.set_link_faults(None),
         FaultEvent::ClockRate { node, rate } => w.set_clock_rate(node, rate, k.now()),
     }
 }

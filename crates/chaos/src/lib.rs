@@ -3,7 +3,8 @@
 //!
 //! A [`plan::FaultPlan`] is a declarative, seed-deterministic schedule of
 //! fault events — node crashes and reboots, battery death, region
-//! partitions, Gilbert–Elliott burst loss, bounded clock skew — that
+//! partitions, Gilbert–Elliott burst loss, link-level frame corruption
+//! and reordering, bounded clock skew — that
 //! [`harness::install`] turns into ordinary kernel events on a
 //! [`envirotrack_core::network::SensorNetwork`] engine. A
 //! [`monitor::InvariantMonitor`] samples the world on a fixed tick and

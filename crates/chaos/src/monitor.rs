@@ -1,6 +1,6 @@
 //! Invariant monitors: the safety claims a chaos run must not break.
 //!
-//! The monitor samples the world once per tick and checks four invariants:
+//! The monitor samples the world once per tick and checks five invariants:
 //!
 //! 1. **Leader uniqueness** — two same-type leaders within the proximity
 //!    radius track the *same* physical entity, so one of them must yield;
@@ -14,6 +14,9 @@
 //!    audit log).
 //! 4. **Clock monotonicity** — every node's local clock only moves
 //!    forward, whatever skew the plan injects.
+//! 5. **Corruption rejection** — no garbled frame is ever accepted by the
+//!    receive path (checked against the shadow-hash audit counter the
+//!    network keeps alongside its CRC verification).
 //!
 //! Violations carry the seed and the fault trace so far, so a red run
 //! reproduces from the report alone.
@@ -37,6 +40,9 @@ pub enum InvariantKind {
     PartitionLeak,
     /// A node's local clock moved backwards.
     ClockRegression,
+    /// A corrupted frame slipped past CRC verification and was accepted
+    /// (detected by the shadow-hash audit).
+    CorruptAccepted,
 }
 
 /// One observed invariant violation, with everything needed to replay it.
@@ -93,6 +99,9 @@ pub struct InvariantMonitor {
     last_clock: Vec<SimDuration>,
     /// When a duplicate-leader condition started, per context type.
     dup_since: Vec<Option<Timestamp>>,
+    /// Shadow-hash audit counter value already reported, so each accepted
+    /// corrupt frame yields exactly one violation.
+    corrupt_accepted_seen: u64,
     trace: Vec<String>,
     violations: Vec<Violation>,
     /// The run's telemetry registry (shared with the world), read to
@@ -109,6 +118,7 @@ impl InvariantMonitor {
             cfg,
             last_clock: vec![SimDuration::ZERO; world.deployment().len()],
             dup_since: vec![None; world.context_type_count()],
+            corrupt_accepted_seen: 0,
             trace: Vec::new(),
             violations: Vec::new(),
             telemetry: world.telemetry().clone(),
@@ -164,6 +174,27 @@ impl InvariantMonitor {
         self.check_leaders(world, now);
         self.check_aggregates(world, now);
         self.check_deliveries(world, now);
+        self.check_corruption(now);
+    }
+
+    /// A frame garbled in flight must fail CRC verification and be
+    /// dropped; the network's shadow-hash audit counts any that were
+    /// accepted anyway. The counter staying at zero is the soak harness's
+    /// core integrity claim.
+    fn check_corruption(&mut self, now: Timestamp) {
+        let accepted = self.telemetry.counter("net.corrupt_accepted");
+        if accepted > self.corrupt_accepted_seen {
+            self.record(
+                now,
+                InvariantKind::CorruptAccepted,
+                format!(
+                    "{} corrupted frame(s) accepted past CRC verification",
+                    accepted - self.corrupt_accepted_seen
+                ),
+                None,
+            );
+            self.corrupt_accepted_seen = accepted;
+        }
     }
 
     fn check_clocks(&mut self, world: &SensorNetwork, now: Timestamp) {

@@ -6,7 +6,7 @@
 //! — [`crate::harness::install`] schedules them — so the same plan value
 //! replays identically on any engine with the same seed.
 
-use envirotrack_net::medium::GilbertElliott;
+use envirotrack_net::medium::{GilbertElliott, LinkFaults};
 use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_world::field::NodeId;
@@ -36,6 +36,12 @@ pub enum FaultEvent {
     BurstLossOn(GilbertElliott),
     /// Remove the burst-loss model (base fading remains).
     BurstLossOff,
+    /// Install a link-level fault injector: bit-flip corruption,
+    /// truncation, duplication, and bounded reordering of frames in
+    /// flight.
+    LinkFaultsOn(LinkFaults),
+    /// Remove the link-level fault injector.
+    LinkFaultsOff,
     /// Set a node's clock rate (1.0 = ideal). Must stay within the
     /// bounded-skew range `[0.5, 2.0]`.
     ClockRate {
@@ -70,6 +76,10 @@ impl FaultEvent {
                 format!("burst loss on (bad={:.2})", m.loss_bad)
             }
             FaultEvent::BurstLossOff => "burst loss off".to_string(),
+            FaultEvent::LinkFaultsOn(f) => {
+                format!("link faults on (flip/byte={:.0e})", f.flip_per_byte)
+            }
+            FaultEvent::LinkFaultsOff => "link faults off".to_string(),
             FaultEvent::ClockRate { node, rate } => {
                 format!("clock rate node {} = {rate:.3}", node.0)
             }
@@ -154,6 +164,18 @@ impl FaultPlan {
                         return Err(format!("{t}: clock rate {rate} outside [0.5, 2.0]"));
                     }
                 }
+                FaultEvent::LinkFaultsOn(f) => {
+                    for (name, p) in [
+                        ("flip_per_byte", f.flip_per_byte),
+                        ("truncate", f.truncate),
+                        ("duplicate", f.duplicate),
+                        ("reorder", f.reorder),
+                    ] {
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(format!("{t}: link-fault {name} {p} outside [0, 1]"));
+                        }
+                    }
+                }
                 _ => {}
             }
         }
@@ -162,9 +184,9 @@ impl FaultPlan {
 
     /// Generates a pseudo-random but well-formed plan from a seed: a
     /// handful of crash/reboot pairs, at most one partition interval
-    /// (healed before the horizon), at most one burst-loss interval, and a
-    /// few bounded clock skews. Same seed, node count, and horizon → the
-    /// identical plan.
+    /// (healed before the horizon), at most one burst-loss interval, at
+    /// most one link-fault interval, and a few bounded clock skews. Same
+    /// seed, node count, and horizon → the identical plan.
     #[must_use]
     pub fn random(seed: u64, node_count: usize, horizon: SimDuration) -> Self {
         let mut rng = SimRng::seed_from(seed).fork("fault-plan");
@@ -205,6 +227,14 @@ impl FaultPlan {
             plan = plan
                 .at(start, FaultEvent::BurstLossOn(GilbertElliott::default()))
                 .at(end, FaultEvent::BurstLossOff);
+        }
+        // One optional link-fault interval with the default soak profile.
+        if rng.chance(0.7) {
+            let start = when(&mut rng, 1, 5);
+            let end = start + SimDuration::from_micros(1 + rng.below(span / 4));
+            plan = plan
+                .at(start, FaultEvent::LinkFaultsOn(LinkFaults::default()))
+                .at(end, FaultEvent::LinkFaultsOff);
         }
         // A few bounded clock skews (±10 %).
         let skews = rng.below(3);

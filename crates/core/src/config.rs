@@ -63,6 +63,14 @@ pub struct MiddlewareConfig {
     /// How long a directory query may stay unanswered before failing over
     /// to the next replica.
     pub directory_query_timeout: SimDuration,
+    /// Whether directory replicas run anti-entropy gossip: each replica
+    /// periodically pushes its entry digest to a peer replica, which merges
+    /// missing/fresher entries and pushes back what the sender lacks. Only
+    /// meaningful when `directory_replicas > 1` — with a single home node
+    /// there is no peer to repair from.
+    pub directory_gossip_enabled: bool,
+    /// Period between a replica's anti-entropy rounds.
+    pub directory_gossip_period: SimDuration,
     /// Whether persistent object state is carried on heartbeats (the
     /// paper's `setState` mechanism).
     pub state_replication_enabled: bool,
@@ -100,6 +108,8 @@ impl Default for MiddlewareConfig {
             mtp_retx_jitter_max: SimDuration::from_millis(80),
             directory_replicas: 1,
             directory_query_timeout: SimDuration::from_millis(1500),
+            directory_gossip_enabled: false,
+            directory_gossip_period: SimDuration::from_secs(5),
             state_replication_enabled: false,
             proximity_radius: 3.0,
         }
@@ -171,6 +181,21 @@ impl MiddlewareConfig {
         self
     }
 
+    /// Enables or disables replica anti-entropy gossip; chainable.
+    #[must_use]
+    pub fn with_directory_gossip(mut self, enabled: bool) -> Self {
+        self.directory_gossip_enabled = enabled;
+        self
+    }
+
+    /// Sets the anti-entropy gossip period; chainable.
+    #[must_use]
+    pub fn with_directory_gossip_period(mut self, p: SimDuration) -> Self {
+        assert!(!p.is_zero(), "gossip period must be positive");
+        self.directory_gossip_period = p;
+        self
+    }
+
     /// Validates cross-field constraints.
     ///
     /// # Errors
@@ -205,6 +230,16 @@ impl MiddlewareConfig {
         }
         if self.directory_enabled && self.directory_query_timeout.is_zero() {
             return Err("directory query timeout must be positive".into());
+        }
+        if self.directory_gossip_enabled {
+            if self.directory_gossip_period.is_zero() {
+                return Err("directory gossip period must be positive".into());
+            }
+            if self.directory_replicas <= 1 {
+                return Err(
+                    "directory gossip needs at least two replicas to exchange with".into(),
+                );
+            }
         }
         Ok(())
     }

@@ -140,6 +140,74 @@ impl DirectoryStore {
             .retain(|e| now.saturating_since(e.refreshed) <= ttl);
     }
 
+    /// Snapshot of every stored entry of one type, with refresh times —
+    /// the payload of an anti-entropy [`crate::wire::DirSync`] digest.
+    #[must_use]
+    pub fn entries_of(&self, type_id: ContextTypeId) -> Vec<(ContextLabel, Point, Timestamp)> {
+        self.entries
+            .iter()
+            .filter(|e| e.label.type_id == type_id)
+            .map(|e| (e.label, e.location, e.refreshed))
+            .collect()
+    }
+
+    /// Merges a peer replica's digest: entries this store lacks are
+    /// adopted, and entries the peer refreshed more recently overwrite the
+    /// local copy (last-writer-wins on the refresh timestamp). Returns how
+    /// many entries changed — the number of divergences repaired.
+    pub fn merge(&mut self, entries: &[(ContextLabel, Point, Timestamp)]) -> usize {
+        let mut repaired = 0;
+        for &(label, location, refreshed) in entries {
+            match self.entries.iter_mut().find(|e| e.label == label) {
+                Some(e) => {
+                    if refreshed > e.refreshed {
+                        e.location = location;
+                        e.refreshed = refreshed;
+                        repaired += 1;
+                    }
+                }
+                None => {
+                    self.entries.push(Entry {
+                        label,
+                        location,
+                        refreshed,
+                    });
+                    repaired += 1;
+                }
+            }
+        }
+        if repaired > 0 {
+            self.telemetry.add("dir.gossip.repair", repaired as u64);
+        }
+        repaired
+    }
+
+    /// Order-insensitive FNV-1a digest of the entries of one type. Two
+    /// replicas store identical entry sets for the type iff their digests
+    /// are equal (up to hash collisions) — the convergence oracle the
+    /// anti-entropy tests and the soak harness probe.
+    #[must_use]
+    pub fn digest(&self, type_id: ContextTypeId) -> u64 {
+        let mut entries = self.entries_of(type_id);
+        entries.sort_by_key(|(l, _, _)| (l.type_id.0, l.creator.0, l.seq));
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (label, p, refreshed) in entries {
+            mix(u64::from(label.type_id.0));
+            mix(u64::from(label.creator.0));
+            mix(u64::from(label.seq));
+            mix(p.x.to_bits());
+            mix(p.y.to_bits());
+            mix(refreshed.as_micros());
+        }
+        h
+    }
+
     /// Number of stored entries (stale ones included until swept).
     #[must_use]
     pub fn len(&self) -> usize {

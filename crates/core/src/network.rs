@@ -49,8 +49,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use envirotrack_net::medium::{DeliveryOutcome, GilbertElliott, Medium, NetStats, RadioConfig, TxId};
-use envirotrack_net::packet::{Frame, LinkDest, WireCodec};
+use envirotrack_net::medium::{
+    DeliveryOutcome, GilbertElliott, LinkFaults, Medium, NetStats, RadioConfig, TxId,
+};
+use envirotrack_net::packet::{Frame, FrameKind, LinkDest, WireCodec};
 use envirotrack_net::routing::GeoRouter;
 use envirotrack_node::cpu::{costs, CpuConfig, MoteCpu};
 use envirotrack_node::energy::EnergyMeter;
@@ -73,8 +75,8 @@ use crate::object::IncomingMessage;
 use crate::report::{BaseStationLog, ReportEntry, RunRecord};
 use crate::transport::{LeaderLoc, MtpState, Outstanding, Port, RetxPolicy};
 use crate::wire::{
-    BaseReport, DirQuery, DirRegister, DirResponse, GeoForward, Heartbeat, Message, MtpAck,
-    MtpSegment, Relinquish, Report,
+    BaseReport, DirQuery, DirRegister, DirResponse, DirSync, GeoForward, Heartbeat, Message,
+    MtpAck, MtpSegment, Relinquish, Report,
 };
 
 /// Link-layer acknowledgement/retransmit parameters for *unicast* frames
@@ -390,6 +392,31 @@ impl SensorNetwork {
             });
             self.apply_actions(k, host, tid, actions);
         }
+        self.schedule_gossip(k);
+    }
+
+    /// Arms the first anti-entropy round on every directory replica. A
+    /// no-op unless gossip is enabled with ≥ 2 replicas, so default runs
+    /// schedule no extra kernel events (and draw no extra randomness —
+    /// replica phases are staggered deterministically, not jittered).
+    fn schedule_gossip(&mut self, k: &mut Kernel<SensorNetwork>) {
+        let mw = &self.config.middleware;
+        if !mw.directory_gossip_enabled || mw.directory_replicas <= 1 {
+            return;
+        }
+        let period = mw.directory_gossip_period;
+        for tid in self.program.type_ids() {
+            let replicas = self.directory_replicas_of(tid);
+            let k_len = replicas.len();
+            for (i, node) in replicas.into_iter().enumerate() {
+                // Stagger replicas across the period so their pushes don't
+                // pile onto the channel in one burst.
+                let phase = period.mul_f64((i + 1) as f64 / (k_len + 1) as f64);
+                k.schedule_at(k.now() + phase, move |w: &mut SensorNetwork, k| {
+                    w.gossip_tick(k, node, tid);
+                });
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -583,6 +610,108 @@ impl SensorNetwork {
     /// channel.
     pub fn set_burst_loss(&mut self, model: Option<GilbertElliott>) {
         self.medium.set_burst_loss(model);
+    }
+
+    /// Installs or clears link-level fault injection — bit corruption,
+    /// truncation, duplication, and bounded reordering — on the medium
+    /// (see [`LinkFaults`]).
+    pub fn set_link_faults(&mut self, faults: Option<LinkFaults>) {
+        self.medium.set_link_faults(faults);
+    }
+
+    /// Whether link-level fault injection is currently active.
+    #[must_use]
+    pub fn link_faults_active(&self) -> bool {
+        self.medium.link_faults_active()
+    }
+
+    /// Delivers a frame straight into one node's receive path, exactly as
+    /// the medium does after airtime. A corruption-corpus hook: tests
+    /// build a frame (stamping [`Frame::shadow`] from the pristine
+    /// payload), garble `payload` in place, and inject — then hold the
+    /// per-kind corrupt-drop counters to exact expected values.
+    pub fn inject_frame(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, frame: Frame) {
+        self.receive_frame(k, node, frame);
+    }
+
+    /// Triggers an immediate anti-entropy push (with pull) on every live
+    /// replica of every context type. Chaos harnesses call this right
+    /// after healing a partition so divergent replicas repair in one
+    /// exchange instead of waiting out the gossip period. A no-op at
+    /// replication factor 1; works whether or not periodic gossip is on.
+    pub fn kick_directory_gossip(&mut self, k: &mut Kernel<SensorNetwork>) {
+        if self.config.middleware.directory_replicas <= 1 {
+            return;
+        }
+        for tid in self.program.type_ids() {
+            for node in self.directory_replicas_of(tid) {
+                if self.nodes[node.index()].alive {
+                    self.send_dir_sync(k, node, tid, true);
+                }
+            }
+        }
+    }
+
+    /// Order-insensitive digest of one node's directory entries for a type
+    /// (see [`DirectoryStore::digest`]).
+    #[must_use]
+    pub fn directory_digest_at(&self, node: NodeId, type_id: ContextTypeId) -> u64 {
+        self.nodes[node.index()].directory.digest(type_id)
+    }
+
+    /// Whether every *live* replica of `type_id` stores an identical entry
+    /// set — the anti-entropy convergence oracle.
+    #[must_use]
+    pub fn directory_replicas_converged(&self, type_id: ContextTypeId) -> bool {
+        let mut digests = self
+            .directory_replicas_of(type_id)
+            .into_iter()
+            .filter(|n| self.nodes[n.index()].alive)
+            .map(|n| self.directory_digest_at(n, type_id));
+        match digests.next() {
+            Some(first) => digests.all(|d| d == first),
+            None => true,
+        }
+    }
+
+    /// The live (unexpired at `now`) labels a replica stores for a type,
+    /// in canonical order.
+    #[must_use]
+    pub fn directory_labels_at(
+        &self,
+        node: NodeId,
+        type_id: ContextTypeId,
+        now: Timestamp,
+    ) -> Vec<ContextLabel> {
+        let ttl = self.config.middleware.directory_entry_ttl;
+        let mut labels: Vec<ContextLabel> = self.nodes[node.index()]
+            .directory
+            .entries_of(type_id)
+            .into_iter()
+            .filter(|(_, _, refreshed)| now.saturating_since(*refreshed) <= ttl)
+            .map(|(label, _, _)| label)
+            .collect();
+        labels.sort_by_key(|l| (l.type_id.0, l.creator.0, l.seq));
+        labels
+    }
+
+    /// Whether every live replica of `type_id` agrees on the set of live
+    /// labels at `now`. Weaker than [`Self::directory_replicas_converged`]
+    /// — digests compare refresh timestamps too, and ordinary refresh
+    /// traffic re-stamps entries at slightly different instants per
+    /// replica — so membership agreement is the right post-heal oracle
+    /// while the system keeps running.
+    #[must_use]
+    pub fn directory_replicas_agree(&self, type_id: ContextTypeId, now: Timestamp) -> bool {
+        let mut sets = self
+            .directory_replicas_of(type_id)
+            .into_iter()
+            .filter(|n| self.nodes[n.index()].alive)
+            .map(|n| self.directory_labels_at(n, type_id, now));
+        match sets.next() {
+            Some(first) => sets.all(|s| s == first),
+            None => true,
+        }
     }
 
     /// Sets a node's clock rate (1.0 = ideal; 1.02 = 2 % fast). The local
@@ -808,27 +937,53 @@ impl SensorNetwork {
     /// before touching any state, so skipping them is behaviour-identical.
     fn transmission_complete(&mut self, k: &mut Kernel<SensorNetwork>, id: TxId) {
         let report = self.medium.deliveries(id);
-        match report.frame.link_dst {
-            LinkDest::Node(dst) => {
-                if report
-                    .outcomes
-                    .iter()
-                    .any(|(r, o)| *r == dst && *o == DeliveryOutcome::Delivered)
-                {
-                    self.receive_frame(k, dst, report.frame.clone());
+        // A link-duplicated frame is processed twice end to end — that is
+        // precisely what the dedup layers (link_seq, MTP seq, hb_seq) are
+        // under test against. The broadcast decode cache spans both passes,
+        // so the payload is still decoded at most once.
+        let passes = if report.duplicated { 2 } else { 1 };
+        let mut decoded = BroadcastDecode::Pending;
+        for _ in 0..passes {
+            match report.frame.link_dst {
+                LinkDest::Node(dst) => {
+                    if report
+                        .outcomes
+                        .iter()
+                        .any(|(r, o)| *r == dst && *o == DeliveryOutcome::Delivered)
+                    {
+                        self.receive_frame(k, dst, report.frame.clone());
+                    }
                 }
-            }
-            LinkDest::Broadcast => {
-                let mut decoded = BroadcastDecode::Pending;
-                for (receiver, outcome) in &report.outcomes {
-                    if *outcome == DeliveryOutcome::Delivered {
-                        self.receive_broadcast(k, *receiver, &report.frame, &mut decoded);
+                LinkDest::Broadcast => {
+                    for (receiver, outcome) in &report.outcomes {
+                        if *outcome == DeliveryOutcome::Delivered {
+                            self.receive_broadcast(k, *receiver, &report.frame, &mut decoded);
+                        }
                     }
                 }
             }
         }
         // Hand the outcome buffer back so the next broadcast reuses it.
         self.medium.recycle(report);
+    }
+
+    /// Records one receiver-side drop of a frame that failed its integrity
+    /// or structural checks. Counted per (frame, receiver) pair under
+    /// `net.k<kind>.corrupt`, mirroring the medium's per-pair loss stats.
+    fn note_corrupt_drop(&mut self, kind: FrameKind) {
+        self.telemetry.incr(&format!("net.k{}.corrupt", kind.0));
+    }
+
+    /// Audits an *accepted* frame against its shadow hash: if the payload
+    /// no longer matches what the sender built, the CRC let garbled bytes
+    /// through — the accepted-corrupt invariant the chaos monitor checks
+    /// must stay at zero. (With CRC-32 this fires with probability ~2⁻³²
+    /// per garbled frame; the counter exists so that if it ever *does*
+    /// fire, the run fails loudly instead of silently mis-tracking.)
+    fn audit_accepted(&mut self, frame: &Frame) {
+        if !frame.payload_is_pristine() {
+            self.telemetry.incr("net.corrupt_accepted");
+        }
     }
 
     /// A broadcast frame arrived intact at `node`. `decoded` caches the
@@ -864,9 +1019,16 @@ impl SensorNetwork {
                 Err(_) => BroadcastDecode::Corrupt,
             };
         }
-        let BroadcastDecode::Ok(msg) = &*decoded else {
-            // Corrupt payloads are silently dropped, as on a real radio.
+        if matches!(decoded, BroadcastDecode::Corrupt) {
+            // The CRC (or structural decode) rejected the payload: drop it
+            // without touching protocol state, and count the drop per kind
+            // and per receiver.
+            self.note_corrupt_drop(frame.kind);
             return;
+        }
+        self.audit_accepted(frame);
+        let BroadcastDecode::Ok(msg) = &*decoded else {
+            unreachable!("decode cache is resolved above");
         };
         match msg {
             Message::Heartbeat(hb) => self.handle_heartbeat(k, node, hb),
@@ -898,16 +1060,35 @@ impl SensorNetwork {
         {
             return;
         }
-        // Link-layer acknowledgements terminate here.
+        // Link-layer acknowledgements terminate here. They carry no wire
+        // `Message` — just a raw sequence number — so they get their own
+        // CRC trailer (see `link_ack_payload`), checked before the seq is
+        // believed: a garbled ack must not cancel a pending retransmit.
         if frame.kind == crate::wire::kinds::LINK_ACK {
-            if frame.payload.len() == 4 {
-                let seq = u32::from_be_bytes(frame.payload[..4].try_into().expect("4 bytes"));
-                self.nodes[node.index()]
-                    .pending_acks
-                    .retain(|p| p.seq != seq);
+            match link_ack_seq(&frame.payload) {
+                Some(seq) => {
+                    self.audit_accepted(&frame);
+                    self.nodes[node.index()]
+                        .pending_acks
+                        .retain(|p| p.seq != seq);
+                }
+                None => self.note_corrupt_drop(frame.kind),
             }
             return;
         }
+        // Integrity first: a frame that fails its CRC (or any structural
+        // check) is dropped before *any* link bookkeeping — in particular
+        // it is never acknowledged, so the sender keeps retransmitting the
+        // pristine copy. That is exactly how corruption + link retx
+        // recovers without a transport round trip.
+        let msg = match Message::decode_with(self.config.radio.codec, &frame.payload) {
+            Ok(m) => m,
+            Err(_) => {
+                self.note_corrupt_drop(frame.kind);
+                return;
+            }
+        };
+        self.audit_accepted(&frame);
         // Acknowledge reliable unicast frames, and deduplicate retransmits.
         if self.config.link.enabled
             && frame.link_dst == LinkDest::Node(node)
@@ -917,7 +1098,7 @@ impl SensorNetwork {
                 node,
                 frame.src,
                 crate::wire::kinds::LINK_ACK,
-                Bytes::copy_from_slice(&frame.link_seq.to_be_bytes()),
+                link_ack_payload(frame.link_seq),
             );
             self.transmit_raw(k, node, ack);
             let rt = &mut self.nodes[node.index()];
@@ -930,10 +1111,6 @@ impl SensorNetwork {
             }
             rt.seen_unicast.push(key);
         }
-        let Ok(msg) = Message::decode_with(self.config.radio.codec, &frame.payload) else {
-            // Corrupt payloads are silently dropped, as on a real radio.
-            return;
-        };
         self.dispatch_message(k, node, msg);
     }
 
@@ -961,6 +1138,7 @@ impl SensorNetwork {
             }
             Message::DirQuery(q) => self.handle_dir_query(k, node, &q),
             Message::DirResponse(resp) => self.handle_dir_response(k, node, resp),
+            Message::DirSyncMsg(sync) => self.handle_dir_sync(k, node, sync),
             Message::Base(b) => {
                 if Some(node) == self.config.base_station {
                     self.base_log.record(ReportEntry {
@@ -1102,6 +1280,101 @@ impl SensorNetwork {
                         },
                     );
                 }
+            }
+        }
+    }
+
+    /// One periodic anti-entropy round on a replica: push the local digest
+    /// to the next replica in ring order (with the pull flag set), then
+    /// re-arm. The ring guarantees every pair of live replicas converges
+    /// within `k − 1` rounds even when some replicas are dead.
+    fn gossip_tick(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, tid: ContextTypeId) {
+        let period = self.config.middleware.directory_gossip_period;
+        // Reschedule first so the round survives any processing below.
+        k.schedule_at(k.now() + period, move |w: &mut SensorNetwork, k| {
+            w.gossip_tick(k, node, tid);
+        });
+        if !self.nodes[node.index()].alive {
+            return;
+        }
+        // Overloaded CPUs skip the round; the next period retries.
+        if self.nodes[node.index()]
+            .cpu
+            .admit(k.now(), costs::TIMER_HANDLE)
+            .is_err()
+        {
+            return;
+        }
+        self.send_dir_sync(k, node, tid, true);
+    }
+
+    /// Pushes `node`'s directory digest for `tid` to its ring successor in
+    /// the replica set. An *empty* digest is still pushed when `reply` is
+    /// set — that is precisely how a rebooted (amnesiac) replica pulls the
+    /// registrations it lost.
+    fn send_dir_sync(
+        &mut self,
+        k: &mut Kernel<SensorNetwork>,
+        node: NodeId,
+        tid: ContextTypeId,
+        reply: bool,
+    ) {
+        let replicas = self.directory_replicas_of(tid);
+        if replicas.len() <= 1 {
+            return;
+        }
+        let Some(i) = replicas.iter().position(|&r| r == node) else {
+            return; // not a replica of this type (e.g. after redeployment)
+        };
+        let peer = replicas[(i + 1) % replicas.len()];
+        let entries = self.nodes[node.index()].directory.entries_of(tid);
+        self.telemetry.incr("dir.gossip.tx");
+        let msg = Message::DirSyncMsg(DirSync {
+            type_id: tid,
+            from: node,
+            reply,
+            entries,
+        });
+        let pos = self.deployment.position(peer);
+        self.send_geo(k, node, pos, Some(peer), msg);
+    }
+
+    /// A peer replica's anti-entropy digest arrived: merge it (adopting
+    /// missing and fresher entries), and answer with our own digest when
+    /// the pull flag is set so the sender repairs too. Replies carry
+    /// `reply: false`, bounding each exchange to one round trip.
+    fn handle_dir_sync(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, sync: DirSync) {
+        let now = k.now();
+        let ttl = self.config.middleware.directory_entry_ttl;
+        let repaired = {
+            let dir = &mut self.nodes[node.index()].directory;
+            let n = dir.merge(&sync.entries);
+            // Expired entries may ride in on a digest; sweep keeps the
+            // store's live view identical to an un-partitioned replica's.
+            dir.sweep(now, ttl);
+            n
+        };
+        if repaired > 0 {
+            self.telemetry.trace_shared(
+                now.as_micros(),
+                node.0,
+                &self.labels.type_name(sync.type_id),
+                "dir.gossip.repair",
+                format!("from=n{} repaired={repaired}", sync.from.0),
+            );
+        }
+        if sync.reply {
+            let entries = self.nodes[node.index()].directory.entries_of(sync.type_id);
+            if !entries.is_empty() {
+                self.telemetry.incr("dir.gossip.tx");
+                let msg = Message::DirSyncMsg(DirSync {
+                    type_id: sync.type_id,
+                    from: node,
+                    reply: false,
+                    entries,
+                });
+                let pos = self.deployment.position(sync.from);
+                self.send_geo(k, node, pos, Some(sync.from), msg);
             }
         }
     }
@@ -1788,11 +2061,14 @@ impl SensorNetwork {
     }
 
     /// Serialises `msg` under the configured codec, returning the frame
-    /// payload plus the canonical *binary* length the radio is charged.
+    /// payload plus the canonical *binary* length the radio is charged —
+    /// which includes the 4-byte CRC-32 trailer every encoded frame ends
+    /// in, so airtime charges integrity the way a real link layer does.
     /// The charge is identical in both modes — under the JSON debug codec
-    /// the payload buffer carries the textual cross-check encoding, but
-    /// airtime and byte counters still reflect the canonical frame — so a
-    /// fixed-seed run is byte-identical whichever codec decodes it.
+    /// the payload buffer carries the textual cross-check encoding (with
+    /// its own textual trailer), but airtime and byte counters still
+    /// reflect the canonical binary frame — so a fixed-seed run is
+    /// byte-identical whichever codec decodes it.
     fn encode_payload(&self, msg: &Message) -> (Bytes, u16) {
         let binary = msg.encode();
         let wire_len = binary.len() as u16;
@@ -1887,4 +2163,29 @@ impl SensorNetwork {
             }
         }
     }
+}
+
+/// Builds a link-layer ack payload: the acknowledged sequence number
+/// (big-endian) followed by a 4-byte CRC-32 trailer. Acks carry no wire
+/// [`Message`], so this is their entire integrity envelope.
+fn link_ack_payload(seq: u32) -> Bytes {
+    let body = seq.to_be_bytes();
+    let mut out = Vec::with_capacity(8);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crate::wire::crc::crc32(&body).to_le_bytes());
+    Bytes::from(out)
+}
+
+/// Parses and verifies a link-layer ack payload; `None` when the frame is
+/// the wrong size or fails its CRC — a garbled ack must be ignored, not
+/// believed.
+fn link_ack_seq(payload: &[u8]) -> Option<u32> {
+    if payload.len() != 8 {
+        return None;
+    }
+    let (body, trailer) = payload.split_at(4);
+    if trailer != crate::wire::crc::crc32(body).to_le_bytes().as_slice() {
+        return None;
+    }
+    Some(u32::from_be_bytes(body.try_into().ok()?))
 }

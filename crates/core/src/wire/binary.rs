@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! frame := uvarint(len)  ++ body          (len = byte length of body)
-//! body  := uvarint(tag)  ++ fields…       (tags 1..=10, one per variant)
+//! body  := uvarint(tag)  ++ fields…       (tags 1..=11, one per variant)
 //! ```
 //!
 //! Compound fields: a label is three uvarints (`type_id`, `creator`,
@@ -28,8 +28,8 @@ use envirotrack_world::geometry::Point;
 
 use super::varint::{get_f64, get_uvarint, put_f64, put_uvarint};
 use super::{
-    BaseReport, DecodeError, DirQuery, DirRegister, DirResponse, GeoForward, Heartbeat, Message,
-    MtpAck, MtpSegment, Relinquish, Report,
+    BaseReport, DecodeError, DirQuery, DirRegister, DirResponse, DirSync, GeoForward, Heartbeat,
+    Message, MtpAck, MtpSegment, Relinquish, Report,
 };
 use crate::aggregate::ReadingValue;
 use crate::context::{ContextLabel, ContextTypeId};
@@ -40,11 +40,15 @@ use crate::transport::Port;
 /// anything legitimate while keeping adversarial recursion bounded.
 const MAX_GEO_DEPTH: u32 = 8;
 
-/// Serialises `msg` into its framed binary form.
+/// Serialises `msg` into its framed binary form, ending in the CRC-32
+/// integrity trailer (see [`super::crc`]). Only the outermost frame carries
+/// a trailer — nested geo-forward frames are covered by it transitively.
 #[must_use]
 pub fn encode(msg: &Message) -> Bytes {
-    let mut out = BytesMut::with_capacity(48);
+    let mut out = BytesMut::with_capacity(52);
     encode_frame(msg, &mut out);
+    let sum = super::crc::crc32(&out);
+    out.put_slice(&sum.to_le_bytes());
     out.freeze()
 }
 
@@ -58,11 +62,15 @@ fn encode_frame(msg: &Message, out: &mut BytesMut) {
 
 /// Parses one framed message, requiring the buffer to contain it exactly.
 ///
+/// The CRC-32 trailer is verified *first*: a garbled frame is rejected as
+/// [`DecodeError::CrcMismatch`] (or [`DecodeError::Truncated`] when too
+/// short to even hold a trailer) before any structural parsing runs.
+///
 /// # Errors
 ///
 /// Any [`DecodeError`]; never panics, whatever the input.
 pub fn decode(bytes: &[u8]) -> Result<Message, DecodeError> {
-    let mut buf = bytes;
+    let mut buf = super::crc::split_verified(bytes)?;
     let msg = decode_frame(&mut buf, 0)?;
     if !buf.is_empty() {
         return Err(DecodeError::TrailingBytes { count: buf.len() });
@@ -186,6 +194,18 @@ fn encode_body(msg: &Message, buf: &mut BytesMut) {
             put_uvarint(buf, u64::from(a.acker.0));
             put_point(buf, a.acker_pos);
         }
+        Message::DirSyncMsg(s) => {
+            put_uvarint(buf, 11);
+            put_uvarint(buf, u64::from(s.type_id.0));
+            put_uvarint(buf, u64::from(s.from.0));
+            buf.put_u8(u8::from(s.reply));
+            put_uvarint(buf, s.entries.len() as u64);
+            for (label, p, refreshed) in &s.entries {
+                put_label(buf, *label);
+                put_point(buf, *p);
+                put_uvarint(buf, refreshed.as_micros());
+            }
+        }
     }
 }
 
@@ -290,6 +310,24 @@ fn decode_body(buf: &mut &[u8], depth: u32) -> Result<Message, DecodeError> {
             acker: NodeId(get_u32v(buf)?),
             acker_pos: get_point(buf)?,
         }),
+        11 => {
+            let type_id = ContextTypeId(get_u16v(buf)?);
+            let from = NodeId(get_u32v(buf)?);
+            let reply = get_flag(buf)?;
+            let n = get_uvarint(buf)?;
+            let mut entries = Vec::with_capacity(n.min(buf.len() as u64) as usize);
+            for _ in 0..n {
+                let label = get_label(buf)?;
+                let p = get_point(buf)?;
+                entries.push((label, p, Timestamp::from_micros(get_uvarint(buf)?)));
+            }
+            Message::DirSyncMsg(DirSync {
+                type_id,
+                from,
+                reply,
+                entries,
+            })
+        }
         other => return Err(DecodeError::UnknownTag { tag: other }),
     })
 }

@@ -32,8 +32,8 @@ use envirotrack_world::field::NodeId;
 use envirotrack_world::geometry::Point;
 
 use super::{
-    BaseReport, DecodeError, DirQuery, DirRegister, DirResponse, GeoForward, Heartbeat, Message,
-    MtpAck, MtpSegment, Relinquish, Report,
+    BaseReport, DecodeError, DirQuery, DirRegister, DirResponse, DirSync, GeoForward, Heartbeat,
+    Message, MtpAck, MtpSegment, Relinquish, Report,
 };
 use crate::aggregate::ReadingValue;
 use crate::context::{ContextLabel, ContextTypeId};
@@ -48,20 +48,52 @@ fn err(what: &'static str) -> DecodeError {
     DecodeError::Malformed { what }
 }
 
-/// Serialises `msg` as one compact JSON object.
+/// Serialises `msg` as one compact JSON object followed by the CRC-32
+/// trailer in its textual form: `#` + 8 lowercase hex digits of the
+/// checksum of everything before the `#` (see [`super::crc`]). The result
+/// stays a single printable UTF-8 line.
 #[must_use]
 pub fn encode(msg: &Message) -> Bytes {
-    let mut out = String::with_capacity(96);
+    use std::fmt::Write;
+    let mut out = String::with_capacity(104);
     write_message(msg, &mut out);
+    let sum = super::crc::crc32(out.as_bytes());
+    // Writing to a String cannot fail.
+    let _ = write!(out, "#{sum:08x}");
     Bytes::copy_from_slice(out.as_bytes())
 }
 
-/// Parses a message from its JSON form.
+/// Textual trailer length: `#` plus eight hex digits.
+const TEXT_TRAILER: usize = 9;
+
+/// Splits the textual CRC trailer off a JSON frame and verifies it.
+fn split_verified(bytes: &[u8]) -> Result<&[u8], DecodeError> {
+    if bytes.len() < TEXT_TRAILER {
+        return Err(DecodeError::Truncated);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - TEXT_TRAILER);
+    if trailer[0] != b'#' {
+        return Err(err("missing crc trailer"));
+    }
+    let hex = std::str::from_utf8(&trailer[1..]).map_err(|_| err("crc trailer is not hex"))?;
+    if hex.bytes().any(|b| !b.is_ascii_hexdigit() || b.is_ascii_uppercase()) {
+        return Err(err("crc trailer is not lowercase hex"));
+    }
+    let stored = u32::from_str_radix(hex, 16).map_err(|_| err("crc trailer is not hex"))?;
+    let computed = super::crc::crc32(body);
+    if stored != computed {
+        return Err(DecodeError::CrcMismatch { stored, computed });
+    }
+    Ok(body)
+}
+
+/// Parses a message from its JSON form, verifying the trailer first.
 ///
 /// # Errors
 ///
 /// Any [`DecodeError`]; never panics, whatever the input.
 pub fn decode(bytes: &[u8]) -> Result<Message, DecodeError> {
+    let bytes = split_verified(bytes)?;
     let text = std::str::from_utf8(bytes).map_err(|_| err("payload is not UTF-8"))?;
     let mut p = Parser { rest: text, depth: 0 };
     p.skip_ws();
@@ -222,6 +254,27 @@ fn write_message(msg: &Message, out: &mut String) {
                     point(a.acker_pos)
                 ),
             );
+        }
+        Message::DirSyncMsg(s) => {
+            w(
+                out,
+                format_args!(
+                    "{{\"t\":11,\"type\":{},\"from\":{},\"reply\":{},\"entries\":[",
+                    s.type_id.0,
+                    s.from.0,
+                    u8::from(s.reply)
+                ),
+            );
+            for (i, (l, p, at)) in s.entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                w(
+                    out,
+                    format_args!("[{},{},{}]", label(*l), point(*p), at.as_micros()),
+                );
+            }
+            out.push_str("]}");
         }
     }
 }
@@ -520,6 +573,35 @@ fn message_from(value: &Value) -> Result<Message, DecodeError> {
             acker: NodeId(get_u32(fields, "acker")?),
             acker_pos: get_point_field(fields, "apos")?,
         }),
+        11 => {
+            let Value::Arr(items) = get(fields, "entries")? else {
+                return Err(err("entries must be an array"));
+            };
+            let mut entries = Vec::with_capacity(items.len());
+            for item in items {
+                let Value::Arr(triple) = item else {
+                    return Err(err("entry must be [label, point, at]"));
+                };
+                let [l, p, at] = triple.as_slice() else {
+                    return Err(err("entry must be [label, point, at]"));
+                };
+                entries.push((
+                    label_from(l)?,
+                    point_from(p)?,
+                    Timestamp::from_micros(as_u64(at)?),
+                ));
+            }
+            Message::DirSyncMsg(DirSync {
+                type_id: ContextTypeId(get_u16(fields, "type")?),
+                from: NodeId(get_u32(fields, "from")?),
+                reply: match get_u8(fields, "reply")? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(err("reply flag must be 0 or 1")),
+                },
+                entries,
+            })
+        }
         other => return Err(DecodeError::UnknownTag { tag: other }),
     })
 }

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod binary;
+pub mod crc;
 pub mod json;
 pub mod varint;
 
@@ -71,6 +72,8 @@ pub mod kinds {
     pub const LINK_ACK: FrameKind = FrameKind(8);
     /// End-to-end MTP acknowledgements (transport-layer reliability).
     pub const MTP_ACK: FrameKind = FrameKind(9);
+    /// Directory anti-entropy digests (replica-set gossip and repair).
+    pub const DIR_SYNC: FrameKind = FrameKind(10);
 }
 
 /// A leader's periodic announcement (paper §5.2).
@@ -150,6 +153,26 @@ pub struct DirResponse {
     pub query_id: u32,
     /// Known live labels of the requested type and their last locations.
     pub entries: Vec<(ContextLabel, Point)>,
+}
+
+/// A replica's anti-entropy digest of its directory store for one context
+/// type: every live entry with its refresh timestamp. Replica-set peers
+/// exchange these after partitions heal (and on a slow gossip timer) and
+/// adopt whatever is missing or fresher — the repair path for
+/// registrations lost to a dead or isolated home node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirSync {
+    /// The context type whose entries are being exchanged.
+    pub type_id: ContextTypeId,
+    /// The replica sending the digest.
+    pub from: NodeId,
+    /// Whether the receiver should answer with its own digest (the *pull*
+    /// half of push-pull gossip). Replies carry `false`, bounding each
+    /// exchange to one round trip.
+    pub reply: bool,
+    /// `(label, last location, refreshed-at)` for every stored entry of
+    /// the type. The timestamp makes merging last-writer-wins.
+    pub entries: Vec<(ContextLabel, Point, Timestamp)>,
 }
 
 /// One inter-object transport segment (paper §5.4's MTP).
@@ -239,6 +262,8 @@ pub enum Message {
     Geo(GeoForward),
     /// End-to-end MTP acknowledgement.
     MtpAckMsg(MtpAck),
+    /// Directory anti-entropy digest.
+    DirSyncMsg(DirSync),
 }
 
 impl Message {
@@ -256,6 +281,7 @@ impl Message {
             Message::Base(_) => kinds::BASE_REPORT,
             Message::Geo(_) => kinds::GEO_FORWARD,
             Message::MtpAckMsg(_) => kinds::MTP_ACK,
+            Message::DirSyncMsg(_) => kinds::DIR_SYNC,
         }
     }
 
@@ -330,6 +356,14 @@ pub enum DecodeError {
         /// A human-readable description of the violation.
         what: &'static str,
     },
+    /// The frame's CRC-32 integrity trailer disagreed with its body — the
+    /// channel (or an adversary) garbled the frame in flight.
+    CrcMismatch {
+        /// The checksum the trailer carried.
+        stored: u32,
+        /// The checksum the body actually has.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -346,6 +380,9 @@ impl std::fmt::Display for DecodeError {
                 write!(f, "frame declared {declared} body bytes but used {used}")
             }
             DecodeError::Malformed { what } => write!(f, "malformed message: {what}"),
+            DecodeError::CrcMismatch { stored, computed } => {
+                write!(f, "crc mismatch: trailer {stored:#010x}, body {computed:#010x}")
+            }
         }
     }
 }
@@ -362,6 +399,14 @@ mod tests {
             creator: NodeId(n),
             seq: s,
         }
+    }
+
+    /// Appends a *valid* CRC trailer to hand-crafted frame bytes, so tests
+    /// exercising structural errors get past the integrity check.
+    fn seal(body: &[u8]) -> Vec<u8> {
+        let mut out = body.to_vec();
+        out.extend_from_slice(&crc::crc32(body).to_le_bytes());
+        out
     }
 
     /// Round-trips through the canonical binary codec *and* the JSON debug
@@ -449,6 +494,25 @@ mod tests {
             query_id: 1,
             entries: vec![],
         }));
+        round_trip(Message::DirSyncMsg(DirSync {
+            type_id: ContextTypeId(3),
+            from: NodeId(17),
+            reply: true,
+            entries: vec![
+                (label(3, 4, 1), Point::new(1.0, 1.0), Timestamp::from_secs(9)),
+                (
+                    label(3, 9, 2),
+                    Point::new(5.0, 5.0),
+                    Timestamp::from_millis(12_500),
+                ),
+            ],
+        }));
+        round_trip(Message::DirSyncMsg(DirSync {
+            type_id: ContextTypeId(0),
+            from: NodeId(0),
+            reply: false,
+            entries: vec![],
+        }));
     }
 
     #[test]
@@ -518,31 +582,40 @@ mod tests {
             state: None,
         })
         .encode();
-        // The length prefix makes every cut unambiguous: the only possible
-        // error for a truncated valid frame is `Truncated`.
+        // A cut too short to hold a trailer is `Truncated`; any longer cut
+        // turns the buffer's last four bytes into a bogus trailer, so the
+        // CRC rejects it before structural parsing even starts.
         for cut in 0..bytes.len() {
             let err = Message::decode(&bytes[..cut]).unwrap_err();
-            assert_eq!(err, DecodeError::Truncated, "cut at {cut} gave {err:?}");
+            if cut < 4 {
+                assert_eq!(err, DecodeError::Truncated, "cut at {cut} gave {err:?}");
+            } else {
+                assert!(
+                    matches!(err, DecodeError::CrcMismatch { .. }),
+                    "cut at {cut} gave {err:?}"
+                );
+            }
         }
     }
 
     #[test]
     fn unknown_tag_and_trailing_bytes_error() {
         // A frame of declared length 2 whose body is the varint 200 — a
-        // tag no message uses.
+        // tag no message uses (sealed, so the CRC passes and the structural
+        // check is what fires).
         assert_eq!(
-            Message::decode(&[0x02, 0xC8, 0x01]).unwrap_err(),
+            Message::decode(&seal(&[0x02, 0xC8, 0x01])).unwrap_err(),
             DecodeError::UnknownTag { tag: 200 }
         );
-        let mut bytes = Message::DirResponse(DirResponse {
+        let sealed = Message::DirResponse(DirResponse {
             query_id: 1,
             entries: vec![],
         })
-        .encode()
-        .to_vec();
-        bytes.push(0xAB);
+        .encode();
+        let mut frame = sealed[..sealed.len() - 4].to_vec();
+        frame.push(0xAB);
         assert_eq!(
-            Message::decode(&bytes).unwrap_err(),
+            Message::decode(&seal(&frame)).unwrap_err(),
             DecodeError::TrailingBytes { count: 1 }
         );
     }
@@ -550,18 +623,19 @@ mod tests {
     #[test]
     fn length_prefix_lies_are_rejected() {
         // Grow a DirRegister frame's declared length by one and pad the
-        // buffer to match: the body decodes but leaves a byte over.
-        let mut padded = Message::DirRegister(DirRegister {
+        // buffer to match: the body decodes but leaves a byte over. Re-seal
+        // after tampering so the structural check (not the CRC) fires.
+        let sealed = Message::DirRegister(DirRegister {
             label: label(0, 1, 1),
             location: Point::ORIGIN,
         })
-        .encode()
-        .to_vec();
+        .encode();
+        let mut padded = sealed[..sealed.len() - 4].to_vec();
         padded[0] += 1;
         padded.push(0x00);
         let declared = padded[0] as usize;
         assert_eq!(
-            Message::decode(&padded).unwrap_err(),
+            Message::decode(&seal(&padded)).unwrap_err(),
             DecodeError::LengthMismatch {
                 declared,
                 used: declared - 1,
@@ -605,7 +679,8 @@ mod tests {
             state: None,
         });
         let binary = hb.encode().len();
-        assert!(binary <= 18, "heartbeat is {binary} bytes");
+        // 18 bytes of varint frame plus the 4-byte CRC trailer.
+        assert!(binary <= 22, "heartbeat is {binary} bytes");
         // …and the JSON debug rendering of the same message is ≥ 2× it.
         let json = hb.encode_with(WireCodec::Json).len();
         assert!(json >= binary * 2, "json {json} vs binary {binary}");

@@ -15,8 +15,8 @@ use envirotrack_core::aggregate::ReadingValue;
 use envirotrack_core::context::{ContextLabel, ContextTypeId};
 use envirotrack_core::transport::Port;
 use envirotrack_core::wire::{
-    BaseReport, DecodeError, DirQuery, DirRegister, DirResponse, GeoForward, Heartbeat, Message,
-    MtpAck, MtpSegment, Relinquish, Report, WireCodec,
+    crc, BaseReport, DecodeError, DirQuery, DirRegister, DirResponse, DirSync, GeoForward,
+    Heartbeat, Message, MtpAck, MtpSegment, Relinquish, Report, WireCodec,
 };
 use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::Timestamp;
@@ -31,7 +31,23 @@ fn label(t: u16, c: u32, s: u32) -> ContextLabel {
     }
 }
 
-/// A corpus covering all ten variants, options in both states, nested
+/// Appends a *valid* CRC-32 trailer to hand-crafted frame bytes, so tests
+/// probing structural errors get past the integrity check that now guards
+/// every decode.
+fn seal(body: &[u8]) -> Vec<u8> {
+    let mut out = body.to_vec();
+    out.extend_from_slice(&crc::crc32(body).to_le_bytes());
+    out
+}
+
+/// Strips a (valid) trailer from an encoded frame, for tests that tamper
+/// with the structure and then re-[`seal`].
+fn unsealed(msg: &Message) -> Vec<u8> {
+    let bytes = msg.encode();
+    bytes[..bytes.len() - crc::TRAILER_BYTES].to_vec()
+}
+
+/// A corpus covering all eleven variants, options in both states, nested
 /// geo-forwarding, and payloads worth corrupting.
 fn corpus() -> Vec<Message> {
     vec![
@@ -108,6 +124,16 @@ fn corpus() -> Vec<Message> {
             acker: NodeId(77),
             acker_pos: Point::new(6.0, 6.0),
         }),
+        Message::DirSyncMsg(DirSync {
+            type_id: ContextTypeId(3),
+            from: NodeId(6),
+            reply: true,
+            entries: vec![(
+                label(3, 200, 1),
+                Point::new(12.0, 0.5),
+                Timestamp::from_millis(64_000),
+            )],
+        }),
     ]
 }
 
@@ -116,10 +142,18 @@ fn truncation_at_every_offset_errors_cleanly() {
     for msg in corpus() {
         let bytes = msg.encode();
         for cut in 0..bytes.len() {
-            // The binary frame's length prefix makes truncation
-            // unambiguous: the only legal outcome is `Truncated`.
+            // A cut too short to hold the CRC trailer is `Truncated`; any
+            // longer cut turns the last four surviving bytes into a bogus
+            // trailer, so the integrity check fires before structure.
             let err = Message::decode(&bytes[..cut]).unwrap_err();
-            assert_eq!(err, DecodeError::Truncated, "binary cut {cut}: {err:?}");
+            if cut < crc::TRAILER_BYTES {
+                assert_eq!(err, DecodeError::Truncated, "binary cut {cut}: {err:?}");
+            } else {
+                assert!(
+                    matches!(err, DecodeError::CrcMismatch { .. }),
+                    "binary cut {cut}: {err:?}"
+                );
+            }
         }
         let text = msg.encode_with(WireCodec::Json);
         for cut in 0..text.len() {
@@ -136,10 +170,11 @@ fn truncation_at_every_offset_errors_cleanly() {
 
 #[test]
 fn every_unused_tag_byte_is_rejected() {
-    // A frame whose body is exactly one small varint tag: tags 1..=10 then
-    // fail later (truncated fields); everything else must be UnknownTag.
-    for tag in 11u8..=127 {
-        let frame = [0x01, tag];
+    // A sealed frame whose body is exactly one small varint tag: tags
+    // 1..=11 then fail later (truncated fields); everything else must be
+    // UnknownTag.
+    for tag in 12u8..=127 {
+        let frame = seal(&[0x01, tag]);
         assert_eq!(
             Message::decode(&frame).unwrap_err(),
             DecodeError::UnknownTag { tag: u64::from(tag) },
@@ -147,18 +182,23 @@ fn every_unused_tag_byte_is_rejected() {
         );
     }
     // Known tags with an empty remainder are truncated, not accepted.
-    for tag in 1u8..=10 {
-        let frame = [0x01, tag];
+    for tag in 1u8..=11 {
+        let frame = seal(&[0x01, tag]);
         assert_eq!(Message::decode(&frame).unwrap_err(), DecodeError::Truncated);
     }
     // A huge multi-byte varint tag is still just an unknown tag.
-    let frame = [0x05, 0xff, 0xff, 0xff, 0xff, 0x0f]; // tag = u32::MAX
+    let frame = seal(&[0x05, 0xff, 0xff, 0xff, 0xff, 0x0f]); // tag = u32::MAX
     assert_eq!(
         Message::decode(&frame).unwrap_err(),
         DecodeError::UnknownTag {
             tag: u64::from(u32::MAX)
         }
     );
+    // And an *unsealed* unknown tag never reaches the tag check at all.
+    assert!(matches!(
+        Message::decode(&[0x01, 99]).unwrap_err(),
+        DecodeError::Truncated
+    ));
 }
 
 #[test]
@@ -167,23 +207,24 @@ fn overlong_varints_are_rejected_everywhere() {
     let mut frame = vec![0x80u8; 11];
     frame.push(0x00);
     assert_eq!(
-        Message::decode(&frame).unwrap_err(),
+        Message::decode(&seal(&frame)).unwrap_err(),
         DecodeError::VarintOverflow
     );
     // Ten continuation bytes whose tenth exceeds u64's top bit.
     let mut frame = vec![0x80u8; 9];
     frame.push(0x02);
     assert_eq!(
-        Message::decode(&frame).unwrap_err(),
+        Message::decode(&seal(&frame)).unwrap_err(),
         DecodeError::VarintOverflow
     );
     // Non-canonical (padded) encodings are rejected, as the length prefix…
     assert_eq!(
-        Message::decode(&[0x81, 0x00]).unwrap_err(),
+        Message::decode(&seal(&[0x81, 0x00])).unwrap_err(),
         DecodeError::NonCanonicalVarint
     );
     // …and inside a field: heartbeat with its `leader` varint padded from
-    // [0x07] to [0x87, 0x00] (declared length grown to match).
+    // [0x07] to [0x87, 0x00] (declared length grown to match). Tampering
+    // and re-sealing isolates the structural check from the CRC.
     let hb = Message::Heartbeat(Heartbeat {
         label: label(1, 7, 300),
         leader: NodeId(7),
@@ -193,14 +234,14 @@ fn overlong_varints_are_rejected_everywhere() {
         ttl: 1,
         state: None,
     });
-    let bytes = hb.encode().to_vec();
+    let bytes = unsealed(&hb);
     // Layout: [len, tag=1, type=01, creator=07, seq=ac 02, leader=07, …]
     assert_eq!(&bytes[1..7], &[0x01, 0x01, 0x07, 0xac, 0x02, 0x07]);
     let mut padded = bytes.clone();
     padded[0] += 1;
     padded.splice(6..7, [0x87, 0x00]);
     assert_eq!(
-        Message::decode(&padded).unwrap_err(),
+        Message::decode(&seal(&padded)).unwrap_err(),
         DecodeError::NonCanonicalVarint
     );
 }
@@ -208,24 +249,30 @@ fn overlong_varints_are_rejected_everywhere() {
 #[test]
 fn length_prefix_lies_are_rejected() {
     for msg in corpus() {
-        let bytes = msg.encode().to_vec();
+        let bytes = unsealed(&msg);
         // Frames in the corpus are < 128 bytes, so the prefix is 1 byte.
         assert!(bytes[0] < 0x80 && bytes.len() - 1 == usize::from(bytes[0]));
         // Claim one byte fewer: the body decoder runs out mid-field or the
         // frame has a trailing byte — an error either way.
         let mut short = bytes.clone();
         short[0] -= 1;
-        assert!(Message::decode(&short).is_err(), "short prefix accepted");
+        assert!(
+            Message::decode(&seal(&short)).is_err(),
+            "short prefix accepted"
+        );
         // Claim one byte more than the buffer holds: truncated.
         let mut long = bytes.clone();
         long[0] += 1;
-        assert_eq!(Message::decode(&long).unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            Message::decode(&seal(&long)).unwrap_err(),
+            DecodeError::Truncated
+        );
         // Claim one more with a pad byte to back it: length mismatch.
         let mut padded = long;
         padded.push(0x00);
         assert!(
             matches!(
-                Message::decode(&padded).unwrap_err(),
+                Message::decode(&seal(&padded)).unwrap_err(),
                 DecodeError::LengthMismatch { .. } | DecodeError::Malformed { .. }
                     | DecodeError::NonCanonicalVarint
             ),

@@ -30,6 +30,7 @@
 
 use std::collections::BTreeMap;
 
+use bytes::Bytes;
 use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_telemetry::{CounterHandle, Telemetry};
@@ -173,6 +174,65 @@ impl GilbertElliott {
     }
 }
 
+/// Link-level fault injection: what a hostile channel does to frames that
+/// the loss models alone cannot express. Installed and removed at runtime
+/// by the chaos harness (see `envirotrack-chaos`); every draw comes from a
+/// dedicated forked RNG stream, so installing the injector never perturbs
+/// the baseline fading/backoff sequences and fixed-seed runs replay
+/// byte-identically.
+///
+/// Corruption garbles the *transmission* — all receivers of one broadcast
+/// share the same garbled bytes, which keeps the decode-once broadcast path
+/// valid. The frame's [`Frame::shadow`] hash is left untouched, so the
+/// receiver stack can audit that no garbled frame is ever accepted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Per-payload-byte probability of flipping one random bit.
+    pub flip_per_byte: f64,
+    /// Per-frame probability of truncating the payload at a random point.
+    pub truncate: f64,
+    /// Per-frame probability the link delivers the frame twice.
+    pub duplicate: f64,
+    /// Per-frame probability of delaying delivery *processing* by a random
+    /// extra amount (bounded below), letting later frames overtake it.
+    pub reorder: f64,
+    /// Upper bound on the reordering delay.
+    pub reorder_max_delay: SimDuration,
+}
+
+impl Default for LinkFaults {
+    /// The soak profile: 1e-3 per-byte bit flips (a ~20-byte frame is
+    /// garbled every ~50 transmissions), occasional truncation, and mild
+    /// duplication/reordering.
+    fn default() -> Self {
+        LinkFaults {
+            flip_per_byte: 1e-3,
+            truncate: 0.005,
+            duplicate: 0.01,
+            reorder: 0.02,
+            reorder_max_delay: SimDuration::from_millis(30),
+        }
+    }
+}
+
+impl LinkFaults {
+    /// Validates the probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any probability is outside `[0, 1]`.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("flip_per_byte", self.flip_per_byte),
+            ("truncate", self.truncate),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0,1], got {p}");
+        }
+    }
+}
+
 /// Identifies one in-flight transmission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TxId(u64);
@@ -226,10 +286,14 @@ impl std::error::Error for ChannelSaturatedError {}
 /// The outcome set of one completed transmission.
 #[derive(Debug, Clone)]
 pub struct DeliveryReport {
-    /// The transmitted frame.
+    /// The transmitted frame — payload possibly garbled by the link-fault
+    /// injector (compare [`Frame::payload_is_pristine`]).
     pub frame: Frame,
     /// Per-receiver outcomes, in ascending node-id order.
     pub outcomes: Vec<(NodeId, DeliveryOutcome)>,
+    /// The link duplicated this frame: the receiver stack must process the
+    /// outcome set a second time (dedup layers are what's under test).
+    pub duplicated: bool,
 }
 
 impl DeliveryReport {
@@ -288,6 +352,15 @@ pub struct KindStats {
     /// cost, making binary-vs-JSON frame sizes directly comparable on the
     /// same message stream.
     pub payload_bytes: u64,
+    /// Transmissions garbled by the link-fault injector (bit flips and/or
+    /// truncation). Receivers must reject every one of these at the CRC
+    /// check — the accepted-corrupt invariant audits exactly that.
+    pub corrupted: u64,
+    /// Transmissions the injector delivered twice.
+    pub duplicated: u64,
+    /// Transmissions whose delivery processing the injector delayed past
+    /// their natural instant (reordering opportunities).
+    pub reordered: u64,
 }
 
 impl KindStats {
@@ -406,6 +479,11 @@ pub struct Medium {
     /// removing it never perturbs the baseline fading stream.
     burst: Option<(GilbertElliott, Vec<bool>)>,
     burst_rng: SimRng,
+    /// Optional link-level fault injector (corruption, duplication,
+    /// reordering). Like the burst chain it draws from its own forked RNG,
+    /// so installing it never disturbs the baseline streams.
+    faults: Option<LinkFaults>,
+    fault_rng: SimRng,
     /// When enabled, every intact (src, dst) delivery is appended here for
     /// the invariant monitor to audit (e.g. "nothing crosses a partition").
     delivery_log: Option<Vec<(Timestamp, NodeId, NodeId)>>,
@@ -446,6 +524,8 @@ impl Medium {
             partition: None,
             burst: None,
             burst_rng: rng.fork("radio-burst"),
+            faults: None,
+            fault_rng: rng.fork("link-faults"),
             delivery_log: None,
             telemetry: Telemetry::new(),
             kind_counters: Vec::new(),
@@ -556,6 +636,20 @@ impl Medium {
         self.burst.is_some()
     }
 
+    /// Installs (or clears) the link-level fault injector.
+    pub fn set_link_faults(&mut self, faults: Option<LinkFaults>) {
+        if let Some(f) = &faults {
+            f.validate();
+        }
+        self.faults = faults;
+    }
+
+    /// Whether the link-fault injector is currently installed.
+    #[must_use]
+    pub fn link_faults_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
     /// Enables or disables the delivery audit log (disabled by default; the
     /// invariant monitor turns it on and drains it every sample tick).
     pub fn set_delivery_log(&mut self, enabled: bool) {
@@ -642,6 +736,20 @@ impl Medium {
         kc.tx.incr();
         kc.bytes.add(charged);
 
+        // Bounded reordering: the frame still occupies the channel over
+        // [start, end] (collisions and CSMA see the truth), but the
+        // receiver-side *processing* instant slips by a bounded random
+        // extra, letting frames sent later complete first.
+        let mut extra = SimDuration::ZERO;
+        if let Some(f) = self.faults {
+            if f.reorder > 0.0 && self.fault_rng.chance(f.reorder) {
+                extra = SimDuration::from_micros(
+                    self.fault_rng.below(f.reorder_max_delay.as_micros().max(1)),
+                );
+                self.kind_stats_mut(frame.kind).reordered += 1;
+            }
+        }
+
         self.active.push(TxRecord {
             id,
             src: frame.src,
@@ -652,7 +760,7 @@ impl Medium {
         });
         Ok(Transmission {
             id,
-            completes_at: end + self.config.proc_delay,
+            completes_at: end + self.config.proc_delay + extra,
         })
     }
 
@@ -670,10 +778,48 @@ impl Medium {
             .iter()
             .position(|r| r.id == id)
             .expect("unknown or already-resolved transmission id");
-        let (src, start, end, frame) = {
+        let (src, start, end, mut frame) = {
             let r = &self.active[idx];
             (r.src, r.start, r.end, r.frame.clone())
         };
+
+        // Link-fault injection: garble the transmission (all receivers of a
+        // broadcast share the garbled copy — the radio signal itself is what
+        // degrades) and/or mark it for duplicate processing. `frame.shadow`
+        // keeps the sender's pristine hash, so acceptance of a garbled frame
+        // is detectable downstream. Airtime was already charged at transmit
+        // from the pristine `wire_len`, which truncation must not rewrite.
+        let mut duplicated = false;
+        if let Some(f) = self.faults {
+            let mut mutated = false;
+            if f.truncate > 0.0 && !frame.payload.is_empty() && self.fault_rng.chance(f.truncate) {
+                let keep = self.fault_rng.below(frame.payload.len() as u64) as usize;
+                let mut cut = frame.payload.to_vec();
+                cut.truncate(keep);
+                frame.payload = Bytes::from(cut);
+                mutated = true;
+            }
+            if f.flip_per_byte > 0.0 {
+                let mut garbled: Option<Vec<u8>> = None;
+                for i in 0..frame.payload.len() {
+                    if self.fault_rng.chance(f.flip_per_byte) {
+                        let bit = self.fault_rng.below(8) as u8;
+                        garbled.get_or_insert_with(|| frame.payload.to_vec())[i] ^= 1 << bit;
+                    }
+                }
+                if let Some(v) = garbled {
+                    frame.payload = Bytes::from(v);
+                    mutated = true;
+                }
+            }
+            if mutated {
+                self.kind_stats_mut(frame.kind).corrupted += 1;
+            }
+            if f.duplicate > 0.0 && self.fault_rng.chance(f.duplicate) {
+                duplicated = true;
+                self.kind_stats_mut(frame.kind).duplicated += 1;
+            }
+        }
 
         // Walk the neighbour list by index instead of cloning it: the loop
         // body needs `&mut self` (RNG, burst chain, stats), so an iterator
@@ -760,7 +906,11 @@ impl Medium {
             self.kind_counters(frame.kind).lost.incr();
         }
         self.active[idx].resolved = true;
-        DeliveryReport { frame, outcomes }
+        DeliveryReport {
+            frame,
+            outcomes,
+            duplicated,
+        }
     }
 
     /// Hands a delivery report's outcome buffer back for reuse, so the next
@@ -888,6 +1038,101 @@ mod tests {
         assert_eq!(ks.tx, 1);
         assert_eq!(ks.rx, 2);
         assert_eq!(ks.tx_lost, 0);
+    }
+
+    #[test]
+    fn link_faults_garble_but_never_resize_the_charge() {
+        let d = line_deployment(3, 1.0);
+        let mut m = Medium::new(&d, lossless(5.0), &SimRng::seed_from(3));
+        m.set_link_faults(Some(LinkFaults {
+            flip_per_byte: 1.0, // every byte flips one bit: certain corruption
+            truncate: 0.0,
+            duplicate: 1.0,
+            reorder: 0.0,
+            reorder_max_delay: SimDuration::ZERO,
+        }));
+        let sent = frame(1);
+        let pristine = sent.payload.to_vec();
+        let charged_before = m.stats().kind(FrameKind(1)).bytes_on_air;
+        assert_eq!(charged_before, 0);
+        let tx = m.transmit(Timestamp::ZERO, sent).unwrap();
+        let report = m.deliveries(tx.id);
+        assert_ne!(report.frame.payload.to_vec(), pristine);
+        assert!(!report.frame.payload_is_pristine());
+        assert_eq!(report.frame.payload.len(), pristine.len());
+        assert!(report.duplicated);
+        let ks = m.stats().kind(FrameKind(1));
+        assert_eq!(ks.corrupted, 1);
+        assert_eq!(ks.duplicated, 1);
+        // Airtime was charged at transmit from the pristine wire length.
+        assert_eq!(ks.bytes_on_air, (18 + 7 + 20) as u64);
+    }
+
+    #[test]
+    fn truncation_shortens_the_payload_only() {
+        let d = line_deployment(2, 1.0);
+        let mut m = Medium::new(&d, lossless(5.0), &SimRng::seed_from(5));
+        m.set_link_faults(Some(LinkFaults {
+            flip_per_byte: 0.0,
+            truncate: 1.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_max_delay: SimDuration::ZERO,
+        }));
+        let tx = m.transmit(Timestamp::ZERO, frame(0)).unwrap();
+        let report = m.deliveries(tx.id);
+        assert!(report.frame.payload.len() < 20, "truncation must cut bytes");
+        assert_eq!(report.frame.wire_len, 20, "charged length is pristine");
+        assert!(!report.frame.payload_is_pristine());
+        assert_eq!(m.stats().kind(FrameKind(1)).corrupted, 1);
+    }
+
+    #[test]
+    fn reordering_delays_processing_but_not_airtime() {
+        let d = line_deployment(2, 1.0);
+        let mut m = Medium::new(&d, lossless(5.0), &SimRng::seed_from(7));
+        let base = m.transmit(Timestamp::ZERO, frame(0)).unwrap();
+        let busy = m.stats().busy_time;
+        let mut m2 = Medium::new(&d, lossless(5.0), &SimRng::seed_from(7));
+        m2.set_link_faults(Some(LinkFaults {
+            flip_per_byte: 0.0,
+            truncate: 0.0,
+            duplicate: 0.0,
+            reorder: 1.0,
+            reorder_max_delay: SimDuration::from_millis(30),
+        }));
+        let delayed = m2.transmit(Timestamp::ZERO, frame(0)).unwrap();
+        assert!(delayed.completes_at >= base.completes_at);
+        assert_eq!(m2.stats().busy_time, busy, "channel occupancy unchanged");
+        assert_eq!(m2.stats().kind(FrameKind(1)).reordered, 1);
+        // The delayed report still resolves normally.
+        let r = m2.deliveries(delayed.id);
+        assert!(r.frame.payload_is_pristine());
+    }
+
+    #[test]
+    fn fault_injection_leaves_other_rng_streams_untouched() {
+        // Two media, same seed, one with an (impossible-to-fire) injector
+        // installed: the delivery outcomes must be identical because faults
+        // draw from their own forked stream.
+        let d = line_deployment(8, 1.0);
+        let mut cfg = lossless(3.0);
+        cfg.base_loss = 0.4;
+        let mut a = Medium::new(&d, cfg.clone(), &SimRng::seed_from(11));
+        let mut b = Medium::new(&d, cfg, &SimRng::seed_from(11));
+        b.set_link_faults(Some(LinkFaults {
+            flip_per_byte: 0.0,
+            truncate: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_max_delay: SimDuration::ZERO,
+        }));
+        for src in 0..4u32 {
+            let now = Timestamp::ZERO + SimDuration::from_millis(u64::from(src) * 50);
+            let ta = a.transmit(now, frame(src)).unwrap();
+            let tb = b.transmit(now, frame(src)).unwrap();
+            assert_eq!(a.deliveries(ta.id).outcomes, b.deliveries(tb.id).outcomes);
+        }
     }
 
     #[test]

@@ -95,6 +95,20 @@ impl std::fmt::Display for FrameKind {
     }
 }
 
+/// FNV-1a over a byte string: the shadow hash stamped on frames at build
+/// time so the simulation can audit, end to end, that no frame the fault
+/// injectors garbled is ever *accepted* by a receiver. This is simulator
+/// bookkeeping, not protocol state — nothing on the modelled air carries it.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// One radio frame.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
@@ -115,6 +129,12 @@ pub struct Frame {
     /// the channel still serialises the canonical binary frame (see
     /// [`WireCodec`]).
     pub wire_len: u16,
+    /// Shadow hash of the payload *as the sender built it* ([`fnv64`]).
+    /// The chaos medium's corruption injectors mutate `payload` but never
+    /// this field, so a receiver-side audit can tell "decoded fine" from
+    /// "decoded fine but the bytes were garbled" — the accepted-corrupt
+    /// invariant. Simulation-only; carries zero on-air bytes.
+    pub shadow: u64,
 }
 
 impl Frame {
@@ -131,6 +151,7 @@ impl Frame {
     #[must_use]
     pub fn broadcast(src: NodeId, kind: FrameKind, payload: Bytes) -> Self {
         let wire_len = payload.len() as u16;
+        let shadow = fnv64(&payload);
         Frame {
             src,
             link_dst: LinkDest::Broadcast,
@@ -138,6 +159,7 @@ impl Frame {
             link_seq: 0,
             payload,
             wire_len,
+            shadow,
         }
     }
 
@@ -145,6 +167,7 @@ impl Frame {
     #[must_use]
     pub fn unicast(src: NodeId, to: NodeId, kind: FrameKind, payload: Bytes) -> Self {
         let wire_len = payload.len() as u16;
+        let shadow = fnv64(&payload);
         Frame {
             src,
             link_dst: LinkDest::Node(to),
@@ -152,7 +175,15 @@ impl Frame {
             link_seq: 0,
             payload,
             wire_len,
+            shadow,
         }
+    }
+
+    /// Whether the payload still hashes to the sender's shadow — `false`
+    /// exactly when a fault injector garbled the frame in flight.
+    #[must_use]
+    pub fn payload_is_pristine(&self) -> bool {
+        fnv64(&self.payload) == self.shadow
     }
 
     /// Sets the link-layer sequence number; chainable.
@@ -219,6 +250,17 @@ mod tests {
             .with_wire_len(20);
         assert_eq!(f.size_bytes(), Frame::HEADER_BYTES + 20);
         assert_eq!(f.on_air_bits(), ((18 + 7 + 20) * 8) as u64);
+    }
+
+    #[test]
+    fn shadow_hash_tracks_payload_mutation() {
+        let mut f = Frame::broadcast(NodeId(0), FrameKind(1), Bytes::from_static(b"pristine"));
+        assert!(f.payload_is_pristine());
+        f.payload = Bytes::from_static(b"garbledd");
+        assert!(!f.payload_is_pristine());
+        // The sentinel is a real FNV-1a: check the classic test vector.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
     }
 
     #[test]

@@ -55,6 +55,27 @@ for f in "$tmp/scale.json" BENCH_scale.json; do
   done
 done
 
+# Soak smoke: a short layered-fault run (corruption + burst loss +
+# partition/heal + crash/reboot) must pass every acceptance claim — zero
+# invariant violations, zero corrupt frames accepted, replicas agreed —
+# with the schema keys present, and a second invocation at the same seed
+# must reproduce the JSON byte-for-byte. The checked-in flagship
+# BENCH_soak.json must carry the same green claims.
+./target/release/soak --smoke --seed 1 --out "$tmp/soak.json" \
+  || { echo "verify: soak smoke failed" >&2; exit 1; }
+./target/release/soak --smoke --seed 1 --out "$tmp/soak_replay.json" \
+  || { echo "verify: soak smoke replay failed" >&2; exit 1; }
+cmp -s "$tmp/soak.json" "$tmp/soak_replay.json" \
+  || { echo "verify: soak output is not seed-stable" >&2; exit 1; }
+for f in "$tmp/soak.json" BENCH_soak.json; do
+  for key in '"bench":"soak"' '"passed":true' '"violations":0' \
+             '"corrupt_accepted":0' '"replicas_agree":true' '"gossip_tx":' \
+             '"gossip_repairs":' '"corrupt_dropped":' '"record":'; do
+    grep -q "$key" "$f" \
+      || { echo "verify: $f is missing $key" >&2; exit 1; }
+  done
+done
+
 # Codec cross-check smoke: the same 1k-node field run under the binary and
 # the JSON wire codec must produce byte-identical run records and
 # telemetry JSONL — the debug codec is an observer, not a behavior knob.
