@@ -6,18 +6,22 @@
 //! cargo run --release -p envirotrack-bench --bin scale -- --smoke --out /tmp/smoke.json
 //! ```
 //!
-//! Four sections land in the JSON:
+//! Five sections land in the JSON:
 //!
-//! 1. `results` — the Figure-2 tracking program on 1k/2k/5k/10k-node
+//! 1. `results` — the Figure-2 tracking program on 1k/2k/5k/10k/100k-node
 //!    [`ScaleScenario`] fields for a fixed virtual horizon: wall time,
 //!    kernel events, events per wall-second, bytes on air.
 //! 2. `construction` — grid vs. brute-force neighbor-table build time on
-//!    the largest field (tables asserted identical before timing).
+//!    a 10k-node field (tables asserted identical before timing; the
+//!    all-pairs scan would dominate the run at 100k).
 //! 3. `codec` — the smallest field run under both wire codecs, asserted
 //!    byte-identical in telemetry and run record, with the binary-vs-JSON
 //!    frame-byte totals and their ratio.
 //! 4. `sweep` — a homogeneous scale-cell set run at 1/2/4/8 workers with
 //!    byte-identical-merge cross-checks, as in the `sweep` bin.
+//! 5. `shards` — the smallest field advanced by the lock-step sharded
+//!    kernel (`envirotrack_core::shard`) at each `--shards` count, with
+//!    the merged output asserted byte-identical across counts.
 //!
 //! `--smoke` shrinks everything (1k max, 2 s horizon, 2k-node
 //! construction, 2-cell sweep) for the CI stage in `scripts/verify.sh`.
@@ -26,7 +30,11 @@
 //! and `--crosscheck PATH` switches to a single-run dump mode: one scale
 //! point's telemetry JSONL + run record is written to PATH and nothing
 //! else runs. verify.sh invokes it once per codec and diffs the files
-//! byte-for-byte.
+//! byte-for-byte. With `--shards N`, the crosscheck dump runs the sharded
+//! kernel at N shards instead — verify.sh diffs N=1 against N=4 the same
+//! way (sharded runs are their own golden family: every frame carries the
+//! uniform epoch pipeline latency, so they are compared across shard
+//! counts, never against the monolithic dump).
 //!
 //! [`ScaleScenario`]: envirotrack_world::scenario::ScaleScenario
 
@@ -34,7 +42,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use envirotrack_bench::experiments::scale::{
-    codec_comparison, construction_timing, crosscheck_dump, print, run_scale, ScaleRun,
+    codec_comparison, construction_timing, crosscheck_dump, print, run_scale, run_scale_sharded,
+    ScaleRun,
 };
 use envirotrack_bench::sweep::cells::scale_cells;
 use envirotrack_bench::sweep::run_sweep;
@@ -48,6 +57,9 @@ struct Args {
     construction_nodes: u32,
     sweep_cells: usize,
     sweep_nodes: u32,
+    /// Shard counts for the `shards` section; set explicitly, it also
+    /// switches `--crosscheck` to the sharded dump (first count).
+    shards: Option<Vec<usize>>,
     seed: u64,
     codec: WireCodec,
     crosscheck: Option<PathBuf>,
@@ -56,11 +68,12 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        nodes: vec![1_000, 2_000, 5_000, 10_000],
+        nodes: vec![1_000, 2_000, 5_000, 10_000, 100_000],
         horizon_ms: 10_000,
         construction_nodes: 10_000,
         sweep_cells: 8,
         sweep_nodes: 2_000,
+        shards: None,
         seed: 1,
         codec: WireCodec::Binary,
         crosscheck: None,
@@ -103,6 +116,15 @@ fn parse_args() -> Result<Args, String> {
                 args.crosscheck = Some(PathBuf::from(value(i)?));
                 i += 2;
             }
+            "--shards" => {
+                args.shards = Some(
+                    value(i)?
+                        .split(',')
+                        .map(|v| v.parse().map_err(|e| format!("--shards: {e}")))
+                        .collect::<Result<_, _>>()?,
+                );
+                i += 2;
+            }
             "--smoke" => {
                 args.nodes = vec![1_000];
                 args.horizon_ms = 2_000;
@@ -117,6 +139,11 @@ fn parse_args() -> Result<Args, String> {
     if args.nodes.is_empty() {
         return Err("--nodes needs at least one count".into());
     }
+    if let Some(shards) = &args.shards {
+        if shards.is_empty() || shards.contains(&0) {
+            return Err("--shards needs at least one nonzero count".into());
+        }
+    }
     Ok(args)
 }
 
@@ -130,8 +157,9 @@ fn main() -> ExitCode {
     };
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    // Cross-check dump mode: one scale point's full observable output
-    // under the selected codec, for a byte-for-byte diff across codecs.
+    // Cross-check dump mode: one scale point's full observable output,
+    // for a byte-for-byte diff across codecs — or, with `--shards N`,
+    // across shard counts of the lock-step sharded kernel.
     if let Some(path) = &args.crosscheck {
         let cfg = ScaleRun {
             nodes: args.nodes[0],
@@ -140,18 +168,30 @@ fn main() -> ExitCode {
             seed: args.seed,
             ..ScaleRun::default()
         };
-        let (telemetry, record, bytes_on_air, _) = crosscheck_dump(&cfg);
-        let dump = format!("{record}\n{telemetry}");
+        let dump = if let Some(shards) = &args.shards {
+            let p = run_scale_sharded(&cfg, shards[0]);
+            eprintln!(
+                "scale: sharded crosscheck dump ({} shards, {} nodes, {} merged events) → {}",
+                p.shards,
+                args.nodes[0],
+                p.events,
+                path.display()
+            );
+            p.dump
+        } else {
+            let (telemetry, record, bytes_on_air, _) = crosscheck_dump(&cfg);
+            eprintln!(
+                "scale: crosscheck dump ({} codec, {} nodes, {bytes_on_air} bytes on air) → {}",
+                args.codec,
+                args.nodes[0],
+                path.display()
+            );
+            format!("{record}\n{telemetry}")
+        };
         if let Err(e) = std::fs::write(path, dump) {
             eprintln!("scale: writing {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
-        eprintln!(
-            "scale: crosscheck dump ({} codec, {} nodes, {bytes_on_air} bytes on air) → {}",
-            args.codec,
-            args.nodes[0],
-            path.display()
-        );
         return ExitCode::SUCCESS;
     }
 
@@ -257,6 +297,57 @@ fn main() -> ExitCode {
         );
     }
 
+    // Section 5: the lock-step sharded kernel on the smallest field, with
+    // the merged output byte-compared across shard counts. On a 1-CPU host
+    // the wall time stays flat (the shards only pipeline, never truly
+    // overlap) — the determinism cross-check is the load-bearing part.
+    let shard_counts = args.shards.clone().unwrap_or_else(|| vec![1, 2, 4]);
+    let shard_cfg = ScaleRun {
+        nodes: args.nodes.iter().copied().min().unwrap_or(1_000),
+        horizon: SimDuration::from_millis(args.horizon_ms),
+        codec: args.codec,
+        seed: args.seed,
+        ..ScaleRun::default()
+    };
+    let mut shard_baseline: Option<String> = None;
+    let mut shard_base_wall = 0.0;
+    let mut shard_rows = Vec::new();
+    for &shards in &shard_counts {
+        let p = run_scale_sharded(&shard_cfg, shards);
+        match &shard_baseline {
+            None => {
+                shard_baseline = Some(p.dump.clone());
+                shard_base_wall = p.run_wall_s;
+            }
+            Some(b) => assert_eq!(
+                *b, p.dump,
+                "merged output changed with shard count — determinism bug"
+            ),
+        }
+        let speedup = if p.run_wall_s > 0.0 {
+            shard_base_wall / p.run_wall_s
+        } else {
+            0.0
+        };
+        eprintln!(
+            "scale shards: {shards} shards × {} nodes → {:.2}s wall, {} events ({:.0}/s, {speedup:.2}x vs first)",
+            p.nodes, p.run_wall_s, p.events, p.events_per_sec
+        );
+        shard_rows.push(
+            JsonObject::new()
+                .field_u64("shards", shards as u64)
+                .field_u64("nodes", u64::from(p.nodes))
+                .field_f64("run_wall_s", p.run_wall_s)
+                .field_u64("events", p.events)
+                .field_f64("events_per_sec", p.events_per_sec)
+                .field_f64("speedup_vs_first", speedup)
+                .field_u64("labels_created", p.labels_created)
+                .field_u64("handovers", p.handovers)
+                .field_bool("byte_identical", true)
+                .finish(),
+        );
+    }
+
     let head = JsonObject::new()
         .field_str("bench", "scale")
         .field_u64("host_cpus", host_cpus as u64)
@@ -268,12 +359,13 @@ fn main() -> ExitCode {
         .field_bool("merged_outputs_identical", true)
         .finish();
     let json = format!(
-        "{},\"construction\":{},\"codec\":{},\"results\":[{}],\"sweep\":[{}]}}\n",
+        "{},\"construction\":{},\"codec\":{},\"results\":[{}],\"sweep\":[{}],\"shards\":[{}]}}\n",
         &head[..head.len() - 1],
         construction_json,
         codec_json,
         rows.join(","),
-        sweep_rows.join(",")
+        sweep_rows.join(","),
+        shard_rows.join(",")
     );
     if let Err(e) = std::fs::write(&args.out, json) {
         eprintln!("scale: writing {}: {e}", args.out.display());

@@ -19,6 +19,7 @@ use std::time::Instant;
 use envirotrack_core::events::SystemEvent;
 use envirotrack_core::network::{NetworkConfig, SensorNetwork};
 use envirotrack_core::report::telemetry_to_jsonl;
+use envirotrack_core::shard::run_sharded;
 use envirotrack_core::wire::WireCodec;
 use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_world::grid::{neighbor_lists_with, NeighborStrategy};
@@ -246,6 +247,81 @@ pub fn crosscheck_dump(cfg: &ScaleRun) -> (String, String, u64, u64) {
     (telemetry, record, stats.bytes_on_air(), stats.payload_bytes())
 }
 
+/// One sharded scale point: the same tracking field advanced by `shards`
+/// lock-step shard threads (see [`envirotrack_core::shard`]).
+#[derive(Debug, Clone)]
+pub struct ShardScalePoint {
+    /// Field size in nodes.
+    pub nodes: u32,
+    /// Shard (thread) count.
+    pub shards: usize,
+    /// Wall seconds for the whole sharded run: per-shard world builds,
+    /// every epoch barrier, and the final merge.
+    pub run_wall_s: f64,
+    /// Kernel events summed over the shards. Diagnostic only: every shard
+    /// replays every transmission completion, so this grows with the shard
+    /// count and is excluded from the byte-compared output.
+    pub events: u64,
+    /// `events / run_wall_s`.
+    pub events_per_sec: f64,
+    /// Context labels minted (merged run record).
+    pub labels_created: u64,
+    /// Leadership handovers (merged run record).
+    pub handovers: u64,
+    /// The full observable output — the run-record JSON line followed by
+    /// the merged telemetry JSONL — what must be byte-identical across
+    /// shard counts.
+    pub dump: String,
+}
+
+/// Runs one scale point under the sharded kernel and returns the merged
+/// audit. Sharded runs are their own golden family (every frame carries
+/// the uniform epoch pipeline latency), so `dump` compares across shard
+/// counts, not against [`crosscheck_dump`].
+#[must_use]
+pub fn run_scale_sharded(cfg: &ScaleRun, shards: usize) -> ShardScalePoint {
+    let scenario = ScaleScenario {
+        nodes: cfg.nodes,
+        targets: cfg.targets,
+        speed_hops_per_s: cfg.speed_hops_per_s,
+        seed: cfg.seed,
+        ..ScaleScenario::default()
+    }
+    .build();
+    let mut net_cfg = NetworkConfig::default();
+    net_cfg.radio = net_cfg.radio.with_comm_radius(cfg.comm_radius);
+    net_cfg.radio.topology = cfg.topology;
+    net_cfg.radio.codec = cfg.codec;
+    net_cfg.middleware.proximity_radius = 3.0;
+
+    let run_start = Instant::now();
+    let run = run_sharded(
+        &tracker_program(),
+        &scenario.deployment,
+        &scenario.environment,
+        &net_cfg,
+        cfg.seed,
+        shards,
+        Timestamp::ZERO + cfg.horizon,
+        &[],
+    );
+    let run_wall_s = run_start.elapsed().as_secs_f64();
+    ShardScalePoint {
+        nodes: cfg.nodes,
+        shards,
+        run_wall_s,
+        events: run.events_processed,
+        events_per_sec: if run_wall_s > 0.0 {
+            run.events_processed as f64 / run_wall_s
+        } else {
+            0.0
+        },
+        labels_created: run.record.labels_created,
+        handovers: run.record.handovers,
+        dump: format!("{}\n{}", run.record.to_json(), run.telemetry_jsonl),
+    }
+}
+
 /// Grid-vs-brute-force neighbor-table construction timing on one
 /// deployment.
 #[derive(Debug, Clone)]
@@ -400,6 +476,21 @@ mod tests {
         let cmp = codec_comparison(&small());
         assert!(cmp.json_over_binary >= 2.0, "{cmp:?}");
         assert!(cmp.bytes_on_air > 0);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_sharded_audit() {
+        let one = run_scale_sharded(&small(), 1);
+        let two = run_scale_sharded(&small(), 2);
+        assert!(
+            one.labels_created >= 1,
+            "the sharded run must still track targets: {one:?}"
+        );
+        assert_eq!(one.dump, two.dump, "shard count leaked into the output");
+        // The pin must cover live protocol traffic, not an idle field.
+        // (Trace events are excluded from the merged stream by design, so
+        // look at a frame counter, not `group.hb` traces.)
+        assert!(one.dump.contains("net.k1.tx"));
     }
 
     #[test]

@@ -157,27 +157,40 @@ pub struct TrackingOutcome {
 
 impl TrackingOutcome {
     /// Failed handovers: labels spawned for an already-labelled tank.
+    ///
+    /// Zero labels means the tank was never tracked at all — that is not
+    /// a failed handover (there was nothing to hand over), so both the
+    /// 0-label and 1-label runs legitimately report zero here; the two
+    /// are distinguished by [`handover_success_ratio`] and [`coherent`]
+    /// consulting `labels_created` directly.
+    ///
+    /// [`handover_success_ratio`]: Self::handover_success_ratio
+    /// [`coherent`]: Self::coherent
     #[must_use]
     pub fn failed_handovers(&self) -> usize {
         self.labels_created.saturating_sub(1)
     }
 
     /// Fig. 4's metric: successful handovers over all handover attempts,
-    /// in `[0, 1]`. A run with no transitions at all counts as 1.0.
+    /// in `[0, 1]`. A single-label run with no transitions at all counts
+    /// as 1.0, but a run that never minted a label tracked nothing and
+    /// scores 0.0 — previously both collapsed to a perfect score.
     #[must_use]
     pub fn handover_success_ratio(&self) -> f64 {
         let attempts = self.handovers + self.failed_handovers();
         if attempts == 0 {
-            1.0
+            if self.labels_created == 0 { 0.0 } else { 1.0 }
         } else {
             self.handovers as f64 / attempts as f64
         }
     }
 
-    /// Figs. 5–6's criterion: the single-group abstraction held.
+    /// Figs. 5–6's criterion: the single-group abstraction held. Requires
+    /// that a label existed at all — a run with zero labels never formed
+    /// the abstraction, so it cannot be coherent.
     #[must_use]
     pub fn coherent(&self) -> bool {
-        self.failed_handovers() == 0 && self.tracked_fraction >= 0.7
+        self.labels_created >= 1 && self.failed_handovers() == 0 && self.tracked_fraction >= 0.7
     }
 }
 
@@ -460,6 +473,48 @@ mod tests {
         assert_eq!(a.handovers, b.handovers);
         assert_eq!(a.hb_tx, b.hb_tx);
         assert_eq!(a.track, b.track);
+    }
+
+    #[test]
+    fn zero_target_run_scores_zero_not_perfect() {
+        use envirotrack_world::field::Deployment;
+        use envirotrack_world::sensing::Environment;
+
+        // A field with nothing to sense: no target ever crosses, so no
+        // label is ever minted. That must read as "tracked nothing", not
+        // as a flawless no-handover run.
+        let mut engine = SensorNetwork::build_engine(
+            tracker_program(),
+            Deployment::grid(4, 4, 1.0),
+            Environment::new(),
+            NetworkConfig::default(),
+            2,
+        );
+        engine.run_until(Timestamp::ZERO + SimDuration::from_secs(10));
+        let events = engine.world().events();
+        assert_eq!(events.labels_created(TRACKER).len(), 0);
+
+        let base = run_tracking(&TrackingRun::default());
+        let empty = TrackingOutcome {
+            labels_created: 0,
+            labels_suppressed: 0,
+            handovers: 0,
+            tracked_fraction: 0.0,
+            track: Vec::new(),
+            truth: Vec::new(),
+            mean_error: f64::NAN,
+            ..base.clone()
+        };
+        let single = TrackingOutcome {
+            labels_created: 1,
+            ..empty.clone()
+        };
+        // Same failed_handovers (0) for both, but the ratio and coherence
+        // now tell the two apart.
+        assert_eq!(empty.failed_handovers(), single.failed_handovers());
+        assert_eq!(empty.handover_success_ratio(), 0.0);
+        assert_eq!(single.handover_success_ratio(), 1.0);
+        assert!(!empty.coherent());
     }
 
     #[test]

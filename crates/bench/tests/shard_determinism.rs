@@ -1,0 +1,122 @@
+//! Shard-count determinism: a sharded run's merged output is a pure
+//! function of the scenario — the shard count, thread scheduling, and
+//! barrier batching must never show through. This extends the
+//! byte-identical contract of `sweep_determinism.rs` (worker count) and
+//! `scale_determinism.rs` (topology/codec toggles) to the lock-step
+//! sharded kernel in `envirotrack_core::shard`, including under a chaos
+//! plan that partitions the field, injects link faults, and crashes a
+//! node mid-run.
+
+use envirotrack_bench::harness::tracker_program;
+use envirotrack_core::network::NetworkConfig;
+use envirotrack_core::shard::{run_sharded, ShardFault};
+use envirotrack_net::medium::LinkFaults;
+use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_world::field::NodeId;
+use envirotrack_world::scenario::ScaleScenario;
+
+/// Bounded horizon: the pin runs in the debug profile under `cargo test`,
+/// so keep the event count modest while still crossing group formation,
+/// heartbeats and member reports (same envelope as `scale_determinism`).
+const HORIZON: SimDuration = SimDuration::from_secs(3);
+const SEED: u64 = 7;
+const NODES: u32 = 2_000;
+
+fn at(ms: u64) -> Timestamp {
+    Timestamp::ZERO + SimDuration::from_millis(ms)
+}
+
+/// Runs the fixed-seed 2k-node tracking field under `shards` shard
+/// threads and returns the full observable output: merged telemetry
+/// JSONL plus the run-record JSON line.
+fn run(shards: usize, faults: &[(Timestamp, ShardFault)]) -> (String, String) {
+    let scenario = ScaleScenario {
+        nodes: NODES,
+        targets: 2,
+        speed_hops_per_s: 1.0,
+        seed: SEED,
+        ..ScaleScenario::default()
+    }
+    .build();
+    let mut net_cfg = NetworkConfig::default();
+    net_cfg.radio = net_cfg.radio.with_comm_radius(2.5);
+    let out = run_sharded(
+        &tracker_program(),
+        &scenario.deployment,
+        &scenario.environment,
+        &net_cfg,
+        SEED,
+        shards,
+        Timestamp::ZERO + HORIZON,
+        faults,
+    );
+    (out.telemetry_jsonl, out.record.to_json())
+}
+
+/// Partitions the field in half, garbles the link layer, and crashes a
+/// node mid-run — every fault class `run_sharded` quantizes to barriers:
+/// channel faults (installed on every shard's medium replica) and node
+/// faults (applied on the owning shard only).
+fn chaos_plan() -> Vec<(Timestamp, ShardFault)> {
+    let halves: Vec<u8> = (0..NODES).map(|i| u8::from(i >= NODES / 2)).collect();
+    // The short horizon carries only a few dozen frames, so the fault
+    // rates are cranked far above the soak profile — a plan that bites
+    // nothing would make the cross-shard comparison vacuous (and the
+    // `assert_ne` against the clean run fail).
+    let harsh = LinkFaults {
+        flip_per_byte: 0.02,
+        truncate: 0.2,
+        duplicate: 0.3,
+        reorder: 0.3,
+        reorder_max_delay: SimDuration::from_millis(30),
+    };
+    vec![
+        (at(100), ShardFault::LinkFaultsOn(harsh)),
+        (at(400), ShardFault::Partition(halves)),
+        (at(800), ShardFault::Crash(NodeId(40))),
+        (at(2_000), ShardFault::Revive(NodeId(40))),
+        (at(2_400), ShardFault::ClearPartition),
+        (at(2_600), ShardFault::LinkFaultsOff),
+    ]
+}
+
+#[test]
+fn fixed_seed_2k_node_run_is_byte_identical_at_1_2_and_4_shards() {
+    let (one_tel, one_rec) = run(1, &[]);
+    assert!(
+        one_tel.contains("net.k1.tx"),
+        "the pin must cover live protocol traffic, not an idle field"
+    );
+    for shards in [2usize, 4] {
+        let (tel, rec) = run(shards, &[]);
+        assert_eq!(
+            one_tel, tel,
+            "telemetry JSONL diverged between 1 and {shards} shards"
+        );
+        assert_eq!(
+            one_rec, rec,
+            "run record diverged between 1 and {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn chaos_plan_stays_byte_identical_across_shard_counts() {
+    let plan = chaos_plan();
+    let (one_tel, one_rec) = run(1, &plan);
+    for shards in [2usize, 4] {
+        let (tel, rec) = run(shards, &plan);
+        assert_eq!(
+            one_tel, tel,
+            "chaos telemetry diverged between 1 and {shards} shards"
+        );
+        assert_eq!(
+            one_rec, rec,
+            "chaos run record diverged between 1 and {shards} shards"
+        );
+    }
+    // The plan must actually bite: a faulted run cannot match the clean
+    // stream, or the quantized faults silently never fired.
+    let (clean_tel, _) = run(1, &[]);
+    assert_ne!(one_tel, clean_tel, "the chaos plan left no trace");
+}

@@ -57,6 +57,9 @@ pub struct MiddlewareConfig {
     /// Upper bound on the uniform jitter added to each retransmission
     /// backoff (desynchronises retransmitters after a shared outage).
     pub mtp_retx_jitter_max: SimDuration,
+    /// Hard ceiling on the exponential retransmission backoff: the
+    /// per-attempt doubling clamps here instead of growing unboundedly.
+    pub mtp_retx_max_backoff: SimDuration,
     /// Directory registrations fan out to this many nodes nearest the hash
     /// point (1 = the classic single home node).
     pub directory_replicas: usize,
@@ -106,6 +109,10 @@ impl Default for MiddlewareConfig {
             mtp_retx_timeout: SimDuration::from_millis(600),
             mtp_retx_max_attempts: 4,
             mtp_retx_jitter_max: SimDuration::from_millis(80),
+            // 60 s is far above timeout * 2^(max_attempts - 1) at the
+            // defaults, so the cap only bites deliberately aggressive
+            // retry budgets.
+            mtp_retx_max_backoff: SimDuration::from_secs(60),
             directory_replicas: 1,
             directory_query_timeout: SimDuration::from_millis(1500),
             directory_gossip_enabled: false,
@@ -223,6 +230,11 @@ impl MiddlewareConfig {
             }
             if self.mtp_retx_timeout.is_zero() {
                 return Err("MTP retransmission timeout must be positive".into());
+            }
+            if self.mtp_retx_max_backoff < self.mtp_retx_timeout {
+                return Err(
+                    "MTP retransmission backoff ceiling must be at least the base timeout".into(),
+                );
             }
         }
         if self.directory_replicas == 0 {

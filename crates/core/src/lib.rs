@@ -26,6 +26,7 @@
 //! | [`transport`] | §5.4 | MTP: ports, last-known-leader LRU, forwarding chains |
 //! | [`wire`] | §5 | the binary message codec |
 //! | [`network`] | §5 | the assembled simulation world ([`network::SensorNetwork`]) |
+//! | [`shard`] | — | lock-step sharded execution across threads |
 //! | [`events`] | — | protocol event log for audits |
 //! | [`report`] | §4 | the base-station ("pursuer") report log |
 //! | [`config`] | §6 | tuning knobs (heartbeat period, timer factors, `h`, …) |
@@ -45,6 +46,7 @@ pub mod group;
 pub mod network;
 pub mod object;
 pub mod report;
+pub mod shard;
 pub mod transport;
 pub mod wire;
 

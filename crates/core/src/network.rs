@@ -73,6 +73,7 @@ use crate::events::{EventLog, HandoverReason, SystemEvent};
 use crate::group::{AggregateHealth, GroupAction, GroupCtx, GroupMachine, GroupTimer, RoleKind};
 use crate::object::IncomingMessage;
 use crate::report::{BaseStationLog, ReportEntry, RunRecord};
+use crate::shard::{OutIntent, ShardFault, ShardState};
 use crate::transport::{LeaderLoc, MtpState, Outstanding, Port, RetxPolicy};
 use crate::wire::{
     BaseReport, DirQuery, DirRegister, DirResponse, DirSync, GeoForward, Heartbeat, Message,
@@ -259,6 +260,10 @@ pub struct SensorNetwork {
     /// label so the per-handover cost is an integer-map probe, not a
     /// format + string-keyed registry walk.
     handover_counters: RefCell<BTreeMap<u128, CounterHandle>>,
+    /// Sharded-execution state (`None` for monolithic runs). When set, this
+    /// world drives only its owned nodes and diverts transmit requests to
+    /// an outbox exchanged at epoch barriers — see [`crate::shard`].
+    shard: Option<ShardState>,
 }
 
 impl std::fmt::Debug for SensorNetwork {
@@ -340,6 +345,7 @@ impl SensorNetwork {
             telemetry,
             labels: LabelIntern::new(),
             handover_counters: RefCell::new(BTreeMap::new()),
+            shard: None,
         }
     }
 
@@ -371,9 +377,67 @@ impl SensorNetwork {
         engine
     }
 
+    /// Builds one shard's replica of a sharded run: a complete world whose
+    /// handlers drive only the nodes `shard_assignment` maps to
+    /// `shard_idx`, with transmit requests diverted to the epoch outbox.
+    /// The medium keeps its telemetry only on shard 0 — every shard replays
+    /// the identical global transmit sequence, so channel counters would
+    /// otherwise be multiplied by the shard count in the merged output.
+    /// Drive the result through [`crate::shard::run_sharded`], which owns
+    /// the barrier protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_idx >= shards` or `shards` is zero.
+    #[must_use]
+    pub fn build_engine_sharded(
+        program: Arc<Program>,
+        deployment: Deployment,
+        environment: Environment,
+        config: NetworkConfig,
+        seed: u64,
+        shards: usize,
+        shard_idx: usize,
+    ) -> Engine<SensorNetwork> {
+        assert!(shards >= 1, "at least one shard is required");
+        assert!(shard_idx < shards, "shard index {shard_idx} out of {shards}");
+        let mut world = SensorNetwork::new(program, deployment, environment, config, seed);
+        if shard_idx != 0 {
+            world.medium.attach_telemetry(Telemetry::new());
+        }
+        let owners = envirotrack_world::grid::shard_assignment(
+            &world.deployment,
+            world.config.radio.comm_radius,
+            shards,
+        );
+        let owned = owners.iter().map(|&s| s == shard_idx).collect();
+        let latency = world.config.radio.epoch_latency();
+        world.shard = Some(ShardState::new(shard_idx, shards, owned, latency));
+        let telemetry = world.telemetry().clone();
+        let mut engine = Engine::new(world, seed);
+        engine.kernel_mut().attach_telemetry(telemetry);
+        engine
+            .kernel_mut()
+            .schedule_at(Timestamp::ZERO, |w: &mut SensorNetwork, k| {
+                w.bootstrap(k);
+            });
+        engine
+    }
+
+    /// Whether this world drives `node` (always true for monolithic runs).
+    fn owns(&self, node: NodeId) -> bool {
+        self.shard.as_ref().is_none_or(|s| s.owns(node))
+    }
+
     fn bootstrap(&mut self, k: &mut Kernel<SensorNetwork>) {
         let period = self.config.middleware.sense_period;
         for id in self.deployment.ids() {
+            // Sharded worlds start only their owned nodes' loops. Each
+            // node's phase comes from its own forked RNG stream, so
+            // skipping a node draws nothing and perturbs no other node.
+            if !self.owns(id) {
+                continue;
+            }
             let phase = SimDuration::from_micros(
                 self.nodes[id.index()].rng.below(period.as_micros().max(1)),
             );
@@ -387,6 +451,9 @@ impl SensorNetwork {
                 continue;
             };
             let host = self.router.closest_node(at);
+            if !self.owns(host) {
+                continue;
+            }
             let actions = self.drive_machine(k.now(), host, tid, |machine, ctx| {
                 machine.instantiate_pinned(ctx)
             });
@@ -409,6 +476,12 @@ impl SensorNetwork {
             let replicas = self.directory_replicas_of(tid);
             let k_len = replicas.len();
             for (i, node) in replicas.into_iter().enumerate() {
+                // A sharded world arms only its owned replicas' timers; the
+                // stagger index `i` still counts the full replica set, so
+                // each replica's phase is shard-count invariant.
+                if !self.owns(node) {
+                    continue;
+                }
                 // Stagger replicas across the period so their pushes don't
                 // pile onto the channel in one burst.
                 let phase = period.mul_f64((i + 1) as f64 / (k_len + 1) as f64);
@@ -632,6 +705,82 @@ impl SensorNetwork {
     /// per-kind corrupt-drop counters to exact expected values.
     pub fn inject_frame(&mut self, k: &mut Kernel<SensorNetwork>, node: NodeId, frame: Frame) {
         self.receive_frame(k, node, frame);
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded execution (driven by `shard::run_sharded`)
+    // ------------------------------------------------------------------
+
+    /// Takes the transmit requests captured since the last epoch barrier.
+    /// Empty for monolithic worlds.
+    pub fn drain_shard_outbox(&mut self) -> Vec<OutIntent> {
+        self.shard.as_mut().map_or_else(Vec::new, ShardState::drain)
+    }
+
+    /// Replays one globally-merged batch of transmit requests against this
+    /// shard's medium replica, in batch order. Every shard replays the
+    /// *same* batch, so every medium replica makes identical RNG draws;
+    /// transmit energy is charged only on the source's owning shard, and
+    /// deliveries are filtered to owned receivers in
+    /// `transmission_complete`. Each request is issued at `request + L`
+    /// (the epoch length) — the uniform pipeline latency of sharded runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world was not built with
+    /// [`SensorNetwork::build_engine_sharded`].
+    pub fn inject_shard_batch(&mut self, k: &mut Kernel<SensorNetwork>, batch: Vec<OutIntent>) {
+        let latency = self
+            .shard
+            .as_ref()
+            .expect("inject_shard_batch requires a sharded world")
+            .latency;
+        for intent in batch {
+            let at = intent.at + latency;
+            let src = intent.src;
+            let airtime = self.medium.config().tx_time(&intent.frame);
+            match self.medium.transmit(at, intent.frame) {
+                Ok(tx) => {
+                    if self.owns(src) {
+                        self.nodes[src.index()].energy.charge_tx(airtime);
+                    }
+                    k.schedule_at(tx.completes_at, move |w: &mut SensorNetwork, k| {
+                        w.transmission_complete(k, tx.id);
+                    });
+                }
+                Err(_saturated) => {
+                    // Saturation is decided identically on every replica.
+                }
+            }
+        }
+    }
+
+    /// Applies one barrier-quantized fault. Channel faults install on every
+    /// shard's medium replica (the channel is replicated state); node
+    /// faults act only on the owning shard, which alone drives the node.
+    pub fn apply_shard_fault(&mut self, k: &mut Kernel<SensorNetwork>, fault: &ShardFault) {
+        match fault {
+            ShardFault::Partition(groups) => self.set_partition(Some(groups.clone())),
+            ShardFault::ClearPartition => self.set_partition(None),
+            ShardFault::BurstLossOn(model) => self.set_burst_loss(Some(*model)),
+            ShardFault::BurstLossOff => self.set_burst_loss(None),
+            ShardFault::LinkFaultsOn(faults) => self.set_link_faults(Some(*faults)),
+            ShardFault::LinkFaultsOff => self.set_link_faults(None),
+            ShardFault::Crash(node) => {
+                if self.owns(*node) {
+                    self.kill_node(*node);
+                }
+            }
+            ShardFault::Revive(node) => {
+                if self.owns(*node) {
+                    self.revive_node(*node);
+                    // Restart the sensing loop at the barrier itself: the
+                    // tick draws nothing from the kernel, so reviving is as
+                    // deterministic as the crash.
+                    self.sense_tick(k, *node);
+                }
+            }
+        }
     }
 
     /// Triggers an immediate anti-entropy push (with pull) on every live
@@ -946,17 +1095,21 @@ impl SensorNetwork {
         for _ in 0..passes {
             match report.frame.link_dst {
                 LinkDest::Node(dst) => {
-                    if report
-                        .outcomes
-                        .iter()
-                        .any(|(r, o)| *r == dst && *o == DeliveryOutcome::Delivered)
+                    // Sharded worlds dispatch only to owned receivers; the
+                    // owning shard replays the same transmission and
+                    // dispatches there.
+                    if self.owns(dst)
+                        && report
+                            .outcomes
+                            .iter()
+                            .any(|(r, o)| *r == dst && *o == DeliveryOutcome::Delivered)
                     {
                         self.receive_frame(k, dst, report.frame.clone());
                     }
                 }
                 LinkDest::Broadcast => {
                     for (receiver, outcome) in &report.outcomes {
-                        if *outcome == DeliveryOutcome::Delivered {
+                        if *outcome == DeliveryOutcome::Delivered && self.owns(*receiver) {
                             self.receive_broadcast(k, *receiver, &report.frame, &mut decoded);
                         }
                     }
@@ -1850,6 +2003,7 @@ impl SensorNetwork {
             timeout: mw.mtp_retx_timeout,
             max_attempts: mw.mtp_retx_max_attempts,
             jitter_max: mw.mtp_retx_jitter_max,
+            max_backoff: mw.mtp_retx_max_backoff,
         };
         match self.nodes[node.index()].mtp.retransmit(seq, policy.max_attempts) {
             None => {} // acknowledged in the meantime
@@ -2148,6 +2302,17 @@ impl SensorNetwork {
             .admit(k.now(), costs::TX_PREPARE)
             .is_err()
         {
+            return;
+        }
+        // Sharded runs never touch the medium mid-epoch: the request is
+        // captured and replayed on every shard at the next barrier (see
+        // `inject_shard_batch`), where it is also energy-charged.
+        if let Some(shard) = &mut self.shard {
+            debug_assert!(
+                shard.owns(node),
+                "only owned nodes transmit on a shard ({node})"
+            );
+            shard.push(k.now(), node, frame);
             return;
         }
         let airtime = self.medium.config().tx_time(&frame);

@@ -1,0 +1,457 @@
+//! Sharded execution: one simulation advanced by several OS threads in
+//! lock-step epochs — conservative time-window synchronisation.
+//!
+//! ## Model
+//!
+//! The field is partitioned into node shards along the spatial grid
+//! (`envirotrack_world::grid::shard_assignment`). Every shard thread owns a
+//! *complete* replica of the world — full deployment, full radio medium —
+//! but only *drives* its owned nodes: bootstrap ticks, timers, and receive
+//! dispatch are filtered to owned nodes, so each node's protocol state
+//! machine runs on exactly one shard.
+//!
+//! The only coupling between shards is the radio channel. During an epoch
+//! no shard touches its medium at all: every transmit request an owned node
+//! makes is captured as an [`OutIntent`] in the shard's outbox. At each
+//! epoch barrier the orchestrator collects all outboxes, merges them into
+//! one batch sorted by `(time, src, seq)` — a total order, since `seq` is a
+//! per-source counter — and hands the *same* batch to every shard, which
+//! replays it against its own medium replica in that order. Each replayed
+//! transmission is issued at `request_time + L`, where `L` is the epoch
+//! length ([`envirotrack_net::medium::RadioConfig::epoch_latency`]): the
+//! minimum frame airtime plus the receive processing delay, i.e. a lower
+//! bound on how soon *any* frame could have reached *any* receiver's
+//! handler. Because the batch and its order are identical everywhere, every
+//! medium replica makes identical RNG draws and reaches an identical state;
+//! each shard then dispatches deliveries only to the receivers it owns.
+//!
+//! ## Why the result is shard-count invariant
+//!
+//! Pick any two events on one shard. Their relative order equals their
+//! order in the single-shard run by induction over barriers: bootstrap
+//! iterates nodes in id order (skipping non-owned nodes, whose RNG streams
+//! are per-node forks and therefore undisturbed), barrier injections replay
+//! one globally-sorted batch, and handlers are deterministic functions of
+//! per-node state plus the delivered frame. No handler reads another node's
+//! runtime state, so interleaving *across* shards within an epoch cannot be
+//! observed. Telemetry counters and histograms are commutative sums over
+//! per-node (partitioned by ownership) or per-medium (recorded on shard 0
+//! only) activity, so the merged output is independent of the shard count —
+//! the property `bench/tests/shard_determinism.rs` pins byte-for-byte.
+//!
+//! The uniform `+L` pipeline latency makes a sharded run its *own* golden
+//! family: it is byte-identical across shard counts, not to the monolithic
+//! (`build_engine`) golden, which delivers frames without the epoch
+//! latency. `kernel.events` is stripped from the merged telemetry (every
+//! shard replays every completion, so the count is not partition-additive),
+//! and trace events are excluded entirely.
+
+use std::collections::BTreeMap;
+use std::sync::{mpsc, Arc};
+
+use envirotrack_net::medium::{GilbertElliott, LinkFaults};
+use envirotrack_net::packet::Frame;
+use envirotrack_sim::time::{SimDuration, Timestamp};
+use envirotrack_telemetry::Telemetry;
+use envirotrack_world::field::{Deployment, NodeId};
+use envirotrack_world::sensing::Environment;
+
+use crate::api::Program;
+use crate::network::{NetworkConfig, SensorNetwork};
+use crate::report::{json, RunRecord};
+
+/// One captured transmit request, exchanged across shards at epoch
+/// barriers. `(at, src, seq)` is a total order over all intents of a run:
+/// `seq` counts each source's requests, so two intents can never tie.
+#[derive(Debug, Clone)]
+pub struct OutIntent {
+    /// When the owning node requested the transmission.
+    pub at: Timestamp,
+    /// The transmitting node.
+    pub src: NodeId,
+    /// Per-source request counter (breaks `(at, src)` ties).
+    pub seq: u64,
+    /// The frame to put on the channel.
+    pub frame: Frame,
+}
+
+impl OutIntent {
+    /// The global merge key: `(time, source id, per-source seq)`.
+    #[must_use]
+    pub fn key(&self) -> (Timestamp, u32, u64) {
+        (self.at, self.src.0, self.seq)
+    }
+}
+
+/// Per-world sharding state, attached to a `SensorNetwork` built with
+/// [`SensorNetwork::build_engine_sharded`].
+#[derive(Debug)]
+pub struct ShardState {
+    /// This shard's index in `0..shards`.
+    pub shard_idx: usize,
+    /// Total shard count.
+    pub shards: usize,
+    /// `owned[node]`: whether this shard drives the node.
+    pub owned: Vec<bool>,
+    /// The epoch length `L` (also the uniform transmit pipeline latency).
+    pub latency: SimDuration,
+    outbox: Vec<OutIntent>,
+    next_seq: Vec<u64>,
+}
+
+impl ShardState {
+    /// Fresh state for one shard of a run.
+    #[must_use]
+    pub fn new(shard_idx: usize, shards: usize, owned: Vec<bool>, latency: SimDuration) -> Self {
+        let n = owned.len();
+        ShardState {
+            shard_idx,
+            shards,
+            owned,
+            latency,
+            outbox: Vec::new(),
+            next_seq: vec![0; n],
+        }
+    }
+
+    /// Whether this shard drives `node`.
+    #[must_use]
+    pub fn owns(&self, node: NodeId) -> bool {
+        self.owned[node.index()]
+    }
+
+    /// Captures one transmit request into the outbox, stamping the next
+    /// per-source sequence number.
+    pub fn push(&mut self, at: Timestamp, src: NodeId, frame: Frame) {
+        let seq = self.next_seq[src.index()];
+        self.next_seq[src.index()] += 1;
+        self.outbox.push(OutIntent {
+            at,
+            src,
+            seq,
+            frame,
+        });
+    }
+
+    /// Takes the accumulated intents (the outbox is left empty).
+    pub fn drain(&mut self) -> Vec<OutIntent> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+/// A fault applied at an epoch barrier of a sharded run. Channel-level
+/// faults install on *every* shard's medium replica (they are part of the
+/// replayed global channel); node-level faults apply only on the owning
+/// shard, because only that shard drives the node.
+#[derive(Debug, Clone)]
+pub enum ShardFault {
+    /// Install a partition mask (group byte per node).
+    Partition(Vec<u8>),
+    /// Heal the partition.
+    ClearPartition,
+    /// Install Gilbert–Elliott burst loss.
+    BurstLossOn(GilbertElliott),
+    /// Remove burst loss.
+    BurstLossOff,
+    /// Install link-level fault injection.
+    LinkFaultsOn(LinkFaults),
+    /// Remove link-level fault injection.
+    LinkFaultsOff,
+    /// Kill a node (applied on its owning shard).
+    Crash(NodeId),
+    /// Revive a node and restart its sensing loop (owning shard).
+    Revive(NodeId),
+}
+
+/// The merged result of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardedRun {
+    /// Run record with event-log counts summed across shards and
+    /// medium-level fields taken from shard 0 (identical on every shard).
+    pub record: RunRecord,
+    /// Merged telemetry in `telemetry_to_jsonl` format: counters then
+    /// histograms, name-sorted; `kernel.events` stripped, traces excluded.
+    pub telemetry_jsonl: String,
+    /// Kernel events processed, summed over shards (diagnostic only — not
+    /// part of the byte-compared output, since replayed completions make
+    /// it grow with the shard count).
+    pub events_processed: u64,
+}
+
+/// One shard's contribution to the merge.
+struct ShardOutput {
+    record: RunRecord,
+    counters: Vec<(String, u64)>,
+    hists: Vec<HistSnapshot>,
+    events: u64,
+}
+
+struct HistSnapshot {
+    name: String,
+    count: u64,
+    sum: u128,
+    max: u64,
+    buckets: Vec<(u64, u64)>,
+}
+
+enum Cmd {
+    /// Run to the barrier (inclusive) and send the outbox back.
+    Advance(Timestamp),
+    /// Schedule the barrier injection: faults first, then the batch replay.
+    Inject {
+        barrier: Timestamp,
+        batch: Vec<OutIntent>,
+        faults: Vec<ShardFault>,
+    },
+    /// Run to the horizon and send the final output back.
+    Finish(Timestamp),
+}
+
+enum Resp {
+    Outbox(Vec<OutIntent>),
+    Done(usize, Box<ShardOutput>),
+}
+
+/// Runs one simulation split over `shards` threads in lock-step epochs and
+/// merges the result. With identical inputs the output is byte-identical
+/// for every `shards >= 1`; `faults` are quantized to the first barrier at
+/// or after their nominal time (faults at or past `horizon` never fire).
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or a shard thread dies mid-run.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // one call site family; a params struct would just rename them
+pub fn run_sharded(
+    program: &Arc<Program>,
+    deployment: &Deployment,
+    environment: &Environment,
+    config: &NetworkConfig,
+    seed: u64,
+    shards: usize,
+    horizon: Timestamp,
+    faults: &[(Timestamp, ShardFault)],
+) -> ShardedRun {
+    assert!(shards >= 1, "at least one shard is required");
+    let epoch = config.radio.epoch_latency();
+    let mut schedule: Vec<(Timestamp, ShardFault)> = faults.to_vec();
+    schedule.sort_by_key(|(t, _)| *t);
+
+    std::thread::scope(|scope| {
+        let (resp_tx, resp_rx) = mpsc::channel::<Resp>();
+        let mut cmd_txs = Vec::with_capacity(shards);
+        for idx in 0..shards {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+            cmd_txs.push(cmd_tx);
+            let resp = resp_tx.clone();
+            let program = Arc::clone(program);
+            let deployment = deployment.clone();
+            let environment = environment.clone();
+            let config = config.clone();
+            scope.spawn(move || {
+                let mut engine = SensorNetwork::build_engine_sharded(
+                    program,
+                    deployment,
+                    environment,
+                    config,
+                    seed,
+                    shards,
+                    idx,
+                );
+                while let Ok(cmd) = cmd_rx.recv() {
+                    match cmd {
+                        Cmd::Advance(barrier) => {
+                            engine.run_until(barrier);
+                            let intents = engine.world_mut().drain_shard_outbox();
+                            resp.send(Resp::Outbox(intents))
+                                .expect("the orchestrator outlives its shards");
+                        }
+                        Cmd::Inject {
+                            barrier,
+                            batch,
+                            faults,
+                        } => {
+                            // `run_until(barrier)` already consumed every
+                            // event at or before the barrier, so this event
+                            // is strictly the next to execute: the faults
+                            // and the replay happen at a fixed point in the
+                            // event order, independent of the shard count.
+                            engine.kernel_mut().schedule_at(
+                                barrier,
+                                move |w: &mut SensorNetwork, k| {
+                                    for f in &faults {
+                                        w.apply_shard_fault(k, f);
+                                    }
+                                    w.inject_shard_batch(k, batch);
+                                },
+                            );
+                        }
+                        Cmd::Finish(horizon) => {
+                            engine.run_until(horizon);
+                            // Intents from the final partial epoch are
+                            // dropped — identically at every shard count.
+                            let _ = engine.world_mut().drain_shard_outbox();
+                            let world = engine.world();
+                            let record =
+                                world.run_record(seed, horizon - Timestamp::ZERO, 0);
+                            let (counters, hists) = snapshot_metrics(world.telemetry());
+                            let out = ShardOutput {
+                                record,
+                                counters,
+                                hists,
+                                events: engine.kernel().events_processed(),
+                            };
+                            resp.send(Resp::Done(idx, Box::new(out)))
+                                .expect("the orchestrator outlives its shards");
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        drop(resp_tx);
+
+        let mut next_fault = 0usize;
+        let mut barrier = Timestamp::ZERO + epoch;
+        while barrier < horizon {
+            for tx in &cmd_txs {
+                tx.send(Cmd::Advance(barrier)).expect("shard thread alive");
+            }
+            let mut batch: Vec<OutIntent> = Vec::new();
+            for _ in 0..shards {
+                match resp_rx.recv().expect("shard thread alive") {
+                    Resp::Outbox(v) => batch.extend(v),
+                    Resp::Done(..) => unreachable!("no shard finishes mid-run"),
+                }
+            }
+            // (time, src, seq) is a total order: the merged batch is the
+            // same regardless of which shard's outbox arrived first.
+            batch.sort_by_key(OutIntent::key);
+            let mut due = Vec::new();
+            while next_fault < schedule.len() && schedule[next_fault].0 <= barrier {
+                due.push(schedule[next_fault].1.clone());
+                next_fault += 1;
+            }
+            for tx in &cmd_txs {
+                tx.send(Cmd::Inject {
+                    barrier,
+                    batch: batch.clone(),
+                    faults: due.clone(),
+                })
+                .expect("shard thread alive");
+            }
+            barrier += epoch;
+        }
+        for tx in &cmd_txs {
+            tx.send(Cmd::Finish(horizon)).expect("shard thread alive");
+        }
+        let mut outputs: Vec<Option<Box<ShardOutput>>> = (0..shards).map(|_| None).collect();
+        for _ in 0..shards {
+            match resp_rx.recv().expect("shard thread alive") {
+                Resp::Done(idx, out) => outputs[idx] = Some(out),
+                Resp::Outbox(..) => unreachable!("every shard got Finish"),
+            }
+        }
+        merge_outputs(
+            outputs
+                .into_iter()
+                .map(|o| *o.expect("every shard reported"))
+                .collect(),
+        )
+    })
+}
+
+/// Snapshots a registry's counters and histograms into `Send`-able form.
+fn snapshot_metrics(telemetry: &Telemetry) -> (Vec<(String, u64)>, Vec<HistSnapshot>) {
+    telemetry.with_registry(|r| {
+        let counters = r
+            .counters()
+            .map(|(name, v)| (name.to_owned(), v))
+            .collect();
+        let hists = r
+            .histograms()
+            .map(|(name, h)| HistSnapshot {
+                name: name.to_owned(),
+                count: h.count(),
+                sum: h.sum(),
+                max: h.max(),
+                buckets: h.iter().collect(),
+            })
+            .collect();
+        (counters, hists)
+    })
+}
+
+/// Merges per-shard outputs: counters and histograms sum (ownership
+/// partitions node activity; the medium records on shard 0 only), the run
+/// record sums its event-log counts and takes medium fields from shard 0.
+fn merge_outputs(outputs: Vec<ShardOutput>) -> ShardedRun {
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut hists: BTreeMap<String, (u64, u128, u64, BTreeMap<u64, u64>)> = BTreeMap::new();
+    let mut events = 0u64;
+    for out in &outputs {
+        events += out.events;
+        for (name, v) in &out.counters {
+            // Every shard replays every transmission completion, so the
+            // kernel's event count grows with the shard count; it is
+            // diagnostic, not output.
+            if name == "kernel.events" {
+                continue;
+            }
+            *counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for h in &out.hists {
+            let entry = hists
+                .entry(h.name.clone())
+                .or_insert_with(|| (0, 0, 0, BTreeMap::new()));
+            entry.0 += h.count;
+            entry.1 += h.sum;
+            entry.2 = entry.2.max(h.max);
+            for (low, c) in &h.buckets {
+                *entry.3.entry(*low).or_insert(0) += c;
+            }
+        }
+    }
+
+    let mut jsonl = String::new();
+    for (name, v) in &counters {
+        jsonl.push_str(
+            &json::JsonObject::new()
+                .field_str("t", "counter")
+                .field_str("name", name)
+                .field_u64("value", *v)
+                .finish(),
+        );
+        jsonl.push('\n');
+    }
+    for (name, (count, sum, max, buckets)) in &hists {
+        let rendered: Vec<String> = buckets.iter().map(|(low, c)| format!("{low}:{c}")).collect();
+        jsonl.push_str(
+            &json::JsonObject::new()
+                .field_str("t", "hist")
+                .field_str("name", name)
+                .field_u64("count", *count)
+                .field_u64("sum", u64::try_from(*sum).unwrap_or(u64::MAX))
+                .field_u64("max", *max)
+                .field_str("buckets", &rendered.join(" "))
+                .finish(),
+        );
+        jsonl.push('\n');
+    }
+
+    let mut record = outputs[0].record.clone();
+    for out in &outputs[1..] {
+        record.labels_created += out.record.labels_created;
+        record.labels_suppressed += out.record.labels_suppressed;
+        record.handovers += out.record.handovers;
+        record.base_reports += out.record.base_reports;
+        record.mtp_delivered += out.record.mtp_delivered;
+        record.mtp_dropped += out.record.mtp_dropped;
+        record.violations += out.record.violations;
+    }
+    ShardedRun {
+        record,
+        telemetry_jsonl: jsonl,
+        events_processed: events,
+    }
+}

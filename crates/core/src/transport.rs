@@ -198,16 +198,31 @@ pub struct RetxPolicy {
     pub max_attempts: u32,
     /// Upper bound on the uniform jitter added to each backoff.
     pub jitter_max: SimDuration,
+    /// Hard ceiling on the exponential backoff: the doubling clamps here
+    /// instead of growing without bound (or silently wrapping through a
+    /// shift cap, as an earlier version did).
+    pub max_backoff: SimDuration,
 }
 
 impl RetxPolicy {
     /// The backoff before the next retransmission after `attempts` tries:
-    /// `timeout * 2^(attempts-1)`, to which the caller adds jitter drawn
-    /// from its own RNG stream.
+    /// `min(timeout * 2^(attempts-1), max_backoff)`, to which the caller
+    /// adds jitter drawn from its own RNG stream.
+    ///
+    /// Two degenerate inputs are guarded rather than trusted: a zero
+    /// `timeout` (rejected by [`MiddlewareConfig::validate`], but this type
+    /// is public API) is floored at one microsecond so a mis-built policy
+    /// can never collapse into a zero-delay busy retransmit loop, and the
+    /// exponent saturates instead of wrapping for large attempt counts.
+    ///
+    /// [`MiddlewareConfig::validate`]: crate::config::MiddlewareConfig::validate
     #[must_use]
     pub fn backoff(&self, attempts: u32) -> SimDuration {
-        let shift = attempts.saturating_sub(1).min(16);
-        SimDuration::from_micros(self.timeout.as_micros().saturating_mul(1u64 << shift))
+        let base = self.timeout.as_micros().max(1);
+        let cap = self.max_backoff.as_micros().max(1);
+        let shift = attempts.saturating_sub(1);
+        let factor = if shift >= 63 { u64::MAX } else { 1u64 << shift };
+        SimDuration::from_micros(base.saturating_mul(factor).min(cap))
     }
 }
 
@@ -649,10 +664,55 @@ mod tests {
             timeout: SimDuration::from_millis(400),
             max_attempts: 4,
             jitter_max: SimDuration::from_millis(50),
+            max_backoff: SimDuration::from_secs(60),
         };
         assert_eq!(policy.backoff(1), SimDuration::from_millis(400));
         assert_eq!(policy.backoff(2), SimDuration::from_millis(800));
         assert_eq!(policy.backoff(3), SimDuration::from_millis(1600));
+    }
+
+    #[test]
+    fn backoff_clamps_at_max_backoff_instead_of_wrapping() {
+        let policy = RetxPolicy {
+            timeout: SimDuration::from_millis(400),
+            max_attempts: u32::MAX,
+            jitter_max: SimDuration::ZERO,
+            max_backoff: SimDuration::from_secs(30),
+        };
+        // Past the cap the backoff pins at max_backoff — it must neither
+        // keep doubling nor wrap back down (the old shift-16 cap made
+        // attempt 18+ repeat the same huge value; worse exponents would
+        // have wrapped a plain `<<`).
+        assert_eq!(policy.backoff(8), SimDuration::from_secs(30));
+        assert_eq!(policy.backoff(17), SimDuration::from_secs(30));
+        assert_eq!(policy.backoff(64), SimDuration::from_secs(30));
+        assert_eq!(policy.backoff(u32::MAX), SimDuration::from_secs(30));
+        // Monotone non-decreasing across the whole attempt range.
+        let mut last = SimDuration::ZERO;
+        for attempts in 1..100 {
+            let b = policy.backoff(attempts);
+            assert!(b >= last, "backoff regressed at attempt {attempts}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn zero_timeout_never_yields_a_zero_backoff() {
+        // A degenerate zero base timeout must not produce a zero backoff —
+        // that is a busy retransmit loop. The config layer rejects it, but
+        // the policy type itself is public API and guards the floor too.
+        let policy = RetxPolicy {
+            timeout: SimDuration::ZERO,
+            max_attempts: 4,
+            jitter_max: SimDuration::ZERO,
+            max_backoff: SimDuration::from_secs(60),
+        };
+        for attempts in [1u32, 2, 3, 10, 100] {
+            assert!(
+                policy.backoff(attempts) > SimDuration::ZERO,
+                "zero backoff at attempt {attempts}"
+            );
+        }
     }
 
     #[test]

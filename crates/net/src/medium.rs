@@ -122,6 +122,27 @@ impl RadioConfig {
         let micros = frame.on_air_bits() * 1_000_000 / self.bandwidth_bps;
         SimDuration::from_micros(micros.max(1))
     }
+
+    /// On-air time of the smallest possible frame (empty payload): a lower
+    /// bound on how long *any* transmission spends on the channel.
+    #[must_use]
+    pub fn min_tx_airtime(&self) -> SimDuration {
+        let min_bits = ((Frame::PREAMBLE_BYTES + Frame::HEADER_BYTES) * 8) as u64;
+        SimDuration::from_micros((min_bits * 1_000_000 / self.bandwidth_bps).max(1))
+    }
+
+    /// The conservative cross-shard synchronisation window: no frame
+    /// requested at time `t` can be processed by a receiver before
+    /// `t + epoch_latency()`, because even the smallest frame spends
+    /// [`min_tx_airtime`](Self::min_tx_airtime) on the channel and then
+    /// [`proc_delay`](Self::proc_delay) in the receive path. Sharded runs
+    /// use this as both the epoch length and the uniform pipeline latency
+    /// applied to every transmit request (see `envirotrack-core`'s shard
+    /// module).
+    #[must_use]
+    pub fn epoch_latency(&self) -> SimDuration {
+        self.min_tx_airtime() + self.proc_delay
+    }
 }
 
 /// A Gilbert–Elliott two-state burst-loss channel model.
@@ -1013,6 +1034,20 @@ mod tests {
 
     fn frame(src: u32) -> Frame {
         Frame::broadcast(NodeId(src), FrameKind(1), Bytes::from_static(&[0u8; 20]))
+    }
+
+    #[test]
+    fn epoch_latency_lower_bounds_every_frame() {
+        let cfg = RadioConfig::default();
+        // MICA defaults: a 25-byte minimum frame is 200 bits at 50 kb/s
+        // (4 ms), plus the 2 ms receive-processing delay.
+        assert_eq!(cfg.min_tx_airtime(), SimDuration::from_millis(4));
+        assert_eq!(cfg.epoch_latency(), SimDuration::from_millis(6));
+        // Any concrete frame takes at least the minimum airtime, so no
+        // delivery can complete within the epoch window of its request.
+        let empty = Frame::broadcast(NodeId(0), FrameKind(1), Bytes::new());
+        assert_eq!(cfg.tx_time(&empty), cfg.min_tx_airtime());
+        assert!(cfg.tx_time(&frame(1)) >= cfg.min_tx_airtime());
     }
 
     #[test]

@@ -417,6 +417,39 @@ mod tests {
         );
     }
 
+    /// The epoch-barrier contract the sharded kernel
+    /// (`envirotrack-core::shard`) builds on: `run_until(b)` consumes
+    /// every event at or before `b`, so an event scheduled *at* `b`
+    /// afterwards (legal — `schedule_at` accepts `at == now`) is strictly
+    /// the next to execute, ahead of anything later. Barrier injections
+    /// therefore occupy a fixed point in the global event order.
+    #[test]
+    fn post_horizon_scheduling_at_the_horizon_runs_next() {
+        let b = Timestamp::from_secs(2);
+        let mut e = Engine::new(World::default(), 1);
+        e.kernel_mut().schedule_at(b, |w: &mut World, _| {
+            w.log.push((0, "pre-barrier"));
+        });
+        e.kernel_mut()
+            .schedule_at(b + SimDuration::from_micros(1), |w: &mut World, _| {
+                w.log.push((0, "post-barrier"));
+            });
+        assert_eq!(e.run_until(b), RunOutcome::HorizonReached);
+        assert_eq!(e.world().log, vec![(0, "pre-barrier")], "run_until is inclusive");
+        e.kernel_mut().schedule_at(b, |w: &mut World, k| {
+            w.log.push((k.now().as_micros(), "injected"));
+        });
+        e.run_to_completion();
+        assert_eq!(
+            e.world().log,
+            vec![
+                (0, "pre-barrier"),
+                (2_000_000, "injected"),
+                (0, "post-barrier")
+            ]
+        );
+    }
+
     #[test]
     fn handlers_can_schedule_followups() {
         let mut e = Engine::new(World::default(), 1);

@@ -625,7 +625,7 @@ mod tests {
             at_us: 1_500_000,
             node: 3,
             label: "type0@n3#1".into(),
-            kind: "group.hb".into(),
+            kind: "group.hb",
             detail: "seq=9".into(),
         };
         assert_eq!(e.render(), "1500000us n3 [type0@n3#1] group.hb seq=9");

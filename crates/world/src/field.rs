@@ -50,13 +50,23 @@ impl Deployment {
     ///
     /// # Panics
     ///
-    /// Panics if `positions` is empty — a sensor network needs sensors.
+    /// Panics if `positions` is empty — a sensor network needs sensors —
+    /// or if any coordinate is NaN or infinite. Every constructor funnels
+    /// through here, so downstream spatial indexing (`SpatialGrid`) can
+    /// assume finite coordinates instead of silently clamping NaN to the
+    /// first cell.
     #[must_use]
     pub fn from_positions(positions: Vec<Point>) -> Self {
         assert!(
             !positions.is_empty(),
             "a deployment needs at least one node"
         );
+        for (i, p) in positions.iter().enumerate() {
+            assert!(
+                p.x.is_finite() && p.y.is_finite(),
+                "node {i} has a non-finite position {p}: deployments require finite coordinates"
+            );
+        }
         let mut min = positions[0];
         let mut max = positions[0];
         for p in &positions {
@@ -264,5 +274,17 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_deployment_is_rejected() {
         let _ = Deployment::from_positions(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite position")]
+    fn nan_coordinate_is_rejected() {
+        let _ = Deployment::from_positions(vec![Point::new(0.0, 0.0), Point::new(f64::NAN, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite position")]
+    fn infinite_coordinate_is_rejected() {
+        let _ = Deployment::from_positions(vec![Point::new(1.0, f64::INFINITY)]);
     }
 }

@@ -99,6 +99,13 @@ impl SpatialGrid {
 
     /// The (clamped) cell coordinates of a position.
     fn cell_of(&self, pos: Point) -> (usize, usize) {
+        // Non-finite coordinates would silently clamp into cell (0, 0)
+        // below; `Deployment` rejects them at construction, so reaching
+        // here with NaN/∞ is a caller bug.
+        debug_assert!(
+            pos.x.is_finite() && pos.y.is_finite(),
+            "cell_of requires finite coordinates, got {pos}"
+        );
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let clamp = |v: f64, cells: usize| -> usize {
             // Positions sit inside the bounds by construction; the clamp
@@ -134,6 +141,40 @@ impl SpatialGrid {
     pub fn cell_count(&self) -> usize {
         self.buckets.len()
     }
+
+    /// Number of cell columns (for shard striping).
+    #[must_use]
+    pub fn cell_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The grid-column index of a position (for shard striping).
+    #[must_use]
+    pub fn col_of(&self, pos: Point) -> usize {
+        self.cell_of(pos).0
+    }
+}
+
+/// Assigns every node of `deployment` to one of `shards` shards by striping
+/// the spatial grid's cell columns: a node in cell column `cx` of a
+/// `cols`-column grid lands on shard `cx * shards / cols`. The sharded
+/// kernel is shard-count-invariant for *any* node partition; striping along
+/// the grid keeps each shard's nodes spatially contiguous, so almost all
+/// radio traffic a shard dispatches is to its own nodes.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or `radius` is not finite and positive.
+#[must_use]
+pub fn shard_assignment(deployment: &Deployment, radius: f64, shards: usize) -> Vec<usize> {
+    assert!(shards >= 1, "at least one shard is required");
+    let grid = SpatialGrid::new(deployment, radius);
+    let cols = grid.cell_cols();
+    deployment
+        .positions()
+        .iter()
+        .map(|&p| (grid.col_of(p) * shards / cols).min(shards - 1))
+        .collect()
 }
 
 /// Builds per-node neighbor lists (all nodes strictly within `radius`,
@@ -241,6 +282,64 @@ mod tests {
             neighbor_lists_with(&d, 0.5, NeighborStrategy::Grid),
             neighbor_lists_with(&d, 0.5, NeighborStrategy::BruteForce),
         );
+    }
+
+    #[test]
+    fn max_edge_nodes_land_in_the_last_cell() {
+        // Nodes sitting exactly on the field's max edge must bucket into
+        // the last cell, not wrap or clamp to cell 0.
+        let d = Deployment::from_positions(vec![
+            Point::new(0.0, 0.0),
+            Point::new(12.0, 0.0),
+            Point::new(0.0, 12.0),
+            Point::new(12.0, 12.0),
+        ]);
+        let grid = SpatialGrid::new(&d, 3.0);
+        let last = (grid.cols - 1, grid.rows - 1);
+        assert_eq!(grid.cell_of(Point::new(0.0, 0.0)), (0, 0));
+        assert_eq!(grid.cell_of(Point::new(12.0, 12.0)), last);
+        assert_eq!(grid.cell_of(Point::new(12.0, 0.0)), (last.0, 0));
+        assert_eq!(grid.cell_of(Point::new(0.0, 12.0)), (0, last.1));
+        // Property over many spans: the max corner always maps to the
+        // last cell, for spans that do and do not divide the cell side.
+        for n in 1..40u32 {
+            let span = f64::from(n) * 0.7;
+            let d = Deployment::from_positions(vec![
+                Point::new(0.0, 0.0),
+                Point::new(span, span),
+            ]);
+            let grid = SpatialGrid::new(&d, 1.3);
+            assert_eq!(
+                grid.cell_of(Point::new(span, span)),
+                (grid.cols - 1, grid.rows - 1),
+                "span {span}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_assignment_stripes_columns_and_covers_every_shard() {
+        let d = Deployment::grid(20, 20, 1.0);
+        for shards in [1usize, 2, 4, 7] {
+            let owners = shard_assignment(&d, 2.5, shards);
+            assert_eq!(owners.len(), d.len());
+            assert!(owners.iter().all(|&s| s < shards));
+            let mut seen = vec![false; shards];
+            for &s in &owners {
+                seen[s] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "{shards} shards not all used");
+            // Striping is monotone in x: a node never owns a lower shard
+            // than a node strictly to its left in the same row.
+            for (id, p) in d.iter() {
+                for (id2, p2) in d.iter() {
+                    if p.y == p2.y && p.x < p2.x {
+                        assert!(owners[id.index()] <= owners[id2.index()]);
+                    }
+                }
+            }
+        }
+        assert!(shard_assignment(&d, 2.5, 1).iter().all(|&s| s == 0));
     }
 
     #[test]

@@ -49,7 +49,8 @@ cmp -s "$tmp/sweep1.jsonl" "$tmp/sweep2.jsonl" \
 for f in "$tmp/scale.json" BENCH_scale.json; do
   for key in '"bench":"scale"' '"construction":' '"speedup":' '"results":' \
              '"events_per_sec":' '"sweep":' '"merged_outputs_identical":true' \
-             '"codec":' '"bytes_on_air":' '"json_over_binary":'; do
+             '"codec":' '"bytes_on_air":' '"json_over_binary":' \
+             '"shards":' '"speedup_vs_first":' '"byte_identical":true'; do
     grep -q "$key" "$f" \
       || { echo "verify: $f is missing $key" >&2; exit 1; }
   done
@@ -85,5 +86,16 @@ cmp -s "$tmp/cc_binary.jsonl" "$tmp/cc_json.jsonl" \
   || { echo "verify: simulation output depends on the wire codec" >&2; exit 1; }
 grep -q "group.hb" "$tmp/cc_binary.jsonl" \
   || { echo "verify: codec cross-check saw no protocol traffic" >&2; exit 1; }
+
+# Shard smoke: the same 1k-node field advanced by the lock-step sharded
+# kernel (core::shard) at 1 and 4 shards must produce a byte-identical
+# merged run record + telemetry stream — the shard count is an execution
+# knob, never a behavior knob.
+./target/release/scale --smoke --shards 1 --crosscheck "$tmp/shard1.jsonl"
+./target/release/scale --smoke --shards 4 --crosscheck "$tmp/shard4.jsonl"
+cmp -s "$tmp/shard1.jsonl" "$tmp/shard4.jsonl" \
+  || { echo "verify: simulation output depends on the shard count" >&2; exit 1; }
+grep -q "net.k1.tx" "$tmp/shard1.jsonl" \
+  || { echo "verify: shard cross-check saw no protocol traffic" >&2; exit 1; }
 
 echo "verify: OK"
