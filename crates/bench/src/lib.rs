@@ -21,4 +21,5 @@ pub mod experiments;
 pub mod harness;
 pub mod plot;
 pub mod soak;
+pub mod storm;
 pub mod sweep;

@@ -37,6 +37,7 @@
 pub mod binary;
 pub mod crc;
 pub mod json;
+pub mod session;
 pub mod varint;
 
 use bytes::Bytes;

@@ -1,0 +1,148 @@
+//! Session-protocol golden fixtures: one representative frame per
+//! [`SessionMsg`] variant, checked in as hex.
+//!
+//! Like `wire_goldens.rs`, these pin the *byte layout* — tag numbers,
+//! field order, varint rules, the CRC trailer — not just round-trip
+//! behaviour: external clients speak this format over real sockets, so
+//! silent drift breaks deployed peers, not just in-tree tests. When a
+//! format change is intentional, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p envirotrack-core --test session_goldens
+//! ```
+//!
+//! and review the fixture diff like any other code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use envirotrack_core::context::{ContextLabel, ContextTypeId};
+use envirotrack_core::wire::session::{
+    Accept, Close, CloseReason, Hello, Reject, RejectReason, SessionMsg, SubAck, Subscribe,
+    TrackEvent, CAP_ALL, CAP_TRACK_EVENTS, SESSION_VERSION,
+};
+use envirotrack_sim::time::Timestamp;
+use envirotrack_world::field::NodeId;
+use envirotrack_world::geometry::Point;
+
+fn check(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "goldens", name]
+        .iter()
+        .collect();
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir goldens");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}); generate with UPDATE_GOLDENS=1"));
+    assert_eq!(
+        expected, actual,
+        "golden {name} drifted — the session wire format changed; if \
+         intentional, regenerate with UPDATE_GOLDENS=1 and review the diff"
+    );
+}
+
+/// One representative message per variant, with fixed field values chosen
+/// to exercise multi-byte varints and both flag states.
+fn representatives() -> Vec<(&'static str, SessionMsg)> {
+    vec![
+        (
+            "hello",
+            SessionMsg::Hello(Hello {
+                version: SESSION_VERSION,
+                caps: CAP_ALL,
+                recv_budget: 256,
+            }),
+        ),
+        (
+            "accept",
+            SessionMsg::Accept(Accept {
+                session: 70_000,
+                version: SESSION_VERSION,
+                caps: CAP_TRACK_EVENTS,
+                send_budget: 1_024,
+            }),
+        ),
+        (
+            "reject",
+            SessionMsg::Reject(Reject {
+                reason: RejectReason::Overloaded,
+            }),
+        ),
+        (
+            "subscribe",
+            SessionMsg::Subscribe(Subscribe {
+                query_id: 300,
+                scenario: 1,
+                seed: 42,
+                type_id: ContextTypeId(0),
+            }),
+        ),
+        (
+            "sub_ack_accepted",
+            SessionMsg::SubAck(SubAck {
+                query_id: 300,
+                accepted: true,
+            }),
+        ),
+        (
+            "sub_ack_denied",
+            SessionMsg::SubAck(SubAck {
+                query_id: 301,
+                accepted: false,
+            }),
+        ),
+        (
+            "event",
+            SessionMsg::Event(TrackEvent {
+                query_id: 300,
+                seq: 129,
+                at: Timestamp::from_millis(1_500),
+                label: ContextLabel {
+                    type_id: ContextTypeId(0),
+                    creator: NodeId(3),
+                    seq: 1,
+                },
+                pos: Point::new(4.5, 0.5),
+            }),
+        ),
+        ("ping", SessionMsg::Ping { nonce: 7 }),
+        ("pong", SessionMsg::Pong { nonce: 7 }),
+        (
+            "close",
+            SessionMsg::Close(Close {
+                reason: CloseReason::Normal,
+            }),
+        ),
+    ]
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn session_frames_match_hex_fixtures() {
+    let mut digest = String::new();
+    for (name, msg) in representatives() {
+        let bytes = msg.encode();
+        let _ = writeln!(digest, "{name}={}", hex(&bytes));
+        // The fixture must stay decodable and canonical, not just frozen.
+        assert_eq!(SessionMsg::decode(&bytes).unwrap(), msg, "{name}");
+    }
+    check("session_binary.hex", &digest);
+}
+
+#[test]
+fn session_frames_are_compact() {
+    // Keep-alives and acks must stay single-digit bytes plus trailer; even
+    // a full tracking event fits comfortably inside one MTU whatever the
+    // client, so per-event overhead never dominates a storm.
+    for (name, msg) in representatives() {
+        let len = msg.encode().len();
+        assert!(len <= 48, "{name} is {len} bytes");
+    }
+    let ping = SessionMsg::Ping { nonce: 7 }.encode();
+    assert_eq!(ping.len(), 3 + 4, "ping is frame({}) + crc", ping.len() - 4);
+}

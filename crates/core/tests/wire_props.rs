@@ -13,6 +13,10 @@ use envirotrack_core::aggregate::ReadingValue;
 use envirotrack_core::context::{ContextLabel, ContextTypeId};
 use envirotrack_core::report::telemetry_to_jsonl;
 use envirotrack_core::transport::Port;
+use envirotrack_core::wire::session::{
+    Accept, Close, CloseReason, Hello, Reject, RejectReason, SessionMsg, SubAck, Subscribe,
+    TrackEvent,
+};
 use envirotrack_core::wire::{
     BaseReport, DirQuery, DirRegister, DirResponse, GeoForward, Heartbeat, Message, MtpAck,
     MtpSegment, Relinquish, Report,
@@ -205,6 +209,73 @@ fn arb_any_message() -> impl Strategy<Value = Message> {
     )
 }
 
+/// One strategy per session-protocol variant, so a single run exercises
+/// all nine session tags at their value edges (`u64::MAX` seeds and
+/// nonces, `u32::MAX` budgets and query ids, every reason code).
+fn arb_session_msg() -> impl Strategy<Value = SessionMsg> {
+    let arb_u64 = || prop_oneof![Just(0u64), any::<u64>(), Just(u64::MAX)];
+    let hello = (arb_u16(), arb_u32(), arb_u32()).prop_map(|(version, caps, recv_budget)| {
+        SessionMsg::Hello(Hello {
+            version,
+            caps,
+            recv_budget,
+        })
+    });
+    let accept = (arb_u64(), arb_u16(), arb_u32(), arb_u32()).prop_map(
+        |(session, version, caps, send_budget)| {
+            SessionMsg::Accept(Accept {
+                session,
+                version,
+                caps,
+                send_budget,
+            })
+        },
+    );
+    let reject = prop_oneof![
+        Just(RejectReason::VersionUnsupported),
+        Just(RejectReason::Overloaded),
+        Just(RejectReason::BadHello),
+    ]
+    .prop_map(|reason| SessionMsg::Reject(Reject { reason }));
+    let subscribe = (arb_u32(), any::<u8>(), arb_u64(), arb_u16()).prop_map(
+        |(query_id, scenario, seed, t)| {
+            SessionMsg::Subscribe(Subscribe {
+                query_id,
+                scenario,
+                seed,
+                type_id: ContextTypeId(t),
+            })
+        },
+    );
+    let sub_ack = (arb_u32(), any::<bool>())
+        .prop_map(|(query_id, accepted)| SessionMsg::SubAck(SubAck { query_id, accepted }));
+    let event = (
+        (arb_u32(), arb_u64(), 0u64..u64::MAX / 2),
+        arb_label(),
+        arb_point(),
+    )
+        .prop_map(|((query_id, seq, at_us), label, pos)| {
+            SessionMsg::Event(TrackEvent {
+                query_id,
+                seq,
+                at: Timestamp::from_micros(at_us),
+                label,
+                pos,
+            })
+        });
+    let ping = arb_u64().prop_map(|nonce| SessionMsg::Ping { nonce });
+    let pong = arb_u64().prop_map(|nonce| SessionMsg::Pong { nonce });
+    let close = prop_oneof![
+        Just(CloseReason::Normal),
+        Just(CloseReason::IdleTimeout),
+        Just(CloseReason::SlowConsumer),
+        Just(CloseReason::ProtocolError),
+        Just(CloseReason::Shutdown),
+    ]
+    .prop_map(|reason| SessionMsg::Close(Close { reason }));
+    prop_oneof![hello, accept, reject, subscribe, sub_ack, event, ping, pong, close]
+}
+
 prop_test! {
     /// Any message from any variant — wrap-edge identifiers included —
     /// survives encode → decode unchanged.
@@ -277,6 +348,23 @@ prop_test! {
             prop_assert!(!line[1..line.len() - 1].contains('\n'));
         }
         prop_assert_eq!(out, telemetry_to_jsonl(&t));
+    }
+
+    /// Every session-protocol variant round-trips through the framed
+    /// binary session codec at its value edges, re-encodes canonically,
+    /// and is rejected at every truncation point.
+    #[test]
+    fn every_session_variant_round_trips(msg in arb_session_msg()) {
+        let bytes = msg.encode();
+        let back = SessionMsg::decode(&bytes);
+        prop_assert_eq!(back.as_ref(), Ok(&msg), "bytes: {:02x?}", &bytes[..]);
+        prop_assert_eq!(back.unwrap().encode(), bytes.clone());
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                SessionMsg::decode(&bytes[..cut]).is_err(),
+                "cut at {} accepted", cut
+            );
+        }
     }
 }
 

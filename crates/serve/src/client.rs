@@ -1,0 +1,200 @@
+//! A small blocking client for tests and the storm generator.
+//!
+//! Deliberately simple: one socket, one [`FrameReader`], synchronous
+//! send/recv with a read timeout. The load generator drives thousands of
+//! *non-blocking* sockets itself; this type is for correctness tests and
+//! single-session probes where blocking reads keep the assertions linear.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use envirotrack_core::wire::session::{
+    Accept, Hello, Reject, SessionMsg, SubAck, Subscribe, TrackEvent, CAP_ALL, SESSION_VERSION,
+};
+
+use crate::frame::FrameReader;
+
+/// A blocking session client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+/// What the server said to a HELLO.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Handshake {
+    /// Session established.
+    Accepted(Accept),
+    /// Refused, with the server's reason.
+    Rejected(Reject),
+}
+
+impl Client {
+    /// Connects with a read timeout (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: SocketAddr, read_timeout: Option<Duration>) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(read_timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            reader: FrameReader::new(),
+        })
+    }
+
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send(&mut self, msg: &SessionMsg) -> std::io::Result<()> {
+        self.stream.write_all(&msg.encode())
+    }
+
+    /// Sends raw bytes, bypassing the codec (for adversarial tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Receives the next frame, blocking up to the read timeout.
+    ///
+    /// # Errors
+    ///
+    /// `TimedOut`/`WouldBlock` when the timeout lapses, `UnexpectedEof` on
+    /// server close, `InvalidData` on a corrupt frame.
+    pub fn recv(&mut self) -> std::io::Result<SessionMsg> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.reader.next_frame() {
+                Ok(Some(msg)) => return Ok(msg),
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(std::io::Error::new(ErrorKind::InvalidData, e.to_string()))
+                }
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(n) => self.reader.extend(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Performs the HELLO handshake at the current protocol version.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, plus `InvalidData` if the server answers with
+    /// anything other than ACCEPT or REJECT.
+    pub fn hello(&mut self, caps: u32, recv_budget: u32) -> std::io::Result<Handshake> {
+        self.hello_version(SESSION_VERSION, caps, recv_budget)
+    }
+
+    /// Performs a HELLO claiming an arbitrary protocol version.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::hello`].
+    pub fn hello_version(
+        &mut self,
+        version: u16,
+        caps: u32,
+        recv_budget: u32,
+    ) -> std::io::Result<Handshake> {
+        self.send(&SessionMsg::Hello(Hello {
+            version,
+            caps,
+            recv_budget,
+        }))?;
+        match self.recv()? {
+            SessionMsg::Accept(a) => Ok(Handshake::Accepted(a)),
+            SessionMsg::Reject(r) => Ok(Handshake::Rejected(r)),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("expected ACCEPT/REJECT, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Connects, handshakes with full capabilities, and returns the
+    /// accepted session.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, plus `ConnectionRefused` if the server REJECTs.
+    pub fn open(addr: SocketAddr, read_timeout: Option<Duration>) -> std::io::Result<Client> {
+        let mut c = Client::connect(addr, read_timeout)?;
+        match c.hello(CAP_ALL, 1024)? {
+            Handshake::Accepted(_) => Ok(c),
+            Handshake::Rejected(r) => Err(std::io::Error::new(
+                ErrorKind::ConnectionRefused,
+                format!("rejected: {:?}", r.reason),
+            )),
+        }
+    }
+
+    /// Registers a subscription and waits for its SUBACK, returning it.
+    /// Events already streaming for other queries are skipped (they keep
+    /// flowing afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, plus `InvalidData` on a non-ack control frame.
+    pub fn subscribe(&mut self, sub: Subscribe) -> std::io::Result<SubAck> {
+        let want = sub.query_id;
+        self.send(&SessionMsg::Subscribe(sub))?;
+        loop {
+            match self.recv()? {
+                SessionMsg::SubAck(a) if a.query_id == want => return Ok(a),
+                SessionMsg::Event(_) | SessionMsg::SubAck(_) => {}
+                other => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("expected SUBACK, got {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Waits for the next tracking event, skipping other frame kinds.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors; `UnexpectedEof` if the server closes first.
+    pub fn next_event(&mut self) -> std::io::Result<TrackEvent> {
+        loop {
+            match self.recv()? {
+                SessionMsg::Event(e) => return Ok(e),
+                SessionMsg::Close(c) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        format!("server closed: {:?}", c.reason),
+                    ))
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The underlying stream (for timeout tweaks and shutdown tricks).
+    #[must_use]
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}

@@ -150,6 +150,35 @@ impl LogLinearHistogram {
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets.iter().map(|(i, c)| (Self::bucket_low(*i), *c))
     }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the lower bound of the bucket
+    /// where the cumulative count first reaches `ceil(q * count)`.
+    ///
+    /// Resolution is the bucket width (~12% relative), which is plenty for
+    /// latency percentiles; returns 0 when empty. `q` outside `[0, 1]` is
+    /// clamped.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // count is bounded by observations recorded one at a time, so the
+        // f64 round-trip is exact far beyond any realistic run length.
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (low, c) in self.iter() {
+            seen += c;
+            if seen >= rank {
+                return low;
+            }
+        }
+        self.max
+    }
 }
 
 /// A pre-resolved counter: a shared cell registered under a name in the
@@ -537,6 +566,36 @@ mod tests {
         // 1→one bucket, 2→one bucket (count 2), 100 and 1000 separate.
         assert_eq!(buckets.len(), 4);
         assert_eq!(buckets[1], (2, 2));
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_distribution() {
+        let mut h = LogLinearHistogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        // 100 observations of 1, one outlier at 1000.
+        for _ in 0..100 {
+            h.record(1);
+        }
+        h.record(1000);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.99), 1);
+        let p100 = h.quantile(1.0);
+        assert!(
+            LogLinearHistogram::bucket_index(p100) == LogLinearHistogram::bucket_index(1000),
+            "p100 lands in the outlier's bucket, got {p100}"
+        );
+        // Quantile is monotone in q and bounded by max.
+        let mut single = LogLinearHistogram::default();
+        single.record(42);
+        for q in [0.0, 0.25, 0.5, 0.999, 1.0, 7.0, -1.0] {
+            let v = single.quantile(q);
+            assert!(v <= single.max());
+            assert_eq!(
+                LogLinearHistogram::bucket_index(v),
+                LogLinearHistogram::bucket_index(42)
+            );
+        }
     }
 
     #[test]

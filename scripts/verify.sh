@@ -98,4 +98,27 @@ cmp -s "$tmp/shard1.jsonl" "$tmp/shard4.jsonl" \
 grep -q "net.k1.tx" "$tmp/shard1.jsonl" \
   || { echo "verify: shard cross-check saw no protocol traffic" >&2; exit 1; }
 
+# Serve smoke: a ~5 s happy-path mini-storm against the session server —
+# 560 concurrent sessions ramped, held streaming, and closed cleanly over
+# real TCP loopback. The smoke profile runs no hostile clients, so every
+# protocol-error counter must be zero; the checked-in flagship
+# BENCH_serve.json (which does storm the server) must carry the same
+# corrupt-accepted/panic/passed claims plus its storm-phase evidence.
+./target/release/serve_storm --smoke --out "$tmp/serve.json" \
+  || { echo "verify: serve smoke failed" >&2; exit 1; }
+for key in '"bench":"serve"' '"passed":true' '"corrupt_accepted":0' \
+           '"protocol_errors":0' '"client_errors":0' '"panics":0' \
+           '"connects_per_s":' '"query_ack_p50_us":' '"query_ack_p95_us":' \
+           '"query_ack_p99_us":' '"fairness_jain":'; do
+  grep -q "$key" "$tmp/serve.json" \
+    || { echo "verify: $tmp/serve.json is missing $key" >&2; exit 1; }
+done
+for key in '"bench":"serve"' '"mode":"flagship"' '"passed":true' \
+           '"corrupt_accepted":0' '"client_errors":0' '"panics":0' \
+           '"connects_per_s":' '"query_ack_p50_us":' '"query_ack_p95_us":' \
+           '"query_ack_p99_us":' '"fairness_jain":'; do
+  grep -q "$key" BENCH_serve.json \
+    || { echo "verify: BENCH_serve.json is missing $key" >&2; exit 1; }
+done
+
 echo "verify: OK"

@@ -20,6 +20,8 @@
 //! * [`lang`] — the EnviroTrack declaration language and preprocessor.
 //! * [`chaos`] — scripted fault plans (crashes, partitions, burst loss,
 //!   clock skew) and invariant monitors for robustness testing.
+//! * [`serve`] — the tracking-as-a-service TCP session server: many
+//!   clients register context queries against shared simulation runs.
 //!
 //! ## A minimal tracking application
 //!
@@ -64,5 +66,6 @@ pub use envirotrack_core as core;
 pub use envirotrack_lang as lang;
 pub use envirotrack_net as net;
 pub use envirotrack_node as node;
+pub use envirotrack_serve as serve;
 pub use envirotrack_sim as sim;
 pub use envirotrack_world as world;

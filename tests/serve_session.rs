@@ -1,0 +1,164 @@
+//! Full session lifecycle over real TCP loopback.
+//!
+//! This is the tracking-as-a-service front door exercised end to end: a
+//! real `TcpListener`, real worker threads, a real shared simulation —
+//! HELLO→ACCEPT negotiation, a subscription, streamed tracking events in
+//! timestamp order, PING/PONG keep-alive, and a clean CLOSE; plus the
+//! refusal paths (version mismatch, overload at the door).
+
+use std::time::Duration;
+
+use envirotrack::core::context::ContextTypeId;
+use envirotrack::core::wire::session::{
+    CloseReason, RejectReason, SessionMsg, Subscribe, CAP_ALL, CAP_TRACK_EVENTS, SESSION_VERSION,
+};
+use envirotrack::serve::client::Handshake;
+use envirotrack::serve::worlds::SCENARIO_TESTBED;
+use envirotrack::serve::{Client, HubConfig, Server, ServerConfig};
+use envirotrack::sim::time::SimDuration;
+
+fn test_server(max_sessions: usize) -> Server {
+    Server::start(ServerConfig {
+        workers: 2,
+        max_sessions,
+        send_budget: 128,
+        idle_timeout: Duration::from_secs(5),
+        hub: HubConfig {
+            max_worlds: 2,
+            // ~500x real time so trackers activate within milliseconds.
+            tick_virtual: SimDuration::from_millis(500),
+            tick_real: Duration::from_millis(1),
+            ..HubConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+const RECV_TIMEOUT: Option<Duration> = Some(Duration::from_secs(30));
+
+#[test]
+fn full_lifecycle_hello_subscribe_stream_ping_close() {
+    let server = test_server(64);
+    let mut c = Client::connect(server.addr(), RECV_TIMEOUT).expect("connect");
+
+    // HELLO → ACCEPT with capability + version negotiation.
+    let accept = match c.hello(CAP_ALL, 64).expect("handshake") {
+        Handshake::Accepted(a) => a,
+        Handshake::Rejected(r) => panic!("rejected: {:?}", r.reason),
+    };
+    assert_eq!(accept.version, SESSION_VERSION);
+    assert_eq!(accept.caps, CAP_ALL, "all requested caps granted");
+    assert!(accept.send_budget <= 64, "budget clamped to the client offer");
+
+    // Subscription registration via DATA.
+    let ack = c
+        .subscribe(Subscribe {
+            query_id: 7,
+            scenario: SCENARIO_TESTBED,
+            seed: 2,
+            type_id: ContextTypeId(0),
+        })
+        .expect("subscribe");
+    assert!(ack.accepted, "testbed scenario subscription is admitted");
+
+    // Streamed tracking events: correct query, gapless sequence, and
+    // non-decreasing virtual timestamps.
+    let mut last_at = None;
+    for expected_seq in 0..5u64 {
+        let e = c.next_event().expect("event stream");
+        assert_eq!(e.query_id, 7);
+        assert_eq!(e.seq, expected_seq, "event sequence has no gaps");
+        if let Some(prev) = last_at {
+            assert!(e.at >= prev, "events arrive in timestamp order");
+        }
+        last_at = Some(e.at);
+        assert!(e.pos.x.is_finite() && e.pos.y.is_finite());
+    }
+
+    // PING → PONG keep-alive (events may interleave).
+    c.send(&SessionMsg::Ping { nonce: 0xDEAD_BEEF }).expect("ping");
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        match c.recv().expect("pong") {
+            SessionMsg::Pong { nonce } => {
+                assert_eq!(nonce, 0xDEAD_BEEF);
+                break;
+            }
+            SessionMsg::Event(_) => assert!(
+                std::time::Instant::now() < deadline,
+                "pong arrived among events"
+            ),
+            other => panic!("unexpected frame awaiting pong: {other:?}"),
+        }
+    }
+
+    // Clean CLOSE: the server acknowledges with its own CLOSE(Normal) and
+    // accounts the session as a clean close.
+    c.send(&SessionMsg::Close(envirotrack::core::wire::session::Close {
+        reason: CloseReason::Normal,
+    }))
+    .expect("close");
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        match c.recv() {
+            Ok(SessionMsg::Close(cl)) => {
+                assert_eq!(cl.reason, CloseReason::Normal);
+                break;
+            }
+            Ok(SessionMsg::Event(_)) => {
+                assert!(std::time::Instant::now() < deadline);
+            }
+            Ok(other) => panic!("unexpected frame awaiting close: {other:?}"),
+            Err(e) => panic!("server closed without CLOSE frame: {e}"),
+        }
+    }
+
+    let metrics = std::sync::Arc::clone(server.metrics());
+    server.shutdown();
+    assert_eq!(load(&metrics.accepted), 1);
+    assert_eq!(load(&metrics.closes_clean), 1);
+    assert_eq!(load(&metrics.protocol_errors), 0, "happy path is clean");
+    assert_eq!(load(&metrics.panics), 0);
+}
+
+#[test]
+fn version_mismatch_is_rejected_with_reason() {
+    let server = test_server(64);
+    let mut c = Client::connect(server.addr(), RECV_TIMEOUT).expect("connect");
+    match c
+        .hello_version(SESSION_VERSION + 1, CAP_TRACK_EVENTS, 32)
+        .expect("handshake answered")
+    {
+        Handshake::Rejected(r) => assert_eq!(r.reason, RejectReason::VersionUnsupported),
+        Handshake::Accepted(_) => panic!("future protocol version must not be accepted"),
+    }
+    let metrics = std::sync::Arc::clone(server.metrics());
+    server.shutdown();
+    assert_eq!(load(&metrics.rejected_version), 1);
+    assert_eq!(load(&metrics.accepted), 0);
+    assert_eq!(load(&metrics.panics), 0);
+}
+
+#[test]
+fn overload_is_shed_at_the_door() {
+    // Two session slots; fill them, then the third connect must be
+    // REJECT(Overloaded) before any handshake.
+    let server = test_server(2);
+    let _a = Client::open(server.addr(), RECV_TIMEOUT).expect("first session");
+    let _b = Client::open(server.addr(), RECV_TIMEOUT).expect("second session");
+    let mut c = Client::connect(server.addr(), RECV_TIMEOUT).expect("third connect");
+    match c.recv().expect("synchronous reject") {
+        SessionMsg::Reject(r) => assert_eq!(r.reason, RejectReason::Overloaded),
+        other => panic!("expected REJECT at the door, got {other:?}"),
+    }
+    let metrics = std::sync::Arc::clone(server.metrics());
+    server.shutdown();
+    assert_eq!(load(&metrics.rejected_overload), 1);
+    assert_eq!(load(&metrics.accepted), 2);
+    assert_eq!(load(&metrics.panics), 0);
+}
+
+fn load(c: &std::sync::atomic::AtomicU64) -> u64 {
+    c.load(std::sync::atomic::Ordering::Relaxed)
+}
