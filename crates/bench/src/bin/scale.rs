@@ -22,19 +22,30 @@
 //! 5. `shards` — the smallest field advanced by the lock-step sharded
 //!    kernel (`envirotrack_core::shard`) at each `--shards` count, with
 //!    the merged output asserted byte-identical across counts.
+//! 6. `medium` — the replicated-vs-partitioned medium A/B: each row runs
+//!    one (nodes, shards) point under both routing modes, asserts the
+//!    merged outputs byte-identical, and reports the replay work
+//!    (`replayed_intents` vs `shards × merged_intents`) plus wall time.
+//!    On a 1-CPU host the work reduction is the headline metric and the
+//!    wall-clock deltas are advisory — the shards only pipeline, never
+//!    truly overlap.
 //!
 //! `--smoke` shrinks everything (1k max, 2 s horizon, 2k-node
-//! construction, 2-cell sweep) for the CI stage in `scripts/verify.sh`.
+//! construction, 2-cell sweep, 1k-node medium A/B) for the CI stage in
+//! `scripts/verify.sh`.
 //!
 //! `--codec binary|json` selects the wire codec for the trajectory rows,
-//! and `--crosscheck PATH` switches to a single-run dump mode: one scale
+//! `--medium replicated|partitioned` selects the sharded routing mode for
+//! the `shards` section and the sharded crosscheck dump, and
+//! `--crosscheck PATH` switches to a single-run dump mode: one scale
 //! point's telemetry JSONL + run record is written to PATH and nothing
 //! else runs. verify.sh invokes it once per codec and diffs the files
 //! byte-for-byte. With `--shards N`, the crosscheck dump runs the sharded
-//! kernel at N shards instead — verify.sh diffs N=1 against N=4 the same
-//! way (sharded runs are their own golden family: every frame carries the
+//! kernel at N shards instead — verify.sh diffs N=1 against N=4, and
+//! `--medium replicated` against `--medium partitioned`, the same way
+//! (sharded runs are their own golden family: every frame carries the
 //! uniform epoch pipeline latency, so they are compared across shard
-//! counts, never against the monolithic dump).
+//! counts and medium modes, never against the monolithic dump).
 //!
 //! [`ScaleScenario`]: envirotrack_world::scenario::ScaleScenario
 
@@ -48,6 +59,7 @@ use envirotrack_bench::experiments::scale::{
 use envirotrack_bench::sweep::cells::scale_cells;
 use envirotrack_bench::sweep::run_sweep;
 use envirotrack_core::report::json::JsonObject;
+use envirotrack_core::shard::MediumMode;
 use envirotrack_core::wire::WireCodec;
 use envirotrack_sim::time::SimDuration;
 
@@ -60,6 +72,10 @@ struct Args {
     /// Shard counts for the `shards` section; set explicitly, it also
     /// switches `--crosscheck` to the sharded dump (first count).
     shards: Option<Vec<usize>>,
+    /// Node counts for the `medium` A/B section.
+    medium_nodes: Vec<u32>,
+    /// Routing mode for the `shards` section and the sharded crosscheck.
+    medium: MediumMode,
     seed: u64,
     codec: WireCodec,
     crosscheck: Option<PathBuf>,
@@ -74,6 +90,8 @@ fn parse_args() -> Result<Args, String> {
         sweep_cells: 8,
         sweep_nodes: 2_000,
         shards: None,
+        medium_nodes: vec![10_000, 100_000],
+        medium: MediumMode::Partitioned,
         seed: 1,
         codec: WireCodec::Binary,
         crosscheck: None,
@@ -125,12 +143,19 @@ fn parse_args() -> Result<Args, String> {
                 );
                 i += 2;
             }
+            "--medium" => {
+                let v = value(i)?;
+                args.medium = MediumMode::parse(v)
+                    .ok_or_else(|| format!("--medium: unknown mode {v} (replicated|partitioned)"))?;
+                i += 2;
+            }
             "--smoke" => {
                 args.nodes = vec![1_000];
                 args.horizon_ms = 2_000;
                 args.construction_nodes = 2_000;
                 args.sweep_cells = 2;
                 args.sweep_nodes = 200;
+                args.medium_nodes = vec![1_000];
                 i += 1;
             }
             other => return Err(format!("unknown argument {other}")),
@@ -169,10 +194,11 @@ fn main() -> ExitCode {
             ..ScaleRun::default()
         };
         let dump = if let Some(shards) = &args.shards {
-            let p = run_scale_sharded(&cfg, shards[0]);
+            let p = run_scale_sharded(&cfg, shards[0], args.medium);
             eprintln!(
-                "scale: sharded crosscheck dump ({} shards, {} nodes, {} merged events) → {}",
+                "scale: sharded crosscheck dump ({} shards, {} medium, {} nodes, {} merged events) → {}",
                 p.shards,
+                p.medium,
                 args.nodes[0],
                 p.events,
                 path.display()
@@ -313,7 +339,7 @@ fn main() -> ExitCode {
     let mut shard_base_wall = 0.0;
     let mut shard_rows = Vec::new();
     for &shards in &shard_counts {
-        let p = run_scale_sharded(&shard_cfg, shards);
+        let p = run_scale_sharded(&shard_cfg, shards, args.medium);
         match &shard_baseline {
             None => {
                 shard_baseline = Some(p.dump.clone());
@@ -348,6 +374,59 @@ fn main() -> ExitCode {
         );
     }
 
+    // Section 6: the medium A/B — each (nodes, shards) point under both
+    // routing modes, byte-identity asserted, replay work compared. The
+    // shards-column speedup on a 1-CPU host is advisory; the load-bearing
+    // number is replayed_intents versus the full N-fold replay.
+    let mut medium_rows = Vec::new();
+    for &nodes in &args.medium_nodes {
+        let cfg = ScaleRun {
+            nodes,
+            horizon: SimDuration::from_millis(args.horizon_ms),
+            codec: args.codec,
+            seed: args.seed,
+            ..ScaleRun::default()
+        };
+        let mut node_baseline: Option<String> = None;
+        for shards in [1usize, 2, 4] {
+            for mode in [MediumMode::Replicated, MediumMode::Partitioned] {
+                let p = run_scale_sharded(&cfg, shards, mode);
+                match &node_baseline {
+                    None => node_baseline = Some(p.dump.clone()),
+                    Some(b) => assert_eq!(
+                        *b, p.dump,
+                        "medium A/B diverged at {nodes} nodes, {shards} shards, {mode}"
+                    ),
+                }
+                let full_replay = shards as u64 * p.merged_intents;
+                eprintln!(
+                    "scale medium: {nodes} nodes × {shards} shards, {mode} → {:.2}s wall, {} replayed of {} full-replay intents",
+                    p.run_wall_s, p.replayed_intents, full_replay
+                );
+                medium_rows.push(
+                    JsonObject::new()
+                        .field_u64("nodes", u64::from(p.nodes))
+                        .field_u64("shards", shards as u64)
+                        .field_str("medium", mode.as_str())
+                        .field_f64("run_wall_s", p.run_wall_s)
+                        .field_u64("merged_intents", p.merged_intents)
+                        .field_u64("replayed_intents", p.replayed_intents)
+                        .field_u64("full_replay_intents", full_replay)
+                        .field_f64(
+                            "replay_fraction",
+                            if full_replay > 0 {
+                                p.replayed_intents as f64 / full_replay as f64
+                            } else {
+                                0.0
+                            },
+                        )
+                        .field_bool("byte_identical", true)
+                        .finish(),
+                );
+            }
+        }
+    }
+
     let head = JsonObject::new()
         .field_str("bench", "scale")
         .field_u64("host_cpus", host_cpus as u64)
@@ -356,16 +435,22 @@ fn main() -> ExitCode {
         .field_f64("sim_horizon_s", args.horizon_ms as f64 / 1e3)
         .field_u64("sweep_cells", cells.len() as u64)
         .field_u64("sweep_cell_nodes", u64::from(args.sweep_nodes))
+        .field_str("shard_medium", args.medium.as_str())
+        .field_str(
+            "medium_wall_clock_note",
+            "1-cpu host: replay-work reduction is the headline metric; wall-clock deltas are advisory",
+        )
         .field_bool("merged_outputs_identical", true)
         .finish();
     let json = format!(
-        "{},\"construction\":{},\"codec\":{},\"results\":[{}],\"sweep\":[{}],\"shards\":[{}]}}\n",
+        "{},\"construction\":{},\"codec\":{},\"results\":[{}],\"sweep\":[{}],\"shards\":[{}],\"medium\":[{}]}}\n",
         &head[..head.len() - 1],
         construction_json,
         codec_json,
         rows.join(","),
         sweep_rows.join(","),
-        shard_rows.join(",")
+        shard_rows.join(","),
+        medium_rows.join(",")
     );
     if let Err(e) = std::fs::write(&args.out, json) {
         eprintln!("scale: writing {}: {e}", args.out.display());

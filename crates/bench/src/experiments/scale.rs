@@ -19,7 +19,7 @@ use std::time::Instant;
 use envirotrack_core::events::SystemEvent;
 use envirotrack_core::network::{NetworkConfig, SensorNetwork};
 use envirotrack_core::report::telemetry_to_jsonl;
-use envirotrack_core::shard::run_sharded;
+use envirotrack_core::shard::{run_sharded, MediumMode};
 use envirotrack_core::wire::WireCodec;
 use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_world::grid::{neighbor_lists_with, NeighborStrategy};
@@ -255,12 +255,15 @@ pub struct ShardScalePoint {
     pub nodes: u32,
     /// Shard (thread) count.
     pub shards: usize,
+    /// How resolved transmissions were routed to shards.
+    pub medium: MediumMode,
     /// Wall seconds for the whole sharded run: per-shard world builds,
     /// every epoch barrier, and the final merge.
     pub run_wall_s: f64,
-    /// Kernel events summed over the shards. Diagnostic only: every shard
-    /// replays every transmission completion, so this grows with the shard
-    /// count and is excluded from the byte-compared output.
+    /// Kernel events summed over the shards. Diagnostic only: each routed
+    /// transmission is one ingestion event per interested shard, so this
+    /// varies with shard count and medium mode and is excluded from the
+    /// byte-compared output.
     pub events: u64,
     /// `events / run_wall_s`.
     pub events_per_sec: f64,
@@ -268,18 +271,23 @@ pub struct ShardScalePoint {
     pub labels_created: u64,
     /// Leadership handovers (merged run record).
     pub handovers: u64,
+    /// Intents collected across all epoch barriers (the merged batches).
+    pub merged_intents: u64,
+    /// Total shard replay deliveries (`routed + broadcast`): the channel
+    /// work the partitioned medium reduces below `shards × resolved`.
+    pub replayed_intents: u64,
     /// The full observable output — the run-record JSON line followed by
     /// the merged telemetry JSONL — what must be byte-identical across
-    /// shard counts.
+    /// shard counts *and* medium modes.
     pub dump: String,
 }
 
 /// Runs one scale point under the sharded kernel and returns the merged
 /// audit. Sharded runs are their own golden family (every frame carries
 /// the uniform epoch pipeline latency), so `dump` compares across shard
-/// counts, not against [`crosscheck_dump`].
+/// counts and medium modes, not against [`crosscheck_dump`].
 #[must_use]
-pub fn run_scale_sharded(cfg: &ScaleRun, shards: usize) -> ShardScalePoint {
+pub fn run_scale_sharded(cfg: &ScaleRun, shards: usize, medium: MediumMode) -> ShardScalePoint {
     let scenario = ScaleScenario {
         nodes: cfg.nodes,
         targets: cfg.targets,
@@ -304,11 +312,13 @@ pub fn run_scale_sharded(cfg: &ScaleRun, shards: usize) -> ShardScalePoint {
         shards,
         Timestamp::ZERO + cfg.horizon,
         &[],
+        medium,
     );
     let run_wall_s = run_start.elapsed().as_secs_f64();
     ShardScalePoint {
         nodes: cfg.nodes,
         shards,
+        medium,
         run_wall_s,
         events: run.events_processed,
         events_per_sec: if run_wall_s > 0.0 {
@@ -318,6 +328,8 @@ pub fn run_scale_sharded(cfg: &ScaleRun, shards: usize) -> ShardScalePoint {
         },
         labels_created: run.record.labels_created,
         handovers: run.record.handovers,
+        merged_intents: run.intents.merged,
+        replayed_intents: run.intents.replayed(),
         dump: format!("{}\n{}", run.record.to_json(), run.telemetry_jsonl),
     }
 }
@@ -480,17 +492,48 @@ mod tests {
 
     #[test]
     fn shard_count_does_not_change_the_sharded_audit() {
-        let one = run_scale_sharded(&small(), 1);
-        let two = run_scale_sharded(&small(), 2);
+        let one = run_scale_sharded(&small(), 1, MediumMode::Replicated);
+        let two = run_scale_sharded(&small(), 2, MediumMode::Partitioned);
         assert!(
             one.labels_created >= 1,
             "the sharded run must still track targets: {one:?}"
         );
-        assert_eq!(one.dump, two.dump, "shard count leaked into the output");
+        assert_eq!(
+            one.dump, two.dump,
+            "shard count or medium mode leaked into the output"
+        );
         // The pin must cover live protocol traffic, not an idle field.
         // (Trace events are excluded from the merged stream by design, so
         // look at a frame counter, not `group.hb` traces.)
         assert!(one.dump.contains("net.k1.tx"));
+    }
+
+    #[test]
+    fn partitioned_medium_reduces_replay_work() {
+        let shards = 4;
+        let replicated = run_scale_sharded(&small(), shards, MediumMode::Replicated);
+        let partitioned = run_scale_sharded(&small(), shards, MediumMode::Partitioned);
+        assert_eq!(
+            replicated.dump, partitioned.dump,
+            "routing must not change the observable output"
+        );
+        assert!(
+            partitioned.replayed_intents > 0,
+            "a busy field must route intents: {partitioned:?}"
+        );
+        // The acceptance bound: strictly fewer shard deliveries than the
+        // full N-fold replay of the merged batches.
+        assert!(
+            partitioned.replayed_intents < shards as u64 * partitioned.merged_intents,
+            "interest routing saved nothing: {} replayed vs {} merged × {} shards",
+            partitioned.replayed_intents,
+            partitioned.merged_intents,
+            shards
+        );
+        assert!(
+            partitioned.replayed_intents < replicated.replayed_intents,
+            "partitioned must replay strictly less than replicated"
+        );
     }
 
     #[test]

@@ -50,7 +50,8 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use envirotrack_net::medium::{
-    DeliveryOutcome, GilbertElliott, LinkFaults, Medium, NetStats, RadioConfig, TxId,
+    DeliveryOutcome, DeliveryReport, GilbertElliott, LinkFaults, Medium, NetStats, RadioConfig,
+    ResolvedTx, TxId, TxKey,
 };
 use envirotrack_net::packet::{Frame, FrameKind, LinkDest, WireCodec};
 use envirotrack_net::routing::GeoRouter;
@@ -379,12 +380,12 @@ impl SensorNetwork {
 
     /// Builds one shard's replica of a sharded run: a complete world whose
     /// handlers drive only the nodes `shard_assignment` maps to
-    /// `shard_idx`, with transmit requests diverted to the epoch outbox.
-    /// The medium keeps its telemetry only on shard 0 — every shard replays
-    /// the identical global transmit sequence, so channel counters would
-    /// otherwise be multiplied by the shard count in the merged output.
-    /// Drive the result through [`crate::shard::run_sharded`], which owns
-    /// the barrier protocol.
+    /// `shard_idx`, with transmit requests diverted to the epoch outbox and
+    /// the medium switched to executor mode — it never resolves a transmit
+    /// side itself, only ingests the [`ResolvedTx`]es the orchestrator's
+    /// central `ChannelScheduler` routes here and resolves outcomes for
+    /// owned receivers. Drive the result through
+    /// [`crate::shard::run_sharded`], which owns the barrier protocol.
     ///
     /// # Panics
     ///
@@ -402,16 +403,14 @@ impl SensorNetwork {
         assert!(shards >= 1, "at least one shard is required");
         assert!(shard_idx < shards, "shard index {shard_idx} out of {shards}");
         let mut world = SensorNetwork::new(program, deployment, environment, config, seed);
-        if shard_idx != 0 {
-            world.medium.attach_telemetry(Telemetry::new());
-        }
         let owners = envirotrack_world::grid::shard_assignment(
             &world.deployment,
             world.config.radio.comm_radius,
             shards,
         );
-        let owned = owners.iter().map(|&s| s == shard_idx).collect();
+        let owned: Vec<bool> = owners.iter().map(|&s| s == shard_idx).collect();
         let latency = world.config.radio.epoch_latency();
+        world.medium.enable_shard_exec(owned.clone());
         world.shard = Some(ShardState::new(shard_idx, shards, owned, latency));
         let telemetry = world.telemetry().clone();
         let mut engine = Engine::new(world, seed);
@@ -717,46 +716,78 @@ impl SensorNetwork {
         self.shard.as_mut().map_or_else(Vec::new, ShardState::drain)
     }
 
-    /// Replays one globally-merged batch of transmit requests against this
-    /// shard's medium replica, in batch order. Every shard replays the
-    /// *same* batch, so every medium replica makes identical RNG draws;
-    /// transmit energy is charged only on the source's owning shard, and
-    /// deliveries are filtered to owned receivers in
-    /// `transmission_complete`. Each request is issued at `request + L`
-    /// (the epoch length) — the uniform pipeline latency of sharded runs.
+    /// Hands a drained outbox buffer back for capacity reuse. A no-op on
+    /// monolithic worlds.
+    pub fn restore_shard_outbox(&mut self, buf: Vec<OutIntent>) {
+        if let Some(shard) = &mut self.shard {
+            shard.restore(buf);
+        }
+    }
+
+    /// Takes the keys of transmissions that delivered to at least one owned
+    /// receiver since the last drain, for the orchestrator's global
+    /// `tx_lost` settlement. Empty for monolithic worlds.
+    pub fn drain_shard_delivered(&mut self) -> Vec<TxKey> {
+        self.medium.drain_delivered_keys()
+    }
+
+    /// Pops one emptied resolved-batch buffer for the ride back to the
+    /// orchestrator. `None` for monolithic worlds.
+    pub fn take_shard_spare(&mut self) -> Option<Vec<ResolvedTx>> {
+        self.shard.as_mut().and_then(ShardState::take_spare_resolved)
+    }
+
+    /// Outbox buffer allocations so far (the buffer-reuse pin); 0 for
+    /// monolithic worlds.
+    #[must_use]
+    pub fn shard_outbox_allocs(&self) -> u64 {
+        self.shard.as_ref().map_or(0, ShardState::outbox_allocs)
+    }
+
+    /// Ingests the routed slice of one globally-resolved batch, in batch
+    /// order. The transmit side (CSMA, MAC drops, garbling, duplication)
+    /// was already decided once by the orchestrator's `ChannelScheduler`;
+    /// this shard's executor only resolves receiver outcomes for its owned
+    /// nodes when each transmission completes. Transmit energy is charged
+    /// on the source's owning shard — which is always routed, so
+    /// self-accounting never misses. The emptied buffer is stashed for the
+    /// next epoch response.
     ///
     /// # Panics
     ///
     /// Panics if the world was not built with
     /// [`SensorNetwork::build_engine_sharded`].
-    pub fn inject_shard_batch(&mut self, k: &mut Kernel<SensorNetwork>, batch: Vec<OutIntent>) {
-        let latency = self
-            .shard
-            .as_ref()
-            .expect("inject_shard_batch requires a sharded world")
-            .latency;
-        for intent in batch {
-            let at = intent.at + latency;
-            let src = intent.src;
-            let airtime = self.medium.config().tx_time(&intent.frame);
-            match self.medium.transmit(at, intent.frame) {
-                Ok(tx) => {
-                    if self.owns(src) {
-                        self.nodes[src.index()].energy.charge_tx(airtime);
-                    }
-                    k.schedule_at(tx.completes_at, move |w: &mut SensorNetwork, k| {
-                        w.transmission_complete(k, tx.id);
-                    });
-                }
-                Err(_saturated) => {
-                    // Saturation is decided identically on every replica.
-                }
+    pub fn inject_shard_resolved(
+        &mut self,
+        k: &mut Kernel<SensorNetwork>,
+        mut batch: Vec<ResolvedTx>,
+    ) {
+        assert!(
+            self.shard.is_some(),
+            "inject_shard_resolved requires a sharded world"
+        );
+        for rtx in batch.drain(..) {
+            let src = rtx.frame.src;
+            if self.owns(src) {
+                // `end - start` is exactly the frame airtime: garbling
+                // never touches `wire_len`, so the on-air cost the energy
+                // model sees matches the monolithic `tx_time` charge.
+                let airtime = rtx.end - rtx.start;
+                self.nodes[src.index()].energy.charge_tx(airtime);
             }
+            let (local, completes_at) = self.medium.ingest_resolved(rtx);
+            k.schedule_at(completes_at, move |w: &mut SensorNetwork, k| {
+                w.shard_transmission_complete(k, local);
+            });
+        }
+        if let Some(shard) = &mut self.shard {
+            shard.stash_resolved(batch);
         }
     }
 
-    /// Applies one barrier-quantized fault. Channel faults install on every
-    /// shard's medium replica (the channel is replicated state); node
+    /// Applies one barrier-quantized fault. Channel faults install on the
+    /// central scheduler (transmit side) *and* on every shard's executor
+    /// (delivery masking, burst chains — installing is draw-free); node
     /// faults act only on the owning shard, which alone drives the node.
     pub fn apply_shard_fault(&mut self, k: &mut Kernel<SensorNetwork>, fault: &ShardFault) {
         match fault {
@@ -1086,6 +1117,20 @@ impl SensorNetwork {
     /// before touching any state, so skipping them is behaviour-identical.
     fn transmission_complete(&mut self, k: &mut Kernel<SensorNetwork>, id: TxId) {
         let report = self.medium.deliveries(id);
+        self.dispatch_report(k, report);
+    }
+
+    /// Executor-mode completion for sharded worlds: resolves owned-receiver
+    /// outcomes for the ingested transmission `local` and dispatches them
+    /// through the same path as the monolithic completion.
+    fn shard_transmission_complete(&mut self, k: &mut Kernel<SensorNetwork>, local: u64) {
+        let report = self.medium.exec_deliveries(local);
+        self.dispatch_report(k, report);
+    }
+
+    /// Walks one delivery report and hands intact frames to their
+    /// receivers' protocol handlers.
+    fn dispatch_report(&mut self, k: &mut Kernel<SensorNetwork>, report: DeliveryReport) {
         // A link-duplicated frame is processed twice end to end — that is
         // precisely what the dedup layers (link_seq, MTP seq, hb_seq) are
         // under test against. The broadcast decode cache spans both passes,

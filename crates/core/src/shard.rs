@@ -1,5 +1,6 @@
 //! Sharded execution: one simulation advanced by several OS threads in
-//! lock-step epochs — conservative time-window synchronisation.
+//! lock-step epochs — conservative time-window synchronisation with a
+//! partitioned medium.
 //!
 //! ## Model
 //!
@@ -10,50 +11,81 @@
 //! dispatch are filtered to owned nodes, so each node's protocol state
 //! machine runs on exactly one shard.
 //!
-//! The only coupling between shards is the radio channel. During an epoch
-//! no shard touches its medium at all: every transmit request an owned node
-//! makes is captured as an [`OutIntent`] in the shard's outbox. At each
-//! epoch barrier the orchestrator collects all outboxes, merges them into
-//! one batch sorted by `(time, src, seq)` — a total order, since `seq` is a
-//! per-source counter — and hands the *same* batch to every shard, which
-//! replays it against its own medium replica in that order. Each replayed
-//! transmission is issued at `request_time + L`, where `L` is the epoch
-//! length ([`envirotrack_net::medium::RadioConfig::epoch_latency`]): the
-//! minimum frame airtime plus the receive processing delay, i.e. a lower
-//! bound on how soon *any* frame could have reached *any* receiver's
-//! handler. Because the batch and its order are identical everywhere, every
-//! medium replica makes identical RNG draws and reaches an identical state;
-//! each shard then dispatches deliveries only to the receivers it owns.
+//! The only coupling between shards is the radio channel, and it is split
+//! in two (see `envirotrack_net::medium`'s module docs):
+//!
+//! * **Transmit side, centralised.** During an epoch no shard touches the
+//!   channel: every transmit request an owned node makes is captured as an
+//!   [`OutIntent`] in the shard's outbox. At each epoch barrier the
+//!   orchestrator merges all outboxes into one batch sorted by
+//!   `(time, src, seq)` — a total order, since `seq` is a per-source
+//!   counter — and resolves it exactly once on its own
+//!   [`ChannelScheduler`]: CSMA deferral and backoff, MAC drops, link-fault
+//!   garbling/duplication/reorder, and the transmit-side statistics. Each
+//!   intent is resolved at `request_time + L`, where `L` is the epoch
+//!   length ([`envirotrack_net::medium::RadioConfig::epoch_latency`]): the
+//!   minimum frame airtime plus the receive processing delay, a lower
+//!   bound on how soon *any* frame could reach *any* receiver's handler.
+//! * **Receiver side, partitioned.** Each shard's medium runs in executor
+//!   mode: it ingests the [`ResolvedTx`]es the orchestrator routes to it
+//!   and resolves outcomes for its **owned** receivers only, using keyed
+//!   per-pair fade draws and per-receiver burst streams so that skipping a
+//!   receiver — or never ingesting an irrelevant transmission — consumes
+//!   zero randomness.
+//!
+//! ## Interest routing ([`MediumMode::Partitioned`])
+//!
+//! A transmission from node `s` can only be heard within `comm_radius` of
+//! `s`, so only shards owning a grid cell inside that footprint need to
+//! ingest it. `envirotrack_world::grid::shard_interest_ranges` precomputes,
+//! per source node, the contiguous shard range `[lo, hi]` covering its
+//! footprint columns (cell side ≥ radius, so the footprint is confined to
+//! the sender's column ± 1; column-monotone shard striping makes the
+//! interested set a contiguous range that always contains the sender's own
+//! shard). Soundness — every shard owning *any* in-range receiver is in
+//! the range — is what keeps a routed subset byte-identical to the full
+//! replay: an un-routed transmission could only have produced an empty
+//! outcome set on that shard anyway, and skipping it draws nothing.
+//! [`MediumMode::Replicated`] runs the identical pipeline with every
+//! transmission routed to every shard; the two modes differ *only* in
+//! routing, which the `bench/tests/shard_determinism.rs` battery pins
+//! byte-for-byte at 1/2/4/8 shards, clean and under chaos.
 //!
 //! ## Why the result is shard-count invariant
 //!
 //! Pick any two events on one shard. Their relative order equals their
 //! order in the single-shard run by induction over barriers: bootstrap
 //! iterates nodes in id order (skipping non-owned nodes, whose RNG streams
-//! are per-node forks and therefore undisturbed), barrier injections replay
-//! one globally-sorted batch, and handlers are deterministic functions of
-//! per-node state plus the delivered frame. No handler reads another node's
-//! runtime state, so interleaving *across* shards within an epoch cannot be
-//! observed. Telemetry counters and histograms are commutative sums over
-//! per-node (partitioned by ownership) or per-medium (recorded on shard 0
-//! only) activity, so the merged output is independent of the shard count —
-//! the property `bench/tests/shard_determinism.rs` pins byte-for-byte.
+//! are per-node forks and therefore undisturbed), barrier injections ingest
+//! a routed subsequence of one globally-resolved batch (same relative
+//! order), and handlers are deterministic functions of per-node state plus
+//! the delivered frame. No handler reads another node's runtime state, so
+//! interleaving *across* shards within an epoch cannot be observed. All
+//! channel randomness is either resolved once centrally or keyed per
+//! `(transmission, receiver)` pair, so no shard's draws depend on what the
+//! others were routed. Telemetry counters and histograms are commutative
+//! sums over per-node activity partitioned by ownership; channel counters
+//! are derived at merge time from the combined scheduler + shard
+//! statistics.
 //!
-//! The uniform `+L` pipeline latency makes a sharded run its *own* golden
-//! family: it is byte-identical across shard counts, not to the monolithic
-//! (`build_engine`) golden, which delivers frames without the epoch
-//! latency. `kernel.events` is stripped from the merged telemetry (every
-//! shard replays every completion, so the count is not partition-additive),
-//! and trace events are excluded entirely.
+//! The uniform `+L` pipeline latency and the central scheduler make a
+//! sharded run its *own* golden family: byte-identical across shard counts
+//! and medium modes, not to the monolithic (`build_engine`) golden.
+//! `kernel.events` is stripped from the merged telemetry (event counts are
+//! not partition-additive), and trace events are excluded entirely.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::{mpsc, Arc};
 
-use envirotrack_net::medium::{GilbertElliott, LinkFaults};
+use envirotrack_net::medium::{
+    ChannelScheduler, GilbertElliott, LinkFaults, NetStats, ResolvedTx, TxKey,
+};
 use envirotrack_net::packet::Frame;
+use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_telemetry::Telemetry;
 use envirotrack_world::field::{Deployment, NodeId};
+use envirotrack_world::grid::shard_interest_ranges;
 use envirotrack_world::sensing::Environment;
 
 use crate::api::Program;
@@ -83,6 +115,87 @@ impl OutIntent {
     }
 }
 
+/// How resolved transmissions are routed to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MediumMode {
+    /// Every resolved transmission goes to every shard (the full-replay
+    /// baseline: N× channel work, kept as the differential reference).
+    Replicated,
+    /// Each resolved transmission goes only to the shards whose owned
+    /// cells its radio footprint can reach (plus the sender's owner).
+    Partitioned,
+}
+
+impl MediumMode {
+    /// Parses the CLI spelling (`replicated` / `partitioned`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "replicated" => Some(MediumMode::Replicated),
+            "partitioned" => Some(MediumMode::Partitioned),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MediumMode::Replicated => "replicated",
+            MediumMode::Partitioned => "partitioned",
+        }
+    }
+}
+
+impl std::fmt::Display for MediumMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Replay-work and buffer-reuse accounting for one sharded run. These are
+/// *diagnostics across the sharding machinery* — `routed`/`skipped`/
+/// `broadcast` depend on the shard count and medium mode by construction,
+/// so they live here and in BENCH output, never in the byte-compared
+/// merged telemetry. (`tail_dropped` *is* invariant and is also surfaced
+/// as the `shard.intents.tail_dropped` counter.)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntentStats {
+    /// Intents collected across all barriers (the merged batch total).
+    pub merged: u64,
+    /// Intents that survived MAC admission on the central scheduler.
+    pub resolved: u64,
+    /// Shard deliveries routed by interest (partitioned mode).
+    pub routed: u64,
+    /// Shard deliveries skipped as out-of-footprint (partitioned mode).
+    pub skipped: u64,
+    /// Shard deliveries sent to every shard (replicated mode).
+    pub broadcast: u64,
+    /// Intents requested after the last barrier and never exchanged (the
+    /// final partial epoch; counted, asserted fresh, and shard-count
+    /// invariant).
+    pub tail_dropped: u64,
+    /// Times the orchestrator's merged batch buffer grew from nothing
+    /// (buffer-reuse pin: 1 in steady state).
+    pub batch_allocs: u64,
+    /// Per-shard outbox buffer allocations summed over shards
+    /// (buffer-reuse pin: ≤ shards in steady state).
+    pub outbox_allocs: u64,
+    /// Route-buffer allocations for resolved batches (buffer-reuse pin:
+    /// ≤ 2 × shards; shards, in steady state).
+    pub resolved_buf_allocs: u64,
+}
+
+impl IntentStats {
+    /// Total shard replay deliveries (`routed + broadcast`): the work the
+    /// tentpole reduces. Partitioned mode must keep this strictly below
+    /// `shards × merged`.
+    #[must_use]
+    pub fn replayed(&self) -> u64 {
+        self.routed + self.broadcast
+    }
+}
+
 /// Per-world sharding state, attached to a `SensorNetwork` built with
 /// [`SensorNetwork::build_engine_sharded`].
 #[derive(Debug)]
@@ -97,6 +210,10 @@ pub struct ShardState {
     pub latency: SimDuration,
     outbox: Vec<OutIntent>,
     next_seq: Vec<u64>,
+    /// Emptied resolved-batch buffers waiting to ride back to the
+    /// orchestrator for reuse.
+    resolved_pool: Vec<Vec<ResolvedTx>>,
+    outbox_allocs: u64,
 }
 
 impl ShardState {
@@ -111,6 +228,8 @@ impl ShardState {
             latency,
             outbox: Vec::new(),
             next_seq: vec![0; n],
+            resolved_pool: Vec::new(),
+            outbox_allocs: 0,
         }
     }
 
@@ -123,6 +242,9 @@ impl ShardState {
     /// Captures one transmit request into the outbox, stamping the next
     /// per-source sequence number.
     pub fn push(&mut self, at: Timestamp, src: NodeId, frame: Frame) {
+        if self.outbox.capacity() == 0 {
+            self.outbox_allocs += 1;
+        }
         let seq = self.next_seq[src.index()];
         self.next_seq[src.index()] += 1;
         self.outbox.push(OutIntent {
@@ -137,12 +259,40 @@ impl ShardState {
     pub fn drain(&mut self) -> Vec<OutIntent> {
         std::mem::take(&mut self.outbox)
     }
+
+    /// Hands a drained outbox buffer back so the next epoch's pushes reuse
+    /// its capacity instead of growing from nothing.
+    pub fn restore(&mut self, buf: Vec<OutIntent>) {
+        debug_assert!(buf.is_empty(), "restored outbox must be drained");
+        debug_assert!(self.outbox.is_empty(), "no pushes between drain and restore");
+        if buf.capacity() > self.outbox.capacity() {
+            self.outbox = buf;
+        }
+    }
+
+    /// Stashes an emptied resolved-batch buffer for the ride back.
+    pub fn stash_resolved(&mut self, buf: Vec<ResolvedTx>) {
+        debug_assert!(buf.is_empty(), "stashed resolved buffer must be drained");
+        self.resolved_pool.push(buf);
+    }
+
+    /// Pops one stashed resolved-batch buffer, if any.
+    pub fn take_spare_resolved(&mut self) -> Option<Vec<ResolvedTx>> {
+        self.resolved_pool.pop()
+    }
+
+    /// Outbox buffer allocations so far (the reuse pin).
+    #[must_use]
+    pub fn outbox_allocs(&self) -> u64 {
+        self.outbox_allocs
+    }
 }
 
 /// A fault applied at an epoch barrier of a sharded run. Channel-level
-/// faults install on *every* shard's medium replica (they are part of the
-/// replayed global channel); node-level faults apply only on the owning
-/// shard, because only that shard drives the node.
+/// faults install on the central scheduler *and* on every shard's executor
+/// (scheduler: carrier sensing and garbling; executor: delivery masking
+/// and burst chains); node-level faults apply only on the owning shard,
+/// because only that shard drives the node.
 #[derive(Debug, Clone)]
 pub enum ShardFault {
     /// Install a partition mask (group byte per node).
@@ -166,16 +316,20 @@ pub enum ShardFault {
 /// The merged result of a sharded run.
 #[derive(Debug, Clone)]
 pub struct ShardedRun {
-    /// Run record with event-log counts summed across shards and
-    /// medium-level fields taken from shard 0 (identical on every shard).
+    /// Run record with event-log counts summed across shards and channel
+    /// fields recomputed from the combined scheduler + shard statistics.
     pub record: RunRecord,
     /// Merged telemetry in `telemetry_to_jsonl` format: counters then
-    /// histograms, name-sorted; `kernel.events` stripped, traces excluded.
+    /// histograms, name-sorted; `kernel.events` stripped, traces excluded,
+    /// channel counters derived from the combined statistics.
     pub telemetry_jsonl: String,
     /// Kernel events processed, summed over shards (diagnostic only — not
-    /// part of the byte-compared output, since replayed completions make
-    /// it grow with the shard count).
+    /// part of the byte-compared output, since the ingested-transmission
+    /// count varies with routing).
     pub events_processed: u64,
+    /// Replay-work and buffer-reuse accounting (not byte-compared; the
+    /// perf story of the partitioned medium).
+    pub intents: IntentStats,
 }
 
 /// One shard's contribution to the merge.
@@ -184,6 +338,10 @@ struct ShardOutput {
     counters: Vec<(String, u64)>,
     hists: Vec<HistSnapshot>,
     events: u64,
+    net: NetStats,
+    delivered: Vec<TxKey>,
+    tail_dropped: u64,
+    outbox_allocs: u64,
 }
 
 struct HistSnapshot {
@@ -195,27 +353,41 @@ struct HistSnapshot {
 }
 
 enum Cmd {
-    /// Run to the barrier (inclusive) and send the outbox back.
+    /// Run to the barrier (inclusive) and send the epoch response back.
     Advance(Timestamp),
-    /// Schedule the barrier injection: faults first, then the batch replay.
+    /// Schedule the barrier injection: faults first, then ingestion of the
+    /// routed resolved batch. `outbox` returns this shard's drained buffer
+    /// for reuse.
     Inject {
         barrier: Timestamp,
-        batch: Vec<OutIntent>,
+        resolved: Vec<ResolvedTx>,
         faults: Vec<ShardFault>,
+        outbox: Vec<OutIntent>,
     },
-    /// Run to the horizon and send the final output back.
-    Finish(Timestamp),
+    /// Run to the horizon and send the final output back. `last_barrier`
+    /// lets the shard assert that every tail intent genuinely postdates
+    /// the final exchange (the off-by-one guard).
+    Finish {
+        horizon: Timestamp,
+        last_barrier: Option<Timestamp>,
+    },
 }
 
 enum Resp {
-    Outbox(Vec<OutIntent>),
+    Epoch {
+        idx: usize,
+        outbox: Vec<OutIntent>,
+        delivered: Vec<TxKey>,
+        spare: Option<Vec<ResolvedTx>>,
+    },
     Done(usize, Box<ShardOutput>),
 }
 
 /// Runs one simulation split over `shards` threads in lock-step epochs and
 /// merges the result. With identical inputs the output is byte-identical
-/// for every `shards >= 1`; `faults` are quantized to the first barrier at
-/// or after their nominal time (faults at or past `horizon` never fire).
+/// for every `shards >= 1` and for either [`MediumMode`]; `faults` are
+/// quantized to the first barrier at or after their nominal time (faults
+/// at or past `horizon` never fire).
 ///
 /// # Panics
 ///
@@ -231,11 +403,26 @@ pub fn run_sharded(
     shards: usize,
     horizon: Timestamp,
     faults: &[(Timestamp, ShardFault)],
+    mode: MediumMode,
 ) -> ShardedRun {
     assert!(shards >= 1, "at least one shard is required");
     let epoch = config.radio.epoch_latency();
     let mut schedule: Vec<(Timestamp, ShardFault)> = faults.to_vec();
     schedule.sort_by_key(|(t, _)| *t);
+
+    // The central transmit side: one scheduler resolving every merged
+    // intent exactly once, and — in partitioned mode — the per-source
+    // interest ranges that bound each transmission's audience.
+    let sched_rng = SimRng::seed_from(seed).fork("shard-scheduler");
+    let mut scheduler = ChannelScheduler::new(deployment, config.radio.clone(), &sched_rng);
+    let interest = match mode {
+        MediumMode::Partitioned => Some(shard_interest_ranges(
+            deployment,
+            config.radio.comm_radius,
+            shards,
+        )),
+        MediumMode::Replicated => None,
+    };
 
     std::thread::scope(|scope| {
         let (resp_tx, resp_rx) = mpsc::channel::<Resp>();
@@ -262,35 +449,62 @@ pub fn run_sharded(
                     match cmd {
                         Cmd::Advance(barrier) => {
                             engine.run_until(barrier);
-                            let intents = engine.world_mut().drain_shard_outbox();
-                            resp.send(Resp::Outbox(intents))
-                                .expect("the orchestrator outlives its shards");
+                            let outbox = engine.world_mut().drain_shard_outbox();
+                            let delivered = engine.world_mut().drain_shard_delivered();
+                            let spare = engine.world_mut().take_shard_spare();
+                            resp.send(Resp::Epoch {
+                                idx,
+                                outbox,
+                                delivered,
+                                spare,
+                            })
+                            .expect("the orchestrator outlives its shards");
                         }
                         Cmd::Inject {
                             barrier,
-                            batch,
+                            resolved,
                             faults,
+                            outbox,
                         } => {
+                            engine.world_mut().restore_shard_outbox(outbox);
                             // `run_until(barrier)` already consumed every
                             // event at or before the barrier, so this event
                             // is strictly the next to execute: the faults
-                            // and the replay happen at a fixed point in the
-                            // event order, independent of the shard count.
+                            // and the ingestion happen at a fixed point in
+                            // the event order, independent of shard count.
                             engine.kernel_mut().schedule_at(
                                 barrier,
                                 move |w: &mut SensorNetwork, k| {
                                     for f in &faults {
                                         w.apply_shard_fault(k, f);
                                     }
-                                    w.inject_shard_batch(k, batch);
+                                    w.inject_shard_resolved(k, resolved);
                                 },
                             );
                         }
-                        Cmd::Finish(horizon) => {
+                        Cmd::Finish {
+                            horizon,
+                            last_barrier,
+                        } => {
                             engine.run_until(horizon);
-                            // Intents from the final partial epoch are
-                            // dropped — identically at every shard count.
-                            let _ = engine.world_mut().drain_shard_outbox();
+                            // Intents from the final partial epoch never
+                            // reach the channel — identically at every
+                            // shard count. Count them, and assert each one
+                            // genuinely postdates the last exchange so a
+                            // barrier off-by-one cannot silently eat sends.
+                            let tail = engine.world_mut().drain_shard_outbox();
+                            if let Some(lb) = last_barrier {
+                                for intent in &tail {
+                                    assert!(
+                                        intent.at > lb,
+                                        "intent at {} from {} missed the {} barrier",
+                                        intent.at,
+                                        intent.src,
+                                        lb
+                                    );
+                                }
+                            }
+                            let delivered = engine.world_mut().drain_shard_delivered();
                             let world = engine.world();
                             let record =
                                 world.run_record(seed, horizon - Timestamp::ZERO, 0);
@@ -300,6 +514,10 @@ pub fn run_sharded(
                                 counters,
                                 hists,
                                 events: engine.kernel().events_processed(),
+                                net: world.net_stats().clone(),
+                                delivered,
+                                tail_dropped: tail.len() as u64,
+                                outbox_allocs: world.shard_outbox_allocs(),
                             };
                             resp.send(Resp::Done(idx, Box::new(out)))
                                 .expect("the orchestrator outlives its shards");
@@ -311,53 +529,147 @@ pub fn run_sharded(
         }
         drop(resp_tx);
 
+        let mut intents = IntentStats::default();
+        let mut batch: Vec<OutIntent> = Vec::new();
+        let mut outboxes: Vec<Vec<OutIntent>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut routes: Vec<Vec<ResolvedTx>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut route_pool: Vec<Vec<ResolvedTx>> = Vec::new();
+        let mut delivered: HashSet<TxKey> = HashSet::new();
         let mut next_fault = 0usize;
+        let mut last_barrier: Option<Timestamp> = None;
         let mut barrier = Timestamp::ZERO + epoch;
         while barrier < horizon {
             for tx in &cmd_txs {
                 tx.send(Cmd::Advance(barrier)).expect("shard thread alive");
             }
-            let mut batch: Vec<OutIntent> = Vec::new();
+            batch.clear();
             for _ in 0..shards {
                 match resp_rx.recv().expect("shard thread alive") {
-                    Resp::Outbox(v) => batch.extend(v),
+                    Resp::Epoch {
+                        idx,
+                        outbox,
+                        delivered: keys,
+                        spare,
+                    } => {
+                        if batch.capacity() == 0 && !outbox.is_empty() {
+                            intents.batch_allocs += 1;
+                        }
+                        let mut outbox = outbox;
+                        batch.append(&mut outbox);
+                        outboxes[idx] = outbox;
+                        delivered.extend(keys);
+                        if let Some(buf) = spare {
+                            route_pool.push(buf);
+                        }
+                    }
                     Resp::Done(..) => unreachable!("no shard finishes mid-run"),
                 }
             }
             // (time, src, seq) is a total order: the merged batch is the
             // same regardless of which shard's outbox arrived first.
             batch.sort_by_key(OutIntent::key);
+            intents.merged += batch.len() as u64;
+            // Everything completing by this barrier has had its deliveries
+            // reported; settle the "heard by nobody" verdicts.
+            for key in scheduler.finalize_lost(barrier, &delivered) {
+                delivered.remove(&key);
+            }
             let mut due = Vec::new();
             while next_fault < schedule.len() && schedule[next_fault].0 <= barrier {
                 due.push(schedule[next_fault].1.clone());
                 next_fault += 1;
             }
-            for tx in &cmd_txs {
+            // Channel faults bite the transmit side here, at the same
+            // quantized barrier the shards apply them (receiver side).
+            for f in &due {
+                match f {
+                    ShardFault::Partition(groups) => scheduler.set_partition(Some(groups.clone())),
+                    ShardFault::ClearPartition => scheduler.set_partition(None),
+                    ShardFault::LinkFaultsOn(lf) => scheduler.set_link_faults(Some(*lf)),
+                    ShardFault::LinkFaultsOff => scheduler.set_link_faults(None),
+                    _ => {}
+                }
+            }
+            for buf in &mut routes {
+                if buf.capacity() == 0 {
+                    *buf = route_pool.pop().unwrap_or_else(|| {
+                        intents.resolved_buf_allocs += 1;
+                        Vec::new()
+                    });
+                }
+            }
+            // Resolve the merged batch centrally, in merged order, and
+            // route each resolved transmission to its interested shards.
+            for intent in batch.drain(..) {
+                let at = intent.at + epoch;
+                let src_idx = intent.src.index();
+                let Some(rtx) = scheduler.resolve(at, intent.seq, intent.frame) else {
+                    continue; // MAC drop, decided once for everyone
+                };
+                intents.resolved += 1;
+                match &interest {
+                    None => {
+                        intents.broadcast += shards as u64;
+                        for buf in &mut routes {
+                            buf.push(rtx.clone());
+                        }
+                    }
+                    Some(ranges) => {
+                        let (lo, hi) = ranges[src_idx];
+                        intents.routed += (hi - lo + 1) as u64;
+                        intents.skipped += (shards - (hi - lo + 1)) as u64;
+                        for buf in &mut routes[lo..=hi] {
+                            buf.push(rtx.clone());
+                        }
+                    }
+                }
+            }
+            for (idx, tx) in cmd_txs.iter().enumerate() {
                 tx.send(Cmd::Inject {
                     barrier,
-                    batch: batch.clone(),
+                    resolved: std::mem::take(&mut routes[idx]),
                     faults: due.clone(),
+                    outbox: std::mem::take(&mut outboxes[idx]),
                 })
                 .expect("shard thread alive");
             }
+            last_barrier = Some(barrier);
             barrier += epoch;
         }
         for tx in &cmd_txs {
-            tx.send(Cmd::Finish(horizon)).expect("shard thread alive");
+            tx.send(Cmd::Finish {
+                horizon,
+                last_barrier,
+            })
+            .expect("shard thread alive");
         }
         let mut outputs: Vec<Option<Box<ShardOutput>>> = (0..shards).map(|_| None).collect();
         for _ in 0..shards {
             match resp_rx.recv().expect("shard thread alive") {
                 Resp::Done(idx, out) => outputs[idx] = Some(out),
-                Resp::Outbox(..) => unreachable!("every shard got Finish"),
+                Resp::Epoch { .. } => unreachable!("every shard got Finish"),
             }
         }
-        merge_outputs(
-            outputs
-                .into_iter()
-                .map(|o| *o.expect("every shard reported"))
-                .collect(),
-        )
+        let outputs: Vec<ShardOutput> = outputs
+            .into_iter()
+            .map(|o| *o.expect("every shard reported"))
+            .collect();
+        // Final loss verdicts: everything completing by the horizon, with
+        // the tail deliveries the shards reported at Finish.
+        for out in &outputs {
+            delivered.extend(out.delivered.iter().copied());
+        }
+        let _ = scheduler.finalize_lost(horizon, &delivered);
+        // The whole-run channel view: transmit side from the scheduler,
+        // receiver side summed over shards (ownership partitions every
+        // (transmission, receiver) pair onto exactly one shard).
+        let mut net = scheduler.stats().clone();
+        for out in &outputs {
+            net.absorb(&out.net);
+            intents.tail_dropped += out.tail_dropped;
+            intents.outbox_allocs += out.outbox_allocs;
+        }
+        merge_outputs(outputs, &net, intents)
     })
 }
 
@@ -383,18 +695,18 @@ fn snapshot_metrics(telemetry: &Telemetry) -> (Vec<(String, u64)>, Vec<HistSnaps
 }
 
 /// Merges per-shard outputs: counters and histograms sum (ownership
-/// partitions node activity; the medium records on shard 0 only), the run
-/// record sums its event-log counts and takes medium fields from shard 0.
-fn merge_outputs(outputs: Vec<ShardOutput>) -> ShardedRun {
+/// partitions node activity), channel counters and the run record's
+/// channel fields are derived from the combined scheduler + shard
+/// statistics, and the run record sums its event-log counts.
+fn merge_outputs(outputs: Vec<ShardOutput>, net: &NetStats, intents: IntentStats) -> ShardedRun {
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     let mut hists: BTreeMap<String, (u64, u128, u64, BTreeMap<u64, u64>)> = BTreeMap::new();
     let mut events = 0u64;
     for out in &outputs {
         events += out.events;
         for (name, v) in &out.counters {
-            // Every shard replays every transmission completion, so the
-            // kernel's event count grows with the shard count; it is
-            // diagnostic, not output.
+            // Kernel event counts vary with routing (each ingested
+            // transmission is one event); they are diagnostic, not output.
             if name == "kernel.events" {
                 continue;
             }
@@ -412,6 +724,18 @@ fn merge_outputs(outputs: Vec<ShardOutput>) -> ShardedRun {
             }
         }
     }
+    // Channel counters, derived from the combined statistics exactly where
+    // a monolithic medium would have recorded them. Presence matches the
+    // old lazy registration: a kind appears once it transmits or MAC-drops.
+    for (kind, ks) in &net.per_kind {
+        counters.insert(format!("net.k{kind}.tx"), ks.tx);
+        counters.insert(format!("net.k{kind}.lost"), ks.tx_lost);
+        counters.insert(format!("net.k{kind}.mac_drop"), ks.mac_dropped);
+        counters.insert(format!("net.k{kind}.bytes"), ks.bytes_on_air);
+    }
+    // Invariant across shard counts and medium modes (every tail intent is
+    // captured by exactly one owner), so it belongs in the compared bytes.
+    counters.insert("shard.intents.tail_dropped".to_owned(), intents.tail_dropped);
 
     let mut jsonl = String::new();
     for (name, v) in &counters {
@@ -449,9 +773,28 @@ fn merge_outputs(outputs: Vec<ShardOutput>) -> ShardedRun {
         record.mtp_dropped += out.record.mtp_dropped;
         record.violations += out.record.violations;
     }
+    // Channel fields come from the combined view, not any single replica.
+    record.hb_loss = net.kind(crate::wire::kinds::HEARTBEAT).tx_loss_ratio();
+    record.report_loss = net.kind(crate::wire::kinds::REPORT).tx_loss_ratio();
+    record.pair_loss = {
+        let mut agg = envirotrack_net::medium::KindStats::default();
+        for ks in net.per_kind.values() {
+            agg.rx += ks.rx;
+            agg.faded += ks.faded;
+            agg.collided += ks.collided;
+            agg.half_duplex += ks.half_duplex;
+            agg.burst_faded += ks.burst_faded;
+            agg.partition_dropped += ks.partition_dropped;
+        }
+        agg.pair_loss_ratio()
+    };
+    record.burst_faded = net.sum(|k| k.burst_faded);
+    record.partition_dropped = net.sum(|k| k.partition_dropped);
+    record.mac_dropped = net.sum(|k| k.mac_dropped);
     ShardedRun {
         record,
         telemetry_jsonl: jsonl,
         events_processed: events,
+        intents,
     }
 }

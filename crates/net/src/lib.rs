@@ -36,8 +36,8 @@ pub mod routing;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::medium::{
-        ChannelSaturatedError, DeliveryOutcome, DeliveryReport, KindStats, Medium, NetStats,
-        RadioConfig, Transmission, TxId,
+        ChannelSaturatedError, ChannelScheduler, DeliveryOutcome, DeliveryReport, KindStats,
+        Medium, NetStats, RadioConfig, ResolvedTx, Transmission, TxId, TxKey,
     };
     pub use crate::packet::{Frame, FrameKind, LinkDest};
     pub use crate::routing::{GeoRouter, RoutingVoidError};

@@ -27,11 +27,33 @@
 //! [`Medium::deliveries`] from it, dispatching the per-receiver outcomes to
 //! the node runtimes. All randomness comes from the medium's own forked RNG,
 //! keeping runs reproducible.
+//!
+//! ## Sharded (partitioned-medium) execution
+//!
+//! Sharded runs split the channel in two, because a shard that replays only
+//! a routed *subset* of the global traffic could never reproduce the
+//! monolithic sequential RNG stream:
+//!
+//! * **Transmit side** — one [`ChannelScheduler`], owned by the sharded
+//!   orchestrator, resolves every merged intent exactly once: CSMA deferral
+//!   and sequential backoff draws, MAC drops, link-fault garbling /
+//!   duplication / reorder slip, and the tx-side statistics. The result is
+//!   a [`ResolvedTx`] the orchestrator routes to interested shards.
+//! * **Receiver side** — each shard's medium runs in *executor* mode
+//!   ([`Medium::enable_shard_exec`]): it ingests resolved transmissions,
+//!   resolves collisions/half-duplex from its locally ingested windows, and
+//!   walks only **owned** receivers. The draw discipline that makes routed
+//!   subsets byte-identical: skipping a receiver consumes zero randomness —
+//!   fades are *keyed* draws (a pure function of `(source, seq, receiver)`
+//!   via [`SimRng::fork_indexed`]), and Gilbert–Elliott burst chains use a
+//!   dedicated per-receiver stream advanced only by that receiver's owner.
+//!   [`Medium::transmit`] refuses to run in executor mode, so the
+//!   monolithic sequential streams cannot be touched by accident.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 use bytes::Bytes;
-use envirotrack_sim::rng::SimRng;
+use envirotrack_sim::rng::{splitmix64, SimRng};
 use envirotrack_sim::time::{SimDuration, Timestamp};
 use envirotrack_telemetry::{CounterHandle, Telemetry};
 use envirotrack_world::field::{Deployment, NodeId};
@@ -412,6 +434,26 @@ impl KindStats {
             lost as f64 / total as f64
         }
     }
+
+    /// Adds another snapshot's counts into this one. Sharded runs use this
+    /// to combine the scheduler's transmit-side stats with every shard's
+    /// receiver-side stats into one whole-run view.
+    pub fn absorb(&mut self, other: &KindStats) {
+        self.tx += other.tx;
+        self.rx += other.rx;
+        self.tx_lost += other.tx_lost;
+        self.collided += other.collided;
+        self.faded += other.faded;
+        self.half_duplex += other.half_duplex;
+        self.mac_dropped += other.mac_dropped;
+        self.burst_faded += other.burst_faded;
+        self.partition_dropped += other.partition_dropped;
+        self.bytes_on_air += other.bytes_on_air;
+        self.payload_bytes += other.payload_bytes;
+        self.corrupted += other.corrupted;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+    }
 }
 
 /// A whole-run snapshot of channel statistics.
@@ -466,6 +508,17 @@ impl NetStats {
         }
         self.total_bits as f64 / (secs * bandwidth_bps as f64)
     }
+
+    /// Adds another snapshot's counts into this one (see
+    /// [`KindStats::absorb`]).
+    pub fn absorb(&mut self, other: &NetStats) {
+        for (kind, ks) in &other.per_kind {
+            self.per_kind.entry(*kind).or_default().absorb(ks);
+        }
+        self.total_tx += other.total_tx;
+        self.total_bits += other.total_bits;
+        self.busy_time += other.busy_time;
+    }
 }
 
 /// Pre-resolved telemetry handles for one frame kind, so the hot path
@@ -482,6 +535,85 @@ struct KindCounters {
 /// Upper bound on pooled outcome buffers; deliveries are collected one at a
 /// time in practice, so the pool never grows past a handful of entries.
 const OUTCOME_POOL_CAP: usize = 64;
+
+/// Applies link-fault payload corruption to `frame` in the pinned draw
+/// order (truncation first, then per-byte bit flips); returns whether
+/// anything mutated. The charged [`Frame::wire_len`] and the sender's
+/// [`Frame::shadow`] hash stay pristine, so airtime accounting and the
+/// accepted-corrupt audit are unaffected.
+fn garble_payload(frame: &mut Frame, f: &LinkFaults, rng: &mut SimRng) -> bool {
+    let mut mutated = false;
+    if f.truncate > 0.0 && !frame.payload.is_empty() && rng.chance(f.truncate) {
+        let keep = rng.below(frame.payload.len() as u64) as usize;
+        let mut cut = frame.payload.to_vec();
+        cut.truncate(keep);
+        frame.payload = Bytes::from(cut);
+        mutated = true;
+    }
+    if f.flip_per_byte > 0.0 {
+        let mut garbled: Option<Vec<u8>> = None;
+        for i in 0..frame.payload.len() {
+            if rng.chance(f.flip_per_byte) {
+                let bit = rng.below(8) as u8;
+                garbled.get_or_insert_with(|| frame.payload.to_vec())[i] ^= 1 << bit;
+            }
+        }
+        if let Some(v) = garbled {
+            frame.payload = Bytes::from(v);
+            mutated = true;
+        }
+    }
+    mutated
+}
+
+/// Deterministic 64-bit key for one `(transmission, receiver)` fade draw:
+/// a double-[`splitmix64`] mix of `(source, seq, receiver)`. A pure
+/// function of the pair, so every shard — in either medium mode — derives
+/// the same fade stream for the same pair, and skipping a pair consumes
+/// nothing.
+fn fade_mix(key: TxKey, v: NodeId) -> u64 {
+    let mut s = (u64::from(key.0) << 32) ^ u64::from(v.0);
+    let a = splitmix64(&mut s);
+    let mut s2 = a ^ key.1;
+    splitmix64(&mut s2)
+}
+
+/// One transmission ingested by a shard executor: the resolved channel
+/// window plus a local handle for the completion event.
+#[derive(Debug, Clone)]
+struct ExecWindow {
+    local: u64,
+    key: TxKey,
+    start: Timestamp,
+    end: Timestamp,
+    frame: Frame,
+    duplicated: bool,
+    resolved: bool,
+}
+
+/// Per-shard executor state (see the [module docs](self)): the medium
+/// stops being a transmit-side channel — the orchestrator's
+/// [`ChannelScheduler`] resolved that once, globally — and becomes a
+/// receiver-side executor over this shard's owned nodes only.
+#[derive(Debug)]
+struct ExecState {
+    /// Which nodes this shard resolves receptions for.
+    owned: Vec<bool>,
+    /// Base stream for keyed per-`(transmission, receiver)` fade draws.
+    fade_base: SimRng,
+    /// Base stream the per-receiver burst chains fork from.
+    burst_base: SimRng,
+    /// Per-receiver Gilbert–Elliott streams, rebuilt on every burst-model
+    /// install so the chain is a deterministic function of the install
+    /// point — identical on every shard in every mode.
+    burst_rngs: Vec<SimRng>,
+    windows: Vec<ExecWindow>,
+    next_local: u64,
+    /// Keys of ingested transmissions at least one owned receiver heard
+    /// intact; drained each epoch so the scheduler can finalise `tx_lost`
+    /// globally.
+    delivered_keys: Vec<TxKey>,
+}
 
 /// The shared broadcast radio channel. See the [module docs](self).
 pub struct Medium {
@@ -519,6 +651,13 @@ pub struct Medium {
     /// Fresh outcome-buffer allocations made by `deliveries`; stays flat in
     /// steady state when callers recycle their reports.
     outcome_allocs: u64,
+    /// Base stream the shard-executor keyed draws fork from. Forked
+    /// unconditionally in [`Medium::new`] so enabling executor mode never
+    /// perturbs the monolithic streams and is identical on every shard.
+    exec_base: SimRng,
+    /// Shard-executor state; `Some` switches the medium into receiver-side
+    /// executor mode (see the [module docs](self)).
+    exec: Option<ExecState>,
 }
 
 impl Medium {
@@ -552,6 +691,8 @@ impl Medium {
             kind_counters: Vec::new(),
             outcome_pool: Vec::new(),
             outcome_allocs: 0,
+            exec_base: rng.fork("shard-exec"),
+            exec: None,
         }
     }
 
@@ -644,11 +785,33 @@ impl Medium {
     /// Installs (or clears) the Gilbert–Elliott burst-loss model. Receiver
     /// states start Good; the chain draws from a dedicated RNG stream, so
     /// the baseline fading sequence is unaffected either way.
+    ///
+    /// In shard-executor mode the chains are per-receiver streams rebuilt
+    /// from scratch at every install (a deterministic function of the
+    /// install point, identical on every shard in every medium mode), and
+    /// each chain advances only when that receiver's owner processes an
+    /// arrival opportunity.
     pub fn set_burst_loss(&mut self, model: Option<GilbertElliott>) {
         self.burst = model.map(|m| {
             m.validate();
             (m, vec![false; self.neighbors.len()])
         });
+        self.rebuild_exec_burst();
+    }
+
+    /// (Re)derives the per-receiver burst streams for executor mode.
+    fn rebuild_exec_burst(&mut self) {
+        let n = self.neighbors.len();
+        let burst_on = self.burst.is_some();
+        if let Some(exec) = &mut self.exec {
+            exec.burst_rngs = if burst_on {
+                (0..n)
+                    .map(|v| exec.burst_base.fork_indexed("rx", v as u64))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+        }
     }
 
     /// Whether a burst-loss model is currently installed.
@@ -705,6 +868,11 @@ impl Medium {
         now: Timestamp,
         frame: Frame,
     ) -> Result<Transmission, ChannelSaturatedError> {
+        assert!(
+            self.exec.is_none(),
+            "transmit bypassed the ChannelScheduler in shard-executor mode; \
+             sharded intents must be resolved centrally and ingested"
+        );
         self.prune(now);
         let mut start = now;
         if self.config.csma {
@@ -812,28 +980,7 @@ impl Medium {
         // from the pristine `wire_len`, which truncation must not rewrite.
         let mut duplicated = false;
         if let Some(f) = self.faults {
-            let mut mutated = false;
-            if f.truncate > 0.0 && !frame.payload.is_empty() && self.fault_rng.chance(f.truncate) {
-                let keep = self.fault_rng.below(frame.payload.len() as u64) as usize;
-                let mut cut = frame.payload.to_vec();
-                cut.truncate(keep);
-                frame.payload = Bytes::from(cut);
-                mutated = true;
-            }
-            if f.flip_per_byte > 0.0 {
-                let mut garbled: Option<Vec<u8>> = None;
-                for i in 0..frame.payload.len() {
-                    if self.fault_rng.chance(f.flip_per_byte) {
-                        let bit = self.fault_rng.below(8) as u8;
-                        garbled.get_or_insert_with(|| frame.payload.to_vec())[i] ^= 1 << bit;
-                    }
-                }
-                if let Some(v) = garbled {
-                    frame.payload = Bytes::from(v);
-                    mutated = true;
-                }
-            }
-            if mutated {
+            if garble_payload(&mut frame, &f, &mut self.fault_rng) {
                 self.kind_stats_mut(frame.kind).corrupted += 1;
             }
             if f.duplicate > 0.0 && self.fault_rng.chance(f.duplicate) {
@@ -953,6 +1100,228 @@ impl Medium {
         self.outcome_allocs
     }
 
+    /// Switches this medium into shard-executor mode (see the
+    /// [module docs](self)): [`Medium::transmit`] is disabled, and the
+    /// medium instead ingests [`ResolvedTx`]es from the orchestrator's
+    /// [`ChannelScheduler`] and resolves receptions for `owned` nodes only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `owned` does not cover every node.
+    pub fn enable_shard_exec(&mut self, owned: Vec<bool>) {
+        assert_eq!(
+            owned.len(),
+            self.neighbors.len(),
+            "ownership mask must cover every node"
+        );
+        self.exec = Some(ExecState {
+            owned,
+            fade_base: self.exec_base.fork("fade"),
+            burst_base: self.exec_base.fork("burst"),
+            burst_rngs: Vec::new(),
+            windows: Vec::new(),
+            next_local: 0,
+            delivered_keys: Vec::new(),
+        });
+        self.rebuild_exec_burst();
+    }
+
+    /// Whether this medium runs in shard-executor mode.
+    #[must_use]
+    pub fn shard_exec_active(&self) -> bool {
+        self.exec.is_some()
+    }
+
+    /// Ingests one centrally resolved transmission; returns the local
+    /// handle to pass to [`Medium::exec_deliveries`] and the completion
+    /// instant to schedule it at.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the medium is not in shard-executor mode.
+    pub fn ingest_resolved(&mut self, rtx: ResolvedTx) -> (u64, Timestamp) {
+        let horizon = self.prune_horizon;
+        let exec = self
+            .exec
+            .as_mut()
+            .expect("ingest_resolved requires shard-executor mode");
+        let now = rtx.start;
+        exec.windows.retain(|w| !w.resolved || w.end + horizon > now);
+        let local = exec.next_local;
+        exec.next_local += 1;
+        let completes_at = rtx.completes_at;
+        exec.windows.push(ExecWindow {
+            local,
+            key: rtx.key(),
+            start: rtx.start,
+            end: rtx.end,
+            frame: rtx.frame,
+            duplicated: rtx.duplicated,
+            resolved: false,
+        });
+        (local, completes_at)
+    }
+
+    /// Resolves the per-receiver outcomes of an ingested transmission for
+    /// this shard's **owned** receivers only. The pinned draw discipline:
+    /// a skipped (non-owned) receiver consumes zero randomness — fades are
+    /// keyed per-pair draws and burst chains are per-receiver streams — so
+    /// the outcome at an owned receiver is identical whatever subset of
+    /// the global traffic this shard was routed, as long as every window
+    /// audible at that receiver was ingested (the interest-routing
+    /// soundness guarantee).
+    ///
+    /// Transmit-side outcomes (`tx_lost` among them) are *not* tallied
+    /// here: the scheduler finalises those globally from the delivered
+    /// keys drained via [`Medium::drain_delivered_keys`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the medium is not in shard-executor mode, or when
+    /// `local` is unknown or already resolved.
+    pub fn exec_deliveries(&mut self, local: u64) -> DeliveryReport {
+        let Medium {
+            config,
+            neighbors,
+            stats,
+            partition,
+            burst,
+            delivery_log,
+            exec,
+            outcome_pool,
+            outcome_allocs,
+            ..
+        } = self;
+        let exec = exec
+            .as_mut()
+            .expect("exec_deliveries requires shard-executor mode");
+        let neighbors = &*neighbors;
+        let partition = &*partition;
+        let idx = exec
+            .windows
+            .iter()
+            .position(|w| w.local == local && !w.resolved)
+            .expect("unknown or already-resolved sharded transmission");
+        let (key, start, end, frame, duplicated) = {
+            let w = &exec.windows[idx];
+            (w.key, w.start, w.end, w.frame.clone(), w.duplicated)
+        };
+        let src = frame.src;
+        let partitioned = |a: NodeId, b: NodeId| match partition {
+            Some(g) => g[a.index()] != g[b.index()],
+            None => false,
+        };
+        let in_range = |a: NodeId, b: NodeId| neighbors[a.index()].binary_search(&b).is_ok();
+        let mut outcomes = match outcome_pool.pop() {
+            Some(buf) => buf,
+            None => {
+                *outcome_allocs += 1;
+                Vec::new()
+            }
+        };
+        let mut tally = KindStats::default();
+        let mut any_delivered = false;
+        for &v in &neighbors[src.index()] {
+            if !exec.owned[v.index()] {
+                // Someone else's partition of the receiver walk; skipping
+                // it draws nothing (the discipline everything rests on).
+                continue;
+            }
+            let mut outcome = if partitioned(src, v) {
+                DeliveryOutcome::PartitionDrop
+            } else {
+                // Collision / half-duplex resolution over the locally
+                // ingested windows, in global resolve order (routing
+                // preserves it), mirroring `receiver_outcome`.
+                let mut o = DeliveryOutcome::Delivered;
+                for other in &exec.windows {
+                    let osrc = other.frame.src;
+                    if osrc == src {
+                        continue;
+                    }
+                    if !(other.start < end && start < other.end) {
+                        continue;
+                    }
+                    if osrc == v {
+                        o = DeliveryOutcome::HalfDuplex;
+                        break;
+                    }
+                    if in_range(osrc, v) && !partitioned(osrc, v) {
+                        o = DeliveryOutcome::Collided;
+                        break;
+                    }
+                }
+                o
+            };
+            if outcome == DeliveryOutcome::Delivered
+                && exec
+                    .fade_base
+                    .fork_indexed("pair", fade_mix(key, v))
+                    .chance(config.base_loss)
+            {
+                outcome = DeliveryOutcome::Faded;
+            }
+            if let Some((model, states)) = burst.as_mut() {
+                if outcome != DeliveryOutcome::PartitionDrop {
+                    let chain = &mut exec.burst_rngs[v.index()];
+                    let bad = &mut states[v.index()];
+                    let flip = if *bad {
+                        model.p_bad_to_good
+                    } else {
+                        model.p_good_to_bad
+                    };
+                    if chain.chance(flip) {
+                        *bad = !*bad;
+                    }
+                    let loss = if *bad { model.loss_bad } else { model.loss_good };
+                    if outcome == DeliveryOutcome::Delivered && chain.chance(loss) {
+                        outcome = DeliveryOutcome::BurstFaded;
+                    }
+                }
+            }
+            match outcome {
+                DeliveryOutcome::Delivered => {
+                    any_delivered = true;
+                    tally.rx += 1;
+                    if let Some(log) = delivery_log.as_mut() {
+                        log.push((end, src, v));
+                    }
+                }
+                DeliveryOutcome::Collided => tally.collided += 1,
+                DeliveryOutcome::HalfDuplex => tally.half_duplex += 1,
+                DeliveryOutcome::Faded => tally.faded += 1,
+                DeliveryOutcome::BurstFaded => tally.burst_faded += 1,
+                DeliveryOutcome::PartitionDrop => tally.partition_dropped += 1,
+            }
+            outcomes.push((v, outcome));
+        }
+        if any_delivered {
+            exec.delivered_keys.push(key);
+        }
+        let ks = stats.per_kind.entry(frame.kind.0).or_default();
+        ks.rx += tally.rx;
+        ks.collided += tally.collided;
+        ks.half_duplex += tally.half_duplex;
+        ks.faded += tally.faded;
+        ks.burst_faded += tally.burst_faded;
+        ks.partition_dropped += tally.partition_dropped;
+        exec.windows[idx].resolved = true;
+        DeliveryReport {
+            frame,
+            outcomes,
+            duplicated,
+        }
+    }
+
+    /// Drains the keys of ingested transmissions at least one owned
+    /// receiver heard intact since the last drain. Empty outside
+    /// shard-executor mode.
+    pub fn drain_delivered_keys(&mut self) -> Vec<TxKey> {
+        self.exec
+            .as_mut()
+            .map_or_else(Vec::new, |e| std::mem::take(&mut e.delivered_keys))
+    }
+
     fn receiver_outcome(
         &self,
         src: NodeId,
@@ -1007,6 +1376,254 @@ impl std::fmt::Debug for Medium {
             .field("nodes", &self.neighbors.len())
             .field("comm_radius", &self.config.comm_radius)
             .field("in_flight", &self.active.len())
+            .field("total_tx", &self.stats.total_tx)
+            .finish()
+    }
+}
+
+/// Globally unique identity of one sharded transmission:
+/// `(source node id, per-source intent sequence)`.
+pub type TxKey = (u32, u64);
+
+/// One transmit intent resolved by the [`ChannelScheduler`]: the channel
+/// window plus every transmit-side random decision, computed exactly once
+/// globally so any subset of shards can replay the receiver side
+/// identically.
+#[derive(Debug, Clone)]
+pub struct ResolvedTx {
+    /// Per-source intent sequence (second half of [`ResolvedTx::key`]).
+    pub seq: u64,
+    /// The frame as it left the scheduler — payload possibly garbled by
+    /// the link-fault injector (every interested shard shares the same
+    /// garbled bytes), the charged [`Frame::wire_len`] always pristine.
+    pub frame: Frame,
+    /// When the first bit hits the channel (after CSMA defer + backoff).
+    pub start: Timestamp,
+    /// When the last bit leaves the channel.
+    pub end: Timestamp,
+    /// When receivers finish decoding (processing delay plus any reorder
+    /// slip); schedule the delivery event here.
+    pub completes_at: Timestamp,
+    /// The link duplicated this transmission: receivers process the
+    /// outcome set twice.
+    pub duplicated: bool,
+}
+
+impl ResolvedTx {
+    /// The transmission's global identity.
+    #[must_use]
+    pub fn key(&self) -> TxKey {
+        (self.frame.src.0, self.seq)
+    }
+}
+
+/// One active channel window on the scheduler's global view. Delivery is
+/// the shards' job, so unlike [`TxRecord`] a window is prunable the moment
+/// it slips past the horizon.
+#[derive(Debug, Clone)]
+struct SchedWindow {
+    src: NodeId,
+    end: Timestamp,
+}
+
+/// The transmit side of a partitioned sharded medium (see the
+/// [module docs](self)): owned by the sharded orchestrator, it resolves
+/// every merged intent exactly once — CSMA deferral with the sequential
+/// backoff stream, MAC drops, link-fault garbling / duplication / reorder
+/// slip, and all transmit-side statistics — and hands back a
+/// [`ResolvedTx`] for routing to interested shards.
+///
+/// `tx_lost` (the paper's "heard by nobody" metric) needs the receiver
+/// side, which lives on the shards: the scheduler keeps every resolved
+/// transmission pending until [`ChannelScheduler::finalize_lost`] is
+/// called with the union of delivered keys the shards reported.
+pub struct ChannelScheduler {
+    config: RadioConfig,
+    neighbors: Vec<Vec<NodeId>>,
+    active: Vec<SchedWindow>,
+    rng: SimRng,
+    fault_rng: SimRng,
+    partition: Option<Vec<u8>>,
+    faults: Option<LinkFaults>,
+    stats: NetStats,
+    prune_horizon: SimDuration,
+    /// Resolved transmissions awaiting their loss verdict:
+    /// `(completes_at, key, kind)`.
+    pending: Vec<(Timestamp, TxKey, FrameKind)>,
+}
+
+impl ChannelScheduler {
+    /// Builds a scheduler over `deployment`, deriving its randomness from
+    /// `rng` with the same labels a monolithic [`Medium`] would use — its
+    /// own golden family, but the same structure.
+    #[must_use]
+    pub fn new(deployment: &Deployment, config: RadioConfig, rng: &SimRng) -> Self {
+        let neighbors = neighbor_lists_with(deployment, config.comm_radius, config.topology);
+        let prune_horizon = config.max_defer + config.proc_delay + SimDuration::from_secs(1);
+        ChannelScheduler {
+            config,
+            neighbors,
+            active: Vec::new(),
+            rng: rng.fork("radio-medium"),
+            fault_rng: rng.fork("link-faults"),
+            partition: None,
+            faults: None,
+            stats: NetStats::default(),
+            prune_horizon,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Installs (or clears) a partition mask (carrier sensing stops
+    /// crossing the cut, matching [`Medium::set_partition`]).
+    pub fn set_partition(&mut self, groups: Option<Vec<u8>>) {
+        if let Some(g) = &groups {
+            assert_eq!(
+                g.len(),
+                self.neighbors.len(),
+                "partition mask must cover every node"
+            );
+        }
+        self.partition = groups;
+    }
+
+    /// Installs (or clears) the link-level fault injector.
+    pub fn set_link_faults(&mut self, faults: Option<LinkFaults>) {
+        if let Some(f) = &faults {
+            f.validate();
+        }
+        self.faults = faults;
+    }
+
+    fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        match &self.partition {
+            Some(g) => g[a.index()] != g[b.index()],
+            None => false,
+        }
+    }
+
+    fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Resolves one merged intent at its adjusted transmit instant `now`.
+    /// Returns `None` on a MAC drop (counted in the stats). Intents must
+    /// arrive in merged `(time, src, seq)` order — the orchestrator's
+    /// barrier sort guarantees it — so the sequential backoff stream is a
+    /// function of the merged batch alone, not of the shard count.
+    pub fn resolve(&mut self, now: Timestamp, seq: u64, mut frame: Frame) -> Option<ResolvedTx> {
+        let horizon = self.prune_horizon;
+        self.active.retain(|w| w.end + horizon > now);
+        let mut start = now;
+        if self.config.csma {
+            let mut busy_until = now;
+            for w in &self.active {
+                let audible = w.src == frame.src
+                    || (self.in_range(w.src, frame.src) && !self.partitioned(w.src, frame.src));
+                if audible && w.end > busy_until {
+                    busy_until = w.end;
+                }
+            }
+            if busy_until > now {
+                let backoff = SimDuration::from_micros(
+                    self.rng.below(self.config.backoff_max.as_micros().max(1)),
+                );
+                start = busy_until + backoff;
+            }
+            let defer = start.saturating_since(now);
+            if defer > self.config.max_defer {
+                self.stats.per_kind.entry(frame.kind.0).or_default().mac_dropped += 1;
+                return None;
+            }
+        }
+        let tx_time = self.config.tx_time(&frame);
+        let end = start + tx_time;
+        self.stats.total_tx += 1;
+        self.stats.total_bits += frame.on_air_bits();
+        self.stats.busy_time += tx_time;
+        let charged = frame.on_air_bits() / 8;
+        {
+            let ks = self.stats.per_kind.entry(frame.kind.0).or_default();
+            ks.tx += 1;
+            ks.bytes_on_air += charged;
+            ks.payload_bytes += frame.payload.len() as u64;
+        }
+        // Transmit-side fault draws, resolved once globally in a fixed
+        // order (reorder slip, garbling, duplication) so every interested
+        // shard sees the same bytes and the same completion instant.
+        let mut extra = SimDuration::ZERO;
+        let mut duplicated = false;
+        if let Some(f) = self.faults {
+            if f.reorder > 0.0 && self.fault_rng.chance(f.reorder) {
+                extra = SimDuration::from_micros(
+                    self.fault_rng.below(f.reorder_max_delay.as_micros().max(1)),
+                );
+                self.stats.per_kind.entry(frame.kind.0).or_default().reordered += 1;
+            }
+            if garble_payload(&mut frame, &f, &mut self.fault_rng) {
+                self.stats.per_kind.entry(frame.kind.0).or_default().corrupted += 1;
+            }
+            if f.duplicate > 0.0 && self.fault_rng.chance(f.duplicate) {
+                duplicated = true;
+                self.stats.per_kind.entry(frame.kind.0).or_default().duplicated += 1;
+            }
+        }
+        let completes_at = end + self.config.proc_delay + extra;
+        self.active.push(SchedWindow {
+            src: frame.src,
+            end,
+        });
+        self.pending.push((completes_at, (frame.src.0, seq), frame.kind));
+        Some(ResolvedTx {
+            seq,
+            frame,
+            start,
+            end,
+            completes_at,
+            duplicated,
+        })
+    }
+
+    /// Finalises the "heard by nobody" verdict for every resolved
+    /// transmission completing at or before `up_to`: any whose key is
+    /// absent from `delivered` (the union the shards reported) counts as
+    /// `tx_lost`. Returns the finalised keys so the orchestrator can
+    /// shrink its delivered set.
+    pub fn finalize_lost(&mut self, up_to: Timestamp, delivered: &HashSet<TxKey>) -> Vec<TxKey> {
+        let ChannelScheduler { pending, stats, .. } = self;
+        let mut done = Vec::new();
+        pending.retain(|&(completes_at, key, kind)| {
+            if completes_at > up_to {
+                return true;
+            }
+            if !delivered.contains(&key) {
+                stats.per_kind.entry(kind.0).or_default().tx_lost += 1;
+            }
+            done.push(key);
+            false
+        });
+        done
+    }
+
+    /// Transmissions still awaiting their loss verdict.
+    #[must_use]
+    pub fn pending_lost(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The transmit-side statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+impl std::fmt::Debug for ChannelScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelScheduler")
+            .field("nodes", &self.neighbors.len())
+            .field("in_flight", &self.active.len())
+            .field("pending_lost", &self.pending.len())
             .field("total_tx", &self.stats.total_tx)
             .finish()
     }
@@ -1416,6 +2033,117 @@ mod tests {
         assert_eq!(log.len(), 1);
         assert_eq!((log[0].1, log[0].2), (NodeId(1), NodeId(0)));
         assert!(m.take_delivery_log().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn scheduler_serialises_and_drops_like_the_monolithic_mac() {
+        let d = line_deployment(3, 1.0);
+        let mut sched = ChannelScheduler::new(&d, lossless(5.0), &SimRng::seed_from(1));
+        let a = sched.resolve(Timestamp::ZERO, 0, frame(0)).unwrap();
+        let b = sched.resolve(Timestamp::ZERO, 1, frame(2)).unwrap();
+        assert!(b.start >= a.end, "CSMA must serialise in-range transmitters");
+        // A saturating defer bound MAC-drops exactly like Medium::transmit.
+        let mut cfg = lossless(5.0);
+        cfg.max_defer = SimDuration::from_micros(10);
+        let mut tight = ChannelScheduler::new(&d, cfg, &SimRng::seed_from(1));
+        assert!(tight.resolve(Timestamp::ZERO, 0, frame(0)).is_some());
+        assert!(tight.resolve(Timestamp::ZERO, 1, frame(1)).is_none());
+        assert_eq!(tight.stats().kind(FrameKind(1)).mac_dropped, 1);
+    }
+
+    #[test]
+    fn finalize_lost_needs_a_shard_delivery_to_clear() {
+        let d = line_deployment(2, 1.0);
+        let mut sched = ChannelScheduler::new(&d, lossless(5.0), &SimRng::seed_from(1));
+        let _a = sched.resolve(Timestamp::ZERO, 0, frame(0)).unwrap();
+        let b = sched.resolve(Timestamp::from_secs(1), 1, frame(1)).unwrap();
+        assert_eq!(sched.pending_lost(), 2);
+        let mut delivered = HashSet::new();
+        delivered.insert(b.key());
+        let done = sched.finalize_lost(Timestamp::from_secs(2), &delivered);
+        assert_eq!(done.len(), 2);
+        assert_eq!(sched.pending_lost(), 0);
+        let ks = sched.stats().kind(FrameKind(1));
+        assert_eq!(ks.tx_lost, 1, "only the undelivered transmission is lost");
+    }
+
+    #[test]
+    fn executor_outcomes_ignore_unrouted_traffic_and_ownership() {
+        // A full replica and a subset executor (owning only nodes 0..=2,
+        // routed only node 1's traffic) must agree byte-for-byte on every
+        // owned outcome — the invariant partitioned routing rests on —
+        // with fading and burst chains both active.
+        let d = line_deployment(6, 1.0);
+        let mut cfg = lossless(1.5);
+        cfg.base_loss = 0.4;
+        let rng = SimRng::seed_from(11);
+        let mut sched = ChannelScheduler::new(&d, cfg.clone(), &rng);
+        let mut full = Medium::new(&d, cfg.clone(), &rng);
+        full.enable_shard_exec(vec![true; 6]);
+        let mut sub = Medium::new(&d, cfg, &rng);
+        sub.enable_shard_exec(vec![true, true, true, false, false, false]);
+        full.set_burst_loss(Some(GilbertElliott::default()));
+        sub.set_burst_loss(Some(GilbertElliott::default()));
+        let mut now = Timestamp::ZERO;
+        let mut seq = 0u64;
+        for _ in 0..50 {
+            let a = sched.resolve(now, seq, frame(1)).unwrap();
+            seq += 1;
+            let b = sched
+                .resolve(now + SimDuration::from_millis(10), seq, frame(4))
+                .unwrap();
+            seq += 1;
+            let (fa, _) = full.ingest_resolved(a.clone());
+            let (fb, _) = full.ingest_resolved(b);
+            let (sa, _) = sub.ingest_resolved(a);
+            let rf = full.exec_deliveries(fa);
+            let _ = full.exec_deliveries(fb);
+            let rs = sub.exec_deliveries(sa);
+            let full_owned: Vec<_> = rf
+                .outcomes
+                .iter()
+                .filter(|(n, _)| n.0 <= 2)
+                .copied()
+                .collect();
+            assert_eq!(full_owned, rs.outcomes);
+            now += SimDuration::from_millis(20);
+        }
+        // Both loss models actually fired, so the pin is not vacuous.
+        let ks = full.stats().kind(FrameKind(1));
+        assert!(ks.faded > 0, "fades must bite");
+        assert!(ks.burst_faded > 0, "burst chains must bite");
+    }
+
+    #[test]
+    fn keyed_fades_hit_the_configured_rate() {
+        let d = line_deployment(2, 1.0);
+        let cfg = RadioConfig::default()
+            .with_comm_radius(5.0)
+            .with_base_loss(0.2);
+        let rng = SimRng::seed_from(7);
+        let mut sched = ChannelScheduler::new(&d, cfg.clone(), &rng);
+        let mut m = Medium::new(&d, cfg, &rng);
+        m.enable_shard_exec(vec![true, true]);
+        let mut now = Timestamp::ZERO;
+        let mut delivered = 0u32;
+        let trials = 2000u32;
+        for seq in 0..trials {
+            let rtx = sched.resolve(now, u64::from(seq), frame(0)).unwrap();
+            now = rtx.completes_at + SimDuration::from_millis(1);
+            let (local, _) = m.ingest_resolved(rtx);
+            delivered += m.exec_deliveries(local).delivered().count() as u32;
+        }
+        let rate = 1.0 - f64::from(delivered) / f64::from(trials);
+        assert!((rate - 0.2).abs() < 0.04, "keyed fade rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bypassed the ChannelScheduler")]
+    fn transmit_is_forbidden_in_executor_mode() {
+        let d = line_deployment(2, 1.0);
+        let mut m = Medium::new(&d, lossless(5.0), &SimRng::seed_from(1));
+        m.enable_shard_exec(vec![true, true]);
+        let _ = m.transmit(Timestamp::ZERO, frame(0));
     }
 
     #[test]

@@ -155,9 +155,16 @@ impl SpatialGrid {
     }
 }
 
+/// The shard owning grid column `col` of a `cols`-column grid striped over
+/// `shards` shards. Monotone non-decreasing in `col`, which is what makes
+/// footprint interest sets contiguous shard ranges.
+#[must_use]
+pub fn shard_of_column(col: usize, cols: usize, shards: usize) -> usize {
+    (col * shards / cols).min(shards - 1)
+}
+
 /// Assigns every node of `deployment` to one of `shards` shards by striping
-/// the spatial grid's cell columns: a node in cell column `cx` of a
-/// `cols`-column grid lands on shard `cx * shards / cols`. The sharded
+/// the spatial grid's cell columns via [`shard_of_column`]. The sharded
 /// kernel is shard-count-invariant for *any* node partition; striping along
 /// the grid keeps each shard's nodes spatially contiguous, so almost all
 /// radio traffic a shard dispatches is to its own nodes.
@@ -173,7 +180,45 @@ pub fn shard_assignment(deployment: &Deployment, radius: f64, shards: usize) -> 
     deployment
         .positions()
         .iter()
-        .map(|&p| (grid.col_of(p) * shards / cols).min(shards - 1))
+        .map(|&p| shard_of_column(grid.col_of(p), cols, shards))
+        .collect()
+}
+
+/// Per-node shard *interest ranges* for partitioned-medium intent routing:
+/// `ranges[i] = (lo, hi)` means a transmission by node `i` can only be
+/// heard by nodes owned by shards `lo..=hi` (under the same `radius` and
+/// the [`shard_assignment`] striping).
+///
+/// Soundness is the 9-cell-stencil argument restricted to columns: the
+/// grid's cell side is `>= radius`, so any receiver within `radius` of a
+/// node in column `cx` lies in column `cx - 1`, `cx`, or `cx + 1`; shards
+/// stripe whole columns monotonically ([`shard_of_column`]), so the owning
+/// shards of those three columns form the contiguous range
+/// `shard_of_column(cx-1) ..= shard_of_column(cx+1)`. The sender's own
+/// owner is `shard_of_column(cx)`, inside the range by monotonicity — the
+/// range always covers self-accounting (transmit energy, half-duplex).
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or `radius` is not finite and positive.
+#[must_use]
+pub fn shard_interest_ranges(
+    deployment: &Deployment,
+    radius: f64,
+    shards: usize,
+) -> Vec<(usize, usize)> {
+    assert!(shards >= 1, "at least one shard is required");
+    let grid = SpatialGrid::new(deployment, radius);
+    let cols = grid.cell_cols();
+    deployment
+        .positions()
+        .iter()
+        .map(|&p| {
+            let cx = grid.col_of(p);
+            let lo = shard_of_column(cx.saturating_sub(1), cols, shards);
+            let hi = shard_of_column((cx + 1).min(cols - 1), cols, shards);
+            (lo, hi)
+        })
         .collect()
 }
 
@@ -340,6 +385,44 @@ mod tests {
             }
         }
         assert!(shard_assignment(&d, 2.5, 1).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn interest_ranges_cover_every_brute_force_receiver() {
+        let d = Deployment::grid(20, 20, 1.0);
+        let radius = 2.5;
+        for shards in [1usize, 2, 4, 7] {
+            let owners = shard_assignment(&d, radius, shards);
+            let ranges = shard_interest_ranges(&d, radius, shards);
+            let lists = neighbor_lists_with(&d, radius, NeighborStrategy::BruteForce);
+            for (a, list) in lists.iter().enumerate() {
+                let (lo, hi) = ranges[a];
+                assert!(lo <= hi && hi < shards);
+                assert!(
+                    (lo..=hi).contains(&owners[a]),
+                    "node {a} outside its own interest range"
+                );
+                for b in list {
+                    assert!(
+                        (lo..=hi).contains(&owners[b.index()]),
+                        "receiver {b} of {a} outside interest range {lo}..={hi}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interest_ranges_are_proper_subsets_on_wide_fields() {
+        // A field much wider than the radius must give interior nodes an
+        // interest range narrower than the full shard set — otherwise
+        // partitioned routing degenerates to broadcast.
+        let d = Deployment::grid(40, 4, 1.0);
+        let ranges = shard_interest_ranges(&d, 1.5, 8);
+        assert!(
+            ranges.iter().any(|&(lo, hi)| hi - lo + 1 < 8),
+            "no node had a narrow interest range"
+        );
     }
 
     #[test]

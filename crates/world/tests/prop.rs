@@ -4,7 +4,9 @@ use envirotrack_sim::rng::SimRng;
 use envirotrack_sim::time::Timestamp;
 use envirotrack_world::field::Deployment;
 use envirotrack_world::geometry::{Aabb, Point};
-use envirotrack_world::grid::{neighbor_lists_with, NeighborStrategy};
+use envirotrack_world::grid::{
+    neighbor_lists_with, shard_assignment, shard_interest_ranges, NeighborStrategy,
+};
 use envirotrack_world::target::{Falloff, Trajectory};
 use testkit::prelude::*;
 
@@ -185,5 +187,49 @@ prop_test! {
         let grid = neighbor_lists_with(&d, radius, NeighborStrategy::Grid);
         let brute = neighbor_lists_with(&d, radius, NeighborStrategy::BruteForce);
         prop_assert_eq!(grid, brute);
+    }
+
+    /// Interest-set soundness — the invariant partitioned-medium routing
+    /// rests on: for random placements, radii, and shard counts, every
+    /// receiver the brute-force medium would reach from a sender belongs
+    /// to a shard inside that sender's computed interest range. An unsound
+    /// range would silently drop deliveries on exactly one shard count and
+    /// break the byte-identical sharding contract.
+    #[test]
+    fn interest_ranges_cover_every_brute_force_receiver(
+        seed: u64,
+        n in 2u32..120,
+        radius in 0.05..20.0f64,
+        shards in 1usize..9,
+        w in 0.5..60.0f64,
+        h in 0.5..60.0f64,
+    ) {
+        let area = Aabb::new(Point::new(-w / 2.0, -h / 2.0), Point::new(w / 2.0, h / 2.0));
+        let d = Deployment::random_uniform(n, area, &mut SimRng::seed_from(seed));
+        let owners = shard_assignment(&d, radius, shards);
+        let ranges = shard_interest_ranges(&d, radius, shards);
+        for (src, src_pos) in d.iter() {
+            let (lo, hi) = ranges[src.index()];
+            prop_assert!(lo <= hi && hi < shards);
+            // The sender's own shard must always be interested
+            // (self-accounting: transmit energy is charged there).
+            let own = owners[src.index()];
+            prop_assert!(
+                (lo..=hi).contains(&own),
+                "sender {} owned by shard {} outside its range [{}, {}]", src, own, lo, hi
+            );
+            for (dst, dst_pos) in d.iter() {
+                if dst == src || src_pos.distance_to(dst_pos) > radius {
+                    continue;
+                }
+                let owner = owners[dst.index()];
+                prop_assert!(
+                    (lo..=hi).contains(&owner),
+                    "receiver {} (shard {}) of sender {} escaped range [{}, {}] \
+                     (n={}, radius={}, shards={})",
+                    dst, owner, src, lo, hi, n, radius, shards
+                );
+            }
+        }
     }
 }

@@ -50,7 +50,9 @@ for f in "$tmp/scale.json" BENCH_scale.json; do
   for key in '"bench":"scale"' '"construction":' '"speedup":' '"results":' \
              '"events_per_sec":' '"sweep":' '"merged_outputs_identical":true' \
              '"codec":' '"bytes_on_air":' '"json_over_binary":' \
-             '"shards":' '"speedup_vs_first":' '"byte_identical":true'; do
+             '"shards":' '"speedup_vs_first":' '"byte_identical":true' \
+             '"medium":' '"replayed_intents":' '"full_replay_intents":' \
+             '"medium":"partitioned"' '"medium":"replicated"'; do
     grep -q "$key" "$f" \
       || { echo "verify: $f is missing $key" >&2; exit 1; }
   done
@@ -97,6 +99,18 @@ cmp -s "$tmp/shard1.jsonl" "$tmp/shard4.jsonl" \
   || { echo "verify: simulation output depends on the shard count" >&2; exit 1; }
 grep -q "net.k1.tx" "$tmp/shard1.jsonl" \
   || { echo "verify: shard cross-check saw no protocol traffic" >&2; exit 1; }
+grep -q "shard.intents.tail_dropped" "$tmp/shard1.jsonl" \
+  || { echo "verify: shard cross-check is missing the tail-intent accounting" >&2; exit 1; }
+
+# Medium smoke: interest-routed (partitioned) delivery at 2 shards must be
+# byte-identical to the full-replay (replicated) medium on the same field —
+# routing decides who ingests a transmission, never what anyone observes.
+./target/release/scale --smoke --shards 2 --medium replicated --crosscheck "$tmp/med_rep.jsonl"
+./target/release/scale --smoke --shards 2 --medium partitioned --crosscheck "$tmp/med_part.jsonl"
+cmp -s "$tmp/med_rep.jsonl" "$tmp/med_part.jsonl" \
+  || { echo "verify: simulation output depends on the medium routing mode" >&2; exit 1; }
+grep -q "net.k1.tx" "$tmp/med_part.jsonl" \
+  || { echo "verify: medium cross-check saw no protocol traffic" >&2; exit 1; }
 
 # Serve smoke: a ~5 s happy-path mini-storm against the session server —
 # 560 concurrent sessions ramped, held streaming, and closed cleanly over
